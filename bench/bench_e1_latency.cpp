@@ -1,0 +1,73 @@
+//===- bench/bench_e1_latency.cpp - E1: 2 vs 3 message delays -------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1 (Section 2.1 claim): in fault-free, contention-free
+// executions the Quorum fast phase decides in 2 message delays while the
+// Paxos backup needs 3. The network delay is fixed at one unit per hop, so
+// the reported counter "hops" *is* the paper's message-delay metric;
+// wall-clock time measures simulator throughput. Sweeps the number of
+// servers to show the latency shape is size-independent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Stack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slin;
+
+namespace {
+
+/// Runs Ops sequential (contention-free) proposals on distinct slots and
+/// returns total simulated latency in hops.
+double runContentionFree(unsigned NumServers, unsigned NumPhases,
+                         unsigned Ops, double *FastFraction) {
+  StackConfig Config;
+  Config.NumServers = NumServers;
+  Config.NumPhases = NumPhases;
+  Config.NumClients = 1;
+  Config.Net.MinDelay = Config.Net.MaxDelay = 1;
+  StackHarness H(Config);
+  for (unsigned I = 0; I < Ops; ++I)
+    H.submitAt(I * 100, 0, I, static_cast<std::int64_t>(I + 1));
+  H.run();
+  double TotalHops = 0;
+  unsigned Fast = 0;
+  for (const OpRecord &Op : H.ops()) {
+    TotalHops += static_cast<double>(Op.End - Op.Start);
+    Fast += Op.completed() && Op.ResponsePhase == 1;
+  }
+  if (FastFraction)
+    *FastFraction = static_cast<double>(Fast) / static_cast<double>(Ops);
+  return TotalHops / static_cast<double>(Ops);
+}
+
+} // namespace
+
+/// Quorum+Backup: expect 2.0 hops per decision.
+static void BM_E1_SpeculativeStack(benchmark::State &State) {
+  unsigned NumServers = static_cast<unsigned>(State.range(0));
+  double Hops = 0, FastFraction = 0;
+  for (auto _ : State)
+    Hops = runContentionFree(NumServers, /*NumPhases=*/2, /*Ops=*/64,
+                             &FastFraction);
+  State.counters["hops_per_decision"] = Hops;
+  State.counters["fast_path_fraction"] = FastFraction;
+}
+BENCHMARK(BM_E1_SpeculativeStack)->Arg(3)->Arg(5)->Arg(7)->Arg(13);
+
+/// Paxos only: expect 3.0 hops per decision (forward, 2a, 2b).
+static void BM_E1_PaxosBaseline(benchmark::State &State) {
+  unsigned NumServers = static_cast<unsigned>(State.range(0));
+  double Hops = 0;
+  for (auto _ : State)
+    Hops = runContentionFree(NumServers, /*NumPhases=*/1, /*Ops=*/64,
+                             nullptr);
+  State.counters["hops_per_decision"] = Hops;
+}
+BENCHMARK(BM_E1_PaxosBaseline)->Arg(3)->Arg(5)->Arg(7)->Arg(13);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+//===- bench/bench_e2_faults.cpp - E2: aborts under contention/faults -----==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2 (Sections 1 and 2.1): the fast path helps exactly when the
+// speculation holds — contention, message loss and crashes force it to
+// abort, and an adversary that always creates contention makes the
+// optimization useless (the Zyzzyva fragility observation). We sweep
+//
+//   * the number of concurrently proposing clients (contention),
+//   * the message loss probability,
+//   * crashed servers (up to a minority),
+//
+// and report the fast-path commit fraction and the mean decision latency
+// in hops. Correctness under all of this is covered by the test suite; the
+// bench shows the performance shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Stack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slin;
+
+namespace {
+
+struct E2Stats {
+  double FastFraction = 0;
+  double MeanHops = 0;
+  double Completed = 0;
+};
+
+E2Stats runWorkload(unsigned Contention, double Loss, unsigned Crashes,
+                    std::uint64_t Seed) {
+  StackConfig Config;
+  Config.NumServers = 5;
+  Config.NumClients = Contention;
+  Config.Seed = Seed;
+  // Jittered delays: simultaneous proposals reach servers in different
+  // orders, which is what makes contention visible to the fast path.
+  Config.Net.MinDelay = 1;
+  Config.Net.MaxDelay = 4;
+  Config.Net.LossProbability = Loss;
+  Config.QuorumTimeout = 16;
+  Config.PaxosTimeout = 80;
+  StackHarness H(Config);
+  for (unsigned S = 0; S < Crashes; ++S)
+    H.crashServerAt(0, S);
+  constexpr unsigned Slots = 32;
+  for (unsigned Slot = 0; Slot < Slots; ++Slot)
+    for (ClientId C = 0; C < Contention; ++C)
+      H.submitAt(Slot * 200, C, Slot,
+                 static_cast<std::int64_t>(Slot * 100 + C));
+  H.run(Slots * 200 + 100000);
+
+  E2Stats Stats;
+  double Hops = 0;
+  unsigned Done = 0, Fast = 0;
+  for (const OpRecord &Op : H.ops()) {
+    if (!Op.completed())
+      continue;
+    ++Done;
+    Fast += Op.ResponsePhase == 1;
+    Hops += static_cast<double>(Op.End - Op.Start);
+  }
+  Stats.Completed =
+      static_cast<double>(Done) / static_cast<double>(H.ops().size());
+  Stats.FastFraction = Done ? static_cast<double>(Fast) / Done : 0;
+  Stats.MeanHops = Done ? Hops / Done : 0;
+  return Stats;
+}
+
+} // namespace
+
+/// Contention sweep: 1 proposer (all fast) to 32 (all aborted).
+static void BM_E2_ContentionSweep(benchmark::State &State) {
+  unsigned Contention = static_cast<unsigned>(State.range(0));
+  E2Stats Stats;
+  std::uint64_t Seed = 1;
+  for (auto _ : State)
+    Stats = runWorkload(Contention, 0.0, 0, Seed++);
+  State.counters["fast_path_fraction"] = Stats.FastFraction;
+  State.counters["mean_hops"] = Stats.MeanHops;
+  State.counters["completed_fraction"] = Stats.Completed;
+}
+BENCHMARK(BM_E2_ContentionSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Loss sweep at fixed light contention (percent of messages dropped).
+static void BM_E2_LossSweep(benchmark::State &State) {
+  double Loss = static_cast<double>(State.range(0)) / 100.0;
+  E2Stats Stats;
+  std::uint64_t Seed = 100;
+  for (auto _ : State)
+    Stats = runWorkload(2, Loss, 0, Seed++);
+  State.counters["fast_path_fraction"] = Stats.FastFraction;
+  State.counters["mean_hops"] = Stats.MeanHops;
+  State.counters["completed_fraction"] = Stats.Completed;
+}
+BENCHMARK(BM_E2_LossSweep)->Arg(0)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+/// Crash sweep: 0..2 of 5 servers down (quorum needs all 5; Paxos needs 3).
+static void BM_E2_CrashSweep(benchmark::State &State) {
+  unsigned Crashes = static_cast<unsigned>(State.range(0));
+  E2Stats Stats;
+  std::uint64_t Seed = 200;
+  for (auto _ : State)
+    Stats = runWorkload(2, 0.0, Crashes, Seed++);
+  State.counters["fast_path_fraction"] = Stats.FastFraction;
+  State.counters["mean_hops"] = Stats.MeanHops;
+  State.counters["completed_fraction"] = Stats.Completed;
+}
+BENCHMARK(BM_E2_CrashSweep)->Arg(0)->Arg(1)->Arg(2);
+
+BENCHMARK_MAIN();

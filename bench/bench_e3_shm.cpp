@@ -1,0 +1,157 @@
+//===- bench/bench_e3_shm.cpp - E3: registers vs CAS ----------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E3 (Section 2.5): consensus "that uses only registers in
+// contention-free executions". Solo (uncontended) proposals on the
+// RCons+CASCons stack execute plain loads/stores; the baseline pays a CAS
+// per decision. Under contention the stack aborts to its own CAS backup and
+// the fast path becomes pure overhead — the speculation trade-off's
+// crossover. Real time over real std::atomic; contended runs use explicit
+// threads with a start barrier and manual timing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shm/Threaded.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace slin;
+
+namespace {
+constexpr unsigned BatchSize = 1024;
+constexpr unsigned ContendedObjects = 4096;
+} // namespace
+
+/// Solo proposer on the speculative stack: registers only.
+static void BM_E3_SpeculativeSolo(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Objects =
+        std::make_unique<SpeculativeConsensusObject[]>(BatchSize);
+    State.ResumeTiming();
+    for (unsigned I = 0; I < BatchSize; ++I)
+      benchmark::DoNotOptimize(Objects[I].propose(I + 1, 0).Decision);
+  }
+  State.SetItemsProcessed(State.iterations() * BatchSize);
+}
+BENCHMARK(BM_E3_SpeculativeSolo);
+
+/// Solo proposer on the CAS baseline.
+static void BM_E3_CasSolo(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Objects = std::make_unique<CasConsensusObject[]>(BatchSize);
+    State.ResumeTiming();
+    for (unsigned I = 0; I < BatchSize; ++I)
+      benchmark::DoNotOptimize(Objects[I].propose(I + 1));
+  }
+  State.SetItemsProcessed(State.iterations() * BatchSize);
+}
+BENCHMARK(BM_E3_CasSolo);
+
+/// Proposals against an already-decided object: the speculative stack
+/// answers with one load (Fig 2 line 8); the naive baseline still executes
+/// its CAS. This is the regime where "an atomic register access" is
+/// unambiguously cheaper than CAS on current hardware.
+static void BM_E3_SpeculativeDecidedReadback(benchmark::State &State) {
+  SpeculativeConsensusObject Obj;
+  Obj.propose(1, 0);
+  for (auto _ : State)
+    for (unsigned I = 0; I < BatchSize; ++I)
+      benchmark::DoNotOptimize(Obj.propose(2, 1).Decision);
+  State.SetItemsProcessed(State.iterations() * BatchSize);
+}
+BENCHMARK(BM_E3_SpeculativeDecidedReadback);
+
+static void BM_E3_CasDecidedReadback(benchmark::State &State) {
+  CasConsensusObject Obj;
+  Obj.propose(1);
+  for (auto _ : State)
+    for (unsigned I = 0; I < BatchSize; ++I)
+      benchmark::DoNotOptimize(Obj.propose(2));
+  State.SetItemsProcessed(State.iterations() * BatchSize);
+}
+BENCHMARK(BM_E3_CasDecidedReadback);
+
+namespace {
+
+/// One contended round: \p NumThreads race through \p ContendedObjects
+/// fresh objects; returns elapsed seconds (measured after the barrier).
+template <typename ProposeFn>
+double contendedRound(unsigned NumThreads, ProposeFn Propose) {
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      ++Ready;
+      while (!Go.load())
+        ; // Spin at the start line.
+      for (unsigned I = 0; I < ContendedObjects; ++I)
+        Propose(I, T);
+    });
+  while (Ready.load() != NumThreads)
+    ;
+  auto T0 = std::chrono::steady_clock::now();
+  Go.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+static void BM_E3_SpeculativeContended(benchmark::State &State) {
+  unsigned NumThreads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto Pool =
+        std::make_unique<SpeculativeConsensusObject[]>(ContendedObjects);
+    double Secs = contendedRound(NumThreads, [&](unsigned I, unsigned T) {
+      benchmark::DoNotOptimize(Pool[I].propose(T + 1, T).Decision);
+    });
+    State.SetIterationTime(Secs);
+  }
+  State.SetItemsProcessed(State.iterations() * ContendedObjects *
+                          NumThreads);
+}
+// Each iteration spawns real threads (~10 ms wall); cap iterations so the
+// default run stays brief while the manual-time statistics remain stable.
+BENCHMARK(BM_E3_SpeculativeContended)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(50)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_E3_CasContended(benchmark::State &State) {
+  unsigned NumThreads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto Pool = std::make_unique<CasConsensusObject[]>(ContendedObjects);
+    double Secs = contendedRound(NumThreads, [&](unsigned I, unsigned T) {
+      benchmark::DoNotOptimize(Pool[I].propose(T + 1));
+    });
+    State.SetIterationTime(Secs);
+  }
+  State.SetItemsProcessed(State.iterations() * ContendedObjects *
+                          NumThreads);
+}
+BENCHMARK(BM_E3_CasContended)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(50)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

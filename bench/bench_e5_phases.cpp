@@ -1,0 +1,115 @@
+//===- bench/bench_e5_phases.cpp - E5: scaling the phase stack ------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E5 (Section 1): an ad-hoc n-phase speculative protocol has
+// O(n^2) switching cases; the framework composes n phases through one
+// uniform switch interface, so adding a phase is O(1) code and the runtime
+// cost of a full cascade is linear in the number of phases traversed. We
+// build stacks of k = 1..8 phases, force worst-case cascades (adversarial
+// contention makes every fast phase abort), and report decision latency and
+// switch counts as k grows — the linear shape is the claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Stack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slin;
+
+namespace {
+
+struct E5Stats {
+  double MeanHops = 0;
+  double MeanSwitches = 0;
+  double FastFraction = 0;
+};
+
+/// Adversarial workload: two conflicting proposals per slot arrive
+/// simultaneously, so every Quorum phase sees contention and aborts.
+E5Stats runCascade(unsigned NumPhases, std::uint64_t Seed) {
+  StackConfig Config;
+  Config.NumServers = 3;
+  Config.NumClients = 2;
+  Config.NumPhases = NumPhases;
+  Config.Seed = Seed;
+  // Jittered delays so simultaneous conflicting proposals actually race.
+  Config.Net.MinDelay = 1;
+  Config.Net.MaxDelay = 4;
+  Config.QuorumTimeout = 16;
+  Config.PaxosTimeout = 80;
+  StackHarness H(Config);
+  constexpr unsigned Slots = 16;
+  for (unsigned Slot = 0; Slot < Slots; ++Slot) {
+    H.submitAt(Slot * 300, 0, Slot, static_cast<std::int64_t>(Slot) * 2 + 1);
+    H.submitAt(Slot * 300, 1, Slot, static_cast<std::int64_t>(Slot) * 2 + 2);
+  }
+  H.run();
+  E5Stats Stats;
+  double Hops = 0, Switches = 0;
+  unsigned Done = 0, Fast = 0;
+  for (const OpRecord &Op : H.ops()) {
+    if (!Op.completed())
+      continue;
+    ++Done;
+    Hops += static_cast<double>(Op.End - Op.Start);
+    Switches += Op.Switches;
+    Fast += Op.ResponsePhase == 1;
+  }
+  if (Done) {
+    Stats.MeanHops = Hops / Done;
+    Stats.MeanSwitches = Switches / Done;
+    Stats.FastFraction = static_cast<double>(Fast) / Done;
+  }
+  return Stats;
+}
+
+} // namespace
+
+/// Worst-case cascade through k phases: latency should grow linearly in k.
+static void BM_E5_AdversarialCascade(benchmark::State &State) {
+  unsigned NumPhases = static_cast<unsigned>(State.range(0));
+  E5Stats Stats;
+  std::uint64_t Seed = 1;
+  for (auto _ : State)
+    Stats = runCascade(NumPhases, Seed++);
+  State.counters["mean_hops"] = Stats.MeanHops;
+  State.counters["mean_switches"] = Stats.MeanSwitches;
+  State.counters["fast_path_fraction"] = Stats.FastFraction;
+}
+BENCHMARK(BM_E5_AdversarialCascade)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8);
+
+/// Contention-free control: deep stacks cost nothing when the first phase
+/// decides (the point of composing speculation instead of hard-coding it).
+static void BM_E5_ContentionFreeControl(benchmark::State &State) {
+  unsigned NumPhases = static_cast<unsigned>(State.range(0));
+  double Hops = 0;
+  for (auto _ : State) {
+    StackConfig Config;
+    Config.NumServers = 3;
+    Config.NumClients = 1;
+    Config.NumPhases = NumPhases;
+    Config.Net.MinDelay = Config.Net.MaxDelay = 1;
+    StackHarness H(Config);
+    for (unsigned Slot = 0; Slot < 16; ++Slot)
+      H.submitAt(Slot * 100, 0, Slot, Slot + 1);
+    H.run();
+    double Total = 0;
+    for (const OpRecord &Op : H.ops())
+      Total += static_cast<double>(Op.End - Op.Start);
+    Hops = Total / static_cast<double>(H.ops().size());
+  }
+  State.counters["mean_hops"] = Hops;
+}
+BENCHMARK(BM_E5_ContentionFreeControl)->Arg(2)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

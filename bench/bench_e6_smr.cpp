@@ -1,0 +1,128 @@
+//===- bench/bench_e6_smr.cpp - E6: speculative SMR throughput ------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E6 (Section 6 / the paper's SMR motivation): a replicated
+// key-value store whose log slots are speculative consensus instances.
+// Contention-free workloads ride the 2-hop fast path; crashes and loss push
+// slots onto the Paxos backup. We compare the speculative stack against the
+// Paxos-only baseline: commands per 1000 simulated time units, mean command
+// latency, and consensus operations spent per command.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/KvStore.h"
+#include "smr/Smr.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slin;
+
+namespace {
+
+struct E6Stats {
+  double Throughput = 0; ///< Commands per 1000 simulated units.
+  double MeanLatency = 0;
+  double ConsensusOpsPerCommand = 0;
+  double Completed = 0;
+};
+
+E6Stats runSmr(unsigned NumPhases, unsigned NumClients, unsigned Crashes,
+               double Loss, std::uint64_t Seed) {
+  KvStoreAdt Kv;
+  StackConfig Config;
+  Config.NumServers = 5;
+  Config.NumClients = NumClients;
+  Config.NumPhases = NumPhases;
+  Config.Seed = Seed;
+  Config.Net.MinDelay = Config.Net.MaxDelay = 1;
+  Config.Net.LossProbability = Loss;
+  Config.QuorumTimeout = 8;
+  Config.PaxosTimeout = 50;
+  SmrHarness H(Config, Kv);
+  for (unsigned S = 0; S < Crashes; ++S)
+    H.crashServerAt(40 + 20 * S, S);
+  constexpr unsigned CommandsPerClient = 24;
+  // Closed loop: each client's commands queue behind one another.
+  for (unsigned I = 0; I < CommandsPerClient; ++I)
+    for (ClientId C = 0; C < NumClients; ++C)
+      H.submitAt(0, C,
+                 kv::put(static_cast<std::int64_t>(C),
+                         static_cast<std::int64_t>(I)));
+  H.run(2000000);
+
+  E6Stats Stats;
+  unsigned Done = 0;
+  double Latency = 0, ConsOps = 0;
+  SimTime LastEnd = 0;
+  for (const SmrOpRecord &Op : H.smrOps()) {
+    if (!Op.Completed)
+      continue;
+    ++Done;
+    Latency += static_cast<double>(Op.End - Op.Start);
+    ConsOps += Op.ConsensusOps;
+    LastEnd = std::max(LastEnd, Op.End);
+  }
+  if (Done) {
+    Stats.MeanLatency = Latency / Done;
+    Stats.ConsensusOpsPerCommand = ConsOps / Done;
+    Stats.Throughput =
+        1000.0 * static_cast<double>(Done) / static_cast<double>(LastEnd);
+  }
+  Stats.Completed =
+      static_cast<double>(Done) / static_cast<double>(H.smrOps().size());
+  return Stats;
+}
+
+void reportStats(benchmark::State &State, const E6Stats &Stats) {
+  State.counters["cmds_per_1000_units"] = Stats.Throughput;
+  State.counters["mean_latency_hops"] = Stats.MeanLatency;
+  State.counters["consensus_ops_per_cmd"] = Stats.ConsensusOpsPerCommand;
+  State.counters["completed_fraction"] = Stats.Completed;
+}
+
+} // namespace
+
+static void BM_E6_SpeculativeSmr(benchmark::State &State) {
+  unsigned Clients = static_cast<unsigned>(State.range(0));
+  E6Stats Stats;
+  std::uint64_t Seed = 1;
+  for (auto _ : State)
+    Stats = runSmr(/*NumPhases=*/2, Clients, 0, 0.0, Seed++);
+  reportStats(State, Stats);
+}
+BENCHMARK(BM_E6_SpeculativeSmr)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_E6_PaxosOnlySmr(benchmark::State &State) {
+  unsigned Clients = static_cast<unsigned>(State.range(0));
+  E6Stats Stats;
+  std::uint64_t Seed = 10;
+  for (auto _ : State)
+    Stats = runSmr(/*NumPhases=*/1, Clients, 0, 0.0, Seed++);
+  reportStats(State, Stats);
+}
+BENCHMARK(BM_E6_PaxosOnlySmr)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_E6_SpeculativeSmrCrash(benchmark::State &State) {
+  unsigned Crashes = static_cast<unsigned>(State.range(0));
+  E6Stats Stats;
+  std::uint64_t Seed = 20;
+  for (auto _ : State)
+    Stats = runSmr(2, 2, Crashes, 0.0, Seed++);
+  reportStats(State, Stats);
+}
+BENCHMARK(BM_E6_SpeculativeSmrCrash)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_E6_SpeculativeSmrLoss(benchmark::State &State) {
+  double Loss = static_cast<double>(State.range(0)) / 100.0;
+  E6Stats Stats;
+  std::uint64_t Seed = 30;
+  for (auto _ : State)
+    Stats = runSmr(2, 2, 0, Loss, Seed++);
+  reportStats(State, Stats);
+}
+BENCHMARK(BM_E6_SpeculativeSmrLoss)->Arg(0)->Arg(5)->Arg(10);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+//===- bench/bench_e7_spec.cpp - E7: spec automaton practicality ----------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E7 (Section 6 claim: refinement proofs over the specification
+// automaton "are practical"). Measures the executable counterparts: the
+// acceptance monitor's throughput on random-walk traces, the SLin checker
+// on the same traces, and the bounded composition-refinement model checker
+// (states per second and total states for growing bounds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "slin/SlinChecker.h"
+#include "spec/Refinement.h"
+#include "spec/SpecAutomaton.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slin;
+
+namespace {
+
+std::vector<Trace> walkFamily(PhaseId M, unsigned Steps, unsigned Count,
+                              UniversalInitRelation &Rel) {
+  SpecAutomaton A(PhaseSignature(M, M + 1), 3);
+  SpecAutomaton::WalkOptions Opts;
+  Opts.Steps = Steps;
+  Opts.Alphabet = {cons::propose(1), cons::propose(2)};
+  Opts.InitChoices = {{cons::ghostPropose(1)},
+                      {cons::ghostPropose(1), cons::ghostPropose(2)}};
+  Rng R(0xE7);
+  std::vector<Trace> Family;
+  for (unsigned I = 0; I < Count; ++I)
+    Family.push_back(A.randomWalk(Opts, R, Rel));
+  return Family;
+}
+
+} // namespace
+
+/// Acceptance monitoring of first-phase walks.
+static void BM_E7_Monitor(benchmark::State &State) {
+  UniversalInitRelation Rel;
+  unsigned Steps = static_cast<unsigned>(State.range(0));
+  auto Family = walkFamily(1, Steps, 50, Rel);
+  SpecAutomaton A(PhaseSignature(1, 2), 3);
+  for (auto _ : State)
+    for (const Trace &T : Family)
+      benchmark::DoNotOptimize(A.accepts(T, Rel).Ok);
+  State.SetItemsProcessed(State.iterations() * Family.size());
+}
+BENCHMARK(BM_E7_Monitor)->Arg(12)->Arg(24)->Arg(48);
+
+/// Acceptance monitoring of second-phase walks (init-history branching).
+static void BM_E7_MonitorSecondPhase(benchmark::State &State) {
+  UniversalInitRelation Rel;
+  unsigned Steps = static_cast<unsigned>(State.range(0));
+  auto Family = walkFamily(2, Steps, 50, Rel);
+  SpecAutomaton A(PhaseSignature(2, 3), 3);
+  for (auto _ : State)
+    for (const Trace &T : Family)
+      benchmark::DoNotOptimize(A.accepts(T, Rel).Ok);
+  State.SetItemsProcessed(State.iterations() * Family.size());
+}
+BENCHMARK(BM_E7_MonitorSecondPhase)->Arg(12)->Arg(24)->Arg(48);
+
+/// Bounded refinement model checking: states explored per bound.
+static void BM_E7_Refinement(benchmark::State &State) {
+  unsigned Depth = static_cast<unsigned>(State.range(0));
+  RefinementOptions Opts;
+  Opts.NumClients = 2;
+  Opts.MaxExternalActions = Depth;
+  Opts.Alphabet = {cons::propose(1), cons::propose(2)};
+  std::uint64_t Nodes = 0;
+  bool Holds = true;
+  for (auto _ : State) {
+    RefinementResult R = checkCompositionRefinement(2, 3, Opts);
+    Nodes = R.NodesExplored;
+    Holds = R.Holds;
+  }
+  State.counters["states"] = static_cast<double>(Nodes);
+  State.counters["holds"] = Holds ? 1 : 0;
+  State.SetItemsProcessed(State.iterations() * Nodes);
+}
+BENCHMARK(BM_E7_Refinement)->Arg(3)->Arg(4)->Arg(5);
+
+BENCHMARK_MAIN();

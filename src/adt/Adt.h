@@ -1,0 +1,76 @@
+//===- adt/Adt.h - Abstract data types (Definition 4) -----------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-data-type interface of Definition 4: an ADT is a triple
+/// T = (I_T, O_T, f_T) where f_T : I_T* -> O_T maps a history of inputs to
+/// the output of the *last* input in the history. Computing f_T amounts to
+/// replaying a sequential state machine, so in addition to the functional
+/// form (evaluate) every ADT provides an incremental replay object
+/// (AdtState) used heavily by the linearizability checkers, which explore
+/// many histories sharing long prefixes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_ADT_H
+#define SLIN_ADT_ADT_H
+
+#include "adt/Values.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace slin {
+
+/// Incremental evaluator for an ADT: mirrors the sequential state machine
+/// whose replay computes f_T. apply(In) returns f_T(h :: In) where h is the
+/// sequence of inputs applied so far.
+class AdtState {
+public:
+  virtual ~AdtState();
+
+  /// Applies \p In to the current state and returns its output, i.e.
+  /// f_T(applied-so-far :: In).
+  virtual Output apply(const Input &In) = 0;
+
+  /// Deep-copies the state. Used by branching searches.
+  virtual std::unique_ptr<AdtState> clone() const = 0;
+
+  /// A fingerprint of the *logical* state: two states with equal digests
+  /// respond identically to all futures (up to hash collision). This is the
+  /// paper's notion of history equivalence (Section 2.3) made executable,
+  /// and it powers memoization in the checkers.
+  virtual std::uint64_t digest() const = 0;
+};
+
+/// An abstract data type T = (I_T, O_T, f_T).
+class Adt {
+public:
+  virtual ~Adt();
+
+  /// Human-readable type name.
+  virtual const char *name() const = 0;
+
+  /// The output function f_T applied to a non-empty history: the output of
+  /// the last input of \p H after sequentially executing \p H.
+  Output evaluate(const History &H) const;
+
+  /// Creates a fresh replay state (empty history applied).
+  virtual std::unique_ptr<AdtState> makeState() const = 0;
+
+  /// True iff \p In is a syntactically valid input of this ADT. Checkers use
+  /// it to reject malformed traces early.
+  virtual bool validInput(const Input &In) const;
+
+  /// True iff two histories are equivalent w.r.t. this ADT (drive the state
+  /// machine to states with equal digests). Equivalent histories bring the
+  /// object to the same logical state (Section 2.3).
+  bool equivalent(const History &H1, const History &H2) const;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_ADT_H

@@ -1,0 +1,71 @@
+//===- adt/Consensus.h - The consensus ADT (Example 1) ----------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consensus abstract data type of Example 1 and Figure 1:
+///   I_Cons = { p(v) }, O_Cons = { d(v) },
+///   f_Cons([p(v1), ..., p(vn)]) = d(v1).
+/// The first proposed value in a history wins; every subsequent proposal
+/// decides that same value. Proposals must differ from NoValue (the paper's
+/// bottom).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_CONSENSUS_H
+#define SLIN_ADT_CONSENSUS_H
+
+#include "adt/Adt.h"
+
+namespace slin {
+
+/// Input/output constructors for the consensus ADT.
+namespace cons {
+
+/// Opcode of the single consensus operation.
+inline constexpr std::uint32_t OpPropose = 0;
+
+/// Builds the input p(v) (untagged).
+inline Input propose(std::int64_t V) { return Input{OpPropose, 0, V, 0}; }
+
+/// Builds the input p(v) tagged as client \p C's operation (phase traces).
+inline Input proposeBy(std::int64_t V, std::uint32_t C) {
+  return Input{OpPropose, clientTag(C), V, 0};
+}
+
+/// Builds the input p(v) attributed to an anonymous client of a previous
+/// phase (interpretation histories, Section 2.4).
+inline Input ghostPropose(std::int64_t V) {
+  return Input{OpPropose, GhostTag, V, 0};
+}
+
+/// True iff \p In is a proposal of value \p V, regardless of identity tag.
+inline bool isProposalOf(const Input &In, std::int64_t V) {
+  return In.Op == OpPropose && In.A == V;
+}
+
+/// Builds the output d(v).
+inline Output decide(std::int64_t V) { return Output{V}; }
+
+/// Extracts v from p(v).
+inline std::int64_t proposalOf(const Input &In) { return In.A; }
+
+/// Extracts v from d(v).
+inline std::int64_t decisionOf(const Output &Out) { return Out.Val; }
+
+} // namespace cons
+
+/// The consensus ADT: the first proposal of a history is the decision value
+/// of every operation in it.
+class ConsensusAdt final : public Adt {
+public:
+  const char *name() const override { return "consensus"; }
+  std::unique_ptr<AdtState> makeState() const override;
+  bool validInput(const Input &In) const override;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_CONSENSUS_H

@@ -1,0 +1,70 @@
+//===- adt/KvStore.cpp ----------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/KvStore.h"
+
+#include <map>
+
+using namespace slin;
+
+namespace {
+
+class KvStoreState final : public AdtState {
+public:
+  Output apply(const Input &In) override {
+    switch (In.Op) {
+    case kv::OpGet: {
+      auto It = Map.find(In.A);
+      return Output{It == Map.end() ? NoValue : It->second};
+    }
+    case kv::OpPut:
+      Map[In.A] = In.B;
+      return Output{In.B};
+    default: {
+      auto It = Map.find(In.A);
+      if (It == Map.end())
+        return Output{NoValue};
+      std::int64_t Old = It->second;
+      Map.erase(It);
+      return Output{Old};
+    }
+    }
+  }
+
+  std::unique_ptr<AdtState> clone() const override {
+    return std::make_unique<KvStoreState>(*this);
+  }
+
+  std::uint64_t digest() const override {
+    std::uint64_t H = 0x6b76u;
+    for (const auto &[K, V] : Map) {
+      H = hashCombine(H, static_cast<std::uint64_t>(K));
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+    }
+    return H;
+  }
+
+private:
+  std::map<std::int64_t, std::int64_t> Map;
+};
+
+} // namespace
+
+std::unique_ptr<AdtState> KvStoreAdt::makeState() const {
+  return std::make_unique<KvStoreState>();
+}
+
+bool KvStoreAdt::validInput(const Input &In) const {
+  switch (In.Op) {
+  case kv::OpGet:
+  case kv::OpDel:
+    return In.B == 0;
+  case kv::OpPut:
+    return In.B != NoValue;
+  default:
+    return false;
+  }
+}

@@ -1,0 +1,48 @@
+//===- adt/KvStore.h - Key-value store ADT ----------------------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A key-value store ADT used by the state-machine-replication layer and its
+/// examples (the paper motivates SMR via Chubby and the Gaios data store,
+/// Section 2.1). Operations: put(k,v) returns the stored value, get(k)
+/// returns the current value or NoValue, del(k) returns the removed value or
+/// NoValue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_KVSTORE_H
+#define SLIN_ADT_KVSTORE_H
+
+#include "adt/Adt.h"
+
+namespace slin {
+
+/// Input constructors for the key-value store ADT.
+namespace kv {
+
+inline constexpr std::uint32_t OpGet = 0;
+inline constexpr std::uint32_t OpPut = 1;
+inline constexpr std::uint32_t OpDel = 2;
+
+inline Input get(std::int64_t K) { return Input{OpGet, 0, K, 0}; }
+inline Input put(std::int64_t K, std::int64_t V) {
+  return Input{OpPut, 0, K, V};
+}
+inline Input del(std::int64_t K) { return Input{OpDel, 0, K, 0}; }
+
+} // namespace kv
+
+/// Replicated-map ADT.
+class KvStoreAdt final : public Adt {
+public:
+  const char *name() const override { return "kvstore"; }
+  std::unique_ptr<AdtState> makeState() const override;
+  bool validInput(const Input &In) const override;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_KVSTORE_H

@@ -1,0 +1,56 @@
+//===- adt/Queue.cpp ------------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Queue.h"
+
+#include <deque>
+
+using namespace slin;
+
+namespace {
+
+class QueueState final : public AdtState {
+public:
+  Output apply(const Input &In) override {
+    if (In.Op == queue::OpEnq) {
+      Items.push_back(In.A);
+      return Output{In.A};
+    }
+    if (Items.empty())
+      return Output{NoValue};
+    std::int64_t Front = Items.front();
+    Items.pop_front();
+    return Output{Front};
+  }
+
+  std::unique_ptr<AdtState> clone() const override {
+    return std::make_unique<QueueState>(*this);
+  }
+
+  std::uint64_t digest() const override {
+    std::uint64_t H = 0x9u;
+    for (std::int64_t V : Items)
+      H = hashCombine(H, static_cast<std::uint64_t>(V));
+    return H;
+  }
+
+private:
+  std::deque<std::int64_t> Items;
+};
+
+} // namespace
+
+std::unique_ptr<AdtState> QueueAdt::makeState() const {
+  return std::make_unique<QueueState>();
+}
+
+bool QueueAdt::validInput(const Input &In) const {
+  if (In.B != 0)
+    return false;
+  if (In.Op == queue::OpEnq)
+    return In.A != NoValue;
+  return In.Op == queue::OpDeq && In.A == 0;
+}

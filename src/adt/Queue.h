@@ -1,0 +1,45 @@
+//===- adt/Queue.h - FIFO queue ADT -----------------------------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO queue ADT: enqueue returns the enqueued value as an
+/// acknowledgement; dequeue returns the oldest enqueued value, or NoValue if
+/// the queue is empty. The queue has unbounded nondeterminism-free sequential
+/// semantics and a state space that grows with the history, making it the
+/// hardest of our ADTs for the checkers — the classic stress test for
+/// linearizability tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_QUEUE_H
+#define SLIN_ADT_QUEUE_H
+
+#include "adt/Adt.h"
+
+namespace slin {
+
+/// Input constructors for the queue ADT.
+namespace queue {
+
+inline constexpr std::uint32_t OpEnq = 0;
+inline constexpr std::uint32_t OpDeq = 1;
+
+inline Input enq(std::int64_t V) { return Input{OpEnq, 0, V, 0}; }
+inline Input deq() { return Input{OpDeq, 0, 0, 0}; }
+
+} // namespace queue
+
+/// FIFO queue.
+class QueueAdt final : public Adt {
+public:
+  const char *name() const override { return "queue"; }
+  std::unique_ptr<AdtState> makeState() const override;
+  bool validInput(const Input &In) const override;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_QUEUE_H

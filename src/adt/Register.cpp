@@ -1,0 +1,45 @@
+//===- adt/Register.cpp ---------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Register.h"
+
+using namespace slin;
+
+namespace {
+
+class RegisterState final : public AdtState {
+public:
+  Output apply(const Input &In) override {
+    if (In.Op == reg::OpWrite)
+      Content = In.A;
+    return Output{Content};
+  }
+
+  std::unique_ptr<AdtState> clone() const override {
+    return std::make_unique<RegisterState>(*this);
+  }
+
+  std::uint64_t digest() const override {
+    return hashCombine(0x4e6u, static_cast<std::uint64_t>(Content));
+  }
+
+private:
+  std::int64_t Content = NoValue;
+};
+
+} // namespace
+
+std::unique_ptr<AdtState> RegisterAdt::makeState() const {
+  return std::make_unique<RegisterState>();
+}
+
+bool RegisterAdt::validInput(const Input &In) const {
+  if (In.B != 0)
+    return false;
+  if (In.Op == reg::OpRead)
+    return In.A == 0;
+  return In.Op == reg::OpWrite && In.A != NoValue;
+}

@@ -1,0 +1,45 @@
+//===- adt/Register.h - Read/write register ADT -----------------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An atomic read/write register ADT. Reads return the most recently written
+/// value (NoValue if none); writes return the written value as an
+/// acknowledgement. Registers are the canonical linearizable object of the
+/// original Herlihy-Wing paper and exercise the generic checkers on an ADT
+/// whose outputs depend on the *order* of inputs, unlike consensus where only
+/// the first input matters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_REGISTER_H
+#define SLIN_ADT_REGISTER_H
+
+#include "adt/Adt.h"
+
+namespace slin {
+
+/// Input/output constructors for the register ADT.
+namespace reg {
+
+inline constexpr std::uint32_t OpRead = 0;
+inline constexpr std::uint32_t OpWrite = 1;
+
+inline Input read() { return Input{OpRead, 0, 0, 0}; }
+inline Input write(std::int64_t V) { return Input{OpWrite, 0, V, 0}; }
+
+} // namespace reg
+
+/// Atomic register: read returns the latest written value.
+class RegisterAdt final : public Adt {
+public:
+  const char *name() const override { return "register"; }
+  std::unique_ptr<AdtState> makeState() const override;
+  bool validInput(const Input &In) const override;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_REGISTER_H

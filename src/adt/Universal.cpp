@@ -1,0 +1,34 @@
+//===- adt/Universal.cpp --------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Universal.h"
+
+using namespace slin;
+
+namespace {
+
+class UniversalState final : public AdtState {
+public:
+  Output apply(const Input &In) override {
+    Fingerprint = hashCombine(Fingerprint, hashValue(In));
+    return Output{static_cast<std::int64_t>(Fingerprint)};
+  }
+
+  std::unique_ptr<AdtState> clone() const override {
+    return std::make_unique<UniversalState>(*this);
+  }
+
+  std::uint64_t digest() const override { return Fingerprint; }
+
+private:
+  std::uint64_t Fingerprint = 0x484953u;
+};
+
+} // namespace
+
+std::unique_ptr<AdtState> UniversalAdt::makeState() const {
+  return std::make_unique<UniversalState>();
+}

@@ -1,0 +1,38 @@
+//===- adt/Universal.h - The universal ADT (Section 6) ----------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The universal ADT of Section 6: its output function is the identity — an
+/// invocation is answered with the full history of inputs executed so far.
+/// It abstracts generic state-machine-replication protocols: composing a
+/// linearizable implementation of the universal ADT with the output function
+/// of any ADT A yields an implementation of A.
+///
+/// Our Output carries a single integer, so the generic-checker view of the
+/// universal ADT answers with a 64-bit fingerprint of the history; two
+/// histories are equivalent iff they are equal (up to hash collision), which
+/// matches the paper's r_init(h) = {h} instantiation. The spec module works
+/// with full histories directly and does not go through this encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_UNIVERSAL_H
+#define SLIN_ADT_UNIVERSAL_H
+
+#include "adt/Adt.h"
+
+namespace slin {
+
+/// Universal ADT: f_T(h) identifies h itself (as a fingerprint).
+class UniversalAdt final : public Adt {
+public:
+  const char *name() const override { return "universal"; }
+  std::unique_ptr<AdtState> makeState() const override;
+};
+
+} // namespace slin
+
+#endif // SLIN_ADT_UNIVERSAL_H

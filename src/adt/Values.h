@@ -1,0 +1,107 @@
+//===- adt/Values.h - Inputs, outputs, histories, switch values -*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value universe of the framework. An abstract data type T = (I, O, f)
+/// (Definition 4) has inputs I, outputs O, and an output function
+/// f : I* -> O. We represent inputs as small flat PODs (an opcode plus two
+/// integer operands) that each concrete ADT interprets; outputs are a single
+/// integer. Histories are sequences of inputs; switch values are the opaque
+/// tokens carried by switch actions between speculation phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ADT_VALUES_H
+#define SLIN_ADT_VALUES_H
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+namespace slin {
+
+/// An element of an ADT's input set I: an opcode and two operands. The
+/// meaning of Op/A/B is defined by each concrete ADT (for consensus, Op is
+/// always Propose and A is the proposed value).
+///
+/// Tag is an *operation identity*: ADT output functions ignore it, but
+/// history multiset accounting (Definitions 25–28) distinguishes inputs by
+/// it. The Section 2.4 mapping relies on knowing which client an invocation
+/// came from ("histories starting with propose(v) from a client c' != c");
+/// with plain value-equality that identity is lost and the valid-input
+/// counting becomes ambiguous for repeated values. Convention: phase traces
+/// tag a client's invocations with Client + 1; histories carried by switch
+/// values tag operations claimed on behalf of the *previous* phase's
+/// execution with GhostTag. Plain linearizability traces may leave Tag 0 —
+/// the checkers then exercise the paper's repeated-event semantics.
+struct Input {
+  std::uint32_t Op = 0;
+  std::uint32_t Tag = 0;
+  std::int64_t A = 0;
+  std::int64_t B = 0;
+
+  friend auto operator<=>(const Input &, const Input &) = default;
+};
+
+/// Identity tag for operations attributed to clients of a previous
+/// speculation phase (the c' of the Section 2.4 mapping).
+inline constexpr std::uint32_t GhostTag = 0xffffffffu;
+
+/// Identity tag for client \p C's invocations in phase traces.
+inline constexpr std::uint32_t clientTag(std::uint32_t C) { return C + 1; }
+
+/// An element of an ADT's output set O.
+struct Output {
+  std::int64_t Val = 0;
+
+  friend auto operator<=>(const Output &, const Output &) = default;
+};
+
+/// A history: a sequence of inputs representing a sequential execution
+/// (Section 2.2). The response to an invocation in a sequential execution is
+/// determined by the history of inputs so far.
+using History = std::vector<Input>;
+
+/// A switch value: the only information a speculation phase may pass to its
+/// successor, besides the pending invocation (Section 2.3). Interpreted
+/// through an InitRelation (the paper's r_init).
+struct SwitchValue {
+  std::int64_t Val = 0;
+
+  friend auto operator<=>(const SwitchValue &, const SwitchValue &) = default;
+};
+
+/// Sentinel for "no value" (the paper's bottom). Proposals and register /
+/// map contents must differ from it.
+inline constexpr std::int64_t NoValue = INT64_MIN;
+
+/// Combines a hash with a new 64-bit value (boost::hash_combine style,
+/// strengthened to 64 bits).
+inline std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t V) {
+  V *= 0x9e3779b97f4a7c15ULL;
+  V ^= V >> 32;
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 12) + (Seed >> 4));
+}
+
+/// 64-bit fingerprint of an input.
+inline std::uint64_t hashValue(const Input &In) {
+  std::uint64_t H = hashCombine(0x5155u, In.Op);
+  H = hashCombine(H, In.Tag);
+  H = hashCombine(H, static_cast<std::uint64_t>(In.A));
+  return hashCombine(H, static_cast<std::uint64_t>(In.B));
+}
+
+/// 64-bit fingerprint of a history.
+inline std::uint64_t hashValue(const History &H) {
+  std::uint64_t Acc = 0x484953u;
+  for (const Input &In : H)
+    Acc = hashCombine(Acc, hashValue(In));
+  return Acc;
+}
+
+} // namespace slin
+
+#endif // SLIN_ADT_VALUES_H

@@ -1,0 +1,65 @@
+//===- lin/Classical.h - Classical linearizability (Appendix A) -*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's formalization of the original Herlihy–Wing definition,
+/// linearizable* (Definitions 37–46): a well-formed trace is linearizable*
+/// iff some *completion* of it (a complete extension answering every pending
+/// invocation, Definition 40) can be *reordered* into a sequential trace
+/// that agrees with the ADT and preserves the order of non-overlapping
+/// operations (Definitions 41–45).
+///
+/// The checker performs the textbook scheduling search: it builds the
+/// sequential reordering operation by operation; an operation may be
+/// scheduled next iff no other unscheduled operation responded before it was
+/// invoked. Operations completed by the completion carry a free output (any
+/// output the ADT produces is acceptable), which is why completions never
+/// need to be enumerated separately. Theorem 1/4 (equivalence with the new
+/// definition) is validated in the test suite by running this checker and
+/// lin/LinChecker.h side by side on exhaustive and randomized trace
+/// families.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_LIN_CLASSICAL_H
+#define SLIN_LIN_CLASSICAL_H
+
+#include "adt/Adt.h"
+#include "lin/LinChecker.h"
+#include "trace/Trace.h"
+
+namespace slin {
+
+/// A witness for linearizable*: the operations (identified by their
+/// invocation index in the trace) in sequential order; operations whose
+/// response was supplied by the completion are flagged.
+struct ClassicalWitness {
+  struct Entry {
+    std::size_t InvokeIndex; ///< Invocation index in the original trace.
+    bool Completed;          ///< True if the response was appended.
+    Output Out;              ///< The (original or chosen) output.
+  };
+  std::vector<Entry> Order;
+};
+
+/// Outcome of the classical check.
+struct ClassicalCheckResult {
+  Verdict Outcome = Verdict::No;
+  std::string Reason;
+  ClassicalWitness Witness; ///< Valid iff Outcome == Verdict::Yes.
+  std::uint64_t NodesExplored = 0;
+
+  explicit operator bool() const { return Outcome == Verdict::Yes; }
+};
+
+/// Decides linearizability* of \p T with respect to \p Type.
+ClassicalCheckResult
+checkLinearizableClassical(const Trace &T, const Adt &Type,
+                           const LinCheckOptions &Opts = {});
+
+} // namespace slin
+
+#endif // SLIN_LIN_CLASSICAL_H

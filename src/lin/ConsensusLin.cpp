@@ -1,0 +1,115 @@
+//===- lin/ConsensusLin.cpp -----------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lin/ConsensusLin.h"
+
+#include "adt/Consensus.h"
+#include "trace/WellFormed.h"
+
+#include <limits>
+
+using namespace slin;
+
+/// Witness construction (Section 2.4, adjusted for deciders that proposed
+/// the decision value themselves):
+///   - if some decider proposed v, the earliest-responding such decider is
+///     the *winner* and commits the history [p(v)];
+///   - the master history is [p(v)] followed by the proposals of the other
+///     deciders in response order, each committing the prefix that ends
+///     with its own proposal.
+/// Condition (2) — an invocation of p(v) before the first response —
+/// supplies the occurrence of p(v) that makes every commit valid.
+LinCheckResult slin::checkConsensusLinearizable(const Trace &T) {
+  LinCheckResult Result;
+  WellFormedness Wf = checkWellFormedLin(T);
+  if (!Wf) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = "not well-formed: " + Wf.Reason;
+    return Result;
+  }
+  ConsensusAdt Cons;
+  for (const Action &A : T) {
+    if (!Cons.validInput(A.In)) {
+      Result.Outcome = Verdict::No;
+      Result.Reason = "invalid input for the consensus ADT";
+      return Result;
+    }
+  }
+
+  // Gather responses in trace order.
+  std::vector<std::size_t> Responses;
+  for (std::size_t I = 0, E = T.size(); I != E; ++I)
+    if (isRespond(T[I]))
+      Responses.push_back(I);
+  if (Responses.empty()) {
+    Result.Outcome = Verdict::Yes; // Trivially linearizable.
+    return Result;
+  }
+
+  // Condition (1): a single common decision value.
+  std::int64_t V = cons::decisionOf(T[Responses.front()].Out);
+  for (std::size_t R : Responses) {
+    if (cons::decisionOf(T[R].Out) != V) {
+      Result.Outcome = Verdict::No;
+      Result.Reason = "two responses decide different values";
+      return Result;
+    }
+  }
+
+  // Condition (2): p(v) invoked strictly before the first response. Keep
+  // the occurrence: it serves as the master's head when no decider folds.
+  std::size_t FirstResponse = Responses.front();
+  std::size_t HeadOccurrence = SIZE_MAX;
+  for (std::size_t I = 0; I < FirstResponse && HeadOccurrence == SIZE_MAX;
+       ++I)
+    if (isInvoke(T[I]) && cons::isProposalOf(T[I].In, V))
+      HeadOccurrence = I;
+  if (HeadOccurrence == SIZE_MAX) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = "the decision value was not proposed before the first "
+                    "response";
+    return Result;
+  }
+
+  // Build the witness. A decider that proposed v *and was invoked before
+  // the first response* may be folded onto the master's head, committing
+  // [p(v)] directly; the invocation-order side condition keeps Real-time
+  // Order intact (nothing responded before the folded operation began) and
+  // guarantees the other deciders can draw the head occurrence of p(v) from
+  // the folded client's invocation. If no decider qualifies, condition (2)
+  // supplies an external occurrence of p(v) as the head instead.
+  std::vector<std::size_t> OpenInvoke(64, SIZE_MAX);
+  std::vector<std::size_t> InvokeOf(T.size(), SIZE_MAX);
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &A = T[I];
+    if (A.Client >= OpenInvoke.size())
+      OpenInvoke.resize(A.Client + 1, SIZE_MAX);
+    if (isInvoke(A))
+      OpenInvoke[A.Client] = I;
+    else
+      InvokeOf[I] = OpenInvoke[A.Client];
+  }
+  std::size_t Folded = SIZE_MAX;
+  for (std::size_t R : Responses) {
+    if (cons::isProposalOf(T[R].In, V) && InvokeOf[R] < FirstResponse) {
+      Folded = R;
+      break;
+    }
+  }
+  Result.Outcome = Verdict::Yes;
+  Result.Witness.Master.push_back(Folded != SIZE_MAX
+                                      ? T[Folded].In
+                                      : T[HeadOccurrence].In);
+  if (Folded != SIZE_MAX)
+    Result.Witness.Commits.push_back({Folded, 1});
+  for (std::size_t R : Responses) {
+    if (R == Folded)
+      continue;
+    Result.Witness.Master.push_back(T[R].In);
+    Result.Witness.Commits.push_back({R, Result.Witness.Master.size()});
+  }
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- lin/LinChecker.h - Deciding the new linearizability def --*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact decision procedure for the paper's new definition of
+/// linearizability (Definition 5): a trace is linearizable iff it is
+/// well-formed and admits a linearization function. The checker searches for
+/// a witness in chain form (see lin/Witness.h) by extending a candidate
+/// master history one input at a time; at each step it either *commits* an
+/// outstanding response (the appended input becomes that response's commit
+/// point) or appends a *filler* input (an input that some later commit
+/// history will contain — e.g. the input of a pending invocation that took
+/// effect before a response, or a duplicate). Memoization on (committed
+/// responses, used-input multiset, ADT state digest) prunes the exponential
+/// search; this is where the new definition's "local reasoning" pays off:
+/// candidate prefixes are validated commit-by-commit instead of reordering
+/// the whole trace.
+///
+/// Deciding linearizability is NP-complete in general, so the search is
+/// bounded by a node budget; exceeding it yields Verdict::Unknown (never a
+/// wrong answer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_LIN_LINCHECKER_H
+#define SLIN_LIN_LINCHECKER_H
+
+#include "adt/Adt.h"
+#include "lin/Witness.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace slin {
+
+/// Three-valued checker outcome.
+enum class Verdict : std::uint8_t {
+  Yes,     ///< Property holds; a witness is attached where applicable.
+  No,      ///< Property conclusively violated.
+  Unknown, ///< Search budget exhausted before a conclusion.
+};
+
+/// Outcome of a linearizability check.
+struct LinCheckResult {
+  Verdict Outcome = Verdict::No;
+  std::string Reason;      ///< Human-readable cause for No/Unknown.
+  LinWitness Witness;      ///< Valid iff Outcome == Verdict::Yes.
+  std::uint64_t NodesExplored = 0;
+
+  explicit operator bool() const { return Outcome == Verdict::Yes; }
+};
+
+/// Tuning knobs for the search.
+struct LinCheckOptions {
+  /// Maximum number of search nodes before giving up with Unknown.
+  std::uint64_t NodeBudget = 1u << 22;
+};
+
+/// Decides whether \p T (a switch-free trace in sig_T) satisfies the
+/// new definition of linearizability with respect to \p Type.
+LinCheckResult checkLinearizable(const Trace &T, const Adt &Type,
+                                 const LinCheckOptions &Opts = {});
+
+} // namespace slin
+
+#endif // SLIN_LIN_LINCHECKER_H

@@ -1,0 +1,98 @@
+//===- lin/Witness.cpp ----------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lin/Witness.h"
+
+#include "support/Multiset.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace slin;
+
+WellFormedness slin::verifyLinWitness(const Trace &T, const Adt &Type,
+                                      const LinWitness &W) {
+  // Collect the response indices of the trace.
+  std::vector<std::size_t> ResponseIndices;
+  for (std::size_t I = 0, E = T.size(); I != E; ++I)
+    if (isRespond(T[I]))
+      ResponseIndices.push_back(I);
+
+  if (W.Commits.size() != ResponseIndices.size())
+    return WellFormedness::fail(
+        "witness assigns " + std::to_string(W.Commits.size()) +
+        " commit histories to " + std::to_string(ResponseIndices.size()) +
+        " responses");
+
+  std::vector<std::size_t> Assigned, Lengths;
+  for (const auto &[Index, Len] : W.Commits) {
+    Assigned.push_back(Index);
+    Lengths.push_back(Len);
+  }
+  std::sort(Assigned.begin(), Assigned.end());
+  if (Assigned != ResponseIndices)
+    return WellFormedness::fail(
+        "witness commit indices do not match the trace's response indices");
+
+  // Commit Order: all prefix lengths distinct (prefixes of one master are
+  // then totally ordered by strict prefix).
+  std::sort(Lengths.begin(), Lengths.end());
+  if (std::adjacent_find(Lengths.begin(), Lengths.end()) != Lengths.end())
+    return WellFormedness::fail("Commit Order violated: two commit "
+                                "histories share a prefix length");
+
+  // Precompute f_T over the master's prefixes.
+  std::vector<Output> PrefixOutputs;
+  PrefixOutputs.reserve(W.Master.size());
+  std::unique_ptr<AdtState> State = Type.makeState();
+  for (const Input &In : W.Master)
+    PrefixOutputs.push_back(State->apply(In));
+
+  // Real-time Order: operations that finish before another begins must
+  // commit strictly shorter histories (see lin/LinChecker.h).
+  std::vector<std::size_t> OpenInvoke(64, SIZE_MAX);
+  std::vector<std::size_t> InvokeOf(T.size(), SIZE_MAX);
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &A = T[I];
+    if (A.Client >= OpenInvoke.size())
+      OpenInvoke.resize(A.Client + 1, SIZE_MAX);
+    if (isInvoke(A))
+      OpenInvoke[A.Client] = I;
+    else
+      InvokeOf[I] = OpenInvoke[A.Client];
+  }
+  for (const auto &[I, LenI] : W.Commits)
+    for (const auto &[J, LenJ] : W.Commits)
+      if (I < InvokeOf[J] && LenI >= LenJ)
+        return WellFormedness::fail(
+            "Real-time Order violated: an operation that finished before "
+            "another began commits a longer history");
+
+  for (const auto &[Index, Len] : W.Commits) {
+    const Action &Resp = T[Index];
+    if (Len == 0 || Len > W.Master.size())
+      return WellFormedness::fail("commit history length out of range");
+    // The history ends with the responded input (Definition 10).
+    if (W.Master[Len - 1] != Resp.In)
+      return WellFormedness::fail(
+          "Validity violated: commit history does not end with the "
+          "responded input");
+    // Explains (Definition 7).
+    if (PrefixOutputs[Len - 1] != Resp.Out)
+      return WellFormedness::fail(
+          "explains violated: f_T of the commit history differs from the "
+          "response output");
+    // Validity (Definition 10): multiset inclusion in previous inputs.
+    auto CommitElems = Multiset<Input>::fromRange(
+        History(W.Master.begin(), W.Master.begin() + Len));
+    auto Available = Multiset<Input>::fromRange(inputsBefore(T, Index));
+    if (!CommitElems.includedIn(Available))
+      return WellFormedness::fail(
+          "Validity violated: commit history uses inputs not invoked "
+          "before the response");
+  }
+  return WellFormedness::pass();
+}

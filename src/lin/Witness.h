@@ -1,0 +1,54 @@
+//===- lin/Witness.h - Linearization-function witnesses ---------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete representation of linearization functions (Definition 6). By
+/// Commit Order (Definition 12) all commit histories of a trace form a chain
+/// under strict prefix, so a linearization function is fully described by
+/// one *master history* plus, for each commit (response) index, the length
+/// of the prefix of the master assigned to it. verifyLinWitness re-checks
+/// the definition (explains, Validity, Commit Order) against a candidate
+/// witness independently of how the witness was found; the checkers and the
+/// verifier validate one another in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_LIN_WITNESS_H
+#define SLIN_LIN_WITNESS_H
+
+#include "adt/Adt.h"
+#include "trace/Trace.h"
+#include "trace/WellFormed.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace slin {
+
+/// A linearization function for a trace, in chain form.
+struct LinWitness {
+  /// The longest commit history; every commit history is one of its
+  /// prefixes.
+  History Master;
+
+  /// (response index in the trace, prefix length of Master), one entry per
+  /// commit index, lengths pairwise distinct and >= 1.
+  std::vector<std::pair<std::size_t, std::size_t>> Commits;
+};
+
+/// Checks that \p W is a linearization function for \p T (Definitions 6–12):
+/// every response index of \p T is assigned exactly one prefix; prefix
+/// lengths are pairwise distinct (Commit Order); each assigned prefix ends
+/// with the responded input and is, as a multiset, included in the inputs
+/// invoked before the response (Validity); and f_T of the prefix equals the
+/// response's output (explains).
+WellFormedness verifyLinWitness(const Trace &T, const Adt &Type,
+                                const LinWitness &W);
+
+} // namespace slin
+
+#endif // SLIN_LIN_WITNESS_H

@@ -1,0 +1,59 @@
+//===- msg/Net.cpp --------------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "msg/Net.h"
+
+#include <cassert>
+
+using namespace slin;
+
+void Network::attach(NodeId Id, std::function<void(const Message &)> Handler) {
+  if (Id >= Handlers.size()) {
+    Handlers.resize(Id + 1);
+    Crashed.resize(Id + 1, false);
+  }
+  Handlers[Id] = std::move(Handler);
+}
+
+void Network::send(NodeId From, NodeId To, Message M) {
+  assert(To < Handlers.size() && "sending to an unattached node");
+  if (isCrashed(From) || isCrashed(To))
+    return;
+  M.From = From;
+  ++Sent;
+  if (Random.nextBool(Config.LossProbability))
+    return;
+  unsigned Copies = 1;
+  if (Random.nextBool(Config.DuplicateProbability))
+    ++Copies;
+  for (unsigned I = 0; I < Copies; ++I) {
+    SimTime Delay = Config.MinDelay;
+    if (Config.MaxDelay > Config.MinDelay)
+      Delay += Random.nextBounded(Config.MaxDelay - Config.MinDelay + 1);
+    Sim.after(Delay, [this, To, M] { deliver(To, M); });
+  }
+}
+
+void Network::multicast(NodeId From, const std::vector<NodeId> &Targets,
+                        Message M) {
+  for (NodeId To : Targets)
+    send(From, To, M);
+}
+
+void Network::crash(NodeId Id) {
+  if (Id >= Crashed.size())
+    Crashed.resize(Id + 1, false);
+  Crashed[Id] = true;
+}
+
+void Network::deliver(NodeId To, const Message &M) {
+  // Crash may have happened while the message was in flight.
+  if (isCrashed(To) || isCrashed(M.From))
+    return;
+  ++Delivered;
+  if (Handlers[To])
+    Handlers[To](M);
+}

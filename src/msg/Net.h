@@ -1,0 +1,104 @@
+//===- msg/Net.h - Simulated asynchronous lossy network ---------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated network over the discrete-event scheduler: point-to-point
+/// messages with configurable delay distribution, probabilistic loss,
+/// duplication, and crash faults (a crashed node neither sends nor
+/// receives — the paper's crash-stop model). Messages are a flat POD shared
+/// by all protocols; the Type field dispatches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_MSG_NET_H
+#define SLIN_MSG_NET_H
+
+#include "msg/Sim.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace slin {
+
+/// Network node identifier.
+using NodeId = std::uint32_t;
+
+/// Protocol message kinds (union of all protocols riding the network).
+enum class MsgType : std::uint32_t {
+  QuorumPropose, ///< Client -> server: propose(value) in a Quorum phase.
+  QuorumAccept,  ///< Server -> client: accept(first value).
+  PaxosForward,  ///< Client -> leader: please get my value chosen.
+  Paxos1a,       ///< Leader -> acceptors: prepare(ballot).
+  Paxos1b,       ///< Acceptor -> leader: promise(ballot, accepted).
+  Paxos2a,       ///< Leader -> acceptors: accept!(ballot, value).
+  Paxos2b,       ///< Acceptor -> everyone: accepted(ballot, value).
+  PaxosNack,     ///< Acceptor -> leader: ballot too low.
+};
+
+/// One message. Fields are interpreted per Type; unused fields are zero.
+struct Message {
+  MsgType Type = MsgType::QuorumPropose;
+  NodeId From = 0;
+  std::uint32_t Slot = 0;  ///< Consensus instance (SMR log position).
+  std::uint32_t Phase = 1; ///< Speculation phase the message belongs to.
+  std::uint64_t Ballot = 0;
+  std::int64_t Value = 0;
+  std::uint32_t Tag = 0;      ///< Identity tag riding with Value.
+  std::uint64_t Ballot2 = 0;  ///< Secondary ballot (1b: accepted ballot).
+  std::int64_t Value2 = 0;    ///< Secondary value (1b: accepted value).
+  std::uint32_t Tag2 = 0;     ///< Identity tag riding with Value2.
+  bool Flag = false;          ///< 1b: has an accepted value.
+};
+
+/// Network fault and timing model.
+struct NetConfig {
+  SimTime MinDelay = 10;    ///< Per-hop delay lower bound.
+  SimTime MaxDelay = 10;    ///< Per-hop delay upper bound (inclusive).
+  double LossProbability = 0.0;
+  double DuplicateProbability = 0.0;
+};
+
+/// The simulated network: delivery, loss, duplication, crashes.
+class Network {
+public:
+  Network(Simulator &Sim, NetConfig Config)
+      : Sim(Sim), Config(Config), Random(Sim.rng().split()) {}
+
+  /// Registers the handler of node \p Id (nodes are dense, 0-based).
+  void attach(NodeId Id, std::function<void(const Message &)> Handler);
+
+  /// Sends \p M from \p From to \p To subject to the fault model.
+  void send(NodeId From, NodeId To, Message M);
+
+  /// Sends \p M from \p From to every node in \p Targets.
+  void multicast(NodeId From, const std::vector<NodeId> &Targets, Message M);
+
+  /// Crash-stops \p Id: undelivered and future messages to/from it vanish.
+  void crash(NodeId Id);
+
+  bool isCrashed(NodeId Id) const {
+    return Id < Crashed.size() && Crashed[Id];
+  }
+
+  std::uint64_t messagesSent() const { return Sent; }
+  std::uint64_t messagesDelivered() const { return Delivered; }
+
+private:
+  void deliver(NodeId To, const Message &M);
+
+  Simulator &Sim;
+  NetConfig Config;
+  Rng Random;
+  std::vector<std::function<void(const Message &)>> Handlers;
+  std::vector<bool> Crashed;
+  std::uint64_t Sent = 0;
+  std::uint64_t Delivered = 0;
+};
+
+} // namespace slin
+
+#endif // SLIN_MSG_NET_H

@@ -1,0 +1,38 @@
+//===- msg/Sim.cpp --------------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "msg/Sim.h"
+
+#include <utility>
+
+using namespace slin;
+
+void Simulator::at(SimTime T, std::function<void()> Fn) {
+  if (T < Now)
+    T = Now;
+  Queue.push(Event{T, NextSeq++, std::move(Fn)});
+}
+
+bool Simulator::step() {
+  if (Queue.empty())
+    return false;
+  // priority_queue::top is const; moving the closure out requires a copy
+  // anyway, so copy and pop.
+  Event Ev = Queue.top();
+  Queue.pop();
+  Now = Ev.T;
+  ++Executed;
+  Ev.Fn();
+  return true;
+}
+
+void Simulator::run(SimTime Deadline) {
+  while (!Queue.empty()) {
+    if (Deadline != 0 && Queue.top().T > Deadline)
+      break;
+    step();
+  }
+}

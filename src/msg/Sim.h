@@ -1,0 +1,81 @@
+//===- msg/Sim.h - Deterministic discrete-event simulator -------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic discrete-event simulator: the substrate standing in for
+/// the asynchronous message-passing system of Section 2.1. Events fire in
+/// (time, insertion) order; all nondeterminism (delays, loss, crash timing)
+/// flows from an explicit seed, so every run — including every failure — is
+/// reproducible. Time units are abstract; benches configure one network hop
+/// to take a fixed delay so that latency divided by the hop delay *is* the
+/// paper's "message delays" metric.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_MSG_SIM_H
+#define SLIN_MSG_SIM_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace slin {
+
+/// Simulated time, in abstract units.
+using SimTime = std::uint64_t;
+
+/// Deterministic discrete-event scheduler.
+class Simulator {
+public:
+  explicit Simulator(std::uint64_t Seed) : Random(Seed) {}
+
+  SimTime now() const { return Now; }
+  Rng &rng() { return Random; }
+
+  /// Schedules \p Fn to run at absolute time \p T (clamped to now()).
+  void at(SimTime T, std::function<void()> Fn);
+
+  /// Schedules \p Fn to run \p Delay units from now.
+  void after(SimTime Delay, std::function<void()> Fn) {
+    at(Now + Delay, std::move(Fn));
+  }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or \p Deadline passes (0 = no deadline).
+  void run(SimTime Deadline = 0);
+
+  /// Number of events executed so far.
+  std::uint64_t eventsExecuted() const { return Executed; }
+
+private:
+  struct Event {
+    SimTime T;
+    std::uint64_t Seq; ///< Tie-break: FIFO among same-time events.
+    std::function<void()> Fn;
+  };
+  struct Later {
+    bool operator()(const Event &A, const Event &B) const {
+      if (A.T != B.T)
+        return A.T > B.T;
+      return A.Seq > B.Seq;
+    }
+  };
+
+  SimTime Now = 0;
+  std::uint64_t NextSeq = 0;
+  std::uint64_t Executed = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> Queue;
+  Rng Random;
+};
+
+} // namespace slin
+
+#endif // SLIN_MSG_SIM_H

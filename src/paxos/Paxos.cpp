@@ -1,0 +1,237 @@
+//===- paxos/Paxos.cpp ----------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "paxos/Paxos.h"
+
+using namespace slin;
+
+//===----------------------------------------------------------------------===//
+// Acceptor
+//===----------------------------------------------------------------------===//
+
+void PaxosAcceptor::on1a(const Message &M) {
+  State &S = States[keyOf(M)];
+  Message Reply;
+  Reply.Slot = M.Slot;
+  Reply.Phase = M.Phase;
+  if (M.Ballot < S.Promised) {
+    Reply.Type = MsgType::PaxosNack;
+    Reply.Ballot = M.Ballot;     // The ballot being rejected.
+    Reply.Ballot2 = S.Promised;  // What we promised instead.
+    Net.send(Self, M.From, Reply);
+    return;
+  }
+  S.Promised = M.Ballot;
+  Reply.Type = MsgType::Paxos1b;
+  Reply.Ballot = M.Ballot;
+  Reply.Flag = S.HasAccepted;
+  Reply.Ballot2 = S.AcceptedBallot;
+  Reply.Value2 = S.AcceptedValue;
+  Reply.Tag2 = S.AcceptedTag;
+  Net.send(Self, M.From, Reply);
+}
+
+void PaxosAcceptor::on2a(const Message &M) {
+  State &S = States[keyOf(M)];
+  if (M.Ballot < S.Promised) {
+    Message Reply;
+    Reply.Type = MsgType::PaxosNack;
+    Reply.Slot = M.Slot;
+    Reply.Phase = M.Phase;
+    Reply.Ballot = M.Ballot;
+    Reply.Ballot2 = S.Promised;
+    Net.send(Self, M.From, Reply);
+    return;
+  }
+  S.Promised = M.Ballot;
+  S.HasAccepted = true;
+  S.AcceptedBallot = M.Ballot;
+  S.AcceptedValue = M.Value;
+  S.AcceptedTag = M.Tag;
+  Message Out;
+  Out.Type = MsgType::Paxos2b;
+  Out.Slot = M.Slot;
+  Out.Phase = M.Phase;
+  Out.Ballot = M.Ballot;
+  Out.Value = M.Value;
+  Out.Tag = M.Tag;
+  Net.multicast(Self, Learners, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Leader
+//===----------------------------------------------------------------------===//
+
+void PaxosLeader::onForward(const Message &M) {
+  State &S = States[keyOf(M)];
+  if (S.Chosen) {
+    // A late proposer missed the 2b broadcast: re-issue 2a so the acceptors
+    // re-broadcast the chosen value.
+    send2a(M.Slot, M.Phase, S, S.ChosenValue, S.ChosenTag);
+    return;
+  }
+  if (S.HasProposal)
+    return; // Already working on this instance; the client will learn.
+  S.HasProposal = true;
+  S.Proposal = M.Value;
+  S.ProposalTag = M.Tag;
+  if (S.Ballot == 0 && Index == 0) {
+    // Ballot 0 belongs uniquely to leader 0: phase 1 can be skipped (no
+    // other proposer ever uses it), giving the three-hop fast case.
+    S.Ballot = makeBallot(0, 0, Acceptors.size());
+    send2a(M.Slot, M.Phase, S, S.Proposal, S.ProposalTag);
+    return;
+  }
+  if (S.Ballot == 0)
+    S.Ballot = makeBallot(1, Index, Acceptors.size());
+  startRound(M.Slot, M.Phase, S);
+}
+
+void PaxosLeader::startRound(std::uint32_t Slot, std::uint32_t Phase,
+                             State &S) {
+  S.Preparing = true;
+  S.Promises.clear();
+  Message M;
+  M.Type = MsgType::Paxos1a;
+  M.Slot = Slot;
+  M.Phase = Phase;
+  M.Ballot = S.Ballot;
+  Net.multicast(Self, Acceptors, M);
+}
+
+void PaxosLeader::send2a(std::uint32_t Slot, std::uint32_t Phase, State &S,
+                         std::int64_t Value, std::uint32_t Tag) {
+  Message M;
+  M.Type = MsgType::Paxos2a;
+  M.Slot = Slot;
+  M.Phase = Phase;
+  M.Ballot = S.Ballot;
+  M.Value = Value;
+  M.Tag = Tag;
+  Net.multicast(Self, Acceptors, M);
+}
+
+void PaxosLeader::on1b(const Message &M) {
+  State &S = States[keyOf(M)];
+  if (!S.Preparing || M.Ballot != S.Ballot)
+    return;
+  S.Promises[M.From] = M;
+  if (S.Promises.size() < majority())
+    return;
+  // Choose the value of the highest-ballot acceptance among the promises,
+  // or our own proposal if none.
+  S.Preparing = false;
+  std::int64_t Value = S.Proposal;
+  std::uint32_t Tag = S.ProposalTag;
+  std::uint64_t Best = 0;
+  bool Any = false;
+  for (const auto &[From, P] : S.Promises) {
+    (void)From;
+    if (P.Flag && (!Any || P.Ballot2 > Best)) {
+      Any = true;
+      Best = P.Ballot2;
+      Value = P.Value2;
+      Tag = P.Tag2;
+    }
+  }
+  send2a(M.Slot, M.Phase, S, Value, Tag);
+}
+
+void PaxosLeader::onNack(const Message &M) {
+  State &S = States[keyOf(M)];
+  if (S.Chosen || !S.HasProposal || M.Ballot != S.Ballot)
+    return;
+  // Preempted: move to a higher round of our own ballot sequence after a
+  // randomized backoff (probabilistic liveness under dueling leaders).
+  std::uint64_t Round = M.Ballot2 / Acceptors.size() + 1;
+  S.Ballot = makeBallot(Round, Index, Acceptors.size());
+  std::uint32_t Slot = M.Slot, Phase = M.Phase;
+  std::uint64_t Ballot = S.Ballot;
+  Sim.after(1 + Sim.rng().nextBounded(50), [this, Slot, Phase, Ballot] {
+    Message Probe;
+    Probe.Slot = Slot;
+    Probe.Phase = Phase;
+    State &Cur = States[keyOf(Probe)];
+    if (Cur.Chosen || Cur.Ballot != Ballot)
+      return;
+    startRound(Slot, Phase, Cur);
+  });
+}
+
+void PaxosLeader::on2b(const Message &M) {
+  State &S = States[keyOf(M)];
+  if (S.Chosen)
+    return;
+  auto &Voters = S.Votes2b[{M.Ballot, M.Value}];
+  Voters[M.From] = true;
+  if (Voters.size() >= majority()) {
+    S.Chosen = true;
+    S.ChosenValue = M.Value;
+    S.ChosenTag = M.Tag;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+void PaxosClient::engage(std::uint32_t Slot, std::uint32_t Phase,
+                         std::int64_t Value, std::uint32_t Tag) {
+  State &S = States[keyOf(Slot, Phase)];
+  if (S.Decided) {
+    OnDecide(Slot, Phase, S.Proposal); // Proposal holds the learned value.
+    return;
+  }
+  S.Engaged = true;
+  S.Proposal = Value;
+  S.ProposalTag = Tag;
+  forward(Slot, Phase, S);
+}
+
+void PaxosClient::forward(std::uint32_t Slot, std::uint32_t Phase, State &S) {
+  Message M;
+  M.Type = MsgType::PaxosForward;
+  M.Slot = Slot;
+  M.Phase = Phase;
+  M.Value = S.Proposal;
+  M.Tag = S.ProposalTag;
+  Net.send(Self, Servers[S.LeaderGuess % Servers.size()], M);
+  S.Epoch = NextEpoch++;
+  std::uint64_t Epoch = S.Epoch;
+  SimTime Wait = Timeout * S.Backoff +
+                 Sim.rng().nextBounded(Timeout / 2 + 1);
+  Sim.after(Wait, [this, Slot, Phase, Epoch] { onTimer(Slot, Phase, Epoch); });
+}
+
+void PaxosClient::onTimer(std::uint32_t Slot, std::uint32_t Phase,
+                          std::uint64_t Epoch) {
+  auto It = States.find(keyOf(Slot, Phase));
+  if (It == States.end())
+    return;
+  State &S = It->second;
+  if (S.Decided || !S.Engaged || S.Epoch != Epoch)
+    return;
+  // Rotate the leader guess (the current one may have crashed) and retry
+  // with a larger backoff.
+  ++S.LeaderGuess;
+  if (S.Backoff < 16)
+    S.Backoff *= 2;
+  forward(Slot, Phase, S);
+}
+
+void PaxosClient::on2b(const Message &M) {
+  State &S = States[keyOf(M.Slot, M.Phase)];
+  if (S.Decided)
+    return;
+  auto &Voters = S.Counts[{M.Ballot, M.Value}];
+  Voters[M.From] = true;
+  if (Voters.size() < Servers.size() / 2 + 1)
+    return;
+  S.Decided = true;
+  S.Proposal = M.Value; // Cache the learned value for later engagements.
+  if (S.Engaged)
+    OnDecide(M.Slot, M.Phase, M.Value);
+}

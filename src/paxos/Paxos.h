@@ -1,0 +1,179 @@
+//===- paxos/Paxos.h - Single-decree Paxos (the Backup phase) ---*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-decree Paxos in the leader-forwarding style the paper's latency
+/// claims assume (Section 2.1: "Paxos ... still has a minimum latency of 3
+/// message delays"): clients forward proposals to the current leader, the
+/// leader runs phase 2 (phase 1 is pre-established for the first leader's
+/// first ballot and re-run after preemption or leader change), and
+/// acceptors broadcast 2b messages to all learners — three hops end to end
+/// in the fault-free case. Crash of the leader is survived by client-side
+/// leader rotation with exponential backoff; safety is the classic ballot
+/// discipline, liveness holds as long as a majority of acceptors is alive
+/// (and, as in Paxos, is probabilistic under contention).
+///
+/// Three cooperating state machines, instantiated per (slot, phase):
+///   * PaxosAcceptor  — promise/accept, 2b broadcast to learners;
+///   * PaxosLeader    — forward intake, prepare, choose-or-adopt, re-issue
+///                      2a for already-chosen instances (late learners);
+///   * PaxosClient    — forwarding with rotation and 2b quorum learning.
+///
+/// Backup (the speculation-phase wrapper) is realized by the stack driver:
+/// a switch-to-backup(v) engages PaxosClient with v as the proposal, per
+/// the paper ("Backup treats the switch calls from Quorum as regular
+/// proposals").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_PAXOS_PAXOS_H
+#define SLIN_PAXOS_PAXOS_H
+
+#include "msg/Net.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace slin {
+
+/// Ballot numbering: ballot = round * numServers + leaderIndex, so every
+/// ballot names its leader and ballots of one leader are totally ordered.
+inline std::uint64_t makeBallot(std::uint64_t Round, std::uint32_t Leader,
+                                std::uint32_t NumServers) {
+  return Round * NumServers + Leader;
+}
+inline std::uint32_t leaderOfBallot(std::uint64_t Ballot,
+                                    std::uint32_t NumServers) {
+  return static_cast<std::uint32_t>(Ballot % NumServers);
+}
+
+/// Acceptor role (runs on every server).
+class PaxosAcceptor {
+public:
+  PaxosAcceptor(Network &Net, NodeId Self, std::vector<NodeId> Learners)
+      : Net(Net), Self(Self), Learners(std::move(Learners)) {}
+
+  void on1a(const Message &M);
+  void on2a(const Message &M);
+
+private:
+  struct State {
+    std::uint64_t Promised = 0;
+    bool HasAccepted = false;
+    std::uint64_t AcceptedBallot = 0;
+    std::int64_t AcceptedValue = 0;
+    std::uint32_t AcceptedTag = 0;
+  };
+  static std::uint64_t keyOf(const Message &M) {
+    return (static_cast<std::uint64_t>(M.Slot) << 32) | M.Phase;
+  }
+
+  Network &Net;
+  NodeId Self;
+  std::vector<NodeId> Learners; ///< 2b recipients (clients and servers).
+  std::map<std::uint64_t, State> States;
+};
+
+/// Leader role (runs on every server; passive until forwarded to).
+class PaxosLeader {
+public:
+  PaxosLeader(Simulator &Sim, Network &Net, NodeId Self, std::uint32_t Index,
+              std::vector<NodeId> Acceptors)
+      : Sim(Sim), Net(Net), Self(Self), Index(Index),
+        Acceptors(std::move(Acceptors)) {}
+
+  void onForward(const Message &M);
+  void on1b(const Message &M);
+  void onNack(const Message &M);
+  void on2b(const Message &M); ///< Leader learns chosen values.
+
+private:
+  struct State {
+    bool HasProposal = false;
+    std::int64_t Proposal = 0;
+    std::uint32_t ProposalTag = 0;
+    std::uint64_t Ballot = 0;
+    bool Preparing = false;
+    std::map<NodeId, Message> Promises;
+    /// 2b voters per (ballot, value): a majority means chosen.
+    std::map<std::pair<std::uint64_t, std::int64_t>, std::map<NodeId, bool>>
+        Votes2b;
+    bool Chosen = false;
+    std::int64_t ChosenValue = 0;
+    std::uint32_t ChosenTag = 0;
+  };
+  static std::uint64_t keyOf(const Message &M) {
+    return (static_cast<std::uint64_t>(M.Slot) << 32) | M.Phase;
+  }
+
+  unsigned majority() const {
+    return static_cast<unsigned>(Acceptors.size() / 2 + 1);
+  }
+  void startRound(std::uint32_t Slot, std::uint32_t Phase, State &S);
+  void send2a(std::uint32_t Slot, std::uint32_t Phase, State &S,
+              std::int64_t Value, std::uint32_t Tag);
+
+  Simulator &Sim;
+  Network &Net;
+  NodeId Self;
+  std::uint32_t Index;
+  std::vector<NodeId> Acceptors;
+  std::map<std::uint64_t, State> States;
+};
+
+/// Client role: forwards proposals, rotates leaders, learns from 2b.
+class PaxosClient {
+public:
+  using DecideFn = std::function<void(std::uint32_t Slot,
+                                      std::uint32_t Phase,
+                                      std::int64_t Value)>;
+
+  PaxosClient(Simulator &Sim, Network &Net, NodeId Self,
+              std::vector<NodeId> Servers, SimTime Timeout, DecideFn OnDecide)
+      : Sim(Sim), Net(Net), Self(Self), Servers(std::move(Servers)),
+        Timeout(Timeout), OnDecide(std::move(OnDecide)) {}
+
+  /// Submits \p Value for (slot, phase); OnDecide fires once a value is
+  /// chosen (not necessarily ours).
+  void engage(std::uint32_t Slot, std::uint32_t Phase, std::int64_t Value,
+              std::uint32_t Tag);
+
+  void on2b(const Message &M);
+
+private:
+  struct State {
+    bool Engaged = false;
+    bool Decided = false;
+    std::int64_t Proposal = 0;
+    std::uint32_t ProposalTag = 0;
+    std::uint32_t LeaderGuess = 0;
+    std::uint64_t Epoch = 0;
+    unsigned Backoff = 1;
+    /// Count of 2b per (ballot, value) pair.
+    std::map<std::pair<std::uint64_t, std::int64_t>, std::map<NodeId, bool>>
+        Counts;
+  };
+  static std::uint64_t keyOf(std::uint32_t Slot, std::uint32_t Phase) {
+    return (static_cast<std::uint64_t>(Slot) << 32) | Phase;
+  }
+
+  void forward(std::uint32_t Slot, std::uint32_t Phase, State &S);
+  void onTimer(std::uint32_t Slot, std::uint32_t Phase, std::uint64_t Epoch);
+
+  Simulator &Sim;
+  Network &Net;
+  NodeId Self;
+  std::vector<NodeId> Servers;
+  SimTime Timeout;
+  DecideFn OnDecide;
+  std::map<std::uint64_t, State> States;
+  std::uint64_t NextEpoch = 1;
+};
+
+} // namespace slin
+
+#endif // SLIN_PAXOS_PAXOS_H

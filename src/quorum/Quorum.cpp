@@ -1,0 +1,97 @@
+//===- quorum/Quorum.cpp --------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quorum/Quorum.h"
+
+#include <cassert>
+
+using namespace slin;
+
+void QuorumServer::onPropose(const Message &M) {
+  auto [It, Inserted] = Cells.try_emplace(keyOf(M));
+  if (Inserted) {
+    It->second.Value = M.Value;
+    It->second.Tag = M.Tag;
+  }
+  // Always answer with the first value accepted for this instance.
+  Message Reply;
+  Reply.Type = MsgType::QuorumAccept;
+  Reply.Slot = M.Slot;
+  Reply.Phase = M.Phase;
+  Reply.Value = It->second.Value;
+  Reply.Tag = It->second.Tag;
+  Net.send(Self, M.From, Reply);
+}
+
+void QuorumClient::engage(std::uint32_t Slot, std::uint32_t Phase,
+                          std::int64_t Value, std::uint32_t Tag) {
+  Attempt &A = Attempts[keyOf(Slot, Phase)];
+  A = Attempt();
+  A.Proposal = Value;
+  A.Epoch = NextEpoch++;
+  Message M;
+  M.Type = MsgType::QuorumPropose;
+  M.Slot = Slot;
+  M.Phase = Phase;
+  M.Value = Value;
+  M.Tag = Tag;
+  Net.multicast(Self, Servers, M);
+  std::uint64_t Epoch = A.Epoch;
+  Sim.after(Timeout, [this, Slot, Phase, Epoch] {
+    onTimer(Slot, Phase, Epoch);
+  });
+}
+
+void QuorumClient::onAccept(const Message &M) {
+  auto It = Attempts.find(keyOf(M.Slot, M.Phase));
+  if (It == Attempts.end() || It->second.Done)
+    return;
+  Attempt &A = It->second;
+  A.Accepts[M.From] = M.Value;
+
+  // Timer already expired: switch with the first accept value to arrive.
+  if (A.SwitchOnFirstAccept) {
+    finish(M.Slot, M.Phase, A,
+           {QuorumOutcome::Kind::Switch, M.Value});
+    return;
+  }
+  // Two different accept values: contention — switch with own proposal.
+  for (const auto &[Server, Val] : A.Accepts) {
+    (void)Server;
+    if (Val != M.Value) {
+      finish(M.Slot, M.Phase, A,
+             {QuorumOutcome::Kind::Switch, A.Proposal});
+      return;
+    }
+  }
+  // Identical accepts from every server: decide.
+  if (A.Accepts.size() == Servers.size())
+    finish(M.Slot, M.Phase, A, {QuorumOutcome::Kind::Decide, M.Value});
+}
+
+void QuorumClient::onTimer(std::uint32_t Slot, std::uint32_t Phase,
+                           std::uint64_t Epoch) {
+  auto It = Attempts.find(keyOf(Slot, Phase));
+  if (It == Attempts.end() || It->second.Done || It->second.Epoch != Epoch)
+    return;
+  Attempt &A = It->second;
+  if (!A.Accepts.empty()) {
+    // Select one received accept value and hand it to the next phase.
+    finish(Slot, Phase, A,
+           {QuorumOutcome::Kind::Switch, A.Accepts.begin()->second});
+    return;
+  }
+  // No accept yet: wait for the first one (the paper's "waits for at least
+  // one message accept(v')").
+  A.SwitchOnFirstAccept = true;
+}
+
+void QuorumClient::finish(std::uint32_t Slot, std::uint32_t Phase, Attempt &A,
+                          const QuorumOutcome &Out) {
+  assert(!A.Done && "attempt finished twice");
+  A.Done = true;
+  OnDone(Slot, Phase, Out);
+}

@@ -1,0 +1,120 @@
+//===- quorum/Quorum.h - The Quorum fast phase (Section 2.1) ----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Quorum speculation phase of Section 2.1: a consensus fast path that
+/// decides in two message delays when there are neither faults nor
+/// contention, and otherwise switches to the next phase.
+///
+///   * A client broadcasts its proposal to all servers and starts a timer.
+///   * A server replies accept(v) with the *first* proposal it received
+///     for the instance (and keeps replying v forever after).
+///   * A client that receives the same accept(v) from every server decides
+///     v; one that sees two different accepts switches with its own
+///     proposal; one whose timer expires switches with any received accept
+///     value (waiting for at least one if necessary).
+///
+/// The engines are plain state machines wired to the simulated network;
+/// they are instantiated per (slot, phase), so a stack of several Quorum
+/// phases (experiment E5) and per-slot instances for state-machine
+/// replication (experiment E6) reuse the same code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_QUORUM_QUORUM_H
+#define SLIN_QUORUM_QUORUM_H
+
+#include "msg/Net.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace slin {
+
+/// Server-side Quorum logic: one first-value cell per (slot, phase).
+class QuorumServer {
+public:
+  QuorumServer(Network &Net, NodeId Self) : Net(Net), Self(Self) {}
+
+  /// Handles a QuorumPropose message: stores the first proposal and replies
+  /// accept(first) to the proposer.
+  void onPropose(const Message &M);
+
+private:
+  struct Cell {
+    std::int64_t Value = 0;
+    std::uint32_t Tag = 0;
+  };
+  static std::uint64_t keyOf(const Message &M) {
+    return (static_cast<std::uint64_t>(M.Slot) << 32) | M.Phase;
+  }
+
+  Network &Net;
+  NodeId Self;
+  std::map<std::uint64_t, Cell> Cells;
+};
+
+/// Outcome of one client-side Quorum attempt.
+struct QuorumOutcome {
+  enum class Kind : std::uint8_t {
+    Decide, ///< All servers accepted the same value.
+    Switch, ///< Contention or timeout: hand off to the next phase.
+  };
+  Kind K = Kind::Decide;
+  std::int64_t Value = 0;
+};
+
+/// Client-side Quorum logic: drives one attempt per engaged (slot, phase)
+/// and reports the outcome through a callback.
+class QuorumClient {
+public:
+  using OutcomeFn =
+      std::function<void(std::uint32_t Slot, std::uint32_t Phase,
+                         const QuorumOutcome &)>;
+
+  QuorumClient(Simulator &Sim, Network &Net, NodeId Self,
+               std::vector<NodeId> Servers, SimTime Timeout, OutcomeFn OnDone)
+      : Sim(Sim), Net(Net), Self(Self), Servers(std::move(Servers)),
+        Timeout(Timeout), OnDone(std::move(OnDone)) {}
+
+  /// Starts an attempt: broadcast propose(value) and arm the timer.
+  void engage(std::uint32_t Slot, std::uint32_t Phase, std::int64_t Value,
+              std::uint32_t Tag);
+
+  /// Handles a QuorumAccept message.
+  void onAccept(const Message &M);
+
+private:
+  struct Attempt {
+    std::int64_t Proposal = 0;
+    std::uint64_t Epoch = 0; ///< Guards the timer against stale firing.
+    bool Done = false;
+    bool SwitchOnFirstAccept = false;
+    std::map<NodeId, std::int64_t> Accepts;
+  };
+  static std::uint64_t keyOf(std::uint32_t Slot, std::uint32_t Phase) {
+    return (static_cast<std::uint64_t>(Slot) << 32) | Phase;
+  }
+
+  void onTimer(std::uint32_t Slot, std::uint32_t Phase, std::uint64_t Epoch);
+  void finish(std::uint32_t Slot, std::uint32_t Phase, Attempt &A,
+              const QuorumOutcome &Out);
+
+  Simulator &Sim;
+  Network &Net;
+  NodeId Self;
+  std::vector<NodeId> Servers;
+  SimTime Timeout;
+  OutcomeFn OnDone;
+  std::map<std::uint64_t, Attempt> Attempts;
+  std::uint64_t NextEpoch = 1;
+};
+
+} // namespace slin
+
+#endif // SLIN_QUORUM_QUORUM_H

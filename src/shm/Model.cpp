@@ -1,0 +1,232 @@
+//===- shm/Model.cpp ------------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shm/Model.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace slin;
+
+std::uint64_t ShmState::digest() const {
+  std::uint64_t H = 0x517;
+  H = hashCombine(H, static_cast<std::uint64_t>(RegV));
+  H = hashCombine(H, static_cast<std::uint64_t>(RegD));
+  H = hashCombine(H, (RegContention ? 1u : 0u) | (RegY ? 2u : 0u));
+  H = hashCombine(H, static_cast<std::uint64_t>(RegX));
+  H = hashCombine(H, static_cast<std::uint64_t>(RegD2));
+  H = hashCombine(H, Winners);
+  for (const ShmClient &C : Clients) {
+    H = hashCombine(H, static_cast<std::uint64_t>(C.Pc));
+    H = hashCombine(H, static_cast<std::uint64_t>(C.V));
+    H = hashCombine(H, C.Crashed ? 7u : 3u);
+  }
+  for (const Action &A : Observed) {
+    H = hashCombine(H, static_cast<std::uint64_t>(A.Kind));
+    H = hashCombine(H, A.Client);
+    H = hashCombine(H, A.Phase);
+    H = hashCombine(H, hashValue(A.In));
+    H = hashCombine(H, static_cast<std::uint64_t>(A.Out.Val));
+    H = hashCombine(H, static_cast<std::uint64_t>(A.Sv.Val));
+  }
+  return H;
+}
+
+ShmState ShmModel::initialState() const {
+  ShmState S;
+  S.Clients.resize(Proposals.size());
+  return S;
+}
+
+bool ShmModel::runnable(const ShmState &S, ClientId C) {
+  if (C >= S.Clients.size())
+    return false;
+  const ShmClient &Cl = S.Clients[C];
+  return !Cl.Crashed && Cl.Pc != ShmPc::Done;
+}
+
+void ShmModel::step(ShmState &S, ClientId C) const {
+  if (!runnable(S, C))
+    return;
+  ShmClient &Cl = S.Clients[C];
+
+  auto Respond = [&](PhaseId Phase, std::int64_t Decision) {
+    S.Observed.push_back(
+        makeRespond(C, Phase, Cl.In, cons::decide(Decision)));
+    Cl.Pc = ShmPc::Done;
+  };
+
+  switch (Cl.Pc) {
+  case ShmPc::Idle:
+    // Invocation: propose(v) with v = Proposals[C].
+    Cl.V = Proposals[C];
+    Cl.In = cons::proposeBy(Cl.V, C);
+    S.Observed.push_back(makeInvoke(C, 1, Cl.In));
+    Cl.Pc = ShmPc::ReadD;
+    break;
+
+  case ShmPc::ReadD: // Fig 2 line 8.
+    if (S.RegD != NoValue) {
+      Respond(1, S.RegD);
+      break;
+    }
+    Cl.Pc = ShmPc::SplitterWriteX;
+    break;
+
+  case ShmPc::SplitterWriteX: // Fig 2 line 27.
+    S.RegX = C;
+    Cl.Pc = ShmPc::SplitterReadY;
+    break;
+
+  case ShmPc::SplitterReadY: // Fig 2 line 28.
+    Cl.Pc = S.RegY ? ShmPc::WriteContention : ShmPc::SplitterWriteY;
+    break;
+
+  case ShmPc::SplitterWriteY: // Fig 2 line 31.
+    S.RegY = true;
+    Cl.Pc = ShmPc::SplitterReadX;
+    break;
+
+  case ShmPc::SplitterReadX: // Fig 2 line 32.
+    Cl.Pc = S.RegX == C ? ShmPc::WriteV : ShmPc::WriteContention;
+    break;
+
+  case ShmPc::WriteV: // Fig 2 line 12 (splitter winner).
+    ++S.Winners;
+    S.RegV = Cl.V;
+    Cl.Pc = ShmPc::ReadContention;
+    break;
+
+  case ShmPc::ReadContention: // Fig 2 line 13.
+    if (!S.RegContention) {
+      Cl.Pc = ShmPc::WriteD;
+      break;
+    }
+    // Fig 2 line 17: switch-to-CASCons(v).
+    S.Observed.push_back(makeSwitch(C, 2, Cl.In, SwitchValue{Cl.V}));
+    Cl.Pc = ShmPc::Cas;
+    break;
+
+  case ShmPc::WriteD: // Fig 2 lines 14-15.
+    S.RegD = Cl.V;
+    Respond(1, Cl.V);
+    break;
+
+  case ShmPc::WriteContention: // Fig 2 line 20 (splitter loser).
+    S.RegContention = true;
+    Cl.Pc = ShmPc::ReadV;
+    break;
+
+  case ShmPc::ReadV: // Fig 2 lines 21-24.
+    if (S.RegV != NoValue)
+      Cl.V = S.RegV;
+    S.Observed.push_back(makeSwitch(C, 2, Cl.In, SwitchValue{Cl.V}));
+    Cl.Pc = ShmPc::Cas;
+    break;
+
+  case ShmPc::Cas: // Fig 3 line 4.
+    if (S.RegD2 == NoValue)
+      S.RegD2 = Cl.V;
+    Respond(2, S.RegD2);
+    break;
+
+  case ShmPc::Done:
+    break;
+  }
+}
+
+void ShmModel::crash(ShmState &S, ClientId C) {
+  if (C < S.Clients.size())
+    S.Clients[C].Crashed = true;
+}
+
+namespace {
+
+/// DFS over schedules with state-digest memoization and trace
+/// deduplication.
+class Explorer {
+public:
+  Explorer(const ShmModel &Model, bool ExploreCrashes,
+           const std::function<void(const Trace &)> &Visit)
+      : Model(Model), ExploreCrashes(ExploreCrashes), Visit(Visit) {}
+
+  std::uint64_t run() {
+    ShmState S = Model.initialState();
+    explore(S);
+    return Distinct;
+  }
+
+private:
+  void explore(const ShmState &S) {
+    if (!SeenStates.insert(S.digest()).second)
+      return;
+    bool AnyRunnable = false;
+    for (ClientId C = 0; C < Model.numClients(); ++C) {
+      if (!ShmModel::runnable(S, C))
+        continue;
+      AnyRunnable = true;
+      ShmState Next = S;
+      Model.step(Next, C);
+      explore(Next);
+      if (ExploreCrashes) {
+        ShmState Crashed = S;
+        ShmModel::crash(Crashed, C);
+        explore(Crashed);
+      }
+    }
+    if (!AnyRunnable && SeenTraces.insert(hashTrace(S.Observed)).second) {
+      ++Distinct;
+      Visit(S.Observed);
+    }
+  }
+
+  static std::uint64_t hashTrace(const Trace &T) {
+    std::uint64_t H = 0x7ace;
+    for (const Action &A : T) {
+      H = hashCombine(H, static_cast<std::uint64_t>(A.Kind));
+      H = hashCombine(H, A.Client);
+      H = hashCombine(H, A.Phase);
+      H = hashCombine(H, hashValue(A.In));
+      H = hashCombine(H, static_cast<std::uint64_t>(A.Out.Val));
+      H = hashCombine(H, static_cast<std::uint64_t>(A.Sv.Val));
+    }
+    return H;
+  }
+
+  const ShmModel &Model;
+  bool ExploreCrashes;
+  const std::function<void(const Trace &)> &Visit;
+  std::unordered_set<std::uint64_t> SeenStates;
+  std::unordered_set<std::uint64_t> SeenTraces;
+  std::uint64_t Distinct = 0;
+};
+
+} // namespace
+
+std::uint64_t
+ShmModel::exploreAll(bool ExploreCrashes,
+                     const std::function<void(const Trace &)> &Visit) const {
+  Explorer E(*this, ExploreCrashes, Visit);
+  return E.run();
+}
+
+Trace ShmModel::randomRun(Rng &R, double CrashProbability) const {
+  ShmState S = initialState();
+  for (;;) {
+    std::vector<ClientId> Runnable;
+    for (ClientId C = 0; C < numClients(); ++C)
+      if (runnable(S, C))
+        Runnable.push_back(C);
+    if (Runnable.empty())
+      return S.Observed;
+    ClientId C = Runnable[R.nextBounded(Runnable.size())];
+    if (CrashProbability > 0 && R.nextBool(CrashProbability)) {
+      crash(S, C);
+      continue;
+    }
+    step(S, C);
+  }
+}

@@ -1,0 +1,132 @@
+//===- shm/Model.h - Schedule-exploring VM for RCons+CASCons ----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-memory consensus pair of Section 2.5 — RCons (Figure 2, a
+/// splitter-based register-only fast phase) and CASCons (Figure 3, a
+/// compare-and-swap backup) — executed inside a schedule-driven virtual
+/// machine. Each client is an explicit state machine whose transitions are
+/// single atomic shared-memory accesses (load, store, CAS); the scheduler
+/// chooses which client steps next, so
+///
+///   * exploreAll enumerates *every* interleaving for small configurations
+///     (deduplicating the observable traces, since API-level actions are
+///     sparse among memory steps) — exhaustive model checking of the
+///     algorithms' speculative linearizability, including crash faults
+///     (a client may halt forever at any point), and
+///   * randomRun samples deep schedules for larger configurations.
+///
+/// Shared registers (Figure 2): V, D (decision), Contention, Y, X — plus
+/// the CASCons decision register D2. RCons answers in phase 1; a
+/// switch-to-CASCons is recorded as a switch action into phase 2, whose CAS
+/// then answers in phase 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SHM_MODEL_H
+#define SLIN_SHM_MODEL_H
+
+#include "adt/Consensus.h"
+#include "support/Rng.h"
+#include "trace/Action.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace slin {
+
+/// Program counter of the per-client algorithm state machine. Each state
+/// performs exactly one shared-memory access (comments give the Figure 2 /
+/// Figure 3 lines).
+enum class ShmPc : std::uint8_t {
+  Idle,           ///< Not yet invoked.
+  ReadD,          ///< Fig 2 line 8: if D != bot return D.
+  SplitterWriteX, ///< Fig 2 line 27: X <- c.
+  SplitterReadY,  ///< Fig 2 line 28: if Y return false.
+  SplitterWriteY, ///< Fig 2 line 31: Y <- true.
+  SplitterReadX,  ///< Fig 2 line 32: return X == c.
+  WriteV,         ///< Fig 2 line 12: V <- v (splitter winner).
+  ReadContention, ///< Fig 2 line 13.
+  WriteD,         ///< Fig 2 line 14: D <- v; return v.
+  WriteContention,///< Fig 2 line 20 (splitter loser).
+  ReadV,          ///< Fig 2 line 21: if V != bot then v <- V.
+  Cas,            ///< Fig 3 line 4: return CAS(D2, bot, val).
+  Done,           ///< Responded (or crashed).
+};
+
+/// One client of the model.
+struct ShmClient {
+  ShmPc Pc = ShmPc::Idle;
+  std::int64_t V = 0;   ///< Local v.
+  Input In;             ///< The invocation being served.
+  bool Crashed = false;
+
+  friend bool operator==(const ShmClient &, const ShmClient &) = default;
+};
+
+/// The whole system state: registers + clients + observable trace.
+struct ShmState {
+  std::int64_t RegV = NoValue;
+  std::int64_t RegD = NoValue;
+  bool RegContention = false;
+  bool RegY = false;
+  std::int64_t RegX = -1; ///< Holds a client id.
+  std::int64_t RegD2 = NoValue;
+  /// Clients that won the splitter (reached Figure 2 line 12). The splitter
+  /// guarantees at most one — model-checked in the test suite.
+  std::uint8_t Winners = 0;
+  std::vector<ShmClient> Clients;
+  Trace Observed;
+
+  friend bool operator==(const ShmState &, const ShmState &) = default;
+
+  std::uint64_t digest() const;
+};
+
+/// The RCons+CASCons model over a fixed proposal vector (client i proposes
+/// Proposals[i]).
+class ShmModel {
+public:
+  explicit ShmModel(std::vector<std::int64_t> Proposals)
+      : Proposals(std::move(Proposals)) {}
+
+  unsigned numClients() const {
+    return static_cast<unsigned>(Proposals.size());
+  }
+
+  /// Fresh state: all registers bottom, clients idle.
+  ShmState initialState() const;
+
+  /// True iff client \p C has another step to take.
+  static bool runnable(const ShmState &S, ClientId C);
+
+  /// Executes client \p C's next atomic step (invocation, one shared
+  /// access, or response). No-op if not runnable.
+  void step(ShmState &S, ClientId C) const;
+
+  /// Marks client \p C crashed (halts forever; its operation stays
+  /// pending).
+  static void crash(ShmState &S, ClientId C);
+
+  /// Enumerates every schedule (optionally with crash branching),
+  /// invoking \p Visit once per distinct complete observable trace.
+  /// Returns the number of distinct traces visited.
+  std::uint64_t
+  exploreAll(bool ExploreCrashes,
+             const std::function<void(const Trace &)> &Visit) const;
+
+  /// Runs one uniformly random schedule to completion; with probability
+  /// \p CrashProbability each client may crash at a random point.
+  Trace randomRun(Rng &R, double CrashProbability = 0.0) const;
+
+private:
+  std::vector<std::int64_t> Proposals;
+};
+
+} // namespace slin
+
+#endif // SLIN_SHM_MODEL_H

@@ -1,0 +1,24 @@
+//===- shm/Threaded.cpp ---------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shm/Threaded.h"
+
+using namespace slin;
+
+std::int64_t slin::tracedPropose(SpeculativeConsensusObject &Obj,
+                                 TraceCollector &Log, std::uint32_t Self,
+                                 std::int64_t Val) {
+  Input In = cons::proposeBy(Val, Self);
+  Log.append(makeInvoke(Self, 1, In));
+  bool Switched = false;
+  ThreadedOutcome Out = Obj.propose(Val, Self, [&](std::int64_t Sv) {
+    Switched = true;
+    Log.append(makeSwitch(Self, 2, In, SwitchValue{Sv}));
+  });
+  Log.append(makeRespond(Self, Switched ? 2u : 1u, In,
+                         cons::decide(Out.Decision)));
+  return Out.Decision;
+}

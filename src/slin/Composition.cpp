@@ -1,0 +1,136 @@
+//===- slin/Composition.cpp -----------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slin/Composition.h"
+
+#include "support/Sequences.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slin;
+
+ComposeResult slin::composeTraces(const Trace &Tmn,
+                                  const PhaseSignature &SigMn,
+                                  const Trace &Tno,
+                                  const PhaseSignature &SigNo, Rng &R) {
+  ComposeResult Result;
+  if (!areCompatible(SigMn, SigNo) || SigMn.N != SigNo.M) {
+    Result.Error = "signatures are not consecutive phases";
+    return Result;
+  }
+  // The shared actions — switches into n — must form identical
+  // subsequences of both components (they are synchronized by Definition 2).
+  auto SharedOf = [&](const Trace &T) {
+    Trace Shared;
+    for (const Action &A : T)
+      if (isSwitch(A) && A.Phase == SigMn.N)
+        Shared.push_back(A);
+    return Shared;
+  };
+  if (SharedOf(Tmn) != SharedOf(Tno)) {
+    Result.Error = "components disagree on the shared switch actions";
+    return Result;
+  }
+
+  std::size_t I = 0, J = 0;
+  auto IsShared = [&](const Action &A) {
+    return isSwitch(A) && A.Phase == SigMn.N;
+  };
+  while (I < Tmn.size() || J < Tno.size()) {
+    bool CanFirst = I < Tmn.size() && !IsShared(Tmn[I]);
+    bool CanSecond = J < Tno.size() && !IsShared(Tno[J]);
+    bool CanShared = I < Tmn.size() && J < Tno.size() && IsShared(Tmn[I]) &&
+                     IsShared(Tno[J]);
+    unsigned Choices = CanFirst + CanSecond + CanShared;
+    if (Choices == 0) {
+      Result.Error = "components deadlock on shared actions";
+      return Result;
+    }
+    std::uint64_t Pick = R.nextBounded(Choices);
+    if (CanFirst && Pick-- == 0) {
+      Result.Composed.push_back(Tmn[I++]);
+      continue;
+    }
+    if (CanSecond && Pick-- == 0) {
+      Result.Composed.push_back(Tno[J++]);
+      continue;
+    }
+    assert(CanShared && "choice accounting is broken");
+    assert(Tmn[I] == Tno[J] && "shared subsequences verified equal");
+    Result.Composed.push_back(Tmn[I]);
+    ++I;
+    ++J;
+  }
+  Result.Ok = true;
+  return Result;
+}
+
+MergeResult slin::mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
+                                 const PhaseSignature &SigNo,
+                                 const SlinWitness &Wmn,
+                                 const SlinWitness &Wno) {
+  MergeResult Result;
+  if (!areCompatible(SigMn, SigNo) || SigMn.N != SigNo.M) {
+    Result.Error = "signatures are not consecutive phases";
+    return Result;
+  }
+  // The pos' maps of Appendix C: component index -> composed index.
+  std::vector<std::size_t> PosMn = projectionPositions(T, SigMn);
+  std::vector<std::size_t> PosNo = projectionPositions(T, SigNo);
+
+  // Gather every commit history with its composed trace index.
+  struct CommitEntry {
+    std::size_t ComposedIndex;
+    History H;
+  };
+  std::vector<CommitEntry> Entries;
+  auto Collect = [&](const SlinWitness &W,
+                     const std::vector<std::size_t> &Pos) -> bool {
+    for (const auto &[Index, Len] : W.Commits) {
+      if (Index >= Pos.size() || Len > W.Master.size())
+        return false;
+      Entries.push_back(
+          {Pos[Index], History(W.Master.begin(), W.Master.begin() + Len)});
+    }
+    return true;
+  };
+  if (!Collect(Wmn, PosMn) || !Collect(Wno, PosNo)) {
+    Result.Error = "component witness indices out of range";
+    return Result;
+  }
+
+  // Lemma 10: the union of commit histories must still be a chain. A
+  // failure here would contradict the composition theorem (given component
+  // witnesses derived through f_init(no) = f_abort(mn), Lemma 6).
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CommitEntry &A, const CommitEntry &B) {
+              return A.H.size() < B.H.size();
+            });
+  for (std::size_t K = 1; K < Entries.size(); ++K) {
+    if (!isStrictPrefixOf(Entries[K - 1].H, Entries[K].H)) {
+      Result.Error = "merged commit histories do not form a strict chain "
+                     "(Lemma 10 violated)";
+      return Result;
+    }
+  }
+
+  if (!Entries.empty())
+    Result.Witness.Master = Entries.back().H;
+  for (const CommitEntry &E : Entries)
+    Result.Witness.Commits.push_back({E.ComposedIndex, E.H.size()});
+
+  // Lemma 12: the composition's f_abort is the second component's.
+  for (const auto &[Index, A] : Wno.Aborts) {
+    if (Index >= PosNo.size()) {
+      Result.Error = "component abort index out of range";
+      return Result;
+    }
+    Result.Witness.Aborts.push_back({PosNo[Index], A});
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- slin/Composition.h - Intra-object composition (Thm 3/5) --*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-level composition of speculation phases (Definition 2) and the
+/// constructive content of the intra-object composition theorem
+/// (Theorem 5, Appendix C).
+///
+/// composeTraces builds a legal interleaving of a phase (m, n) trace with a
+/// phase (n, o) trace: the two components synchronize on their shared
+/// actions — the switches into n, outputs of the first and inputs of the
+/// second — and interleave everything else freely. The result projects back
+/// onto each component signature as the original traces, exactly as
+/// Definition 2 requires.
+///
+/// mergeWitnesses is Appendix C run as a program: given speculative
+/// linearization witnesses for the two component projections (the second
+/// obtained under f_init := f_abort of the first, per Lemma 6), it
+/// constructs the merged linearization function g (Lemmas 8–12) for the
+/// composed (m, o) trace and returns the merged witness, which callers
+/// verify with verifySlinWitness. Every successful merge is an empirical
+/// instance of the composition theorem; a merge or verification failure on
+/// traces whose components passed their checks would falsify the theorem
+/// (and is turned into a test assertion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SLIN_COMPOSITION_H
+#define SLIN_SLIN_COMPOSITION_H
+
+#include "slin/SlinWitness.h"
+#include "support/Rng.h"
+#include "trace/Signature.h"
+#include "trace/Trace.h"
+
+#include <optional>
+#include <string>
+
+namespace slin {
+
+/// Result of composing two component traces.
+struct ComposeResult {
+  bool Ok = false;
+  std::string Error;
+  Trace Composed;
+};
+
+/// Interleaves \p Tmn (a trace in sig(m, n)) and \p Tno (a trace in
+/// sig(n, o)) into a trace in sig(m, o), synchronizing on the switch actions
+/// into n, which must form identical subsequences of both components. The
+/// interleaving of independent actions is chosen uniformly by \p R.
+/// Fails if the shared subsequences disagree.
+ComposeResult composeTraces(const Trace &Tmn, const PhaseSignature &SigMn,
+                            const Trace &Tno, const PhaseSignature &SigNo,
+                            Rng &R);
+
+/// Result of the Appendix C witness merge.
+struct MergeResult {
+  bool Ok = false;
+  std::string Error;
+  SlinWitness Witness;
+};
+
+/// Merges component witnesses into a witness for the composed trace \p T in
+/// sig(m, o):
+///   * commit histories are inherited from the component commits (Lemma 8);
+///   * Commit Order across components holds because first-phase commits are
+///     prefixes of first-phase aborts = second-phase inits, whose LCP is a
+///     strict prefix of second-phase commits (Lemma 10);
+///   * f_abort of the composition is the second component's f_abort
+///     (Lemma 12).
+/// The caller supplies the composed trace plus each component's witness; the
+/// component index sets are recovered via projection positions (the pos maps
+/// of Appendix C).
+MergeResult mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
+                           const PhaseSignature &SigNo,
+                           const SlinWitness &Wmn, const SlinWitness &Wno);
+
+} // namespace slin
+
+#endif // SLIN_SLIN_COMPOSITION_H

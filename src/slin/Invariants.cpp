@@ -1,0 +1,123 @@
+//===- slin/Invariants.cpp ------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slin/Invariants.h"
+
+#include "adt/Consensus.h"
+
+#include <string>
+
+using namespace slin;
+
+WellFormedness slin::checkInvariantI1(const Trace &T,
+                                      const PhaseSignature &Sig) {
+  std::int64_t Decided = NoValue;
+  for (const Action &A : T)
+    if (isRespond(A)) {
+      Decided = cons::decisionOf(A.Out);
+      break;
+    }
+  if (Decided == NoValue)
+    return WellFormedness::pass(); // Nobody decides: I1 is vacuous.
+  for (const Action &A : T)
+    if (Sig.isAbortAction(A) && A.Sv.Val != Decided)
+      return WellFormedness::fail(
+          "I1 violated: client " + std::to_string(A.Client) +
+          " switches with " + std::to_string(A.Sv.Val) +
+          " although " + std::to_string(Decided) + " was decided");
+  return WellFormedness::pass();
+}
+
+WellFormedness slin::checkInvariantI2(const Trace &T) {
+  std::int64_t Decided = NoValue;
+  for (const Action &A : T) {
+    if (!isRespond(A))
+      continue;
+    if (Decided == NoValue) {
+      Decided = cons::decisionOf(A.Out);
+      continue;
+    }
+    if (cons::decisionOf(A.Out) != Decided)
+      return WellFormedness::fail(
+          "I2 violated: decisions " + std::to_string(Decided) + " and " +
+          std::to_string(cons::decisionOf(A.Out)) + " both occur");
+  }
+  return WellFormedness::pass();
+}
+
+/// True iff value \p V was proposed before index \p I: by an invocation, or
+/// carried into the phase by an init switch (whose switch value stands for a
+/// history starting with p(v)).
+static bool proposedBefore(const Trace &T, const PhaseSignature &Sig,
+                           std::size_t I, std::int64_t V) {
+  for (std::size_t J = 0; J < I; ++J) {
+    const Action &A = T[J];
+    if (isInvoke(A) && cons::proposalOf(A.In) == V)
+      return true;
+    if (Sig.isInitAction(A) &&
+        (A.Sv.Val == V || cons::proposalOf(A.In) == V))
+      return true;
+  }
+  return false;
+}
+
+WellFormedness slin::checkInvariantI3(const Trace &T,
+                                      const PhaseSignature &Sig) {
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &A = T[I];
+    if (isRespond(A) && !proposedBefore(T, Sig, I, cons::decisionOf(A.Out)))
+      return WellFormedness::fail(
+          "I3 violated: decision " +
+          std::to_string(cons::decisionOf(A.Out)) +
+          " was never proposed before the response");
+    if (Sig.isAbortAction(A) && !proposedBefore(T, Sig, I, A.Sv.Val))
+      return WellFormedness::fail(
+          "I3 violated: switch value " + std::to_string(A.Sv.Val) +
+          " was never proposed before the switch");
+  }
+  return WellFormedness::pass();
+}
+
+WellFormedness slin::checkInvariantI4(const Trace &T) {
+  WellFormedness R = checkInvariantI2(T);
+  if (!R)
+    R.Reason = "I4 (= I2 in the second phase) violated: " + R.Reason;
+  return R;
+}
+
+WellFormedness slin::checkInvariantI5(const Trace &T,
+                                      const PhaseSignature &Sig) {
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &A = T[I];
+    if (!isRespond(A))
+      continue;
+    std::int64_t V = cons::decisionOf(A.Out);
+    bool Submitted = false;
+    for (std::size_t J = 0; J < I && !Submitted; ++J)
+      Submitted = Sig.isInitAction(T[J]) && T[J].Sv.Val == V;
+    if (!Submitted)
+      return WellFormedness::fail(
+          "I5 violated: decision " + std::to_string(V) +
+          " is not a switch value submitted before the response");
+  }
+  return WellFormedness::pass();
+}
+
+WellFormedness slin::checkFirstPhaseInvariants(const Trace &T,
+                                               const PhaseSignature &Sig) {
+  if (WellFormedness R = checkInvariantI1(T, Sig); !R)
+    return R;
+  if (WellFormedness R = checkInvariantI2(T); !R)
+    return R;
+  return checkInvariantI3(T, Sig);
+}
+
+WellFormedness slin::checkSecondPhaseInvariants(const Trace &T,
+                                                const PhaseSignature &Sig) {
+  if (WellFormedness R = checkInvariantI4(T); !R)
+    return R;
+  return checkInvariantI5(T, Sig);
+}

@@ -1,0 +1,68 @@
+//===- slin/Invariants.h - The paper's invariants I1-I5 ---------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five invariants with which Section 2.4 and Section 2.5 abstract the
+/// example algorithms, as executable trace predicates over consensus phase
+/// traces:
+///
+///   I1: if some client decides v, all clients that switch (before or
+///       after) switch with value v;
+///   I2: all deciding clients decide the same value;
+///   I3: every switch or decision value was proposed before the switch or
+///       decision happens;
+///   I4: all clients decide the same value (second phase);
+///   I5: every decision is a switch value submitted before it (second
+///       phase).
+///
+/// The paper proves: a first-phase trace satisfying I1-I3 is speculatively
+/// linearizable, and a second-phase trace satisfying I4-I5 is speculatively
+/// linearizable (for the consensus r_init). Both implications are validated
+/// in the test suite by feeding invariant-satisfying algorithm traces to the
+/// SLin checker; the invariants themselves are the fast runtime monitors
+/// used by the simulator harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SLIN_INVARIANTS_H
+#define SLIN_SLIN_INVARIANTS_H
+
+#include "trace/Signature.h"
+#include "trace/Trace.h"
+#include "trace/WellFormed.h"
+
+namespace slin {
+
+/// Checks I1 on a consensus phase trace: responses are decisions, switch
+/// actions into Sig.N are the switches.
+WellFormedness checkInvariantI1(const Trace &T, const PhaseSignature &Sig);
+
+/// Checks I2: all responses carry the same decision.
+WellFormedness checkInvariantI2(const Trace &T);
+
+/// Checks I3: each response's decision value and each abort's switch value
+/// was proposed (invoked, or carried by an init switch) strictly before the
+/// action.
+WellFormedness checkInvariantI3(const Trace &T, const PhaseSignature &Sig);
+
+/// Checks I4 (alias of I2, second phase reading).
+WellFormedness checkInvariantI4(const Trace &T);
+
+/// Checks I5: every decision value was submitted as a switch value (an init
+/// action into Sig.M) strictly before the decision.
+WellFormedness checkInvariantI5(const Trace &T, const PhaseSignature &Sig);
+
+/// All first-phase invariants (I1, I2, I3).
+WellFormedness checkFirstPhaseInvariants(const Trace &T,
+                                         const PhaseSignature &Sig);
+
+/// All second-phase invariants (I4, I5).
+WellFormedness checkSecondPhaseInvariants(const Trace &T,
+                                          const PhaseSignature &Sig);
+
+} // namespace slin
+
+#endif // SLIN_SLIN_INVARIANTS_H

@@ -1,0 +1,194 @@
+//===- slin/SlinWitness.cpp -----------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slin/SlinWitness.h"
+
+#include "support/Sequences.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace slin;
+
+// Definition 25, literal: the pointwise-max union, over init actions j < I,
+// of elems(f_init(j)) max-union {in_j}. The max-union is sound because
+// inputs carry identity tags (adt/Values.h): operations the interpretations
+// attribute to the previous phase's clients (ghost-tagged) never collide
+// with the pending inputs of this phase's clients (client-tagged), so the
+// Section 2.4 counting — where a client's own pending proposal is distinct
+// from the interpretation's head even when the values coincide — falls out
+// of plain multiset arithmetic.
+Multiset<Input> slin::initiallyValidInputs(const Trace &T,
+                                           const PhaseSignature &Sig,
+                                           const InitInterpretation &Finit,
+                                           std::size_t I) {
+  Multiset<Input> Result;
+  for (std::size_t J = 0; J < I; ++J) {
+    if (!Sig.isInitAction(T[J]))
+      continue;
+    Multiset<Input> Contribution;
+    Contribution.add(T[J].In);
+    auto It = Finit.find(J);
+    if (It != Finit.end())
+      Contribution.unionMaxInPlace(Multiset<Input>::fromRange(It->second));
+    Result.unionMaxInPlace(Contribution);
+  }
+  return Result;
+}
+
+Multiset<Input> slin::validInputs(const Trace &T, const PhaseSignature &Sig,
+                                  const InitInterpretation &Finit,
+                                  std::size_t I) {
+  return initiallyValidInputs(T, Sig, Finit, I)
+      .unionSum(Multiset<Input>::fromRange(inputsBefore(T, I)));
+}
+
+WellFormedness slin::verifySlinWitness(const Trace &T,
+                                       const PhaseSignature &Sig,
+                                       const Adt &Type, const InitRelation &Rel,
+                                       const InitInterpretation &Finit,
+                                       const SlinWitness &W,
+                                       bool AbortValidityAtEnd) {
+  // f_init must interpret exactly the init actions of the trace.
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    if (!Sig.isInitAction(T[I]))
+      continue;
+    auto It = Finit.find(I);
+    if (It == Finit.end())
+      return WellFormedness::fail("f_init misses init action at index " +
+                                  std::to_string(I));
+    if (!Rel.contains(T[I].Sv, It->second))
+      return WellFormedness::fail(
+          "f_init value at index " + std::to_string(I) +
+          " is not an interpretation of the switch value");
+  }
+
+  // Collect the trace's response and abort indices.
+  std::vector<std::size_t> ResponseIndices, AbortIndices;
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    if (isRespond(T[I]))
+      ResponseIndices.push_back(I);
+    else if (Sig.isAbortAction(T[I]))
+      AbortIndices.push_back(I);
+  }
+
+  // The witness must cover them exactly.
+  std::vector<std::size_t> Covered;
+  for (const auto &[Index, Len] : W.Commits) {
+    (void)Len;
+    Covered.push_back(Index);
+  }
+  std::sort(Covered.begin(), Covered.end());
+  if (Covered != ResponseIndices)
+    return WellFormedness::fail("witness commit indices do not match the "
+                                "trace's response indices");
+  Covered.clear();
+  for (const auto &[Index, A] : W.Aborts) {
+    (void)A;
+    Covered.push_back(Index);
+  }
+  std::sort(Covered.begin(), Covered.end());
+  if (Covered != AbortIndices)
+    return WellFormedness::fail("witness abort indices do not match the "
+                                "trace's abort actions");
+
+  // Init Order (Definition 31): the LCP of all init histories is a strict
+  // prefix of every commit and every abort history.
+  std::vector<History> InitHistories;
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    InitHistories.push_back(H);
+  }
+  History Lcp = longestCommonPrefix(InitHistories);
+  bool HaveInits = !InitHistories.empty();
+
+  // Commit Order (Definition 30): distinct prefix lengths of one master.
+  std::vector<std::size_t> Lengths;
+  for (const auto &[Index, Len] : W.Commits) {
+    (void)Index;
+    Lengths.push_back(Len);
+  }
+  std::sort(Lengths.begin(), Lengths.end());
+  if (std::adjacent_find(Lengths.begin(), Lengths.end()) != Lengths.end())
+    return WellFormedness::fail("Commit Order violated: duplicate commit "
+                                "history lengths");
+
+  // Precompute f_T on master prefixes.
+  std::vector<Output> PrefixOutputs;
+  std::unique_ptr<AdtState> State = Type.makeState();
+  for (const Input &In : W.Master)
+    PrefixOutputs.push_back(State->apply(In));
+
+  // Real-time Order among commits (see lin/LinChecker.h): an operation that
+  // responds before another starts (invocation or init switch) must commit
+  // a strictly shorter history.
+  std::vector<std::size_t> OpenStart(64, SIZE_MAX);
+  std::vector<std::size_t> StartOf(T.size(), SIZE_MAX);
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &A = T[I];
+    if (A.Client >= OpenStart.size())
+      OpenStart.resize(A.Client + 1, SIZE_MAX);
+    if (isInvoke(A) || Sig.isInitAction(A))
+      OpenStart[A.Client] = I;
+    else
+      StartOf[I] = OpenStart[A.Client];
+  }
+  for (const auto &[I, LenI] : W.Commits)
+    for (const auto &[J, LenJ] : W.Commits)
+      if (I < StartOf[J] && LenI >= LenJ)
+        return WellFormedness::fail(
+            "Real-time Order violated: an operation that finished before "
+            "another began commits a longer history");
+
+  History LongestCommit;
+  for (const auto &[Index, Len] : W.Commits) {
+    const Action &Resp = T[Index];
+    if (Len == 0 || Len > W.Master.size())
+      return WellFormedness::fail("commit history length out of range");
+    if (W.Master[Len - 1] != Resp.In)
+      return WellFormedness::fail("Validity violated: commit history does "
+                                  "not end with the responded input");
+    if (PrefixOutputs[Len - 1] != Resp.Out)
+      return WellFormedness::fail("explains violated at a response");
+    History G(W.Master.begin(), W.Master.begin() + Len);
+    if (HaveInits && !isStrictPrefixOf(Lcp, G))
+      return WellFormedness::fail("Init Order violated: the init LCP is not "
+                                  "a strict prefix of a commit history");
+    auto Elems = Multiset<Input>::fromRange(G);
+    if (!Elems.includedIn(validInputs(T, Sig, Finit, Index)))
+      return WellFormedness::fail("Validity violated: commit history "
+                                  "exceeds the valid inputs at its index");
+    if (G.size() > LongestCommit.size())
+      LongestCommit = std::move(G);
+  }
+
+  for (const auto &[Index, A] : W.Aborts) {
+    const Action &Abort = T[Index];
+    if (!Rel.contains(Abort.Sv, A))
+      return WellFormedness::fail(
+          "f_abort value is not an interpretation of the abort switch value");
+    // Abort Order (Definition 32): every commit history is a prefix of
+    // every abort history; prefixes of one master reduce to the longest.
+    if (!isPrefixOf(LongestCommit, A))
+      return WellFormedness::fail("Abort Order violated: a commit history "
+                                  "is not a prefix of an abort history");
+    // Non-strict on aborts (see slin/InitRelation.cpp): an abort value may
+    // equal the init LCP when nothing was linearized beyond it.
+    if (HaveInits && !isPrefixOf(Lcp, A))
+      return WellFormedness::fail("Init Order violated: the init LCP is not "
+                                  "a prefix of an abort history");
+    // Validity of abort indices (Definition 28; see slin/SlinChecker.h for
+    // the relaxed reading).
+    Multiset<Input> Elems = Multiset<Input>::fromRange(A);
+    Multiset<Input> Pending;
+    Pending.add(Abort.In);
+    std::size_t ValidityIndex = AbortValidityAtEnd ? T.size() : Index;
+    if (!Elems.unionMax(Pending).includedIn(
+            validInputs(T, Sig, Finit, ValidityIndex)))
+      return WellFormedness::fail("Validity violated at an abort index");
+  }
+  return WellFormedness::pass();
+}

@@ -1,0 +1,73 @@
+//===- slin/SlinWitness.h - Speculative linearization witnesses -*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete speculative linearization function (Definition 20) for a
+/// phase (m, n) trace under a fixed interpretation f_init of its init
+/// actions: the commit histories in chain form (master history plus one
+/// prefix length per response) together with an abort history per abort
+/// action (the f_abort of Definition 19). verifySlinWitness re-checks
+/// Definitions 20–32 — explains, Validity, Commit Order, Init Order, Abort
+/// Order — from first principles, independently of the checker that found
+/// the witness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SLIN_SLINWITNESS_H
+#define SLIN_SLIN_SLINWITNESS_H
+
+#include "adt/Adt.h"
+#include "slin/InitRelation.h"
+#include "trace/Signature.h"
+#include "trace/Trace.h"
+#include "trace/WellFormed.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace slin {
+
+/// Witness for (m, n)-speculative linearizability of a trace under one
+/// interpretation of its init actions.
+struct SlinWitness {
+  /// Longest commit history; every commit history is one of its prefixes.
+  History Master;
+
+  /// (response index, prefix length of Master), one per commit index.
+  std::vector<std::pair<std::size_t, std::size_t>> Commits;
+
+  /// (abort-action index, abort history): the f_abort assignment.
+  std::vector<std::pair<std::size_t, History>> Aborts;
+};
+
+/// Computes the initially-valid-inputs multiset ivi(m, t, f_init, I)
+/// (Definition 25): the pointwise-max union, over init actions j < I, of
+/// elems(f_init(j)) max-union {in_j}.
+Multiset<Input> initiallyValidInputs(const Trace &T, const PhaseSignature &Sig,
+                                     const InitInterpretation &Finit,
+                                     std::size_t I);
+
+/// Computes vi(m, t, f_init, I) (Definition 26): ivi plus (disjoint multiset
+/// sum) the inputs invoked before index I.
+Multiset<Input> validInputs(const Trace &T, const PhaseSignature &Sig,
+                            const InitInterpretation &Finit, std::size_t I);
+
+/// Verifies that \p W is an (f_init, f_abort, m, n)-speculative
+/// linearization function for \p T (Definitions 20–32), where f_init is the
+/// supplied interpretation and f_abort is read from the witness. \p Rel is
+/// consulted to confirm f_abort is an interpretation of the abort actions.
+/// \p AbortValidityAtEnd selects the relaxed reading of Definition 28 (see
+/// slin/SlinChecker.h).
+WellFormedness verifySlinWitness(const Trace &T, const PhaseSignature &Sig,
+                                 const Adt &Type, const InitRelation &Rel,
+                                 const InitInterpretation &Finit,
+                                 const SlinWitness &W,
+                                 bool AbortValidityAtEnd = false);
+
+} // namespace slin
+
+#endif // SLIN_SLIN_SLINWITNESS_H

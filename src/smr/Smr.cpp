@@ -1,0 +1,120 @@
+//===- smr/Smr.cpp --------------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smr/Smr.h"
+
+#include <cassert>
+
+using namespace slin;
+
+SmrHarness::SmrHarness(const StackConfig &Config, const Adt &Type)
+    : Type(Type), Stack(Config) {
+  Commands.push_back(Input{}); // Id 0: the no-op gap filler.
+  Clients.resize(Config.NumClients);
+  for (ClientState &C : Clients)
+    C.Replica = Type.makeState();
+  Stack.OnOpComplete = [this](std::size_t Index) { onStackOp(Index); };
+}
+
+std::int64_t SmrHarness::internCommand(const Input &Command) {
+  Commands.push_back(Command);
+  return static_cast<std::int64_t>(Commands.size() - 1);
+}
+
+void SmrHarness::submitAt(SimTime T, ClientId C, const Input &Command) {
+  Stack.sim().at(T, [this, C, Command] { submit(C, Command); });
+}
+
+void SmrHarness::submit(ClientId C, const Input &Command) {
+  ClientState &S = Clients[C];
+  if (S.Busy) {
+    S.Backlog.push_back(Command); // Issued when the current op completes.
+    return;
+  }
+  S.Busy = true;
+  S.CommandId = internCommand(Command);
+  S.PlacedSlot.reset();
+
+  SmrOpRecord Op;
+  Op.Client = C;
+  Op.Command = Command;
+  Op.Start = Stack.sim().now();
+  Ops.push_back(Op);
+  S.OpIndex = Ops.size() - 1;
+
+  ObjectTrace.push_back(makeInvoke(C, 1, Command));
+  continuePlacement(C);
+}
+
+void SmrHarness::continuePlacement(ClientId C) {
+  ClientState &S = Clients[C];
+  if (!S.Busy)
+    return;
+  if (!S.PlacedSlot) {
+    // Skip slots we already know are taken.
+    while (S.KnownLog.count(S.NextGuess))
+      ++S.NextGuess;
+    ++Ops[S.OpIndex].ConsensusOps;
+    Stack.submit(C, S.NextGuess, S.CommandId);
+    return;
+  }
+  // Placed: fill the earliest unknown slot below the placement, if any.
+  for (std::uint32_t G = 0; G < *S.PlacedSlot; ++G) {
+    if (S.KnownLog.count(G))
+      continue;
+    ++Ops[S.OpIndex].ConsensusOps;
+    Stack.submit(C, G, /*Noop=*/0);
+    return;
+  }
+  tryRespond(C);
+}
+
+void SmrHarness::onStackOp(std::size_t StackOpIndex) {
+  const OpRecord &Op = Stack.op(StackOpIndex);
+  ClientState &S = Clients[Op.Client];
+  S.KnownLog[Op.Slot] = Op.Decision;
+  if (!S.Busy)
+    return;
+  if (!S.PlacedSlot) {
+    if (Op.Decision == S.CommandId)
+      S.PlacedSlot = Op.Slot;
+    else if (Op.Slot >= S.NextGuess)
+      S.NextGuess = Op.Slot + 1;
+  }
+  continuePlacement(Op.Client);
+}
+
+void SmrHarness::tryRespond(ClientId C) {
+  ClientState &S = Clients[C];
+  assert(S.Busy && S.PlacedSlot && "respond without a placed command");
+  // Apply the decided prefix through the placement slot.
+  Output Result;
+  for (std::uint32_t Slot = S.AppliedThrough; Slot <= *S.PlacedSlot; ++Slot) {
+    auto It = S.KnownLog.find(Slot);
+    assert(It != S.KnownLog.end() && "gap left unfilled");
+    std::int64_t Id = It->second;
+    if (Id == 0)
+      continue; // No-op.
+    Output Out = S.Replica->apply(Commands[static_cast<std::size_t>(Id)]);
+    if (Slot == *S.PlacedSlot)
+      Result = Out;
+  }
+  S.AppliedThrough = *S.PlacedSlot + 1;
+  S.Busy = false;
+
+  SmrOpRecord &Op = Ops[S.OpIndex];
+  Op.End = Stack.sim().now();
+  Op.Out = Result;
+  Op.Slot = *S.PlacedSlot;
+  Op.Completed = true;
+  ObjectTrace.push_back(makeRespond(C, 1, Op.Command, Result));
+
+  if (!S.Backlog.empty()) {
+    Input Next = S.Backlog.front();
+    S.Backlog.erase(S.Backlog.begin());
+    submit(C, Next);
+  }
+}

@@ -1,0 +1,108 @@
+//===- smr/Smr.h - State-machine replication over the stack -----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic state-machine replication over the speculative consensus stack —
+/// the universal-ADT application of Section 6 ("given a linearizable
+/// implementation, it suffices to apply the output function of another ADT
+/// to the responses in order to obtain an implementation of that ADT") and
+/// the setting of the paper's motivating systems (Chubby, Gaios, the
+/// Zyzzyva-style speculative SMR protocols).
+///
+/// Each log slot is an independent consensus instance implemented by the
+/// Quorum+Backup stack (or the Paxos-only baseline). Clients place commands
+/// with the classic leaderless discipline: propose your command id on the
+/// first slot you believe free; if the slot decides someone else's command,
+/// learn it and retry on the next; after placement, fill any unknown
+/// earlier slots with no-op proposals (either a real command or your no-op
+/// gets decided, closing the gap); once the prefix up to your slot is
+/// known, apply it to the replica and answer the client.
+///
+/// The harness records the SMR-level object trace (invocations and
+/// responses of the replicated ADT), which the test suite checks for plain
+/// linearizability — the end-to-end payoff of the composition theorem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SMR_SMR_H
+#define SLIN_SMR_SMR_H
+
+#include "adt/Adt.h"
+#include "stack/Stack.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace slin {
+
+/// One replicated-object operation.
+struct SmrOpRecord {
+  ClientId Client = 0;
+  Input Command;
+  SimTime Start = 0;
+  SimTime End = 0;
+  Output Out;
+  std::uint32_t Slot = 0;       ///< Where the command landed.
+  unsigned ConsensusOps = 0;    ///< Stack operations spent placing it.
+  bool Completed = false;
+};
+
+/// Replicated ADT over a phase-stack deployment.
+class SmrHarness {
+public:
+  /// \p Type must outlive the harness.
+  SmrHarness(const StackConfig &Config, const Adt &Type);
+
+  /// Submits \p Command on behalf of client \p C at simulated time \p T.
+  /// Clients are sequential: a command submitted while the previous one is
+  /// in flight is queued and issued upon its completion (closed loop).
+  void submitAt(SimTime T, ClientId C, const Input &Command);
+
+  void crashServerAt(SimTime T, std::uint32_t ServerIndex) {
+    Stack.crashServerAt(T, ServerIndex);
+  }
+
+  void run(SimTime Deadline = 0) { Stack.run(Deadline); }
+
+  /// The SMR-level object trace (plain sig_T actions over \p Type).
+  const Trace &objectTrace() const { return ObjectTrace; }
+  const std::vector<SmrOpRecord> &smrOps() const { return Ops; }
+  StackHarness &stack() { return Stack; }
+
+private:
+  struct ClientState {
+    bool Busy = false;
+    std::vector<Input> Backlog; ///< Submitted while busy; FIFO.
+    std::size_t OpIndex = 0;
+    std::int64_t CommandId = 0;
+    std::optional<std::uint32_t> PlacedSlot;
+    std::uint32_t NextGuess = 0;
+    std::map<std::uint32_t, std::int64_t> KnownLog; ///< slot -> command id.
+    std::unique_ptr<AdtState> Replica;
+    std::uint32_t AppliedThrough = 0; ///< Slots applied to Replica.
+  };
+
+  void submit(ClientId C, const Input &Command);
+  void onStackOp(std::size_t StackOpIndex);
+  void continuePlacement(ClientId C);
+  void tryRespond(ClientId C);
+
+  /// Interns a command; id 0 is the reserved no-op.
+  std::int64_t internCommand(const Input &Command);
+
+  const Adt &Type;
+  StackHarness Stack;
+  std::vector<Input> Commands; ///< Command table; index 0 is the no-op.
+  std::vector<ClientState> Clients;
+  Trace ObjectTrace;
+  std::vector<SmrOpRecord> Ops;
+};
+
+} // namespace slin
+
+#endif // SLIN_SMR_SMR_H

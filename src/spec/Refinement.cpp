@@ -1,0 +1,302 @@
+//===- spec/Refinement.cpp ------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Refinement.h"
+
+#include "trace/TraceIo.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace slin;
+
+namespace {
+
+/// A set of candidate states of the single automaton, deduplicated by
+/// digest. The single automaton is nondeterministic (internal A3 and silent
+/// linearizations choose how pending operations take effect), so the
+/// checker tracks every state it might be in — the classic subset
+/// construction for simulation checking.
+using StateSet = std::vector<SpecState>;
+
+/// Bounded depth-first exploration of the composed system paired with the
+/// subset of single-automaton states.
+class Explorer {
+public:
+  Explorer(PhaseId N, PhaseId O, const RefinementOptions &Opts)
+      : Opts(Opts), SigA(1, N), SigB(N, O), SigS(1, O),
+        AutoA(SigA, Opts.NumClients), AutoB(SigB, Opts.NumClients),
+        AutoS(SigS, Opts.NumClients) {}
+
+  RefinementResult run() {
+    RefinementResult Result;
+    SpecState SA = AutoA.initialState();
+    SpecState SB = AutoB.initialState();
+    StateSet Singles = closure({AutoS.initialState()});
+    Trace Path;
+    Result.Holds = explore(SA, SB, Singles, 0, Path, Result);
+    Result.NodesExplored = Nodes;
+    return Result;
+  }
+
+private:
+  /// Internal closure of the single automaton: all states reachable via
+  /// A3 and silent linearizations (A1 never fires: the single phase starts
+  /// at m = 1, initialized).
+  StateSet closure(StateSet States) const {
+    std::unordered_set<std::uint64_t> Seen;
+    StateSet Work = std::move(States);
+    StateSet Result;
+    while (!Work.empty()) {
+      SpecState S = std::move(Work.back());
+      Work.pop_back();
+      if (!Seen.insert(S.digest()).second)
+        continue;
+      if (!S.AbortedFlag) {
+        SpecState N = S;
+        SpecAutomaton::applyAbortFlag(N);
+        Work.push_back(std::move(N));
+      }
+      for (ClientId C = 0; C < Opts.NumClients; ++C) {
+        SpecState N = S;
+        if (SpecAutomaton::applySilentLinearize(N, C))
+          Work.push_back(std::move(N));
+      }
+      Result.push_back(std::move(S));
+    }
+    return Result;
+  }
+
+  std::uint64_t setDigest(const StateSet &Set) const {
+    std::vector<std::uint64_t> Digests;
+    Digests.reserve(Set.size());
+    for (const SpecState &S : Set)
+      Digests.push_back(S.digest());
+    std::sort(Digests.begin(), Digests.end());
+    std::uint64_t H = 0x5e7;
+    for (std::uint64_t D : Digests)
+      H = hashCombine(H, D);
+    return H;
+  }
+
+  /// Advances every candidate single state over one external action;
+  /// returns the surviving (non-deduplicated closure of) states.
+  template <typename Step>
+  StateSet advance(const StateSet &Singles, Step Fn) const {
+    StateSet Next;
+    for (const SpecState &S : Singles) {
+      SpecState N = S;
+      if (Fn(N))
+        Next.push_back(std::move(N));
+    }
+    return closure(std::move(Next));
+  }
+
+  bool explore(const SpecState &SA, const SpecState &SB,
+               const StateSet &Singles, unsigned ExternalDepth, Trace &Path,
+               RefinementResult &Result) {
+    if (++Nodes > Opts.MaxNodes) {
+      Result.Exhausted = true;
+      return true;
+    }
+    std::uint64_t Key =
+        hashCombine(hashCombine(SA.digest(), SB.digest()),
+                    hashCombine(setDigest(Singles), ExternalDepth));
+    if (!Visited.insert(Key).second)
+      return true;
+
+    if (ExternalDepth < Opts.MaxExternalActions) {
+      // --- External: invocations (to A until the client left it; then B).
+      for (ClientId C = 0; C < Opts.NumClients; ++C) {
+        for (Input In : Opts.Alphabet) {
+          In.Tag = clientTag(C); // Operation identity (adt/Values.h).
+          bool InA = SA.Mode[C] == ClientMode::Ready;
+          bool InB = SB.Mode[C] == ClientMode::Ready;
+          if (!InA && !InB)
+            continue;
+          SpecState NA = SA, NB = SB;
+          bool Ok = InA ? SpecAutomaton::applyInvoke(NA, C, In)
+                        : SpecAutomaton::applyInvoke(NB, C, In);
+          if (!Ok)
+            continue;
+          Path.push_back(makeInvoke(C, InA ? SigA.M : SigB.M, In));
+          StateSet Next = advance(Singles, [&](SpecState &S) {
+            return SpecAutomaton::applyInvoke(S, C, In);
+          });
+          if (Next.empty())
+            return fail(Path, "single automaton cannot accept invocation",
+                        Result);
+          if (!explore(NA, NB, Next, ExternalDepth + 1, Path, Result))
+            return false;
+          Path.pop_back();
+        }
+      }
+
+      for (ClientId C = 0; C < Opts.NumClients; ++C) {
+        // --- External: responses from A and from B (normal appends and
+        // answers to silently absorbed operations alike).
+        for (int Which = 0; Which < 4; ++Which) {
+          bool FromA = Which % 2 == 0;
+          bool Absorbed = Which >= 2;
+          const SpecState &Src = FromA ? SA : SB;
+          SpecState NA = SA, NB = SB;
+          SpecState &Dst = FromA ? NA : NB;
+          History Responded;
+          bool Ok = Absorbed
+                        ? SpecAutomaton::applyRespondAbsorbed(Dst, C,
+                                                              &Responded)
+                        : SpecAutomaton::applyRespond(Dst, C, &Responded);
+          if (!Ok)
+            continue;
+          Path.push_back(makeRespond(C, FromA ? SigA.M : SigB.M,
+                                     Src.PendingIn[C],
+                                     historyOutput(Responded)));
+          StateSet Next = advance(Singles, [&](SpecState &S) {
+            History R;
+            SpecState Saved = S;
+            if (SpecAutomaton::applyRespond(S, C, &R) && R == Responded)
+              return true;
+            S = Saved;
+            return SpecAutomaton::applyRespondAbsorbed(S, C, &R) &&
+                   R == Responded;
+          });
+          if (Next.empty())
+            return fail(Path,
+                        "single automaton cannot match a response", Result);
+          if (!explore(NA, NB, Next, ExternalDepth + 1, Path, Result))
+            return false;
+          Path.pop_back();
+        }
+
+        // --- External: aborts from B (switch into phase O).
+        if ((SB.Mode[C] == ClientMode::Pending ||
+             SB.Mode[C] == ClientMode::Consumed) &&
+            SB.Initialized) {
+          for (const History &HPrime : abortValues(SB)) {
+            SpecState NB = SB;
+            SpecAutomaton::applyAbortFlag(NB);
+            if (!SpecAutomaton::applyAbortOut(NB, C, HPrime))
+              continue;
+            Path.push_back(
+                makeSwitch(C, SigB.N, SB.PendingIn[C], SwitchValue{0}));
+            StateSet Next = advance(Singles, [&](SpecState &S) {
+              SpecAutomaton::applyAbortFlag(S);
+              return SpecAutomaton::applyAbortOut(S, C, HPrime);
+            });
+            if (Next.empty())
+              return fail(Path, "single automaton cannot match an abort",
+                          Result);
+            if (!explore(SA, NB, Next, ExternalDepth + 1, Path, Result))
+              return false;
+            Path.pop_back();
+          }
+        }
+      }
+    }
+
+    // --- Internal: synchronized hand-off A.abortOut / B.switchIn.
+    for (ClientId C = 0; C < Opts.NumClients; ++C) {
+      if ((SA.Mode[C] != ClientMode::Pending &&
+           SA.Mode[C] != ClientMode::Consumed) ||
+          !SA.Initialized)
+        continue;
+      for (const History &HPrime : abortValues(SA)) {
+        SpecState NA = SA;
+        SpecAutomaton::applyAbortFlag(NA);
+        if (!SpecAutomaton::applyAbortOut(NA, C, HPrime))
+          continue;
+        SpecState NB = SB;
+        if (!SpecAutomaton::applySwitchIn(NB, C, SA.PendingIn[C], HPrime))
+          continue;
+        if (!explore(NA, NB, Singles, ExternalDepth, Path, Result))
+          return false;
+      }
+    }
+
+    // --- Internal: A's and B's silent linearizations and abort flags.
+    for (int Which = 0; Which < 2; ++Which) {
+      for (ClientId C = 0; C < Opts.NumClients; ++C) {
+        SpecState NA = SA, NB = SB;
+        if (SpecAutomaton::applySilentLinearize(Which == 0 ? NA : NB, C))
+          if (!explore(NA, NB, Singles, ExternalDepth, Path, Result))
+            return false;
+      }
+      const SpecState &Src = Which == 0 ? SA : SB;
+      if (!Src.AbortedFlag) {
+        SpecState NA = SA, NB = SB;
+        SpecAutomaton::applyAbortFlag(Which == 0 ? NA : NB);
+        if (!explore(NA, NB, Singles, ExternalDepth, Path, Result))
+          return false;
+      }
+    }
+
+    // --- Internal: B's A1.
+    {
+      SpecState NB = SB;
+      if (SpecAutomaton::applyInit(NB))
+        if (!explore(SA, NB, Singles, ExternalDepth, Path, Result))
+          return false;
+    }
+    return true;
+  }
+
+  /// Enumerates A4 abort values from \p S: hist extended by every ordered
+  /// arrangement of every subset of the claimable unanswered inputs.
+  std::vector<History> abortValues(const SpecState &S) const {
+    std::vector<ClientId> Pool;
+    for (ClientId D = 0; D < S.Mode.size(); ++D)
+      if ((S.Mode[D] == ClientMode::Pending ||
+           S.Mode[D] == ClientMode::Aborted) &&
+          std::find(S.Hist.begin(), S.Hist.end(), S.PendingIn[D]) ==
+              S.Hist.end())
+        Pool.push_back(D);
+    std::vector<History> Results;
+    std::vector<ClientId> Arrangement;
+    std::vector<bool> Taken(Pool.size(), false);
+    buildArrangements(S, Pool, Taken, Arrangement, Results);
+    return Results;
+  }
+
+  void buildArrangements(const SpecState &S, const std::vector<ClientId> &Pool,
+                         std::vector<bool> &Taken,
+                         std::vector<ClientId> &Arrangement,
+                         std::vector<History> &Results) const {
+    History H = S.Hist;
+    for (ClientId D : Arrangement)
+      H.push_back(S.PendingIn[D]);
+    Results.push_back(std::move(H));
+    for (std::size_t I = 0; I < Pool.size(); ++I) {
+      if (Taken[I])
+        continue;
+      Taken[I] = true;
+      Arrangement.push_back(Pool[I]);
+      buildArrangements(S, Pool, Taken, Arrangement, Results);
+      Arrangement.pop_back();
+      Taken[I] = false;
+    }
+  }
+
+  bool fail(const Trace &Path, const std::string &Why,
+            RefinementResult &Result) {
+    Result.Counterexample = Why + "\n" + formatTrace(Path);
+    return false;
+  }
+
+  const RefinementOptions &Opts;
+  PhaseSignature SigA, SigB, SigS;
+  SpecAutomaton AutoA, AutoB, AutoS;
+  std::unordered_set<std::uint64_t> Visited;
+  std::uint64_t Nodes = 0;
+};
+
+} // namespace
+
+RefinementResult
+slin::checkCompositionRefinement(PhaseId N, PhaseId O,
+                                 const RefinementOptions &Opts) {
+  Explorer E(N, O, Opts);
+  return E.run();
+}

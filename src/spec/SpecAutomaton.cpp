@@ -1,0 +1,393 @@
+//===- spec/SpecAutomaton.cpp ---------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/SpecAutomaton.h"
+
+#include "support/Multiset.h"
+#include "support/Sequences.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace slin;
+
+std::uint64_t SpecState::digest() const {
+  std::uint64_t H = hashValue(Hist);
+  for (std::size_t C = 0; C < Mode.size(); ++C) {
+    H = hashCombine(H, static_cast<std::uint64_t>(Mode[C]));
+    H = hashCombine(H, hashValue(PendingIn[C]));
+    H = hashCombine(H, AbsorbedLen[C]);
+  }
+  for (const History &Init : InitHists)
+    H = hashCombine(H, hashValue(Init));
+  H = hashCombine(H, (AbortedFlag ? 1u : 0u) | (Initialized ? 2u : 0u) |
+                         (HasEmitted ? 4u : 0u));
+  return hashCombine(H, hashValue(EmittedLcp));
+}
+
+SpecAutomaton::SpecAutomaton(const PhaseSignature &Sig, unsigned NumClients)
+    : Sig(Sig), NumClients(NumClients) {
+  assert(NumClients > 0 && "the automaton serves at least one client");
+}
+
+SpecState SpecAutomaton::initialState() const {
+  SpecState S;
+  S.Mode.assign(NumClients,
+                Sig.M == 1 ? ClientMode::Ready : ClientMode::Sleep);
+  S.PendingIn.assign(NumClients, Input{});
+  S.AbsorbedLen.assign(NumClients, 0);
+  S.Initialized = Sig.M == 1; // First phases start from the empty history.
+  return S;
+}
+
+bool SpecAutomaton::applyInvoke(SpecState &S, ClientId C, const Input &In) {
+  if (C >= S.Mode.size() || S.Mode[C] != ClientMode::Ready)
+    return false;
+  S.Mode[C] = ClientMode::Pending;
+  S.PendingIn[C] = In;
+  return true;
+}
+
+bool SpecAutomaton::applySwitchIn(SpecState &S, ClientId C, const Input &In,
+                                  const History &H) {
+  if (C >= S.Mode.size() || S.Mode[C] != ClientMode::Sleep)
+    return false;
+  S.InitHists.push_back(H);
+  S.Mode[C] = ClientMode::Pending;
+  S.PendingIn[C] = In;
+  return true;
+}
+
+bool SpecAutomaton::applyInit(SpecState &S) {
+  if (S.Initialized)
+    return false;
+  bool Awake = false;
+  for (ClientMode M : S.Mode)
+    Awake |= M != ClientMode::Sleep;
+  if (!Awake)
+    return false;
+  S.Hist = longestCommonPrefix(S.InitHists);
+  S.Initialized = true;
+  return true;
+}
+
+void SpecAutomaton::applyAbortFlag(SpecState &S) { S.AbortedFlag = true; }
+
+bool SpecAutomaton::canGrow(const SpecState &S, const Input &In) {
+  if (!S.HasEmitted)
+    return true;
+  if (S.Hist.size() >= S.EmittedLcp.size())
+    return false;
+  return S.EmittedLcp[S.Hist.size()] == In;
+}
+
+/// Shared guard of A2 and A2'.
+static bool mayLinearizePending(const SpecState &S, ClientId C) {
+  if (C >= S.Mode.size() || S.Mode[C] != ClientMode::Pending ||
+      !S.Initialized)
+    return false;
+  // "An input is pending if it is the last submitted input of a client ...
+  // and if it is not present in hist."
+  if (std::find(S.Hist.begin(), S.Hist.end(), S.PendingIn[C]) !=
+      S.Hist.end())
+    return false;
+  return SpecAutomaton::canGrow(S, S.PendingIn[C]);
+}
+
+bool SpecAutomaton::applyRespond(SpecState &S, ClientId C,
+                                 History *Responded) {
+  if (!mayLinearizePending(S, C))
+    return false;
+  S.Hist.push_back(S.PendingIn[C]);
+  S.Mode[C] = ClientMode::Ready;
+  if (Responded)
+    *Responded = S.Hist;
+  return true;
+}
+
+bool SpecAutomaton::applySilentLinearize(SpecState &S, ClientId C) {
+  if (!mayLinearizePending(S, C))
+    return false;
+  S.Hist.push_back(S.PendingIn[C]);
+  S.Mode[C] = ClientMode::Consumed;
+  S.AbsorbedLen[C] = static_cast<std::uint32_t>(S.Hist.size());
+  return true;
+}
+
+bool SpecAutomaton::applyRespondAbsorbed(SpecState &S, ClientId C,
+                                         History *Responded) {
+  if (C >= S.Mode.size() || S.Mode[C] != ClientMode::Consumed ||
+      S.AbsorbedLen[C] == 0)
+    return false;
+  if (Responded)
+    *Responded = History(S.Hist.begin(), S.Hist.begin() + S.AbsorbedLen[C]);
+  S.Mode[C] = ClientMode::Ready;
+  S.AbsorbedLen[C] = 0;
+  return true;
+}
+
+bool SpecAutomaton::applyAbortOut(SpecState &S, ClientId C,
+                                  const History &HPrime) {
+  // The aborting client transfers its *unanswered* operation: it is either
+  // still Pending or was silently absorbed into hist (Consumed) — either
+  // way no response was emitted for it.
+  if (C >= S.Mode.size() || !S.Initialized || !S.AbortedFlag)
+    return false;
+  if (S.Mode[C] != ClientMode::Pending && S.Mode[C] != ClientMode::Consumed)
+    return false;
+  if (!isPrefixOf(S.Hist, HPrime))
+    return false;
+  // The inputs of HPrime beyond Hist must be unanswered submitted inputs
+  // absent from Hist (as a multiset). Unanswered means Pending or already
+  // switched out (Aborted) — Definition 28 only requires the claimed
+  // operations to have been invoked, so a later abort value may re-claim an
+  // operation an earlier abort transferred. Consumed operations live in
+  // Hist already and are excluded by the absence filter.
+  Multiset<Input> Extras;
+  for (std::size_t I = S.Hist.size(); I < HPrime.size(); ++I)
+    Extras.add(HPrime[I]);
+  Multiset<Input> ClaimPool;
+  for (std::size_t D = 0; D < S.Mode.size(); ++D)
+    if ((S.Mode[D] == ClientMode::Pending ||
+         S.Mode[D] == ClientMode::Aborted) &&
+        std::find(S.Hist.begin(), S.Hist.end(), S.PendingIn[D]) ==
+            S.Hist.end())
+      ClaimPool.add(S.PendingIn[D]);
+  if (!Extras.includedIn(ClaimPool))
+    return false;
+  S.Mode[C] = ClientMode::Aborted;
+  S.EmittedLcp = S.HasEmitted ? commonPrefix(S.EmittedLcp, HPrime) : HPrime;
+  S.HasEmitted = true;
+  return true;
+}
+
+namespace {
+
+/// Memoized search for an accepting run: internal steps (A1, A3, A2') may
+/// interleave anywhere; input actions are forced; output actions must match
+/// exactly.
+class AcceptSearch {
+public:
+  AcceptSearch(const SpecAutomaton &A, const Trace &T,
+               const UniversalInitRelation &Rel)
+      : A(A), T(T), Rel(Rel) {}
+
+  WellFormedness run() {
+    SpecState S = A.initialState();
+    if (search(0, S))
+      return WellFormedness::pass();
+    return WellFormedness::fail(
+        "trace not accepted by the specification automaton");
+  }
+
+private:
+  bool search(std::size_t I, SpecState &S) {
+    std::uint64_t Key = hashCombine(I, S.digest());
+    if (Failed.count(Key))
+      return false;
+
+    if (trystep(I, S)) // Consume T[I] (or finish) without internal moves.
+      return true;
+
+    // Interleave one internal move and retry.
+    {
+      SpecState N = S;
+      if (SpecAutomaton::applyInit(N) && search(I, N))
+        return true;
+    }
+    if (!S.AbortedFlag) {
+      SpecState N = S;
+      SpecAutomaton::applyAbortFlag(N);
+      if (search(I, N))
+        return true;
+    }
+    for (ClientId C = 0; C < A.numClients(); ++C) {
+      SpecState N = S;
+      if (SpecAutomaton::applySilentLinearize(N, C) && search(I, N))
+        return true;
+    }
+    Failed.insert(Key);
+    return false;
+  }
+
+  bool trystep(std::size_t I, const SpecState &S) {
+    if (I == T.size())
+      return true;
+    const Action &Act = T[I];
+    SpecState N = S;
+    if (A.signature().isInitAction(Act)) {
+      if (!SpecAutomaton::applySwitchIn(N, Act.Client, Act.In,
+                                        Rel.decode(Act.Sv)))
+        return false;
+      return search(I + 1, N);
+    }
+    if (isInvoke(Act)) {
+      if (!SpecAutomaton::applyInvoke(N, Act.Client, Act.In))
+        return false;
+      return search(I + 1, N);
+    }
+    if (isRespond(Act)) {
+      History Responded;
+      if (SpecAutomaton::applyRespond(N, Act.Client, &Responded) &&
+          historyOutput(Responded) == Act.Out)
+        return search(I + 1, N);
+      N = S;
+      if (SpecAutomaton::applyRespondAbsorbed(N, Act.Client, &Responded) &&
+          historyOutput(Responded) == Act.Out)
+        return search(I + 1, N);
+      return false;
+    }
+    if (!A.signature().isAbortAction(Act))
+      return false; // Out-of-signature action.
+    if (N.PendingIn[Act.Client] != Act.In && N.Mode[Act.Client] ==
+                                                 ClientMode::Pending)
+      return false; // Abort must carry the client's pending input.
+    if (!N.AbortedFlag)
+      SpecAutomaton::applyAbortFlag(N);
+    if (!SpecAutomaton::applyAbortOut(N, Act.Client, Rel.decode(Act.Sv)))
+      return false;
+    return search(I + 1, N);
+  }
+
+  const SpecAutomaton &A;
+  const Trace &T;
+  const UniversalInitRelation &Rel;
+  std::unordered_set<std::uint64_t> Failed;
+};
+
+} // namespace
+
+WellFormedness
+SpecAutomaton::accepts(const Trace &T,
+                       const UniversalInitRelation &Rel) const {
+  AcceptSearch S(*this, T, Rel);
+  return S.run();
+}
+
+Trace SpecAutomaton::randomWalk(const WalkOptions &Opts, Rng &R,
+                                UniversalInitRelation &Rel) const {
+  assert(!Opts.Alphabet.empty() && "walk needs an input alphabet");
+  assert((Sig.M == 1 || !Opts.InitChoices.empty()) &&
+         "later phases need init-history choices");
+  Trace T;
+  SpecState S = initialState();
+
+  for (unsigned Step = 0; Step < Opts.Steps; ++Step) {
+    enum class MoveKind : std::uint8_t {
+      Invoke,
+      SwitchIn,
+      FireInit,
+      Respond,
+      RespondAbsorbed,
+      Silent,
+      FireAbortFlag,
+      AbortOut
+    };
+    std::vector<std::pair<MoveKind, ClientId>> Moves;
+    for (ClientId C = 0; C < NumClients; ++C) {
+      switch (S.Mode[C]) {
+      case ClientMode::Ready:
+        Moves.push_back({MoveKind::Invoke, C});
+        break;
+      case ClientMode::Sleep:
+        Moves.push_back({MoveKind::SwitchIn, C});
+        break;
+      case ClientMode::Pending: {
+        SpecState Probe = S;
+        if (SpecAutomaton::applyRespond(Probe, C, nullptr))
+          Moves.push_back({MoveKind::Respond, C});
+        Probe = S;
+        if (R.nextBool(Opts.SilentProbability) &&
+            SpecAutomaton::applySilentLinearize(Probe, C))
+          Moves.push_back({MoveKind::Silent, C});
+        if (S.AbortedFlag && S.Initialized)
+          Moves.push_back({MoveKind::AbortOut, C});
+        break;
+      }
+      case ClientMode::Consumed:
+        Moves.push_back({MoveKind::RespondAbsorbed, C});
+        if (S.AbortedFlag && S.Initialized)
+          Moves.push_back({MoveKind::AbortOut, C});
+        break;
+      case ClientMode::Aborted:
+        break;
+      }
+    }
+    {
+      SpecState Probe = S;
+      if (applyInit(Probe))
+        Moves.push_back({MoveKind::FireInit, 0});
+    }
+    if (!S.AbortedFlag && R.nextBool(Opts.AbortProbability))
+      Moves.push_back({MoveKind::FireAbortFlag, 0});
+    if (Moves.empty())
+      break;
+
+    auto [Kind, C] = Moves[R.nextBounded(Moves.size())];
+    switch (Kind) {
+    case MoveKind::Invoke: {
+      Input In = Opts.Alphabet[R.nextBounded(Opts.Alphabet.size())];
+      In.Tag = clientTag(C); // Operation identity (adt/Values.h).
+      applyInvoke(S, C, In);
+      T.push_back(makeInvoke(C, Sig.M, In));
+      break;
+    }
+    case MoveKind::SwitchIn: {
+      Input In = Opts.Alphabet[R.nextBounded(Opts.Alphabet.size())];
+      In.Tag = clientTag(C);
+      const History &H =
+          Opts.InitChoices[R.nextBounded(Opts.InitChoices.size())];
+      applySwitchIn(S, C, In, H);
+      T.push_back(makeSwitch(C, Sig.M, In, Rel.encode(H)));
+      break;
+    }
+    case MoveKind::FireInit:
+      applyInit(S);
+      break;
+    case MoveKind::Respond: {
+      Input In = S.PendingIn[C];
+      History Responded;
+      applyRespond(S, C, &Responded);
+      T.push_back(makeRespond(C, Sig.M, In, historyOutput(Responded)));
+      break;
+    }
+    case MoveKind::RespondAbsorbed: {
+      Input In = S.PendingIn[C];
+      History Responded;
+      if (!applyRespondAbsorbed(S, C, &Responded))
+        break;
+      T.push_back(makeRespond(C, Sig.M, In, historyOutput(Responded)));
+      break;
+    }
+    case MoveKind::Silent:
+      applySilentLinearize(S, C);
+      break;
+    case MoveKind::FireAbortFlag:
+      applyAbortFlag(S);
+      break;
+    case MoveKind::AbortOut: {
+      // Abort value: hist plus a random arrangement of eligible pending
+      // inputs (those absent from hist).
+      History HPrime = S.Hist;
+      for (ClientId D = 0; D < NumClients; ++D) {
+        if (S.Mode[D] != ClientMode::Pending || !R.nextBool(0.5))
+          continue;
+        if (std::find(S.Hist.begin(), S.Hist.end(), S.PendingIn[D]) !=
+            S.Hist.end())
+          continue;
+        HPrime.push_back(S.PendingIn[D]);
+      }
+      Input In = S.PendingIn[C];
+      if (!applyAbortOut(S, C, HPrime))
+        break;
+      T.push_back(makeSwitch(C, Sig.N, In, Rel.encode(HPrime)));
+      break;
+    }
+    }
+  }
+  return T;
+}

@@ -1,0 +1,190 @@
+//===- spec/SpecAutomaton.h - The Section 6 spec automaton ------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specification automaton of Section 6: speculative linearizability
+/// instantiated for the universal ADT (outputs identify the history executed
+/// so far) with r_init(h) = {h}. The automaton keeps
+///
+///   * hist        — the longest linearization made visible to a client,
+///   * phase(c)    — Sleep, Pending, Ready, Consumed or Aborted per client,
+///   * pending(c)  — the last input submitted by c,
+///   * InitHists   — the init histories received from the previous phase,
+///   * aborted, initialized — two booleans,
+///   * EmittedLcp  — the longest common prefix of the abort values emitted
+///                   so far (hist may only grow inside it: "at this point
+///                   hist does not grow anymore", Section 6),
+///
+/// and reacts to invocations and switch-ins while nondeterministically
+/// performing the paper's steps A1 (initialize hist to the longest common
+/// prefix of InitHists), A2 (append a pending input to hist and answer its
+/// client with the new hist), A3 (set aborted) and A4 (mark a client
+/// aborted and emit a switch whose value extends hist by pending inputs).
+///
+/// The published prose leaves several guards implicit; we make them precise
+/// (they are exactly what the bounded refinement check of spec/Refinement.h
+/// requires, and reflect the paper's own remarks):
+///
+///   * "an input is pending if it is ... not present in hist": A2 and the
+///     extension pool of A4 exclude inputs already in hist — an operation
+///     whose input was carried into hist (e.g. via an init history) is
+///     never re-appended;
+///   * after abort values have been emitted, hist only grows while it stays
+///     a prefix of every emitted value (tracked by EmittedLcp), keeping
+///     Abort Order intact while still allowing the paper's
+///     decisions-after-aborts;
+///   * an internal step A2' ("silent linearization") appends a pending
+///     input to hist *without* responding, moving its client to Consumed.
+///     It realizes linearizations in which a pending operation takes effect
+///     without a response — without it the single automaton cannot
+///     simulate a composition whose first phase exported pending inputs
+///     inside an abort value.
+///
+/// The class serves three roles: an acceptance monitor (membership in the
+/// automaton's trace set), a random-walk generator of speculatively
+/// linearizable traces, and the building block of the bounded refinement
+/// check. Responses carry the 64-bit fingerprint of hist
+/// (hashValue(History)); switch values intern histories through a
+/// UniversalInitRelation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SPEC_SPECAUTOMATON_H
+#define SLIN_SPEC_SPECAUTOMATON_H
+
+#include "slin/InitRelation.h"
+#include "support/Rng.h"
+#include "trace/Signature.h"
+#include "trace/Trace.h"
+#include "trace/WellFormed.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slin {
+
+/// Client phases of the specification automaton.
+enum class ClientMode : std::uint8_t {
+  Sleep,    ///< Not yet switched in.
+  Pending,  ///< Has an unanswered input.
+  Ready,    ///< May invoke.
+  Consumed, ///< Silently linearized (A2'); never responds.
+  Aborted,  ///< Switched out.
+};
+
+/// The automaton state.
+struct SpecState {
+  History Hist;
+  std::vector<ClientMode> Mode;
+  std::vector<Input> PendingIn;
+  /// For Consumed clients: length of the hist prefix ending at the
+  /// client's absorbed operation (0 when not absorbed). A later response
+  /// for that operation commits exactly this prefix.
+  std::vector<std::uint32_t> AbsorbedLen;
+  std::vector<History> InitHists;
+  bool AbortedFlag = false;
+  bool Initialized = false;
+  bool HasEmitted = false; ///< Some abort value has been emitted.
+  History EmittedLcp;      ///< LCP of emitted abort values (if HasEmitted).
+
+  friend bool operator==(const SpecState &, const SpecState &) = default;
+
+  /// Fingerprint for memoization.
+  std::uint64_t digest() const;
+};
+
+/// The specification automaton for a phase (Sig.M, Sig.N) serving
+/// \p NumClients clients.
+class SpecAutomaton {
+public:
+  SpecAutomaton(const PhaseSignature &Sig, unsigned NumClients);
+
+  const PhaseSignature &signature() const { return Sig; }
+  unsigned numClients() const { return NumClients; }
+
+  /// The start state: first phases (m = 1) begin initialized with every
+  /// client Ready; later phases begin uninitialized with every client
+  /// asleep.
+  SpecState initialState() const;
+
+  /// Input transition: client \p C invokes \p In. Enabled iff Mode[C] ==
+  /// Ready. Returns false (state unchanged) when disabled.
+  static bool applyInvoke(SpecState &S, ClientId C, const Input &In);
+
+  /// Input transition: client \p C switches in with pending input \p In and
+  /// init history \p H. Enabled iff Mode[C] == Sleep.
+  static bool applySwitchIn(SpecState &S, ClientId C, const Input &In,
+                            const History &H);
+
+  /// Internal step A1. Enabled iff !Initialized and some client is not
+  /// asleep. Sets Hist to the longest common prefix of InitHists.
+  static bool applyInit(SpecState &S);
+
+  /// Internal step A3: set the aborted flag.
+  static void applyAbortFlag(SpecState &S);
+
+  /// Output step A2 for client \p C: append pending(C) to hist, answer C
+  /// with the new hist. Enabled iff Initialized, Mode[C] == Pending,
+  /// pending(C) is not present in hist, and the grown hist stays within
+  /// every emitted abort value. On success *Responded holds the new hist.
+  static bool applyRespond(SpecState &S, ClientId C, History *Responded);
+
+  /// Internal step A2': silently linearize client \p C's pending input
+  /// (same guards as A2); C moves to Consumed.
+  static bool applySilentLinearize(SpecState &S, ClientId C);
+
+  /// Output step A2'' for a Consumed client: answer its absorbed operation
+  /// with the hist prefix ending at the absorption point (a commit history
+  /// shorter than the current hist — legal, the chain orders commits by
+  /// prefix, not by response time). C moves back to Ready.
+  static bool applyRespondAbsorbed(SpecState &S, ClientId C,
+                                   History *Responded);
+
+  /// Output step A4 for client \p C emitting abort value \p HPrime.
+  /// Enabled iff AbortedFlag, Initialized, Mode[C] == Pending, Hist is a
+  /// prefix of HPrime, and the inputs of HPrime beyond Hist are pending
+  /// inputs absent from Hist (as a multiset).
+  static bool applyAbortOut(SpecState &S, ClientId C, const History &HPrime);
+
+  /// True iff appending \p In to Hist keeps it inside every emitted abort
+  /// value.
+  static bool canGrow(const SpecState &S, const Input &In);
+
+  /// Exact acceptance test: is \p T a trace of this automaton? \p Rel
+  /// interns the histories carried by switch actions. Searches over the
+  /// interleaving of internal steps (A1 timing, A3, silent
+  /// linearizations) with memoization.
+  WellFormedness accepts(const Trace &T,
+                         const UniversalInitRelation &Rel) const;
+
+  /// Parameters for random walks.
+  struct WalkOptions {
+    unsigned Steps = 24;
+    std::vector<Input> Alphabet;       ///< Inputs clients may invoke.
+    std::vector<History> InitChoices;  ///< Init histories switch-ins carry.
+    double AbortProbability = 0.15;    ///< Chance to fire A3 when possible.
+    double SilentProbability = 0.1;    ///< Chance to offer A2' when enabled.
+  };
+
+  /// Generates a trace by a uniformly random walk over enabled transitions;
+  /// every produced trace is accepted by the automaton (and hence
+  /// speculatively linearizable for the universal instantiation).
+  Trace randomWalk(const WalkOptions &Opts, Rng &R,
+                   UniversalInitRelation &Rel) const;
+
+private:
+  PhaseSignature Sig;
+  unsigned NumClients;
+};
+
+/// Fingerprint of a history as carried by universal-ADT responses.
+inline Output historyOutput(const History &H) {
+  return Output{static_cast<std::int64_t>(hashValue(H))};
+}
+
+} // namespace slin
+
+#endif // SLIN_SPEC_SPECAUTOMATON_H

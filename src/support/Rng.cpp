@@ -1,0 +1,9 @@
+//===- support/Rng.cpp ----------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+// Rng is header-only; this file anchors the slin_support library.

@@ -1,0 +1,103 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-==//
+//
+// Part of the slin project: a C++ framework reproducing "Speculative
+// Linearizability" (Guerraoui, Kuncak, Losa; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random number generation. All randomness in
+/// the project (simulator schedules, workload generators, property tests)
+/// flows through this class so that every run is reproducible from a seed.
+/// The generator is xoshiro256** seeded via SplitMix64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SUPPORT_RNG_H
+#define SLIN_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace slin {
+
+/// A small, fast, deterministic pseudo-random number generator.
+///
+/// Not cryptographically secure; intended for reproducible simulation and
+/// test-case generation. Copyable: a copy continues the same stream
+/// independently, which is handy for splitting generators between
+/// subsystems.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using SplitMix64 so that nearby
+  /// seeds give unrelated streams.
+  void reseed(std::uint64_t Seed) {
+    std::uint64_t X = Seed;
+    for (auto &Word : State) {
+      // SplitMix64 step.
+      X += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    std::uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// positive. Uses rejection sampling to avoid modulo bias.
+  std::uint64_t nextBounded(std::uint64_t Bound) {
+    assert(Bound > 0 && "nextBounded requires a positive bound");
+    std::uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      std::uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniformly distributed integer in the inclusive range
+  /// [\p Lo, \p Hi].
+  std::int64_t nextInRange(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<std::int64_t>(
+                    nextBounded(static_cast<std::uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Returns a fresh generator whose stream is statistically independent of
+  /// the remainder of this one.
+  Rng split() { return Rng(next() ^ 0xdeadbeefcafef00dULL); }
+
+private:
+  static std::uint64_t rotl(std::uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  std::uint64_t State[4];
+};
+
+} // namespace slin
+
+#endif // SLIN_SUPPORT_RNG_H

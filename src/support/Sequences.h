@@ -1,0 +1,63 @@
+//===- support/Sequences.h - Prefix and LCP utilities -----------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequence helpers used by the trace theory of Section 3: prefix and strict
+/// prefix tests, and the longest common prefix of a family of sequences
+/// (with the paper's convention that the LCP of an empty family is the empty
+/// sequence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SUPPORT_SEQUENCES_H
+#define SLIN_SUPPORT_SEQUENCES_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace slin {
+
+/// True iff \p A is a (possibly equal) prefix of \p B.
+template <typename T>
+bool isPrefixOf(const std::vector<T> &A, const std::vector<T> &B) {
+  if (A.size() > B.size())
+    return false;
+  return std::equal(A.begin(), A.end(), B.begin());
+}
+
+/// True iff \p A is a strict prefix of \p B.
+template <typename T>
+bool isStrictPrefixOf(const std::vector<T> &A, const std::vector<T> &B) {
+  return A.size() < B.size() && isPrefixOf(A, B);
+}
+
+/// Longest common prefix of two sequences.
+template <typename T>
+std::vector<T> commonPrefix(const std::vector<T> &A, const std::vector<T> &B) {
+  std::size_t N = std::min(A.size(), B.size());
+  std::size_t I = 0;
+  while (I < N && A[I] == B[I])
+    ++I;
+  return std::vector<T>(A.begin(), A.begin() + I);
+}
+
+/// Longest common prefix of a family of sequences. By the paper's convention
+/// (Section 5.3), the LCP of an empty family is the empty sequence.
+template <typename T>
+std::vector<T>
+longestCommonPrefix(const std::vector<std::vector<T>> &Family) {
+  if (Family.empty())
+    return {};
+  std::vector<T> Result = Family.front();
+  for (std::size_t I = 1, E = Family.size(); I != E; ++I)
+    Result = commonPrefix(Result, Family[I]);
+  return Result;
+}
+
+} // namespace slin
+
+#endif // SLIN_SUPPORT_SEQUENCES_H

@@ -1,0 +1,103 @@
+//===- trace/Action.h - Invocation, response, switch actions ----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The actions observed at the interface of a concurrent object (Sections
+/// 4.2 and 5.1):
+///
+///   inv(c, o, in)      — client c submits input in to phase o,
+///   res(c, o, in, out) — phase o answers client c's invocation of in,
+///   swi(c, o, in, v)   — client c switches into phase o carrying its
+///                        pending input in and switch value v.
+///
+/// A trace is a finite sequence of actions. Following the paper, all three
+/// action forms carry the input: a response repeats the input it answers and
+/// a switch carries the pending invocation it transfers to the next phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TRACE_ACTION_H
+#define SLIN_TRACE_ACTION_H
+
+#include "adt/Values.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace slin {
+
+/// Identifies a client process.
+using ClientId = std::uint32_t;
+
+/// Identifies a speculation phase. Phase numbering starts at 1; phase m may
+/// only switch to phase m+1 (Section 5.1).
+using PhaseId = std::uint32_t;
+
+/// Discriminates the three action forms.
+enum class ActionKind : std::uint8_t {
+  Invoke,  ///< inv(c, o, in)
+  Respond, ///< res(c, o, in, out)
+  Switch,  ///< swi(c, o, in, v)
+};
+
+/// One event at the object/client interface.
+struct Action {
+  ActionKind Kind = ActionKind::Invoke;
+  ClientId Client = 0;
+  PhaseId Phase = 1;
+  Input In;        ///< Meaningful for every kind.
+  Output Out;      ///< Meaningful only for Respond.
+  SwitchValue Sv;  ///< Meaningful only for Switch.
+
+  friend auto operator<=>(const Action &, const Action &) = default;
+};
+
+/// Builds inv(c, o, in).
+inline Action makeInvoke(ClientId C, PhaseId O, const Input &In) {
+  Action A;
+  A.Kind = ActionKind::Invoke;
+  A.Client = C;
+  A.Phase = O;
+  A.In = In;
+  return A;
+}
+
+/// Builds res(c, o, in, out).
+inline Action makeRespond(ClientId C, PhaseId O, const Input &In,
+                          const Output &Out) {
+  Action A;
+  A.Kind = ActionKind::Respond;
+  A.Client = C;
+  A.Phase = O;
+  A.In = In;
+  A.Out = Out;
+  return A;
+}
+
+/// Builds swi(c, o, in, v): client c switches *into* phase o.
+inline Action makeSwitch(ClientId C, PhaseId O, const Input &In,
+                         const SwitchValue &V) {
+  Action A;
+  A.Kind = ActionKind::Switch;
+  A.Client = C;
+  A.Phase = O;
+  A.In = In;
+  A.Sv = V;
+  return A;
+}
+
+inline bool isInvoke(const Action &A) { return A.Kind == ActionKind::Invoke; }
+inline bool isRespond(const Action &A) { return A.Kind == ActionKind::Respond; }
+inline bool isSwitch(const Action &A) { return A.Kind == ActionKind::Switch; }
+
+/// A trace: the sequence of actions observed at the interface of a
+/// concurrent object (Section 3). Indexed from 0 in code; the paper indexes
+/// from 1.
+using Trace = std::vector<Action>;
+
+} // namespace slin
+
+#endif // SLIN_TRACE_ACTION_H

@@ -1,0 +1,118 @@
+//===- trace/Signature.h - Signatures of speculation phases -----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Signatures classify actions into inputs and outputs (Section 3) and
+/// delimit which actions belong to a (composition of) speculation phase(s)
+/// (Definition 16). A phase (m, n) stands for the composition of the atomic
+/// phases m, m+1, ..., n-1, so its signature sig_T(m, n, Init) contains the
+/// invocation and response actions with phase parameter in [m..n-1] and the
+/// switch actions with phase parameter in [m..n]; switches into m are
+/// inputs (received from phase m-1) and switches into n are outputs (handed
+/// to phase n). Responses at phase n itself belong to the *next* phase —
+/// this is what makes consecutive signatures compatible (no shared outputs)
+/// and makes the client sub-trace rule "an abort is the client's last
+/// action" (Definition 34) hold for projections of composed traces, as the
+/// proof of Lemma 7 requires. sig_T itself — plain linearizability — is the
+/// degenerate signature with no switch actions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TRACE_SIGNATURE_H
+#define SLIN_TRACE_SIGNATURE_H
+
+#include "trace/Action.h"
+
+#include <cassert>
+
+namespace slin {
+
+/// The signature sig_T(m, n, Init) of a speculation phase (m, n) with
+/// m < n (Definition 16). The pair (1, N) with switches ignored acts as the
+/// plain object signature sig_T.
+struct PhaseSignature {
+  PhaseId M = 1;
+  PhaseId N = 2;
+
+  PhaseSignature() = default;
+  PhaseSignature(PhaseId Lo, PhaseId Hi) : M(Lo), N(Hi) {
+    assert(Lo < Hi && "a speculation phase (m, n) requires m < n");
+  }
+
+  /// True iff \p A in acts(sig_T(m, n, Init)): invocations and responses
+  /// belong to the atomic phases [m..n-1]; switch actions to [m..n].
+  bool contains(const Action &A) const {
+    if (A.Phase < M)
+      return false;
+    return isSwitch(A) ? A.Phase <= N : A.Phase < N;
+  }
+
+  /// True iff \p A is an input action of this signature: an invocation, or a
+  /// switch into the first phase (received from the predecessor).
+  bool isInput(const Action &A) const {
+    if (!contains(A))
+      return false;
+    if (isInvoke(A))
+      return true;
+    return isSwitch(A) && A.Phase == M;
+  }
+
+  /// True iff \p A is an output action of this signature: a response, or a
+  /// switch into a later phase (including internal hand-offs of a composed
+  /// phase, which are outputs of the component that emitted them).
+  bool isOutput(const Action &A) const {
+    if (!contains(A))
+      return false;
+    if (isRespond(A))
+      return true;
+    return isSwitch(A) && A.Phase > M;
+  }
+
+  /// True iff \p A is a switch into phase M — an init action of this phase
+  /// (Definition 23).
+  bool isInitAction(const Action &A) const {
+    return isSwitch(A) && A.Phase == M;
+  }
+
+  /// True iff \p A is a switch into phase N — an abort action of this phase
+  /// (Definition 24).
+  bool isAbortAction(const Action &A) const {
+    return isSwitch(A) && A.Phase == N;
+  }
+
+  friend bool operator==(const PhaseSignature &,
+                         const PhaseSignature &) = default;
+};
+
+/// Two phase signatures are compatible for composition iff they share no
+/// output actions; consecutive phases (m, n) and (n, o) are the canonical
+/// compatible pair (the switch into n is an output of the first and an input
+/// of the second).
+inline bool areCompatible(const PhaseSignature &A, const PhaseSignature &B) {
+  // Output actions of A: responses in [A.M..A.N], switches into (A.M..A.N].
+  // They collide with B's outputs iff the half-open phase ranges overlap.
+  // Consecutive phases (m,n), (n,o) do not overlap.
+  if (A.M == B.M)
+    return false;
+  const PhaseSignature &Lo = A.M < B.M ? A : B;
+  const PhaseSignature &Hi = A.M < B.M ? B : A;
+  return Lo.N <= Hi.M;
+}
+
+/// The signature of the composition of two compatible phases (m, n) and
+/// (n, o): the phase (m, o) (Definition 2 instantiated to Definition 16).
+inline PhaseSignature composedSignature(const PhaseSignature &A,
+                                        const PhaseSignature &B) {
+  assert(areCompatible(A, B) && "incompatible signatures");
+  const PhaseSignature &Lo = A.M < B.M ? A : B;
+  const PhaseSignature &Hi = A.M < B.M ? B : A;
+  assert(Lo.N == Hi.M && "composition requires consecutive phases");
+  return PhaseSignature(Lo.M, Hi.N);
+}
+
+} // namespace slin
+
+#endif // SLIN_TRACE_SIGNATURE_H

@@ -1,0 +1,134 @@
+//===- trace/TraceIo.cpp --------------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIo.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+using namespace slin;
+
+std::string slin::formatAction(const Action &A) {
+  char Buf[160];
+  switch (A.Kind) {
+  case ActionKind::Invoke:
+    std::snprintf(Buf, sizeof(Buf), "inv %u %u %u %u %lld %lld", A.Client,
+                  A.Phase, A.In.Op, A.In.Tag, static_cast<long long>(A.In.A),
+                  static_cast<long long>(A.In.B));
+    break;
+  case ActionKind::Respond:
+    std::snprintf(Buf, sizeof(Buf), "res %u %u %u %u %lld %lld %lld",
+                  A.Client, A.Phase, A.In.Op, A.In.Tag,
+                  static_cast<long long>(A.In.A),
+                  static_cast<long long>(A.In.B),
+                  static_cast<long long>(A.Out.Val));
+    break;
+  case ActionKind::Switch:
+    std::snprintf(Buf, sizeof(Buf), "swi %u %u %u %u %lld %lld %lld",
+                  A.Client, A.Phase, A.In.Op, A.In.Tag,
+                  static_cast<long long>(A.In.A),
+                  static_cast<long long>(A.In.B),
+                  static_cast<long long>(A.Sv.Val));
+    break;
+  }
+  return Buf;
+}
+
+std::string slin::formatTrace(const Trace &T) {
+  std::string Result;
+  for (const Action &A : T) {
+    Result += formatAction(A);
+    Result += '\n';
+  }
+  return Result;
+}
+
+static bool parseFields(const std::string &Line,
+                        std::vector<std::string> &Fields) {
+  Fields.clear();
+  std::istringstream Stream(Line);
+  std::string Field;
+  while (Stream >> Field)
+    Fields.push_back(Field);
+  return !Fields.empty();
+}
+
+static bool parseI64(const std::string &S, std::int64_t &Out) {
+  if (S.empty())
+    return false;
+  std::size_t Pos = 0;
+  std::size_t Start = S[0] == '-' ? 1 : 0;
+  if (Start == S.size())
+    return false;
+  for (std::size_t I = Start; I < S.size(); ++I)
+    if (S[I] < '0' || S[I] > '9')
+      return false;
+  Out = std::stoll(S, &Pos);
+  return Pos == S.size();
+}
+
+static bool parseU32(const std::string &S, std::uint32_t &Out) {
+  std::int64_t V;
+  if (!parseI64(S, V) || V < 0 || V > UINT32_MAX)
+    return false;
+  Out = static_cast<std::uint32_t>(V);
+  return true;
+}
+
+TraceParseResult slin::parseTrace(const std::string &Text) {
+  TraceParseResult Result;
+  std::istringstream Stream(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  std::vector<std::string> Fields;
+
+  auto Fail = [&](const std::string &Why) {
+    Result.Ok = false;
+    Result.Error = "line " + std::to_string(LineNo) + ": " + Why;
+    return Result;
+  };
+
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (!parseFields(Line, Fields))
+      continue;
+
+    const std::string &Kind = Fields[0];
+    bool HasExtra = Kind == "res" || Kind == "swi";
+    std::size_t Expected = HasExtra ? 8 : 7;
+    if (Kind != "inv" && Kind != "res" && Kind != "swi")
+      return Fail("unknown action kind '" + Kind + "'");
+    if (Fields.size() != Expected)
+      return Fail("expected " + std::to_string(Expected) + " fields, found " +
+                  std::to_string(Fields.size()));
+
+    Action A;
+    std::int64_t Extra = 0;
+    if (!parseU32(Fields[1], A.Client) || !parseU32(Fields[2], A.Phase) ||
+        !parseU32(Fields[3], A.In.Op) || !parseU32(Fields[4], A.In.Tag) ||
+        !parseI64(Fields[5], A.In.A) || !parseI64(Fields[6], A.In.B) ||
+        (HasExtra && !parseI64(Fields[7], Extra)))
+      return Fail("malformed numeric field");
+    if (A.Phase == 0)
+      return Fail("phase numbering starts at 1");
+
+    if (Kind == "inv") {
+      A.Kind = ActionKind::Invoke;
+    } else if (Kind == "res") {
+      A.Kind = ActionKind::Respond;
+      A.Out.Val = Extra;
+    } else {
+      A.Kind = ActionKind::Switch;
+      A.Sv.Val = Extra;
+    }
+    Result.ParsedTrace.push_back(A);
+  }
+  Result.Ok = true;
+  return Result;
+}

@@ -1,0 +1,47 @@
+//===- trace/TraceIo.h - Textual trace format -------------------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented textual format for traces, used by the trace-lint example
+/// tool and by test fixtures. One action per line:
+///
+///   inv <client> <phase> <op> <a> <b>
+///   res <client> <phase> <op> <a> <b> <out>
+///   swi <client> <phase> <op> <a> <b> <sv>
+///
+/// Blank lines and lines starting with '#' are ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TRACE_TRACEIO_H
+#define SLIN_TRACE_TRACEIO_H
+
+#include "trace/Action.h"
+
+#include <string>
+
+namespace slin {
+
+/// Renders one action in the textual format (no trailing newline).
+std::string formatAction(const Action &A);
+
+/// Renders a whole trace, one action per line.
+std::string formatTrace(const Trace &T);
+
+/// Result of parsing a textual trace.
+struct TraceParseResult {
+  bool Ok = false;
+  std::string Error;   ///< First error, with 1-based line number.
+  Trace ParsedTrace;
+};
+
+/// Parses the textual format. Returns Ok=false with a diagnostic on the
+/// first malformed line.
+TraceParseResult parseTrace(const std::string &Text);
+
+} // namespace slin
+
+#endif // SLIN_TRACE_TRACEIO_H

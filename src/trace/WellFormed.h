@@ -1,0 +1,60 @@
+//===- trace/WellFormed.h - Well-formedness (Defs 13-15, 33-35) -*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Well-formedness of traces. A trace is well-formed when every client
+/// sub-trace follows the sequential-client discipline:
+///
+/// Plain traces (Definitions 13–15): each client alternates invocations and
+/// matching responses, starting with an invocation; a trailing pending
+/// invocation is allowed.
+///
+/// Phase (m, n) traces (Definitions 33–35): additionally, if m != 1 the
+/// client's first action is its unique switch *into* m (an init action)
+/// carrying its pending input; a switch into n (an abort action) transfers
+/// the client's pending input, matches it, and is the client's last action.
+///
+/// We enforce the intended strict alternation (a response or abort only ever
+/// answers the client's pending input), which the prose definitions assume
+/// of sequential clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TRACE_WELLFORMED_H
+#define SLIN_TRACE_WELLFORMED_H
+
+#include "trace/Action.h"
+#include "trace/Signature.h"
+
+#include <string>
+
+namespace slin {
+
+/// Result of a well-formedness check; on failure, Reason describes the first
+/// violation found (for test diagnostics).
+struct WellFormedness {
+  bool Ok = true;
+  std::string Reason;
+
+  static WellFormedness pass() { return {}; }
+  static WellFormedness fail(std::string Why) {
+    WellFormedness W;
+    W.Ok = false;
+    W.Reason = std::move(Why);
+    return W;
+  }
+  explicit operator bool() const { return Ok; }
+};
+
+/// Checks Definitions 13–15 on a switch-free trace in sig_T.
+WellFormedness checkWellFormedLin(const Trace &T);
+
+/// Checks Definitions 33–35 on a trace in sig_T(m, n, Init).
+WellFormedness checkWellFormedPhase(const Trace &T, const PhaseSignature &Sig);
+
+} // namespace slin
+
+#endif // SLIN_TRACE_WELLFORMED_H

@@ -1,0 +1,140 @@
+//===- tests/adt_test.cpp - Unit tests for the ADT layer ------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/KvStore.h"
+#include "adt/Queue.h"
+#include "adt/Register.h"
+#include "adt/Universal.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+TEST(ConsensusAdtTest, FirstProposalWins) {
+  ConsensusAdt T;
+  EXPECT_EQ(T.evaluate({cons::propose(7)}), cons::decide(7));
+  EXPECT_EQ(T.evaluate({cons::propose(7), cons::propose(9)}),
+            cons::decide(7));
+  EXPECT_EQ(
+      T.evaluate({cons::propose(3), cons::propose(9), cons::propose(3)}),
+      cons::decide(3));
+}
+
+TEST(ConsensusAdtTest, StateReplayMatchesEvaluate) {
+  ConsensusAdt T;
+  auto S = T.makeState();
+  EXPECT_EQ(S->apply(cons::propose(5)), cons::decide(5));
+  EXPECT_EQ(S->apply(cons::propose(6)), cons::decide(5));
+}
+
+TEST(ConsensusAdtTest, CloneIsIndependent) {
+  ConsensusAdt T;
+  auto S = T.makeState();
+  S->apply(cons::propose(1));
+  auto S2 = S->clone();
+  EXPECT_EQ(S->digest(), S2->digest());
+  // Both decided 1; further proposals cannot diverge them, so check digests
+  // of fresh clones instead.
+  auto Fresh = T.makeState();
+  EXPECT_NE(Fresh->digest(), S->digest());
+}
+
+TEST(ConsensusAdtTest, HistoryEquivalence) {
+  ConsensusAdt T;
+  // Histories starting with the same proposal are equivalent (Section 2.3).
+  EXPECT_TRUE(T.equivalent({cons::propose(4)},
+                           {cons::propose(4), cons::propose(9)}));
+  EXPECT_FALSE(T.equivalent({cons::propose(4)}, {cons::propose(5)}));
+}
+
+TEST(ConsensusAdtTest, InputValidation) {
+  ConsensusAdt T;
+  EXPECT_TRUE(T.validInput(cons::propose(0)));
+  EXPECT_TRUE(T.validInput(cons::proposeBy(3, 7)));
+  EXPECT_FALSE(T.validInput(Input{cons::OpPropose, 0, NoValue, 0}));
+  EXPECT_FALSE(T.validInput(Input{99, 0, 1, 0}));
+}
+
+TEST(RegisterAdtTest, ReadsSeeLatestWrite) {
+  RegisterAdt T;
+  EXPECT_EQ(T.evaluate({reg::read()}).Val, NoValue);
+  EXPECT_EQ(T.evaluate({reg::write(3), reg::read()}).Val, 3);
+  EXPECT_EQ(T.evaluate({reg::write(3), reg::write(8), reg::read()}).Val, 8);
+  EXPECT_EQ(T.evaluate({reg::write(3), reg::read(), reg::write(8)}).Val, 8);
+}
+
+TEST(RegisterAdtTest, DigestTracksContent) {
+  RegisterAdt T;
+  auto A = T.makeState(), B = T.makeState();
+  EXPECT_EQ(A->digest(), B->digest());
+  A->apply(reg::write(1));
+  EXPECT_NE(A->digest(), B->digest());
+  B->apply(reg::write(1));
+  EXPECT_EQ(A->digest(), B->digest());
+}
+
+TEST(QueueAdtTest, FifoOrder) {
+  QueueAdt T;
+  EXPECT_EQ(T.evaluate({queue::deq()}).Val, NoValue);
+  EXPECT_EQ(T.evaluate({queue::enq(1), queue::enq(2), queue::deq()}).Val, 1);
+  EXPECT_EQ(
+      T.evaluate({queue::enq(1), queue::enq(2), queue::deq(), queue::deq()})
+          .Val,
+      2);
+  EXPECT_EQ(T.evaluate({queue::enq(1), queue::deq(), queue::deq()}).Val,
+            NoValue);
+}
+
+TEST(QueueAdtTest, EnqueueAcks) {
+  QueueAdt T;
+  EXPECT_EQ(T.evaluate({queue::enq(42)}).Val, 42);
+}
+
+TEST(QueueAdtTest, DigestDistinguishesOrder) {
+  QueueAdt T;
+  auto A = T.makeState(), B = T.makeState();
+  A->apply(queue::enq(1));
+  A->apply(queue::enq(2));
+  B->apply(queue::enq(2));
+  B->apply(queue::enq(1));
+  EXPECT_NE(A->digest(), B->digest());
+}
+
+TEST(KvStoreAdtTest, PutGetDel) {
+  KvStoreAdt T;
+  EXPECT_EQ(T.evaluate({kv::get(1)}).Val, NoValue);
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::get(1)}).Val, 10);
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::put(1, 20), kv::get(1)}).Val, 20);
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::del(1)}).Val, 10);
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::del(1), kv::get(1)}).Val,
+            NoValue);
+  EXPECT_EQ(T.evaluate({kv::del(5)}).Val, NoValue);
+}
+
+TEST(KvStoreAdtTest, KeysAreIndependent) {
+  KvStoreAdt T;
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::put(2, 20), kv::get(1)}).Val, 10);
+  EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::put(2, 20), kv::get(2)}).Val, 20);
+}
+
+TEST(UniversalAdtTest, OutputIdentifiesHistory) {
+  UniversalAdt T;
+  // Same history -> same output; different history -> different output.
+  History H1 = {cons::propose(1), cons::propose(2)};
+  History H2 = {cons::propose(2), cons::propose(1)};
+  EXPECT_EQ(T.evaluate(H1), T.evaluate(H1));
+  EXPECT_NE(T.evaluate(H1), T.evaluate(H2));
+  EXPECT_NE(T.evaluate(H1), T.evaluate({cons::propose(1)}));
+}
+
+TEST(UniversalAdtTest, EquivalenceIsEquality) {
+  UniversalAdt T;
+  History H1 = {cons::propose(1)};
+  History H2 = {cons::propose(1), cons::propose(1)};
+  EXPECT_TRUE(T.equivalent(H1, H1));
+  EXPECT_FALSE(T.equivalent(H1, H2));
+}

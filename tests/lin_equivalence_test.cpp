@@ -1,0 +1,241 @@
+//===- tests/lin_equivalence_test.cpp - Theorem 1/4 validation ------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Empirical validation of Theorem 1/4: a trace is linearizable (new
+/// definition, Definition 5) iff it is linearizable* (classical definition,
+/// Definition 46). We check the two decision procedures against each other
+/// (and, for consensus, against the linear-time characterization) on an
+/// exhaustively enumerated universe of small well-formed traces and on
+/// randomized families of larger ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/Queue.h"
+#include "adt/Register.h"
+#include "lin/Classical.h"
+#include "lin/ConsensusLin.h"
+#include "lin/LinChecker.h"
+#include "lin/Witness.h"
+#include "trace/Gen.h"
+#include "trace/TraceIo.h"
+#include "trace/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+Input P(std::int64_t V) { return cons::propose(V); }
+Output D(std::int64_t V) { return cons::decide(V); }
+
+/// Both checkers must agree; budget exhaustion fails the test (bounds are
+/// chosen so exact answers are always reached).
+void expectAgreement(const Trace &T, const Adt &Type) {
+  LinCheckResult NewDef = checkLinearizable(T, Type);
+  ClassicalCheckResult Classical = checkLinearizableClassical(T, Type);
+  ASSERT_NE(NewDef.Outcome, Verdict::Unknown) << formatTrace(T);
+  ASSERT_NE(Classical.Outcome, Verdict::Unknown);
+  EXPECT_EQ(NewDef.Outcome, Classical.Outcome)
+      << "Theorem 1 violated on trace:\n"
+      << formatTrace(T);
+  if (NewDef.Outcome == Verdict::Yes) {
+    EXPECT_TRUE(verifyLinWitness(T, Type, NewDef.Witness).Ok);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Exhaustive small-universe equivalence.
+//===----------------------------------------------------------------------===//
+
+struct ExhaustiveCase {
+  const char *Name;
+  unsigned Clients;
+  unsigned MaxActions;
+  std::vector<Input> Alphabet;
+  std::vector<Output> Outputs;
+};
+
+class ExhaustiveEquivalence : public ::testing::TestWithParam<ExhaustiveCase> {
+};
+
+TEST_P(ExhaustiveEquivalence, ConsensusUniverse) {
+  const ExhaustiveCase &C = GetParam();
+  ConsensusAdt Cons;
+  unsigned Count = 0;
+  enumerateWellFormedTraces(
+      C.Clients, C.MaxActions, C.Alphabet, C.Outputs, [&](const Trace &T) {
+        ++Count;
+        LinCheckResult NewDef = checkLinearizable(T, Cons);
+        ClassicalCheckResult Classical = checkLinearizableClassical(T, Cons);
+        LinCheckResult Fast = checkConsensusLinearizable(T);
+        ASSERT_EQ(NewDef.Outcome, Classical.Outcome)
+            << "Theorem 1 violated:\n"
+            << formatTrace(T);
+        ASSERT_EQ(NewDef.Outcome, Fast.Outcome)
+            << "consensus characterization violated:\n"
+            << formatTrace(T);
+      });
+  // Sanity: the universes are non-trivial.
+  EXPECT_GT(Count, 100u) << C.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallUniverses, ExhaustiveEquivalence,
+    ::testing::Values(
+        ExhaustiveCase{"2c_2v_len6", 2, 6, {P(1), P(2)}, {D(1), D(2)}},
+        ExhaustiveCase{"3c_1v_len6", 3, 6, {P(1)}, {D(1), D(2)}},
+        ExhaustiveCase{"2c_dup_len6", 2, 6, {P(1), P(1)}, {D(1)}},
+        ExhaustiveCase{"3c_2v_len5", 3, 5, {P(1), P(2)}, {D(1), D(2)}}),
+    [](const ::testing::TestParamInfo<ExhaustiveCase> &Info) {
+      return Info.param.Name;
+    });
+
+struct RegisterCase {
+  const char *Name;
+  unsigned Clients;
+  unsigned MaxActions;
+};
+
+class RegisterEquivalence : public ::testing::TestWithParam<RegisterCase> {};
+
+TEST_P(RegisterEquivalence, RegisterUniverse) {
+  const RegisterCase &C = GetParam();
+  RegisterAdt Reg;
+  enumerateWellFormedTraces(
+      C.Clients, C.MaxActions, {reg::read(), reg::write(1), reg::write(2)},
+      {Output{NoValue}, Output{1}, Output{2}}, [&](const Trace &T) {
+        LinCheckResult NewDef = checkLinearizable(T, Reg);
+        ClassicalCheckResult Classical = checkLinearizableClassical(T, Reg);
+        ASSERT_EQ(NewDef.Outcome, Classical.Outcome)
+            << "Theorem 1 violated:\n"
+            << formatTrace(T);
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallUniverses, RegisterEquivalence,
+                         ::testing::Values(RegisterCase{"2c_len4", 2, 4},
+                                           RegisterCase{"2c_len5", 2, 5}),
+                         [](const ::testing::TestParamInfo<RegisterCase> &I) {
+                           return I.param.Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Randomized larger-trace equivalence.
+//===----------------------------------------------------------------------===//
+
+struct RandomCase {
+  const char *Name;
+  std::uint64_t Seed;
+  unsigned Clients;
+  unsigned Ops;
+};
+
+class RandomizedEquivalence : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomizedEquivalence, LinearizableFamilyAcceptedByBoth) {
+  const RandomCase &C = GetParam();
+  ConsensusAdt Cons;
+  GenOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.NumOps = C.Ops;
+  Opts.Alphabet = {P(1), P(2), P(3)};
+  Rng R(C.Seed);
+  for (int I = 0; I < 150; ++I) {
+    Trace T = genLinearizableTrace(Cons, Opts, R);
+    LinCheckResult NewDef = checkLinearizable(T, Cons);
+    EXPECT_EQ(NewDef.Outcome, Verdict::Yes)
+        << "generator produced a trace the checker rejects:\n"
+        << formatTrace(T);
+    EXPECT_EQ(checkLinearizableClassical(T, Cons).Outcome, Verdict::Yes);
+    EXPECT_EQ(checkConsensusLinearizable(T).Outcome, Verdict::Yes);
+  }
+}
+
+TEST_P(RandomizedEquivalence, ArbitraryFamilyAgreement) {
+  const RandomCase &C = GetParam();
+  ConsensusAdt Cons;
+  GenOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.NumOps = C.Ops;
+  Opts.Alphabet = {P(1), P(2)};
+  Opts.Outputs = {D(1), D(2)};
+  Rng R(C.Seed ^ 0xabcdef);
+  for (int I = 0; I < 300; ++I) {
+    Trace T = genArbitraryTrace(Opts, R);
+    expectAgreement(T, Cons);
+    EXPECT_EQ(checkConsensusLinearizable(T).Outcome,
+              checkLinearizable(T, Cons).Outcome)
+        << formatTrace(T);
+  }
+}
+
+TEST_P(RandomizedEquivalence, RegisterArbitraryFamilyAgreement) {
+  const RandomCase &C = GetParam();
+  RegisterAdt Reg;
+  GenOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.NumOps = std::min(C.Ops, 6u);
+  Opts.Alphabet = {reg::read(), reg::write(1), reg::write(2)};
+  Opts.Outputs = {Output{NoValue}, Output{1}, Output{2}};
+  Rng R(C.Seed ^ 0x9999);
+  for (int I = 0; I < 200; ++I) {
+    Trace T = genArbitraryTrace(Opts, R);
+    expectAgreement(T, Reg);
+  }
+}
+
+TEST_P(RandomizedEquivalence, QueueArbitraryFamilyAgreement) {
+  const RandomCase &C = GetParam();
+  QueueAdt Q;
+  GenOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.NumOps = std::min(C.Ops, 6u);
+  Opts.Alphabet = {queue::enq(1), queue::enq(2), queue::deq()};
+  Opts.Outputs = {Output{NoValue}, Output{1}, Output{2}};
+  Rng R(C.Seed ^ 0x777);
+  for (int I = 0; I < 200; ++I) {
+    Trace T = genArbitraryTrace(Opts, R);
+    expectAgreement(T, Q);
+  }
+}
+
+TEST_P(RandomizedEquivalence, MutatedLinearizableFamilyAgreement) {
+  const RandomCase &C = GetParam();
+  ConsensusAdt Cons;
+  GenOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.NumOps = C.Ops;
+  Opts.Alphabet = {P(1), P(2), P(3)};
+  Opts.Outputs = {D(1), D(2), D(3)};
+  Rng R(C.Seed ^ 0x31415);
+  const MutationKind Kinds[] = {
+      MutationKind::FlipOutput, MutationKind::SwapActions,
+      MutationKind::DropResponse, MutationKind::DuplicateInvoke};
+  for (int I = 0; I < 150; ++I) {
+    Trace T = genLinearizableTrace(Cons, Opts, R);
+    MutationKind Kind = Kinds[R.nextBounded(4)];
+    if (!mutateTrace(T, Kind, Opts, R))
+      continue;
+    if (!checkWellFormedLin(T).Ok)
+      continue; // Swaps can break alternation; equivalence needs WF traces.
+    expectAgreement(T, Cons);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomizedEquivalence,
+    ::testing::Values(RandomCase{"s1", 101, 3, 7},
+                      RandomCase{"s2", 202, 4, 8},
+                      RandomCase{"s3", 303, 2, 9},
+                      RandomCase{"s4", 404, 5, 6}),
+    [](const ::testing::TestParamInfo<RandomCase> &Info) {
+      return Info.param.Name;
+    });

@@ -1,0 +1,329 @@
+//===- tests/lin_test.cpp - Unit tests for linearizability checking -------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/Queue.h"
+#include "adt/Register.h"
+#include "lin/Classical.h"
+#include "lin/ConsensusLin.h"
+#include "lin/LinChecker.h"
+#include "lin/Witness.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+Input P(std::int64_t V) { return cons::propose(V); }
+Output D(std::int64_t V) { return cons::decide(V); }
+
+/// The linearizable consensus trace of Section 2.2: c1 proposes v1, c2
+/// proposes v2, c2 decides v2, c1 decides v2.
+Trace paperLinearizableTrace() {
+  return {
+      makeInvoke(1, 1, P(1)),
+      makeInvoke(2, 1, P(2)),
+      makeRespond(2, 1, P(2), D(2)),
+      makeRespond(1, 1, P(1), D(2)),
+  };
+}
+
+/// First non-linearizable example of Section 2.2: both clients decide their
+/// own value.
+Trace paperNonLinearizable1() {
+  return {
+      makeInvoke(1, 1, P(1)),
+      makeInvoke(2, 1, P(2)),
+      makeRespond(1, 1, P(1), D(1)),
+      makeRespond(2, 1, P(2), D(2)),
+  };
+}
+
+/// Second non-linearizable example of Section 2.2: c1 decides v2 before v2
+/// was proposed.
+Trace paperNonLinearizable2() {
+  return {
+      makeInvoke(1, 1, P(1)),
+      makeRespond(1, 1, P(1), D(2)),
+      makeInvoke(2, 1, P(2)),
+      makeRespond(2, 1, P(2), D(2)),
+  };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// New-definition checker.
+//===----------------------------------------------------------------------===//
+
+TEST(LinCheckerTest, PaperExampleIsLinearizable) {
+  ConsensusAdt Cons;
+  LinCheckResult R = checkLinearizable(paperLinearizableTrace(), Cons);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_TRUE(
+      verifyLinWitness(paperLinearizableTrace(), Cons, R.Witness).Ok);
+}
+
+TEST(LinCheckerTest, PaperCounterexamplesRejected) {
+  ConsensusAdt Cons;
+  EXPECT_EQ(checkLinearizable(paperNonLinearizable1(), Cons).Outcome,
+            Verdict::No);
+  EXPECT_EQ(checkLinearizable(paperNonLinearizable2(), Cons).Outcome,
+            Verdict::No);
+}
+
+TEST(LinCheckerTest, EmptyTraceIsLinearizable) {
+  ConsensusAdt Cons;
+  EXPECT_EQ(checkLinearizable({}, Cons).Outcome, Verdict::Yes);
+}
+
+TEST(LinCheckerTest, PendingOnlyTraceIsLinearizable) {
+  ConsensusAdt Cons;
+  Trace T = {makeInvoke(1, 1, P(5)), makeInvoke(2, 1, P(6))};
+  EXPECT_EQ(checkLinearizable(T, Cons).Outcome, Verdict::Yes);
+}
+
+TEST(LinCheckerTest, PendingInvocationCanTakeEffect) {
+  ConsensusAdt Cons;
+  // c1's proposal is pending forever, yet c2 decides c1's value: the
+  // pending input took effect. Linearizable.
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(6)),
+      makeRespond(2, 1, P(6), D(5)),
+  };
+  LinCheckResult R = checkLinearizable(T, Cons);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_TRUE(verifyLinWitness(T, Cons, R.Witness).Ok);
+}
+
+TEST(LinCheckerTest, DecisionBeforeProposalRejected) {
+  ConsensusAdt Cons;
+  // c2 decides 5 but 5 is proposed only later.
+  Trace T = {
+      makeInvoke(2, 1, P(6)),
+      makeRespond(2, 1, P(6), D(5)),
+      makeInvoke(1, 1, P(5)),
+  };
+  EXPECT_EQ(checkLinearizable(T, Cons).Outcome, Verdict::No);
+}
+
+TEST(LinCheckerTest, RegisterReadMustSeeLatestWrite) {
+  RegisterAdt Reg;
+  // w(1) completes before r begins; r must not return NoValue.
+  Trace Bad = {
+      makeInvoke(1, 1, reg::write(1)),
+      makeRespond(1, 1, reg::write(1), Output{1}),
+      makeInvoke(2, 1, reg::read()),
+      makeRespond(2, 1, reg::read(), Output{NoValue}),
+  };
+  EXPECT_EQ(checkLinearizable(Bad, Reg).Outcome, Verdict::No);
+
+  Trace Good = Bad;
+  Good[3].Out = Output{1};
+  EXPECT_EQ(checkLinearizable(Good, Reg).Outcome, Verdict::Yes);
+}
+
+TEST(LinCheckerTest, ConcurrentRegisterReadMaySeeEitherValue) {
+  RegisterAdt Reg;
+  // r overlaps w(1): both NoValue and 1 are linearizable outcomes.
+  for (std::int64_t Val : {NoValue, std::int64_t{1}}) {
+    Trace T = {
+        makeInvoke(1, 1, reg::write(1)),
+        makeInvoke(2, 1, reg::read()),
+        makeRespond(2, 1, reg::read(), Output{Val}),
+        makeRespond(1, 1, reg::write(1), Output{1}),
+    };
+    EXPECT_EQ(checkLinearizable(T, Reg).Outcome, Verdict::Yes)
+        << "read returned " << Val;
+  }
+}
+
+TEST(LinCheckerTest, QueueFifoViolationRejected) {
+  QueueAdt Q;
+  // enq(1) then enq(2) complete sequentially; deq returning 2 violates FIFO.
+  Trace T = {
+      makeInvoke(1, 1, queue::enq(1)),
+      makeRespond(1, 1, queue::enq(1), Output{1}),
+      makeInvoke(1, 1, queue::enq(2)),
+      makeRespond(1, 1, queue::enq(2), Output{2}),
+      makeInvoke(2, 1, queue::deq()),
+      makeRespond(2, 1, queue::deq(), Output{2}),
+  };
+  EXPECT_EQ(checkLinearizable(T, Q).Outcome, Verdict::No);
+  Trace Good = T;
+  Good[5].Out = Output{1};
+  EXPECT_EQ(checkLinearizable(Good, Q).Outcome, Verdict::Yes);
+}
+
+TEST(LinCheckerTest, QueueConcurrentEnqueuesEitherOrder) {
+  QueueAdt Q;
+  // Two concurrent enqueues; dequeues may see either order.
+  for (std::int64_t First : {1, 2}) {
+    std::int64_t Second = First == 1 ? 2 : 1;
+    Trace T = {
+        makeInvoke(1, 1, queue::enq(1)),
+        makeInvoke(2, 1, queue::enq(2)),
+        makeRespond(1, 1, queue::enq(1), Output{1}),
+        makeRespond(2, 1, queue::enq(2), Output{2}),
+        makeInvoke(3, 1, queue::deq()),
+        makeRespond(3, 1, queue::deq(), Output{First}),
+        makeInvoke(3, 1, queue::deq()),
+        makeRespond(3, 1, queue::deq(), Output{Second}),
+    };
+    EXPECT_EQ(checkLinearizable(T, Q).Outcome, Verdict::Yes)
+        << "first dequeue " << First;
+  }
+}
+
+TEST(LinCheckerTest, DuplicateInputsHandled) {
+  ConsensusAdt Cons;
+  // Both clients propose the same value and decide it.
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(5)),
+      makeRespond(1, 1, P(5), D(5)),
+      makeRespond(2, 1, P(5), D(5)),
+  };
+  LinCheckResult R = checkLinearizable(T, Cons);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_TRUE(verifyLinWitness(T, Cons, R.Witness).Ok);
+}
+
+TEST(LinCheckerTest, MalformedTraceRejected) {
+  ConsensusAdt Cons;
+  Trace T = {makeRespond(1, 1, P(5), D(5))};
+  LinCheckResult R = checkLinearizable(T, Cons);
+  EXPECT_EQ(R.Outcome, Verdict::No);
+  EXPECT_NE(R.Reason.find("well-formed"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Witness verification.
+//===----------------------------------------------------------------------===//
+
+TEST(WitnessTest, TamperedWitnessRejected) {
+  ConsensusAdt Cons;
+  Trace T = paperLinearizableTrace();
+  LinCheckResult R = checkLinearizable(T, Cons);
+  ASSERT_EQ(R.Outcome, Verdict::Yes);
+
+  LinWitness Broken = R.Witness;
+  Broken.Commits[0].second = Broken.Commits[1].second; // Duplicate length.
+  EXPECT_FALSE(verifyLinWitness(T, Cons, Broken).Ok);
+
+  Broken = R.Witness;
+  Broken.Master[0] = P(99); // Value never invoked.
+  EXPECT_FALSE(verifyLinWitness(T, Cons, Broken).Ok);
+
+  Broken = R.Witness;
+  Broken.Commits.pop_back(); // Misses a response.
+  EXPECT_FALSE(verifyLinWitness(T, Cons, Broken).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Classical checker.
+//===----------------------------------------------------------------------===//
+
+TEST(ClassicalTest, AgreesOnPaperExamples) {
+  ConsensusAdt Cons;
+  EXPECT_EQ(
+      checkLinearizableClassical(paperLinearizableTrace(), Cons).Outcome,
+      Verdict::Yes);
+  EXPECT_EQ(
+      checkLinearizableClassical(paperNonLinearizable1(), Cons).Outcome,
+      Verdict::No);
+  EXPECT_EQ(
+      checkLinearizableClassical(paperNonLinearizable2(), Cons).Outcome,
+      Verdict::No);
+}
+
+TEST(ClassicalTest, CompletionRealizesPendingEffects) {
+  ConsensusAdt Cons;
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(6)),
+      makeRespond(2, 1, P(6), D(5)),
+  };
+  ClassicalCheckResult R = checkLinearizableClassical(T, Cons);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  // The witness schedules the pending op first, flagged as completed.
+  ASSERT_EQ(R.Witness.Order.size(), 2u);
+  EXPECT_TRUE(R.Witness.Order[0].Completed);
+  EXPECT_EQ(R.Witness.Order[0].InvokeIndex, 0u);
+}
+
+TEST(ClassicalTest, NonOverlapOrderPreserved) {
+  RegisterAdt Reg;
+  // Sequential w(1); w(2); then read returning 1 is illegal.
+  Trace T = {
+      makeInvoke(1, 1, reg::write(1)),
+      makeRespond(1, 1, reg::write(1), Output{1}),
+      makeInvoke(1, 1, reg::write(2)),
+      makeRespond(1, 1, reg::write(2), Output{2}),
+      makeInvoke(2, 1, reg::read()),
+      makeRespond(2, 1, reg::read(), Output{1}),
+  };
+  EXPECT_EQ(checkLinearizableClassical(T, Reg).Outcome, Verdict::No);
+}
+
+//===----------------------------------------------------------------------===//
+// Linear-time consensus checker.
+//===----------------------------------------------------------------------===//
+
+TEST(ConsensusLinTest, MatchesPaperExamples) {
+  EXPECT_EQ(checkConsensusLinearizable(paperLinearizableTrace()).Outcome,
+            Verdict::Yes);
+  EXPECT_EQ(checkConsensusLinearizable(paperNonLinearizable1()).Outcome,
+            Verdict::No);
+  EXPECT_EQ(checkConsensusLinearizable(paperNonLinearizable2()).Outcome,
+            Verdict::No);
+}
+
+TEST(ConsensusLinTest, WitnessIsValid) {
+  ConsensusAdt Cons;
+  Trace T = paperLinearizableTrace();
+  LinCheckResult R = checkConsensusLinearizable(T);
+  ASSERT_EQ(R.Outcome, Verdict::Yes);
+  EXPECT_TRUE(verifyLinWitness(T, Cons, R.Witness).Ok)
+      << verifyLinWitness(T, Cons, R.Witness).Reason;
+}
+
+TEST(ConsensusLinTest, LateResponderWithShorterHistory) {
+  // The regression that forced the winner-folding construction: the later
+  // responder proposed the decision value, the earlier one did not.
+  ConsensusAdt Cons;
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(7)),
+      makeRespond(2, 1, P(7), D(5)),
+      makeRespond(1, 1, P(5), D(5)),
+  };
+  LinCheckResult R = checkConsensusLinearizable(T);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_TRUE(verifyLinWitness(T, Cons, R.Witness).Ok)
+      << verifyLinWitness(T, Cons, R.Witness).Reason;
+}
+
+TEST(ConsensusLinTest, SameValueTwice) {
+  ConsensusAdt Cons;
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(5)),
+      makeRespond(2, 1, P(5), D(5)),
+      makeRespond(1, 1, P(5), D(5)),
+  };
+  LinCheckResult R = checkConsensusLinearizable(T);
+  ASSERT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_TRUE(verifyLinWitness(T, Cons, R.Witness).Ok)
+      << verifyLinWitness(T, Cons, R.Witness).Reason;
+}
+
+TEST(ConsensusLinTest, NoResponsesTrivial) {
+  Trace T = {makeInvoke(1, 1, P(5))};
+  EXPECT_EQ(checkConsensusLinearizable(T).Outcome, Verdict::Yes);
+}

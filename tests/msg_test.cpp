@@ -1,0 +1,278 @@
+//===- tests/msg_test.cpp - Simulator and network unit tests --------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "msg/Net.h"
+#include "msg/Sim.h"
+#include "paxos/Paxos.h"
+#include "quorum/Quorum.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator Sim(1);
+  std::vector<int> Order;
+  Sim.at(30, [&] { Order.push_back(3); });
+  Sim.at(10, [&] { Order.push_back(1); });
+  Sim.at(20, [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Sim.now(), 30u);
+  EXPECT_EQ(Sim.eventsExecuted(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator Sim(1);
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    Sim.at(5, [&, I] { Order.push_back(I); });
+  Sim.run();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator Sim(1);
+  unsigned Fired = 0;
+  std::function<void(unsigned)> Chain = [&](unsigned Depth) {
+    ++Fired;
+    if (Depth > 0)
+      Sim.after(7, [&, Depth] { Chain(Depth - 1); });
+  };
+  Sim.at(0, [&] { Chain(4); });
+  Sim.run();
+  EXPECT_EQ(Fired, 5u);
+  EXPECT_EQ(Sim.now(), 28u);
+}
+
+TEST(SimulatorTest, DeadlineStopsEarly) {
+  Simulator Sim(1);
+  unsigned Fired = 0;
+  Sim.at(10, [&] { ++Fired; });
+  Sim.at(100, [&] { ++Fired; });
+  Sim.run(50);
+  EXPECT_EQ(Fired, 1u);
+}
+
+TEST(NetworkTest, DeliversWithConfiguredDelay) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{10, 10, 0.0, 0.0});
+  SimTime DeliveredAt = 0;
+  Net.attach(0, [](const Message &) {});
+  Net.attach(1, [&](const Message &M) {
+    EXPECT_EQ(M.From, 0u);
+    DeliveredAt = Sim.now();
+  });
+  Message M;
+  Net.send(0, 1, M);
+  Sim.run();
+  EXPECT_EQ(DeliveredAt, 10u);
+  EXPECT_EQ(Net.messagesSent(), 1u);
+  EXPECT_EQ(Net.messagesDelivered(), 1u);
+}
+
+TEST(NetworkTest, LossDropsRoughlyTheConfiguredFraction) {
+  Simulator Sim(7);
+  Network Net(Sim, NetConfig{1, 1, 0.3, 0.0});
+  unsigned Received = 0;
+  Net.attach(0, [](const Message &) {});
+  Net.attach(1, [&](const Message &) { ++Received; });
+  for (int I = 0; I < 2000; ++I)
+    Net.send(0, 1, Message{});
+  Sim.run();
+  EXPECT_GT(Received, 1200u);
+  EXPECT_LT(Received, 1600u);
+}
+
+TEST(NetworkTest, CrashStopsDeliveryBothWays) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{5, 5, 0.0, 0.0});
+  unsigned AtZero = 0, AtOne = 0;
+  Net.attach(0, [&](const Message &) { ++AtZero; });
+  Net.attach(1, [&](const Message &) { ++AtOne; });
+  Net.send(0, 1, Message{}); // In flight when 1 crashes.
+  Sim.at(2, [&] { Net.crash(1); });
+  Sim.at(10, [&] { Net.send(1, 0, Message{}); }); // From crashed: dropped.
+  Sim.at(10, [&] { Net.send(0, 1, Message{}); }); // To crashed: dropped.
+  Sim.run();
+  EXPECT_EQ(AtOne, 0u);  // The in-flight message dies with the crash.
+  EXPECT_EQ(AtZero, 0u);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwice) {
+  Simulator Sim(3);
+  Network Net(Sim, NetConfig{1, 1, 0.0, 1.0});
+  unsigned Received = 0;
+  Net.attach(0, [](const Message &) {});
+  Net.attach(1, [&](const Message &) { ++Received; });
+  Net.send(0, 1, Message{});
+  Sim.run();
+  EXPECT_EQ(Received, 2u);
+}
+
+TEST(NetworkTest, DeterministicUnderSeed) {
+  auto RunOnce = [](std::uint64_t Seed) {
+    Simulator Sim(Seed);
+    Network Net(Sim, NetConfig{1, 9, 0.2, 0.1});
+    std::vector<SimTime> Arrivals;
+    Net.attach(0, [](const Message &) {});
+    Net.attach(1, [&](const Message &) { Arrivals.push_back(Sim.now()); });
+    for (int I = 0; I < 100; ++I)
+      Net.send(0, 1, Message{});
+    Sim.run();
+    return Arrivals;
+  };
+  EXPECT_EQ(RunOnce(99), RunOnce(99));
+}
+
+//===----------------------------------------------------------------------===//
+// Quorum server / Paxos acceptor unit behavior.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects messages delivered to a node.
+struct Sink {
+  std::vector<Message> Received;
+  void attachTo(Network &Net, NodeId Id) {
+    Net.attach(Id, [this](const Message &M) { Received.push_back(M); });
+  }
+};
+
+} // namespace
+
+TEST(QuorumServerTest, FirstValueSticksForever) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{1, 1, 0.0, 0.0});
+  QuorumServer Server(Net, 0);
+  Net.attach(0, [&](const Message &M) { Server.onPropose(M); });
+  Sink Client1, Client2;
+  Client1.attachTo(Net, 1);
+  Client2.attachTo(Net, 2);
+
+  Message P1;
+  P1.Type = MsgType::QuorumPropose;
+  P1.Slot = 0;
+  P1.Phase = 1;
+  P1.Value = 111;
+  Net.send(1, 0, P1);
+  Sim.run();
+  Message P2 = P1;
+  P2.Value = 222;
+  Net.send(2, 0, P2);
+  Sim.run();
+
+  ASSERT_EQ(Client1.Received.size(), 1u);
+  ASSERT_EQ(Client2.Received.size(), 1u);
+  EXPECT_EQ(Client1.Received[0].Value, 111);
+  EXPECT_EQ(Client2.Received[0].Value, 111); // First value, not its own.
+}
+
+TEST(QuorumServerTest, InstancesAreIndependent) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{1, 1, 0.0, 0.0});
+  QuorumServer Server(Net, 0);
+  Net.attach(0, [&](const Message &M) { Server.onPropose(M); });
+  Sink Client;
+  Client.attachTo(Net, 1);
+
+  for (std::uint32_t Slot = 0; Slot < 3; ++Slot) {
+    Message P;
+    P.Type = MsgType::QuorumPropose;
+    P.Slot = Slot;
+    P.Phase = 1;
+    P.Value = 100 + Slot;
+    Net.send(1, 0, P);
+  }
+  Sim.run();
+  ASSERT_EQ(Client.Received.size(), 3u);
+  for (const Message &M : Client.Received)
+    EXPECT_EQ(M.Value, 100 + M.Slot);
+}
+
+TEST(PaxosAcceptorTest, PromisesBlockLowerBallots) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{1, 1, 0.0, 0.0});
+  PaxosAcceptor Acceptor(Net, 0, {1});
+  Net.attach(0, [&](const Message &M) {
+    if (M.Type == MsgType::Paxos1a)
+      Acceptor.on1a(M);
+    else
+      Acceptor.on2a(M);
+  });
+  Sink Leader;
+  Leader.attachTo(Net, 1);
+
+  Message Prep;
+  Prep.Type = MsgType::Paxos1a;
+  Prep.Ballot = 10;
+  Net.send(1, 0, Prep);
+  Sim.run();
+  ASSERT_EQ(Leader.Received.size(), 1u);
+  EXPECT_EQ(Leader.Received[0].Type, MsgType::Paxos1b);
+
+  // A lower-ballot 2a must be nacked.
+  Message Low;
+  Low.Type = MsgType::Paxos2a;
+  Low.Ballot = 5;
+  Low.Value = 42;
+  Net.send(1, 0, Low);
+  Sim.run();
+  ASSERT_EQ(Leader.Received.size(), 2u);
+  EXPECT_EQ(Leader.Received[1].Type, MsgType::PaxosNack);
+  EXPECT_EQ(Leader.Received[1].Ballot2, 10u);
+
+  // An equal-or-higher 2a is accepted and broadcast.
+  Message Ok = Low;
+  Ok.Ballot = 10;
+  Net.send(1, 0, Ok);
+  Sim.run();
+  ASSERT_EQ(Leader.Received.size(), 3u);
+  EXPECT_EQ(Leader.Received[2].Type, MsgType::Paxos2b);
+  EXPECT_EQ(Leader.Received[2].Value, 42);
+}
+
+TEST(PaxosAcceptorTest, PromiseReportsAcceptedValue) {
+  Simulator Sim(1);
+  Network Net(Sim, NetConfig{1, 1, 0.0, 0.0});
+  PaxosAcceptor Acceptor(Net, 0, {1});
+  Net.attach(0, [&](const Message &M) {
+    if (M.Type == MsgType::Paxos1a)
+      Acceptor.on1a(M);
+    else
+      Acceptor.on2a(M);
+  });
+  Sink Leader;
+  Leader.attachTo(Net, 1);
+
+  Message Accept;
+  Accept.Type = MsgType::Paxos2a;
+  Accept.Ballot = 3;
+  Accept.Value = 77;
+  Net.send(1, 0, Accept);
+  Sim.run();
+
+  Message Prep;
+  Prep.Type = MsgType::Paxos1a;
+  Prep.Ballot = 8;
+  Net.send(1, 0, Prep);
+  Sim.run();
+  const Message &Promise = Leader.Received.back();
+  EXPECT_EQ(Promise.Type, MsgType::Paxos1b);
+  EXPECT_TRUE(Promise.Flag);
+  EXPECT_EQ(Promise.Ballot2, 3u);
+  EXPECT_EQ(Promise.Value2, 77);
+}
+
+TEST(BallotSchemeTest, RoundTrips) {
+  for (std::uint32_t S : {3u, 5u, 7u})
+    for (std::uint64_t Round : {0ull, 1ull, 9ull})
+      for (std::uint32_t L = 0; L < S; ++L) {
+        std::uint64_t B = makeBallot(Round, L, S);
+        EXPECT_EQ(leaderOfBallot(B, S), L);
+      }
+}

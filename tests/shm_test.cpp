@@ -1,0 +1,251 @@
+//===- tests/shm_test.cpp - RCons+CASCons model checking & threads --------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2.5 validated three ways: exhaustive model checking of every
+/// interleaving (and every crash pattern) of the RCons+CASCons pair for
+/// small configurations, randomized deep schedules for larger ones, and
+/// real multi-threaded executions over std::atomic — each trace fed to the
+/// invariants I1–I5, the SLin checkers per phase, and the whole-object
+/// check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lin/ConsensusLin.h"
+#include "shm/Model.h"
+#include "shm/Threaded.h"
+#include "slin/Invariants.h"
+#include "slin/SlinChecker.h"
+#include "trace/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+using namespace slin;
+
+namespace {
+
+/// Full checker battery over one complete RCons+CASCons trace.
+void expectShmTraceCorrect(const Trace &T) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+
+  SlinVerdict Whole = checkSlin(T, PhaseSignature(1, 3), Cons, Rel);
+  ASSERT_EQ(Whole.Outcome, Verdict::Yes) << Whole.Reason << "\n"
+                                         << formatTrace(T);
+
+  // Phase-pair checks use the relaxed abort-validity reading (a client may
+  // decide in RCons after another switched; see slin/SlinChecker.h).
+  SlinCheckOptions Relaxed;
+  Relaxed.AbortValidityAtEnd = true;
+  PhaseSignature Sig12(1, 2), Sig23(2, 3);
+  Trace T12 = projectTrace(T, Sig12);
+  Trace T23 = projectTrace(T, Sig23);
+  SlinVerdict V12 = checkSlin(T12, Sig12, Cons, Rel, Relaxed);
+  EXPECT_EQ(V12.Outcome, Verdict::Yes) << V12.Reason << "\n"
+                                       << formatTrace(T12);
+  SlinVerdict V23 = checkSlin(T23, Sig23, Cons, Rel, Relaxed);
+  EXPECT_EQ(V23.Outcome, Verdict::Yes) << V23.Reason << "\n"
+                                       << formatTrace(T23);
+  EXPECT_TRUE(checkFirstPhaseInvariants(T12, Sig12).Ok)
+      << checkFirstPhaseInvariants(T12, Sig12).Reason;
+  EXPECT_TRUE(checkSecondPhaseInvariants(T23, Sig23).Ok)
+      << checkSecondPhaseInvariants(T23, Sig23).Reason;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Model sanity.
+//===----------------------------------------------------------------------===//
+
+TEST(ShmModelTest, SoloClientDecidesOnFastPath) {
+  ShmModel Model({42});
+  ShmState S = Model.initialState();
+  while (ShmModel::runnable(S, 0))
+    Model.step(S, 0);
+  ASSERT_EQ(S.Observed.size(), 2u);
+  EXPECT_TRUE(isInvoke(S.Observed[0]));
+  ASSERT_TRUE(isRespond(S.Observed[1]));
+  EXPECT_EQ(S.Observed[1].Phase, 1u); // Registers only, no CAS.
+  EXPECT_EQ(cons::decisionOf(S.Observed[1].Out), 42);
+  EXPECT_EQ(S.RegD, 42);
+  EXPECT_EQ(S.RegD2, NoValue); // The backup was never engaged.
+}
+
+TEST(ShmModelTest, SequentialClientsAllDecideFirstValue) {
+  ShmModel Model({1, 2, 3});
+  ShmState S = Model.initialState();
+  for (ClientId C = 0; C < 3; ++C)
+    while (ShmModel::runnable(S, C))
+      Model.step(S, C);
+  unsigned Responses = 0;
+  for (const Action &A : S.Observed)
+    if (isRespond(A)) {
+      ++Responses;
+      EXPECT_EQ(cons::decisionOf(A.Out), 1);
+      EXPECT_EQ(A.Phase, 1u); // All on the fast path.
+    }
+  EXPECT_EQ(Responses, 3u);
+}
+
+TEST(ShmModelTest, SplitterElectsAtMostOneWinner) {
+  // Walk the full state graph and assert the splitter property on every
+  // reachable state (the basis of the paper's I1/I2 argument for RCons).
+  ShmModel Model({5, 7, 9});
+  std::set<std::uint64_t> Seen;
+  std::vector<ShmState> Work = {Model.initialState()};
+  std::uint64_t States = 0;
+  while (!Work.empty()) {
+    ShmState S = std::move(Work.back());
+    Work.pop_back();
+    if (!Seen.insert(S.digest()).second)
+      continue;
+    ++States;
+    ASSERT_LE(S.Winners, 1u) << "two splitter winners";
+    for (ClientId C = 0; C < 3; ++C) {
+      if (!ShmModel::runnable(S, C))
+        continue;
+      ShmState Next = S;
+      Model.step(Next, C);
+      Work.push_back(std::move(Next));
+    }
+  }
+  EXPECT_GT(States, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive model checking.
+//===----------------------------------------------------------------------===//
+
+TEST(ShmModelTest, ExhaustiveTwoClients) {
+  ShmModel Model({5, 7});
+  std::uint64_t Count = Model.exploreAll(
+      /*ExploreCrashes=*/false,
+      [](const Trace &T) { expectShmTraceCorrect(T); });
+  // The fast path, the contention path, and interleavings thereof.
+  EXPECT_GT(Count, 10u);
+}
+
+TEST(ShmModelTest, ExhaustiveTwoClientsSameValue) {
+  ShmModel Model({5, 5});
+  std::uint64_t Count = Model.exploreAll(
+      false, [](const Trace &T) { expectShmTraceCorrect(T); });
+  EXPECT_GT(Count, 5u);
+}
+
+TEST(ShmModelTest, ExhaustiveTwoClientsWithCrashes) {
+  ShmModel Model({5, 7});
+  std::uint64_t Count = Model.exploreAll(
+      /*ExploreCrashes=*/true,
+      [](const Trace &T) { expectShmTraceCorrect(T); });
+  EXPECT_GT(Count, 30u);
+}
+
+TEST(ShmModelTest, ExhaustiveThreeClients) {
+  ShmModel Model({5, 7, 9});
+  std::uint64_t Count = Model.exploreAll(
+      false, [](const Trace &T) { expectShmTraceCorrect(T); });
+  EXPECT_GT(Count, 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized deep schedules.
+//===----------------------------------------------------------------------===//
+
+struct RandomShmCase {
+  const char *Name;
+  std::uint64_t Seed;
+  unsigned Clients;
+  double CrashProbability;
+};
+
+class RandomShmSchedules : public ::testing::TestWithParam<RandomShmCase> {};
+
+TEST_P(RandomShmSchedules, AllTracesCorrect) {
+  const RandomShmCase &C = GetParam();
+  std::vector<std::int64_t> Proposals;
+  for (unsigned I = 0; I < C.Clients; ++I)
+    Proposals.push_back(100 + (I % 3)); // Include duplicate values.
+  ShmModel Model(Proposals);
+  Rng R(C.Seed);
+  for (int I = 0; I < 400; ++I) {
+    Trace T = Model.randomRun(R, C.CrashProbability);
+    expectShmTraceCorrect(T);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RandomShmSchedules,
+    ::testing::Values(RandomShmCase{"c4", 11, 4, 0.0},
+                      RandomShmCase{"c5_crash", 22, 5, 0.02},
+                      RandomShmCase{"c6", 33, 6, 0.0},
+                      RandomShmCase{"c8_crash", 44, 8, 0.05}),
+    [](const ::testing::TestParamInfo<RandomShmCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Real threads over std::atomic.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedShmTest, ContendedProposalsAgree) {
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Rounds = 200;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    SpeculativeConsensusObject Obj;
+    std::vector<std::int64_t> Decisions(NumThreads);
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        Decisions[T] = Obj.propose(1000 + T, T).Decision;
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    for (unsigned T = 1; T < NumThreads; ++T)
+      ASSERT_EQ(Decisions[T], Decisions[0]) << "round " << Round;
+    ASSERT_GE(Decisions[0], 1000);
+    ASSERT_LT(Decisions[0], 1000 + static_cast<std::int64_t>(NumThreads));
+  }
+}
+
+TEST(ThreadedShmTest, SoloProposeStaysOnRegisters) {
+  SpeculativeConsensusObject Obj;
+  ThreadedOutcome Out = Obj.propose(9, 0);
+  EXPECT_TRUE(Out.FastPath);
+  EXPECT_EQ(Out.Decision, 9);
+  // A second, later propose adopts the decision on the fast path too.
+  ThreadedOutcome Again = Obj.propose(11, 1);
+  EXPECT_TRUE(Again.FastPath);
+  EXPECT_EQ(Again.Decision, 9);
+}
+
+TEST(ThreadedShmTest, CasBaselineAgrees) {
+  CasConsensusObject Obj;
+  EXPECT_EQ(Obj.propose(4), 4);
+  EXPECT_EQ(Obj.propose(5), 4);
+}
+
+TEST(ThreadedShmTest, TracedExecutionsAreSpeculativelyLinearizable) {
+  constexpr unsigned NumThreads = 4;
+  for (unsigned Round = 0; Round < 60; ++Round) {
+    SpeculativeConsensusObject Obj;
+    TraceCollector Log;
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back(
+          [&, T] { tracedPropose(Obj, Log, T, 500 + T); });
+    for (std::thread &T : Threads)
+      T.join();
+    Trace T = Log.take();
+    expectShmTraceCorrect(T);
+    // Theorem 2: the switch-free projection is plainly linearizable.
+    EXPECT_EQ(checkConsensusLinearizable(stripSwitches(T)).Outcome,
+              Verdict::Yes);
+  }
+}

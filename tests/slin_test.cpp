@@ -1,0 +1,469 @@
+//===- tests/slin_test.cpp - Unit tests for speculative linearizability ---==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "slin/Composition.h"
+#include "slin/Invariants.h"
+#include "slin/SlinChecker.h"
+#include "slin/SlinWitness.h"
+#include "trace/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+/// Client \p C's proposal of \p V (identity-tagged, see adt/Values.h).
+Input P(std::int64_t V, ClientId C) { return cons::proposeBy(V, C); }
+Output D(std::int64_t V) { return cons::decide(V); }
+SwitchValue Sv(std::int64_t V) { return SwitchValue{V}; }
+
+/// A Quorum-style fast-path trace of phase (1, 2): client 1 decides on the
+/// fast path, client 2 aborts to the backup carrying the decided value.
+Trace quorumFastThenAbort() {
+  return {
+      makeInvoke(1, 1, P(5, 1)),
+      makeRespond(1, 1, P(5, 1), D(5)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+  };
+}
+
+/// A Backup-style trace of phase (2, 3): two clients switch in with the
+/// same value and decide it.
+Trace backupSameSwitchValues() {
+  return {
+      makeSwitch(1, 2, P(5, 1), Sv(5)),
+      makeRespond(1, 2, P(5, 1), D(5)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeRespond(2, 2, P(7, 2), D(5)),
+  };
+}
+
+/// Backup with conflicting switch values (contention in the fast phase):
+/// everyone must still agree, on one of the submitted values.
+Trace backupMixedSwitchValues() {
+  return {
+      makeSwitch(1, 2, P(5, 1), Sv(5)),
+      makeSwitch(2, 2, P(7, 2), Sv(7)),
+      makeRespond(1, 2, P(5, 1), D(7)),
+      makeRespond(2, 2, P(7, 2), D(7)),
+  };
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Invariants I1-I5.
+//===----------------------------------------------------------------------===//
+
+TEST(InvariantsTest, FastPathTraceSatisfiesI1I2I3) {
+  PhaseSignature Sig(1, 2);
+  EXPECT_TRUE(checkFirstPhaseInvariants(quorumFastThenAbort(), Sig).Ok);
+}
+
+TEST(InvariantsTest, I1CatchesSwitchValueMismatch) {
+  PhaseSignature Sig(1, 2);
+  Trace T = quorumFastThenAbort();
+  T[3].Sv = Sv(7); // Switches with its own value although 5 was decided.
+  EXPECT_FALSE(checkInvariantI1(T, Sig).Ok);
+}
+
+TEST(InvariantsTest, I2CatchesSplitDecision) {
+  Trace T = {
+      makeInvoke(1, 1, P(5, 1)),
+      makeRespond(1, 1, P(5, 1), D(5)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeRespond(2, 1, P(7, 2), D(7)),
+  };
+  EXPECT_FALSE(checkInvariantI2(T).Ok);
+}
+
+TEST(InvariantsTest, I3CatchesUnproposedValue) {
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(9)), // 9 never proposed.
+  };
+  EXPECT_FALSE(checkInvariantI3(T, Sig).Ok);
+  Trace OwnValue = {
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(7)), // Own value: fine.
+  };
+  EXPECT_TRUE(checkInvariantI3(OwnValue, Sig).Ok);
+}
+
+TEST(InvariantsTest, SecondPhaseInvariantsHold) {
+  PhaseSignature Sig(2, 3);
+  EXPECT_TRUE(checkSecondPhaseInvariants(backupSameSwitchValues(), Sig).Ok);
+  EXPECT_TRUE(checkSecondPhaseInvariants(backupMixedSwitchValues(), Sig).Ok);
+}
+
+TEST(InvariantsTest, I5CatchesUnsubmittedDecision) {
+  PhaseSignature Sig(2, 3);
+  Trace T = backupMixedSwitchValues();
+  T[2].Out = D(9); // 9 was never a switch value.
+  T[3].Out = D(9);
+  EXPECT_FALSE(checkInvariantI5(T, Sig).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// SLin checking: first phase.
+//===----------------------------------------------------------------------===//
+
+TEST(SlinCheckerTest, FastPathTraceIsSlin) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  SlinVerdict V = checkSlin(quorumFastThenAbort(), Sig, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+  EXPECT_TRUE(V.Exact);
+  for (const auto &[Finit, W] : V.Witnesses)
+    EXPECT_TRUE(
+        verifySlinWitness(quorumFastThenAbort(), Sig, Cons, Rel, Finit, W).Ok)
+        << verifySlinWitness(quorumFastThenAbort(), Sig, Cons, Rel, Finit, W)
+               .Reason;
+}
+
+TEST(SlinCheckerTest, I1ViolationRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = quorumFastThenAbort();
+  T[3].Sv = Sv(7); // Decided 5, switches 7: abort history cannot start p7
+                   // and still extend the commit [p5].
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  EXPECT_EQ(V.Outcome, Verdict::No) << V.Reason;
+}
+
+TEST(SlinCheckerTest, UnproposedSwitchValueRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(9)),
+  };
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  EXPECT_EQ(V.Outcome, Verdict::No);
+}
+
+TEST(SlinCheckerTest, SwitchWithOwnValueAccepted) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(7)),
+  };
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  EXPECT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+}
+
+TEST(SlinCheckerTest, DecisionAfterAbortConstrained) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  // c2 aborts with 5, then c1 decides 5 whose proposal predates the abort:
+  // fine.
+  Trace Good = {
+      makeInvoke(1, 1, P(5, 1)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeRespond(1, 1, P(5, 1), D(5)),
+  };
+  EXPECT_EQ(checkSlin(Good, Sig, Cons, Rel).Outcome, Verdict::Yes);
+
+  // c3 proposes 9 *after* the abort and decides it: the commit history
+  // cannot be a prefix of the abort history fixed at abort time.
+  Trace Bad = {
+      makeInvoke(1, 1, P(5, 1)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeInvoke(3, 1, P(9, 3)),
+      makeRespond(3, 1, P(9, 3), D(9)),
+  };
+  EXPECT_EQ(checkSlin(Bad, Sig, Cons, Rel).Outcome, Verdict::No);
+}
+
+TEST(SlinCheckerTest, LateDeciderAfterAbortStrictVsRelaxed) {
+  // The reproduction finding documented in slin/SlinChecker.h: a client
+  // that invokes *after* a switch and decides on the fast path (RCons and
+  // Quorum both produce this; invariant I1 explicitly contemplates it) is
+  // rejected by the strict Definition 28 — no abort history fixed at the
+  // switch can contain its commit — but accepted under the relaxed
+  // end-of-trace abort validity that the Section 2.4 construction uses.
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(1, 1, P(5, 1)),
+      makeRespond(1, 1, P(5, 1), D(5)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeInvoke(3, 1, P(9, 3)),          // Arrives after the switch...
+      makeRespond(3, 1, P(9, 3), D(5)),   // ...and decides the fast way.
+  };
+  EXPECT_EQ(checkSlin(T, Sig, Cons, Rel).Outcome, Verdict::No);
+  SlinCheckOptions Relaxed;
+  Relaxed.AbortValidityAtEnd = true;
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel, Relaxed);
+  EXPECT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+  for (const auto &[Finit, W] : V.Witnesses)
+    EXPECT_TRUE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W,
+                                  /*AbortValidityAtEnd=*/true)
+                    .Ok);
+}
+
+TEST(SlinCheckerTest, PureLinTraceIsSlinWithoutSwitches) {
+  // Theorem 2 direction: a switch-free (1, n) trace is SLin iff
+  // linearizable.
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(1, 1, P(1, 1)),
+      makeInvoke(2, 1, P(2, 2)),
+      makeRespond(2, 1, P(2, 2), D(2)),
+      makeRespond(1, 1, P(1, 1), D(2)),
+  };
+  EXPECT_EQ(checkSlin(T, Sig, Cons, Rel).Outcome, Verdict::Yes);
+  Trace Bad = T;
+  Bad[3].Out = D(1);
+  EXPECT_EQ(checkSlin(Bad, Sig, Cons, Rel).Outcome, Verdict::No);
+}
+
+//===----------------------------------------------------------------------===//
+// SLin checking: second phase.
+//===----------------------------------------------------------------------===//
+
+TEST(SlinCheckerTest, BackupSameValuesIsSlin) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  Trace T = backupSameSwitchValues();
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+  for (const auto &[Finit, W] : V.Witnesses)
+    EXPECT_TRUE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok)
+        << verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Reason;
+}
+
+TEST(SlinCheckerTest, BackupMixedValuesIsSlin) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  SlinVerdict V = checkSlin(backupMixedSwitchValues(), Sig, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+}
+
+TEST(SlinCheckerTest, BackupDecidingForeignValueRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  Trace T = backupMixedSwitchValues();
+  T[2].Out = D(9); // Not a switch value, never invoked.
+  T[3].Out = D(9);
+  EXPECT_EQ(checkSlin(T, Sig, Cons, Rel).Outcome, Verdict::No);
+}
+
+TEST(SlinCheckerTest, BackupSplitDecisionRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  Trace T = backupMixedSwitchValues();
+  T[2].Out = D(5);
+  T[3].Out = D(7); // Clients disagree.
+  EXPECT_EQ(checkSlin(T, Sig, Cons, Rel).Outcome, Verdict::No);
+}
+
+TEST(SlinCheckerTest, BackupViolatingInitOrderRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  // Both clients switch in with 5 but decide 7 (which was pending in the
+  // second phase): the decision contradicts the init LCP [p5].
+  Trace T = {
+      makeSwitch(1, 2, P(7, 1), Sv(5)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeRespond(1, 2, P(7, 1), D(7)),
+      makeRespond(2, 2, P(7, 2), D(7)),
+  };
+  EXPECT_EQ(checkSlin(T, Sig, Cons, Rel).Outcome, Verdict::No);
+}
+
+//===----------------------------------------------------------------------===//
+// Composition (Theorem 3/5) and the Appendix C merge.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Composes the canonical Quorum-fast + Backup pair used across these
+/// tests: client 2 aborts the fast phase with value 5 and decides in the
+/// backup.
+Trace composedTwoPhaseTrace() {
+  return {
+      makeInvoke(1, 1, P(5, 1)),
+      makeRespond(1, 1, P(5, 1), D(5)),
+      makeInvoke(2, 1, P(7, 2)),
+      makeSwitch(2, 2, P(7, 2), Sv(5)),
+      makeRespond(2, 2, P(7, 2), D(5)),
+  };
+}
+
+} // namespace
+
+TEST(CompositionTest, ComposeTracesSynchronizesOnSwitches) {
+  PhaseSignature Sig12(1, 2), Sig23(2, 3);
+  Trace T = composedTwoPhaseTrace();
+  Trace Tmn = projectTrace(T, Sig12);
+  Trace Tno = projectTrace(T, Sig23);
+  Rng R(5);
+  ComposeResult C = composeTraces(Tmn, Sig12, Tno, Sig23, R);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  EXPECT_EQ(projectTrace(C.Composed, Sig12), Tmn);
+  EXPECT_EQ(projectTrace(C.Composed, Sig23), Tno);
+}
+
+TEST(CompositionTest, ComposeRejectsMismatchedSwitches) {
+  PhaseSignature Sig12(1, 2), Sig23(2, 3);
+  Trace Tmn = {makeInvoke(2, 1, P(7, 2)), makeSwitch(2, 2, P(7, 2), Sv(5))};
+  Trace Tno = {makeSwitch(2, 2, P(7, 2), Sv(6))}; // Different value.
+  Rng R(5);
+  EXPECT_FALSE(composeTraces(Tmn, Sig12, Tno, Sig23, R).Ok);
+}
+
+TEST(CompositionTest, ComposedTraceIsSlin) {
+  // Theorem 3 end to end on the canonical example: the composed (1, 3)
+  // trace is (1, 3)-speculatively linearizable (hence, with no aborts at
+  // the top, linearizable — Theorem 2).
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig13(1, 3);
+  SlinVerdict V = checkSlin(composedTwoPhaseTrace(), Sig13, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+}
+
+TEST(CompositionTest, AppendixCMergeProducesVerifiableWitness) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig12(1, 2), Sig23(2, 3), Sig13(1, 3);
+  Trace T = composedTwoPhaseTrace();
+  Trace Tmn = projectTrace(T, Sig12);
+  Trace Tno = projectTrace(T, Sig23);
+
+  // Phase (1,2): no init actions; find its witness.
+  SlinCheckResult Rmn = checkSlinUnder(Tmn, Sig12, Cons, Rel, {});
+  ASSERT_EQ(Rmn.Outcome, Verdict::Yes) << Rmn.Reason;
+
+  // Lemma 6: the abort interpretation of (1,2) is the init interpretation
+  // of (2,3). Map component-mn indices to component-no indices through the
+  // composed trace.
+  std::vector<std::size_t> PosMn = projectionPositions(T, Sig12);
+  std::vector<std::size_t> PosNo = projectionPositions(T, Sig23);
+  InitInterpretation FinitNo;
+  for (const auto &[IdxMn, A] : Rmn.Witness.Aborts) {
+    std::size_t Composed = PosMn[IdxMn];
+    for (std::size_t J = 0; J < PosNo.size(); ++J)
+      if (PosNo[J] == Composed)
+        FinitNo[J] = A;
+  }
+  ASSERT_EQ(FinitNo.size(), 1u);
+
+  SlinCheckResult Rno = checkSlinUnder(Tno, Sig23, Cons, Rel, FinitNo);
+  ASSERT_EQ(Rno.Outcome, Verdict::Yes) << Rno.Reason;
+
+  MergeResult M = mergeWitnesses(T, Sig12, Sig23, Rmn.Witness, Rno.Witness);
+  ASSERT_TRUE(M.Ok) << M.Error;
+
+  // The merged witness verifies against the composed trace under the empty
+  // (1,3)-interpretation (no init actions at the bottom).
+  WellFormedness Check =
+      verifySlinWitness(T, Sig13, Cons, Rel, {}, M.Witness);
+  EXPECT_TRUE(Check.Ok) << Check.Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// Witness verification rejects tampering.
+//===----------------------------------------------------------------------===//
+
+TEST(SlinWitnessTest, TamperedWitnessesRejected) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  Trace T = quorumFastThenAbort();
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+  ASSERT_FALSE(V.Witnesses.empty());
+  const auto &[Finit, Good] = V.Witnesses.front();
+  ASSERT_TRUE(verifySlinWitness(T, Sig, Cons, Rel, Finit, Good).Ok);
+
+  {
+    SlinWitness W = Good; // Abort history no longer contains the commit.
+    ASSERT_FALSE(W.Aborts.empty());
+    W.Aborts[0].second = {P(9, 9)};
+    EXPECT_FALSE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok);
+  }
+  {
+    SlinWitness W = Good; // Commit history rewritten to unproposed value.
+    ASSERT_FALSE(W.Master.empty());
+    W.Master[0] = P(9, 9);
+    EXPECT_FALSE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok);
+  }
+  {
+    SlinWitness W = Good; // Drop the abort assignment entirely.
+    W.Aborts.clear();
+    EXPECT_FALSE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok);
+  }
+  {
+    SlinWitness W = Good; // Commit length zero is never valid.
+    ASSERT_FALSE(W.Commits.empty());
+    W.Commits[0].second = 0;
+    EXPECT_FALSE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok);
+  }
+}
+
+TEST(SlinWitnessTest, ForeignInterpretationRejected) {
+  // An f_init entry that is not an interpretation of the switch value must
+  // be flagged by the verifier.
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  PhaseSignature Sig(2, 3);
+  Trace T = backupSameSwitchValues();
+  SlinVerdict V = checkSlin(T, Sig, Cons, Rel);
+  ASSERT_EQ(V.Outcome, Verdict::Yes) << V.Reason;
+  auto [Finit, W] = V.Witnesses.front();
+  ASSERT_FALSE(Finit.empty());
+  Finit.begin()->second = {cons::ghostPropose(9)}; // Not in r_init(5).
+  EXPECT_FALSE(verifySlinWitness(T, Sig, Cons, Rel, Finit, W).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Universal relation.
+//===----------------------------------------------------------------------===//
+
+TEST(UniversalRelationTest, EncodeDecodeRoundTrip) {
+  UniversalInitRelation Rel;
+  History H = {P(1, 9), P(2, 9)};
+  SwitchValue V = Rel.encode(H);
+  EXPECT_EQ(Rel.decode(V), H);
+  EXPECT_EQ(Rel.encode(H), V); // Interning is stable.
+  EXPECT_TRUE(Rel.contains(V, H));
+  EXPECT_FALSE(Rel.contains(V, History{P(1, 9)}));
+}
+
+TEST(UniversalRelationTest, InterpretationIsForced) {
+  UniversalInitRelation Rel;
+  History H = {P(5, 9)};
+  SwitchValue V = Rel.encode(H);
+  Trace T = {makeSwitch(1, 2, P(7, 1), V)};
+  PhaseSignature Sig(2, 3);
+  InterpretationFamily F = Rel.interpretations(T, Sig);
+  ASSERT_EQ(F.Assignments.size(), 1u);
+  EXPECT_TRUE(F.Exact);
+  EXPECT_EQ(F.Assignments[0].at(0), H);
+}

@@ -1,0 +1,169 @@
+//===- tests/smr_test.cpp - Replicated state machine tests ----------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end validation of the SMR layer: the replicated object's trace is
+/// linearizable with respect to the replicated ADT (the Section 6
+/// universal-ADT story made concrete), every underlying consensus slot is
+/// speculatively linearizable, and the system survives minority crashes and
+/// lossy networks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adt/KvStore.h"
+#include "adt/Queue.h"
+#include "lin/LinChecker.h"
+#include "slin/SlinChecker.h"
+#include "smr/Smr.h"
+#include "trace/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+void expectSlotsSpeculativelyLinearizable(StackHarness &Stack,
+                                          unsigned NumPhases) {
+  ConsensusAdt Cons;
+  ConsensusInitRelation Rel;
+  SlinCheckOptions Relaxed;
+  Relaxed.AbortValidityAtEnd = true;
+  for (std::uint32_t Slot : Stack.slots()) {
+    const Trace &T = Stack.slotTrace(Slot);
+    SlinVerdict V =
+        checkSlin(T, PhaseSignature(1, NumPhases + 1), Cons, Rel, Relaxed);
+    ASSERT_EQ(V.Outcome, Verdict::Yes)
+        << "slot " << Slot << ": " << V.Reason << "\n"
+        << formatTrace(T);
+  }
+}
+
+} // namespace
+
+TEST(SmrTest, ReplicatedKvStoreIsLinearizable) {
+  KvStoreAdt Kv;
+  StackConfig Config;
+  Config.NumServers = 3;
+  Config.NumClients = 3;
+  SmrHarness H(Config, Kv);
+  H.submitAt(0, 0, kv::put(1, 10));
+  H.submitAt(0, 1, kv::put(1, 20));
+  H.submitAt(0, 2, kv::get(1));
+  H.submitAt(400, 0, kv::get(1));
+  H.submitAt(400, 1, kv::del(1));
+  H.submitAt(800, 2, kv::get(1));
+  H.run();
+
+  for (const SmrOpRecord &Op : H.smrOps())
+    ASSERT_TRUE(Op.Completed);
+  LinCheckResult R = checkLinearizable(H.objectTrace(), Kv);
+  EXPECT_EQ(R.Outcome, Verdict::Yes)
+      << R.Reason << "\n"
+      << formatTrace(H.objectTrace());
+  expectSlotsSpeculativelyLinearizable(H.stack(), Config.NumPhases);
+}
+
+TEST(SmrTest, ReplicatedQueueIsLinearizable) {
+  QueueAdt Q;
+  StackConfig Config;
+  Config.NumServers = 3;
+  Config.NumClients = 2;
+  SmrHarness H(Config, Q);
+  H.submitAt(0, 0, queue::enq(1));
+  H.submitAt(0, 1, queue::enq(2));
+  H.submitAt(300, 0, queue::deq());
+  H.submitAt(320, 1, queue::deq());
+  H.submitAt(700, 0, queue::deq()); // Empty by now.
+  H.run();
+  for (const SmrOpRecord &Op : H.smrOps())
+    ASSERT_TRUE(Op.Completed);
+  LinCheckResult R = checkLinearizable(H.objectTrace(), Q);
+  EXPECT_EQ(R.Outcome, Verdict::Yes)
+      << R.Reason << "\n"
+      << formatTrace(H.objectTrace());
+}
+
+TEST(SmrTest, SurvivesMinorityCrash) {
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    KvStoreAdt Kv;
+    StackConfig Config;
+    Config.NumServers = 5;
+    Config.NumClients = 3;
+    Config.Seed = Seed;
+    SmrHarness H(Config, Kv);
+    H.crashServerAt(25, 0);
+    H.crashServerAt(90, 4);
+    for (unsigned I = 0; I < 3; ++I)
+      for (ClientId C = 0; C < 3; ++C)
+        H.submitAt(I * 700, C,
+                   kv::put(static_cast<std::int64_t>(C),
+                           static_cast<std::int64_t>(10 * I + C)));
+    H.run();
+    for (const SmrOpRecord &Op : H.smrOps())
+      ASSERT_TRUE(Op.Completed) << "seed " << Seed;
+    KvStoreAdt KvCheck;
+    EXPECT_EQ(checkLinearizable(H.objectTrace(), KvCheck).Outcome,
+              Verdict::Yes)
+        << "seed " << Seed;
+    expectSlotsSpeculativelyLinearizable(H.stack(), Config.NumPhases);
+  }
+}
+
+TEST(SmrTest, LossyNetworkStaysLinearizable) {
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    KvStoreAdt Kv;
+    StackConfig Config;
+    Config.NumServers = 3;
+    Config.NumClients = 2;
+    Config.Seed = Seed;
+    Config.Net.LossProbability = 0.08;
+    SmrHarness H(Config, Kv);
+    H.submitAt(0, 0, kv::put(7, 70));
+    H.submitAt(10, 1, kv::put(7, 71));
+    H.submitAt(2000, 0, kv::get(7));
+    H.submitAt(2100, 1, kv::get(7));
+    H.run(500000);
+    // Check whatever completed (liveness under loss is probabilistic).
+    Trace T = H.objectTrace();
+    KvStoreAdt KvCheck;
+    EXPECT_EQ(checkLinearizable(T, KvCheck).Outcome, Verdict::Yes)
+        << "seed " << Seed << "\n"
+        << formatTrace(T);
+  }
+}
+
+TEST(SmrTest, PaxosOnlyBaselineWorks) {
+  KvStoreAdt Kv;
+  StackConfig Config;
+  Config.NumServers = 3;
+  Config.NumClients = 2;
+  Config.NumPhases = 1; // No fast path.
+  SmrHarness H(Config, Kv);
+  H.submitAt(0, 0, kv::put(3, 33));
+  H.submitAt(5, 1, kv::get(3));
+  H.run();
+  for (const SmrOpRecord &Op : H.smrOps())
+    ASSERT_TRUE(Op.Completed);
+  EXPECT_EQ(checkLinearizable(H.objectTrace(), Kv).Outcome, Verdict::Yes);
+}
+
+TEST(SmrTest, CommandsLandInDistinctSlots) {
+  KvStoreAdt Kv;
+  StackConfig Config;
+  Config.NumServers = 3;
+  Config.NumClients = 3;
+  SmrHarness H(Config, Kv);
+  for (ClientId C = 0; C < 3; ++C)
+    H.submitAt(0, C, kv::put(C, C));
+  H.run();
+  std::set<std::uint32_t> Slots;
+  for (const SmrOpRecord &Op : H.smrOps()) {
+    ASSERT_TRUE(Op.Completed);
+    EXPECT_TRUE(Slots.insert(Op.Slot).second)
+        << "two commands share slot " << Op.Slot;
+  }
+}

@@ -1,0 +1,224 @@
+//===- tests/spec_test.cpp - Section 6 spec automaton tests ---------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "spec/Refinement.h"
+#include "spec/SpecAutomaton.h"
+#include "trace/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+Input P(std::int64_t V) { return cons::propose(V); }
+
+} // namespace
+
+TEST(SpecAutomatonTest, FirstPhaseStartsInitialized) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  SpecState S = A.initialState();
+  EXPECT_TRUE(S.Initialized);
+  EXPECT_EQ(S.Mode[0], ClientMode::Ready);
+  EXPECT_TRUE(S.Hist.empty());
+}
+
+TEST(SpecAutomatonTest, LaterPhaseStartsAsleep) {
+  SpecAutomaton A(PhaseSignature(2, 3), 2);
+  SpecState S = A.initialState();
+  EXPECT_FALSE(S.Initialized);
+  EXPECT_EQ(S.Mode[0], ClientMode::Sleep);
+}
+
+TEST(SpecAutomatonTest, RespondAppendsPendingInput) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  SpecState S = A.initialState();
+  ASSERT_TRUE(SpecAutomaton::applyInvoke(S, 0, P(5)));
+  History Responded;
+  ASSERT_TRUE(SpecAutomaton::applyRespond(S, 0, &Responded));
+  EXPECT_EQ(Responded, History{P(5)});
+  EXPECT_EQ(S.Mode[0], ClientMode::Ready);
+  // Respond again without a new invocation: disabled.
+  EXPECT_FALSE(SpecAutomaton::applyRespond(S, 0, &Responded));
+}
+
+TEST(SpecAutomatonTest, InitTakesLcpOfInitHists) {
+  SpecAutomaton A(PhaseSignature(2, 3), 2);
+  SpecState S = A.initialState();
+  ASSERT_TRUE(SpecAutomaton::applySwitchIn(S, 0, P(9), {P(5), P(7)}));
+  ASSERT_TRUE(SpecAutomaton::applySwitchIn(S, 1, P(8), {P(5), P(6)}));
+  ASSERT_TRUE(SpecAutomaton::applyInit(S));
+  EXPECT_EQ(S.Hist, History{P(5)});
+  EXPECT_FALSE(SpecAutomaton::applyInit(S)); // Fires once.
+}
+
+TEST(SpecAutomatonTest, AbortOutConstrainsValue) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  SpecState S = A.initialState();
+  ASSERT_TRUE(SpecAutomaton::applyInvoke(S, 0, P(5)));
+  ASSERT_TRUE(SpecAutomaton::applyInvoke(S, 1, P(7)));
+  SpecAutomaton::applyAbortFlag(S);
+  // Value must extend hist (empty) by pending inputs only.
+  SpecState Bad = S;
+  EXPECT_FALSE(SpecAutomaton::applyAbortOut(Bad, 0, {P(9)}));
+  SpecState Good = S;
+  EXPECT_TRUE(SpecAutomaton::applyAbortOut(Good, 0, {P(5), P(7)}));
+  EXPECT_EQ(Good.Mode[0], ClientMode::Aborted);
+}
+
+TEST(SpecAutomatonTest, AbortRequiresFlag) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  SpecState S = A.initialState();
+  ASSERT_TRUE(SpecAutomaton::applyInvoke(S, 0, P(5)));
+  EXPECT_FALSE(SpecAutomaton::applyAbortOut(S, 0, {P(5)}));
+}
+
+TEST(SpecAutomatonTest, AcceptsOwnHandBuiltTrace) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  UniversalInitRelation Rel;
+  History H1 = {P(5)};
+  History H12 = {P(5), P(7)};
+  Trace T = {
+      makeInvoke(0, 1, P(5)),
+      makeRespond(0, 1, P(5), historyOutput(H1)),
+      makeInvoke(1, 1, P(7)),
+      makeSwitch(1, 2, P(7), Rel.encode(H12)),
+  };
+  EXPECT_TRUE(A.accepts(T, Rel).Ok) << A.accepts(T, Rel).Reason;
+}
+
+TEST(SpecAutomatonTest, RejectsWrongResponseFingerprint) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  UniversalInitRelation Rel;
+  Trace T = {
+      makeInvoke(0, 1, P(5)),
+      makeRespond(0, 1, P(5), historyOutput(History{P(7)})),
+  };
+  EXPECT_FALSE(A.accepts(T, Rel).Ok);
+}
+
+TEST(SpecAutomatonTest, RejectsAbortValueNotExtendingHist) {
+  SpecAutomaton A(PhaseSignature(1, 2), 2);
+  UniversalInitRelation Rel;
+  History H1 = {P(5)};
+  Trace T = {
+      makeInvoke(0, 1, P(5)),
+      makeRespond(0, 1, P(5), historyOutput(H1)),
+      makeInvoke(1, 1, P(7)),
+      // Abort value [p7] does not extend hist [p5].
+      makeSwitch(1, 2, P(7), Rel.encode(History{P(7)})),
+  };
+  EXPECT_FALSE(A.accepts(T, Rel).Ok);
+}
+
+TEST(SpecAutomatonTest, SecondPhaseAcceptsLcpConsistentTrace) {
+  SpecAutomaton A(PhaseSignature(2, 3), 2);
+  UniversalInitRelation Rel;
+  History Init = {P(5)};
+  Trace T = {
+      makeSwitch(0, 2, P(9), Rel.encode(Init)),
+      makeRespond(0, 2, P(9), historyOutput(History{P(5), P(9)})),
+      makeSwitch(1, 2, P(8), Rel.encode(Init)),
+      makeRespond(1, 2, P(8), historyOutput(History{P(5), P(9), P(8)})),
+  };
+  EXPECT_TRUE(A.accepts(T, Rel).Ok) << A.accepts(T, Rel).Reason;
+}
+
+TEST(SpecAutomatonTest, SecondPhaseA1TimingExplored) {
+  // The first client's response is consistent only if A1 fired after just
+  // one switch-in (LCP [p5, p6]); the monitor must find that timing.
+  SpecAutomaton A(PhaseSignature(2, 3), 2);
+  UniversalInitRelation Rel;
+  History Long = {P(5), P(6)};
+  History Short = {P(5)};
+  Trace T = {
+      makeSwitch(0, 2, P(9), Rel.encode(Long)),
+      makeSwitch(1, 2, P(8), Rel.encode(Short)),
+      makeRespond(0, 2, P(9), historyOutput(History{P(5), P(6), P(9)})),
+  };
+  EXPECT_TRUE(A.accepts(T, Rel).Ok) << A.accepts(T, Rel).Reason;
+  // Whereas a response consistent with the two-switch LCP also works...
+  Trace T2 = {
+      makeSwitch(0, 2, P(9), Rel.encode(Long)),
+      makeSwitch(1, 2, P(8), Rel.encode(Short)),
+      makeRespond(0, 2, P(9), historyOutput(History{P(5), P(9)})),
+  };
+  EXPECT_TRUE(A.accepts(T2, Rel).Ok) << A.accepts(T2, Rel).Reason;
+  // ...but one consistent with neither does not.
+  Trace T3 = {
+      makeSwitch(0, 2, P(9), Rel.encode(Long)),
+      makeSwitch(1, 2, P(8), Rel.encode(Short)),
+      makeRespond(0, 2, P(9), historyOutput(History{P(6), P(9)})),
+  };
+  EXPECT_FALSE(A.accepts(T3, Rel).Ok);
+}
+
+TEST(SpecAutomatonTest, RandomWalksAreAccepted) {
+  for (PhaseId M : {1u, 2u}) {
+    SpecAutomaton A(PhaseSignature(M, M + 1), 3);
+    UniversalInitRelation Rel;
+    SpecAutomaton::WalkOptions Opts;
+    Opts.Alphabet = {P(1), P(2), P(3)};
+    Opts.InitChoices = {{P(1)}, {P(1), P(2)}, {P(2)}};
+    Rng R(2024 + M);
+    for (int I = 0; I < 100; ++I) {
+      Trace T = A.randomWalk(Opts, R, Rel);
+      WellFormedness Acc = A.accepts(T, Rel);
+      ASSERT_TRUE(Acc.Ok) << Acc.Reason << "\n" << formatTrace(T);
+    }
+  }
+}
+
+TEST(SpecAutomatonTest, WalksAreWellFormedPhaseTraces) {
+  SpecAutomaton A(PhaseSignature(2, 3), 3);
+  UniversalInitRelation Rel;
+  SpecAutomaton::WalkOptions Opts;
+  Opts.Alphabet = {P(1), P(2)};
+  Opts.InitChoices = {{P(1)}, {P(2)}};
+  Rng R(99);
+  for (int I = 0; I < 100; ++I) {
+    Trace T = A.randomWalk(Opts, R, Rel);
+    EXPECT_TRUE(checkWellFormedPhase(T, PhaseSignature(2, 3)).Ok)
+        << formatTrace(T);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded refinement: the automaton form of Theorem 3.
+//===----------------------------------------------------------------------===//
+
+struct RefinementCase {
+  const char *Name;
+  unsigned Clients;
+  unsigned Depth;
+  unsigned Values;
+};
+
+class RefinementDepths : public ::testing::TestWithParam<RefinementCase> {};
+
+TEST_P(RefinementDepths, CompositionRefinesSingle) {
+  const RefinementCase &C = GetParam();
+  RefinementOptions Opts;
+  Opts.NumClients = C.Clients;
+  Opts.MaxExternalActions = C.Depth;
+  for (unsigned V = 1; V <= C.Values; ++V)
+    Opts.Alphabet.push_back(P(V));
+  RefinementResult R = checkCompositionRefinement(2, 3, Opts);
+  EXPECT_TRUE(R.Holds) << R.Counterexample;
+  EXPECT_FALSE(R.Exhausted) << "raise MaxNodes for this configuration";
+  EXPECT_GT(R.NodesExplored, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, RefinementDepths,
+    ::testing::Values(RefinementCase{"c2_d5_v2", 2, 5, 2},
+                      RefinementCase{"c2_d6_v2", 2, 6, 2},
+                      RefinementCase{"c3_d4_v1", 3, 4, 1},
+                      RefinementCase{"c2_d4_v3", 2, 4, 3}),
+    [](const ::testing::TestParamInfo<RefinementCase> &Info) {
+      return Info.param.Name;
+    });

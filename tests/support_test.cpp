@@ -1,0 +1,170 @@
+//===- tests/support_test.cpp - Unit tests for support utilities ----------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Multiset.h"
+#include "support/Rng.h"
+#include "support/Sequences.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slin;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4u);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBounded(13), 13u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng R(9);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(R.nextBounded(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    std::int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, SplitIndependent) {
+  Rng A(5);
+  Rng B = A.split();
+  // The split stream should not track the parent.
+  unsigned Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4u);
+}
+
+TEST(MultisetTest, AddCountRemove) {
+  Multiset<int> M;
+  EXPECT_TRUE(M.empty());
+  M.add(3);
+  M.add(3);
+  M.add(5);
+  EXPECT_EQ(M.count(3), 2);
+  EXPECT_EQ(M.count(5), 1);
+  EXPECT_EQ(M.count(7), 0);
+  EXPECT_EQ(M.size(), 3);
+  EXPECT_TRUE(M.removeOne(3));
+  EXPECT_EQ(M.count(3), 1);
+  EXPECT_TRUE(M.removeOne(3));
+  EXPECT_EQ(M.count(3), 0);
+  EXPECT_FALSE(M.removeOne(3));
+}
+
+TEST(MultisetTest, FromRange) {
+  std::vector<int> V = {1, 2, 2, 3, 3, 3};
+  auto M = Multiset<int>::fromRange(V);
+  EXPECT_EQ(M.count(1), 1);
+  EXPECT_EQ(M.count(2), 2);
+  EXPECT_EQ(M.count(3), 3);
+}
+
+TEST(MultisetTest, UnionMaxIsPointwiseMax) {
+  Multiset<int> A, B;
+  A.add(1, 2);
+  A.add(2, 1);
+  B.add(2, 3);
+  B.add(3, 1);
+  auto U = A.unionMax(B);
+  EXPECT_EQ(U.count(1), 2);
+  EXPECT_EQ(U.count(2), 3);
+  EXPECT_EQ(U.count(3), 1);
+}
+
+TEST(MultisetTest, UnionSumIsPointwiseSum) {
+  Multiset<int> A, B;
+  A.add(1, 2);
+  B.add(1, 3);
+  B.add(2, 1);
+  auto U = A.unionSum(B);
+  EXPECT_EQ(U.count(1), 5);
+  EXPECT_EQ(U.count(2), 1);
+}
+
+TEST(MultisetTest, InclusionIsPointwiseLeq) {
+  Multiset<int> A, B;
+  A.add(1, 1);
+  B.add(1, 2);
+  B.add(2, 1);
+  EXPECT_TRUE(A.includedIn(B));
+  EXPECT_FALSE(B.includedIn(A));
+  Multiset<int> Empty;
+  EXPECT_TRUE(Empty.includedIn(A));
+  EXPECT_TRUE(Empty.includedIn(Empty));
+}
+
+TEST(MultisetTest, UnionLaws) {
+  // max-union is idempotent; sum-union is not (unless empty).
+  Multiset<int> A;
+  A.add(4, 2);
+  EXPECT_TRUE(A.unionMax(A) == A);
+  EXPECT_EQ(A.unionSum(A).count(4), 4);
+}
+
+TEST(SequencesTest, PrefixBasics) {
+  std::vector<int> E = {}, A = {1}, AB = {1, 2}, AC = {1, 3};
+  EXPECT_TRUE(isPrefixOf(E, A));
+  EXPECT_TRUE(isPrefixOf(A, AB));
+  EXPECT_TRUE(isPrefixOf(AB, AB));
+  EXPECT_FALSE(isStrictPrefixOf(AB, AB));
+  EXPECT_TRUE(isStrictPrefixOf(A, AB));
+  EXPECT_FALSE(isPrefixOf(AB, AC));
+  EXPECT_FALSE(isPrefixOf(AB, A));
+}
+
+TEST(SequencesTest, CommonPrefix) {
+  std::vector<int> AB = {1, 2}, AC = {1, 3}, ABD = {1, 2, 4};
+  EXPECT_EQ(commonPrefix(AB, AC), (std::vector<int>{1}));
+  EXPECT_EQ(commonPrefix(AB, ABD), AB);
+  EXPECT_EQ(commonPrefix(AB, std::vector<int>{}), (std::vector<int>{}));
+}
+
+TEST(SequencesTest, LongestCommonPrefixFamily) {
+  using V = std::vector<int>;
+  EXPECT_EQ(longestCommonPrefix<int>({}), V{});
+  EXPECT_EQ(longestCommonPrefix<int>({{1, 2, 3}}), (V{1, 2, 3}));
+  EXPECT_EQ(longestCommonPrefix<int>({{1, 2, 3}, {1, 2, 4}, {1, 2}}),
+            (V{1, 2}));
+  EXPECT_EQ(longestCommonPrefix<int>({{1}, {2}}), V{});
+}

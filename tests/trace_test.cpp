@@ -1,0 +1,294 @@
+//===- tests/trace_test.cpp - Unit tests for the trace layer --------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "trace/Gen.h"
+#include "trace/Signature.h"
+#include "trace/Trace.h"
+#include "trace/TraceIo.h"
+#include "trace/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+namespace {
+
+Input P(std::int64_t V) { return cons::propose(V); }
+Output D(std::int64_t V) { return cons::decide(V); }
+
+} // namespace
+
+TEST(SignatureTest, MembershipRespectsPhaseRanges) {
+  PhaseSignature Sig12(1, 2);
+  EXPECT_TRUE(Sig12.contains(makeInvoke(0, 1, P(1))));
+  EXPECT_FALSE(Sig12.contains(makeInvoke(0, 2, P(1)))); // Phase 2 inv: next.
+  EXPECT_TRUE(Sig12.contains(makeRespond(0, 1, P(1), D(1))));
+  EXPECT_FALSE(Sig12.contains(makeRespond(0, 2, P(1), D(1))));
+  EXPECT_TRUE(Sig12.contains(makeSwitch(0, 2, P(1), SwitchValue{1})));
+  EXPECT_TRUE(Sig12.contains(makeSwitch(0, 1, P(1), SwitchValue{1})));
+  EXPECT_FALSE(Sig12.contains(makeSwitch(0, 3, P(1), SwitchValue{1})));
+
+  PhaseSignature Sig23(2, 3);
+  EXPECT_TRUE(Sig23.contains(makeInvoke(0, 2, P(1))));
+  EXPECT_TRUE(Sig23.contains(makeSwitch(0, 2, P(1), SwitchValue{1})));
+  EXPECT_FALSE(Sig23.contains(makeInvoke(0, 1, P(1))));
+}
+
+TEST(SignatureTest, InputOutputClassification) {
+  PhaseSignature Sig(2, 4);
+  EXPECT_TRUE(Sig.isInput(makeInvoke(0, 2, P(1))));
+  EXPECT_TRUE(Sig.isInput(makeSwitch(0, 2, P(1), SwitchValue{1})));
+  EXPECT_TRUE(Sig.isOutput(makeRespond(0, 3, P(1), D(1))));
+  EXPECT_TRUE(Sig.isOutput(makeSwitch(0, 4, P(1), SwitchValue{1})));
+  EXPECT_TRUE(Sig.isOutput(makeSwitch(0, 3, P(1), SwitchValue{1})));
+  EXPECT_FALSE(Sig.isInput(makeSwitch(0, 4, P(1), SwitchValue{1})));
+}
+
+TEST(SignatureTest, InitAbortClassification) {
+  PhaseSignature Sig(2, 3);
+  EXPECT_TRUE(Sig.isInitAction(makeSwitch(0, 2, P(1), SwitchValue{1})));
+  EXPECT_TRUE(Sig.isAbortAction(makeSwitch(0, 3, P(1), SwitchValue{1})));
+  EXPECT_FALSE(Sig.isInitAction(makeInvoke(0, 2, P(1))));
+}
+
+TEST(SignatureTest, CompatibilityAndComposition) {
+  PhaseSignature A(1, 2), B(2, 3), C(1, 3);
+  EXPECT_TRUE(areCompatible(A, B));
+  EXPECT_FALSE(areCompatible(A, A));
+  EXPECT_FALSE(areCompatible(A, C)); // Overlapping responses at phase 1.
+  PhaseSignature AB = composedSignature(A, B);
+  EXPECT_EQ(AB, C);
+}
+
+TEST(TraceOpsTest, ProjectionSplitsComposedTrace) {
+  PhaseSignature Sig12(1, 2), Sig23(2, 3);
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(7)),
+      makeSwitch(2, 2, P(7), SwitchValue{5}),
+      makeRespond(1, 1, P(5), D(5)),
+      makeRespond(2, 2, P(7), D(5)),
+  };
+  Trace Tmn = projectTrace(T, Sig12);
+  ASSERT_EQ(Tmn.size(), 4u); // Everything except the phase-2 response.
+  EXPECT_TRUE(isSwitch(Tmn[2]));
+  Trace Tno = projectTrace(T, Sig23);
+  ASSERT_EQ(Tno.size(), 2u); // The switch and the phase-2 response.
+  EXPECT_TRUE(isSwitch(Tno[0]));
+  EXPECT_TRUE(isRespond(Tno[1]));
+  // Coverage: every action is in at least one projection; the switch into 2
+  // is in both (Appendix C).
+  EXPECT_EQ(Tmn.size() + Tno.size(), T.size() + 1);
+}
+
+TEST(TraceOpsTest, InputsBeforeCountsInvocationsOnly) {
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeSwitch(2, 2, P(7), SwitchValue{5}),
+      makeRespond(1, 1, P(5), D(5)),
+      makeInvoke(2, 1, P(9)),
+  };
+  EXPECT_EQ(inputsBefore(T, 0).size(), 0u);
+  EXPECT_EQ(inputsBefore(T, 2), History{P(5)});
+  EXPECT_EQ(inputsBefore(T, 4), (History{P(5), P(9)}));
+}
+
+TEST(TraceOpsTest, ClientSubTraceDropsInteriorSwitches) {
+  PhaseSignature Sig13(1, 3);
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeSwitch(1, 2, P(5), SwitchValue{5}), // Interior: projected away.
+      makeRespond(1, 2, P(5), D(5)),
+  };
+  Trace Sub = clientSubTrace(T, 1, Sig13);
+  ASSERT_EQ(Sub.size(), 2u);
+  EXPECT_TRUE(isInvoke(Sub[0]));
+  EXPECT_TRUE(isRespond(Sub[1]));
+}
+
+TEST(TraceOpsTest, InterleaveRoundTripsWithClientSubTraces) {
+  // Interleave two disjoint single-client traces; each client's sub-trace
+  // of the interleaving recovers the original.
+  Trace T1 = {makeInvoke(1, 1, P(5)), makeRespond(1, 1, P(5), D(5))};
+  Trace T2 = {makeInvoke(2, 1, P(7)), makeRespond(2, 1, P(7), D(5))};
+  std::vector<bool> Schedule = {true, false, true, false};
+  Trace T = interleave(T1, T2, Schedule);
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(clientSubTrace(T, 1), T1);
+  EXPECT_EQ(clientSubTrace(T, 2), T2);
+  EXPECT_EQ(T[0], T1[0]);
+  EXPECT_EQ(T[1], T2[0]);
+}
+
+TEST(WellFormedLinTest, AcceptsAlternationWithPending) {
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeInvoke(2, 1, P(7)),
+      makeRespond(2, 1, P(7), D(7)),
+      makeInvoke(3, 1, P(9)), // Pending forever: fine.
+      makeRespond(1, 1, P(5), D(7)),
+  };
+  EXPECT_TRUE(checkWellFormedLin(T).Ok);
+}
+
+TEST(WellFormedLinTest, RejectsResponseWithoutInvocation) {
+  Trace T = {makeRespond(1, 1, P(5), D(5))};
+  EXPECT_FALSE(checkWellFormedLin(T).Ok);
+}
+
+TEST(WellFormedLinTest, RejectsDoubleInvoke) {
+  Trace T = {makeInvoke(1, 1, P(5)), makeInvoke(1, 1, P(6))};
+  EXPECT_FALSE(checkWellFormedLin(T).Ok);
+}
+
+TEST(WellFormedLinTest, RejectsMismatchedResponse) {
+  Trace T = {makeInvoke(1, 1, P(5)), makeRespond(1, 1, P(6), D(6))};
+  EXPECT_FALSE(checkWellFormedLin(T).Ok);
+}
+
+TEST(WellFormedLinTest, RejectsSwitchActions) {
+  Trace T = {makeInvoke(1, 1, P(5)),
+             makeSwitch(1, 2, P(5), SwitchValue{5})};
+  EXPECT_FALSE(checkWellFormedLin(T).Ok);
+}
+
+TEST(WellFormedPhaseTest, FirstPhaseClientLifecycle) {
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeRespond(1, 1, P(5), D(5)),
+      makeInvoke(1, 1, P(6)),
+      makeSwitch(1, 2, P(6), SwitchValue{5}), // Abort carries pending input.
+  };
+  EXPECT_TRUE(checkWellFormedPhase(T, Sig).Ok);
+}
+
+TEST(WellFormedPhaseTest, AbortMustBeLast) {
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeSwitch(1, 2, P(5), SwitchValue{5}),
+      makeInvoke(1, 1, P(6)), // After abort: illegal.
+  };
+  EXPECT_FALSE(checkWellFormedPhase(T, Sig).Ok);
+}
+
+TEST(WellFormedPhaseTest, AbortMustCarryPendingInput) {
+  PhaseSignature Sig(1, 2);
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeSwitch(1, 2, P(6), SwitchValue{5}), // Wrong input.
+  };
+  EXPECT_FALSE(checkWellFormedPhase(T, Sig).Ok);
+}
+
+TEST(WellFormedPhaseTest, SecondPhaseStartsWithInit) {
+  PhaseSignature Sig(2, 3);
+  Trace Good = {
+      makeSwitch(1, 2, P(5), SwitchValue{5}),
+      makeRespond(1, 2, P(5), D(5)),
+      makeInvoke(1, 2, P(6)),
+      makeRespond(1, 2, P(6), D(5)),
+  };
+  EXPECT_TRUE(checkWellFormedPhase(Good, Sig).Ok);
+
+  Trace Bad = {makeInvoke(1, 2, P(5))}; // Must switch in first.
+  EXPECT_FALSE(checkWellFormedPhase(Bad, Sig).Ok);
+
+  Trace DoubleInit = {
+      makeSwitch(1, 2, P(5), SwitchValue{5}),
+      makeRespond(1, 2, P(5), D(5)),
+      makeSwitch(1, 2, P(6), SwitchValue{5}), // Second init: illegal.
+  };
+  EXPECT_FALSE(checkWellFormedPhase(DoubleInit, Sig).Ok);
+}
+
+TEST(WellFormedPhaseTest, FirstPhaseForbidsInitActions) {
+  PhaseSignature Sig(1, 2);
+  Trace T = {makeSwitch(1, 1, P(5), SwitchValue{5})};
+  EXPECT_FALSE(checkWellFormedPhase(T, Sig).Ok);
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  Trace T = {
+      makeInvoke(1, 1, P(5)),
+      makeSwitch(2, 2, P(7), SwitchValue{5}),
+      makeRespond(1, 1, P(5), D(5)),
+  };
+  TraceParseResult R = parseTrace(formatTrace(T));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ParsedTrace, T);
+}
+
+TEST(TraceIoTest, CommentsAndBlanksIgnored) {
+  TraceParseResult R = parseTrace("# a comment\n\ninv 1 1 0 0 5 0\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.ParsedTrace.size(), 1u);
+  EXPECT_TRUE(isInvoke(R.ParsedTrace[0]));
+}
+
+TEST(TraceIoTest, DiagnosesBadLines) {
+  EXPECT_FALSE(parseTrace("foo 1 1 0 0 5 0\n").Ok);
+  EXPECT_FALSE(parseTrace("inv 1 1 0 0 5\n").Ok);     // Missing field.
+  EXPECT_FALSE(parseTrace("inv 1 0 0 0 5 0\n").Ok);   // Phase 0.
+  EXPECT_FALSE(parseTrace("res 1 1 0 0 5 0\n").Ok);   // res needs 8 fields.
+  EXPECT_FALSE(parseTrace("inv x 1 0 0 5 0\n").Ok);   // Non-numeric.
+}
+
+TEST(GenTest, LinearizableGeneratorIsWellFormed) {
+  ConsensusAdt Cons;
+  GenOptions Opts;
+  Opts.Alphabet = {P(1), P(2), P(3)};
+  Rng R(123);
+  for (int I = 0; I < 200; ++I) {
+    Trace T = genLinearizableTrace(Cons, Opts, R);
+    EXPECT_TRUE(checkWellFormedLin(T).Ok);
+  }
+}
+
+TEST(GenTest, ArbitraryGeneratorIsWellFormed) {
+  GenOptions Opts;
+  Opts.Alphabet = {P(1), P(2)};
+  Opts.Outputs = {D(1), D(2)};
+  Rng R(321);
+  for (int I = 0; I < 200; ++I) {
+    Trace T = genArbitraryTrace(Opts, R);
+    EXPECT_TRUE(checkWellFormedLin(T).Ok);
+  }
+}
+
+TEST(GenTest, EnumerationVisitsOnlyWellFormed) {
+  unsigned Count = 0;
+  enumerateWellFormedTraces(2, 4, {P(1)}, {D(1)}, [&](const Trace &T) {
+    ++Count;
+    EXPECT_TRUE(checkWellFormedLin(T).Ok);
+  });
+  EXPECT_GT(Count, 10u);
+}
+
+TEST(GenTest, EnumerationCountMatchesHandCount) {
+  // 1 client, alphabet {a}, outputs {o}, max 2 actions: traces are
+  // [], [inv], [inv res] -> 3.
+  unsigned Count = 0;
+  enumerateWellFormedTraces(1, 2, {P(1)}, {D(1)},
+                            [&](const Trace &) { ++Count; });
+  EXPECT_EQ(Count, 3u);
+}
+
+TEST(GenTest, MutatorsReportApplicability) {
+  GenOptions Opts;
+  Opts.Alphabet = {P(1), P(2)};
+  Opts.Outputs = {D(1), D(2)};
+  Rng R(77);
+  Trace Empty;
+  EXPECT_FALSE(mutateTrace(Empty, MutationKind::FlipOutput, Opts, R));
+  Trace T = {makeInvoke(1, 1, P(1)), makeRespond(1, 1, P(1), D(1))};
+  Trace Copy = T;
+  EXPECT_TRUE(mutateTrace(Copy, MutationKind::FlipOutput, Opts, R));
+  EXPECT_NE(Copy, T);
+  EXPECT_EQ(Copy[1].Out, D(2));
+}

@@ -1,0 +1,105 @@
+//===- bench/BenchJson.h - One-line JSON bench reporting --------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Google Benchmark reporter that prints exactly one JSON object per
+/// benchmark run to stdout, so BENCH_*.json perf trajectories can be
+/// captured across PRs with nothing more than `./bench_eN > BENCH_eN.json`.
+/// Fields: name (with the /param suffix), params (the suffix alone), the
+/// per-op times, iteration count, and every user counter the benchmark set
+/// (nodes explored, items/s, ...).
+///
+/// Every bench_e*.cpp closes with SLIN_BENCH_JSON_MAIN() instead of
+/// BENCHMARK_MAIN().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_BENCH_BENCHJSON_H
+#define SLIN_BENCH_BENCHJSON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace slin {
+namespace benchjson {
+
+/// Google Benchmark renamed Run::error_occurred to Run::skipped in v1.8;
+/// detect whichever member this library version has so the header builds
+/// against both (local 1.7.x, ubuntu-24.04's 1.8.x).
+template <typename T, typename = void>
+struct HasErrorOccurred : std::false_type {};
+template <typename T>
+struct HasErrorOccurred<
+    T, std::void_t<decltype(std::declval<const T &>().error_occurred)>>
+    : std::true_type {};
+
+template <typename R> bool runWasSkipped(const R &Run) {
+  if constexpr (HasErrorOccurred<R>::value)
+    return Run.error_occurred;
+  else
+    return static_cast<bool>(Run.skipped);
+}
+
+/// Minimal string escaping: benchmark names are identifier-like, but keep
+/// the output valid JSON even if one ever contains a quote or backslash.
+inline std::string escapeJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+class JsonLineReporter : public benchmark::BenchmarkReporter {
+public:
+  bool ReportContext(const Context &) override { return true; }
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (runWasSkipped(R))
+        continue;
+      std::string Name = R.benchmark_name();
+      std::string Params;
+      if (std::size_t Slash = Name.find('/'); Slash != std::string::npos)
+        Params = Name.substr(Slash + 1);
+      std::printf("{\"name\":\"%s\",\"params\":\"%s\",\"iterations\":%lld,"
+                  "\"ns_per_op\":%.3f,\"cpu_ns_per_op\":%.3f",
+                  escapeJson(Name).c_str(), escapeJson(Params).c_str(),
+                  static_cast<long long>(R.iterations),
+                  R.GetAdjustedRealTime(), R.GetAdjustedCPUTime());
+      for (const auto &[Counter, Value] : R.counters)
+        std::printf(",\"%s\":%.3f", escapeJson(Counter).c_str(),
+                    static_cast<double>(Value));
+      std::printf("}\n");
+      std::fflush(stdout);
+    }
+  }
+};
+
+} // namespace benchjson
+} // namespace slin
+
+/// Drop-in replacement for BENCHMARK_MAIN() that reports through
+/// JsonLineReporter.
+#define SLIN_BENCH_JSON_MAIN()                                               \
+  int main(int argc, char **argv) {                                          \
+    benchmark::Initialize(&argc, argv);                                      \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))                  \
+      return 1;                                                              \
+    slin::benchjson::JsonLineReporter Reporter;                              \
+    benchmark::RunSpecifiedBenchmarks(&Reporter);                            \
+    benchmark::Shutdown();                                                   \
+    return 0;                                                                \
+  }
+
+#endif // SLIN_BENCH_BENCHJSON_H

@@ -15,6 +15,8 @@
 
 #include "stack/Stack.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace slin;
@@ -70,4 +72,4 @@ static void BM_E1_PaxosBaseline(benchmark::State &State) {
 }
 BENCHMARK(BM_E1_PaxosBaseline)->Arg(3)->Arg(5)->Arg(7)->Arg(13);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

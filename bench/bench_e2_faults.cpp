@@ -21,6 +21,8 @@
 
 #include "stack/Stack.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace slin;
@@ -114,4 +116,4 @@ static void BM_E2_CrashSweep(benchmark::State &State) {
 }
 BENCHMARK(BM_E2_CrashSweep)->Arg(0)->Arg(1)->Arg(2);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

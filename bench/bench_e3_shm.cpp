@@ -16,6 +16,8 @@
 
 #include "shm/Threaded.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -154,4 +156,4 @@ BENCHMARK(BM_E3_CasContended)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

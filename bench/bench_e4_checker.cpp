@@ -18,10 +18,13 @@
 
 #include "adt/Consensus.h"
 #include "adt/Queue.h"
+#include "engine/CheckSession.h"
 #include "lin/Classical.h"
 #include "lin/ConsensusLin.h"
 #include "lin/LinChecker.h"
 #include "trace/Gen.h"
+
+#include "BenchJson.h"
 
 #include <benchmark/benchmark.h>
 
@@ -60,13 +63,16 @@ std::vector<Trace> queueFamily(unsigned Ops, unsigned Count) {
 
 } // namespace
 
+/// The engine via the batched session API: one CheckSession amortizes the
+/// interner, arena, and transposition table across the whole family.
 static void BM_E4_NewDefinition_Consensus(benchmark::State &State) {
   ConsensusAdt Cons;
   auto Family = consensusFamily(static_cast<unsigned>(State.range(0)), 20);
+  CheckSession Session(Cons);
   std::uint64_t Nodes = 0;
   for (auto _ : State)
     for (const Trace &T : Family) {
-      LinCheckResult R = checkLinearizable(T, Cons);
+      LinCheckResult R = Session.checkLin(T);
       benchmark::DoNotOptimize(R.Outcome);
       Nodes += R.NodesExplored;
     }
@@ -76,6 +82,18 @@ static void BM_E4_NewDefinition_Consensus(benchmark::State &State) {
       static_cast<double>(State.iterations() * Family.size()));
 }
 BENCHMARK(BM_E4_NewDefinition_Consensus)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+/// The engine through the one-shot entry point (a fresh session per trace):
+/// isolates what session reuse buys.
+static void BM_E4_OneShot_Consensus(benchmark::State &State) {
+  ConsensusAdt Cons;
+  auto Family = consensusFamily(static_cast<unsigned>(State.range(0)), 20);
+  for (auto _ : State)
+    for (const Trace &T : Family)
+      benchmark::DoNotOptimize(checkLinearizable(T, Cons).Outcome);
+  State.SetItemsProcessed(State.iterations() * Family.size());
+}
+BENCHMARK(BM_E4_OneShot_Consensus)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
 
 static void BM_E4_Classical_Consensus(benchmark::State &State) {
   ConsensusAdt Cons;
@@ -106,9 +124,10 @@ BENCHMARK(BM_E4_FastConsensus)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Arg(50);
 static void BM_E4_NewDefinition_Queue(benchmark::State &State) {
   QueueAdt Q;
   auto Family = queueFamily(static_cast<unsigned>(State.range(0)), 10);
+  CheckSession Session(Q);
   for (auto _ : State)
     for (const Trace &T : Family)
-      benchmark::DoNotOptimize(checkLinearizable(T, Q).Outcome);
+      benchmark::DoNotOptimize(Session.checkLin(T).Outcome);
   State.SetItemsProcessed(State.iterations() * Family.size());
 }
 BENCHMARK(BM_E4_NewDefinition_Queue)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
@@ -123,4 +142,4 @@ static void BM_E4_Classical_Queue(benchmark::State &State) {
 }
 BENCHMARK(BM_E4_Classical_Queue)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

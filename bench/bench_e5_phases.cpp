@@ -16,6 +16,8 @@
 
 #include "stack/Stack.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace slin;
@@ -112,4 +114,4 @@ static void BM_E5_ContentionFreeControl(benchmark::State &State) {
 }
 BENCHMARK(BM_E5_ContentionFreeControl)->Arg(2)->Arg(4)->Arg(8);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

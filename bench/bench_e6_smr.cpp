@@ -16,6 +16,8 @@
 #include "adt/KvStore.h"
 #include "smr/Smr.h"
 
+#include "BenchJson.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace slin;
@@ -125,4 +127,4 @@ static void BM_E6_SpeculativeSmrLoss(benchmark::State &State) {
 }
 BENCHMARK(BM_E6_SpeculativeSmrLoss)->Arg(0)->Arg(5)->Arg(10);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

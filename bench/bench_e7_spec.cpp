@@ -13,9 +13,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "adt/Consensus.h"
+#include "engine/CheckSession.h"
 #include "slin/SlinChecker.h"
 #include "spec/Refinement.h"
 #include "spec/SpecAutomaton.h"
+
+#include "BenchJson.h"
 
 #include <benchmark/benchmark.h>
 
@@ -66,6 +69,33 @@ static void BM_E7_MonitorSecondPhase(benchmark::State &State) {
 }
 BENCHMARK(BM_E7_MonitorSecondPhase)->Arg(12)->Arg(24)->Arg(48);
 
+/// The SLin checker on second-phase walks, batched through one
+/// CheckSession: the "checking is practical" counterpart of monitoring.
+/// The universal relation's interpretations are forced, so each trace is
+/// one engine run (plus f_abort synthesis at leaves).
+static void BM_E7_SlinCheckerSession(benchmark::State &State) {
+  UniversalInitRelation Rel;
+  unsigned Steps = static_cast<unsigned>(State.range(0));
+  auto Family = walkFamily(2, Steps, 20, Rel);
+  ConsensusAdt Cons;
+  PhaseSignature Sig(2, 3);
+  CheckSession Session(Cons);
+  std::uint64_t Accepted = 0;
+  for (auto _ : State)
+    for (const Trace &T : Family) {
+      SlinVerdict V = Session.checkSlin(T, Sig, Rel);
+      benchmark::DoNotOptimize(V.Outcome);
+      Accepted += V.Outcome == Verdict::Yes;
+    }
+  State.SetItemsProcessed(State.iterations() * Family.size());
+  State.counters["nodes_per_trace"] = benchmark::Counter(
+      static_cast<double>(Session.stats().Search.Nodes) /
+      static_cast<double>(State.iterations() * Family.size()));
+  State.counters["accepted_per_iter"] = benchmark::Counter(
+      static_cast<double>(Accepted) / static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_E7_SlinCheckerSession)->Arg(8)->Arg(12)->Arg(16);
+
 /// Bounded refinement model checking: states explored per bound.
 static void BM_E7_Refinement(benchmark::State &State) {
   unsigned Depth = static_cast<unsigned>(State.range(0));
@@ -86,4 +116,4 @@ static void BM_E7_Refinement(benchmark::State &State) {
 }
 BENCHMARK(BM_E7_Refinement)->Arg(3)->Arg(4)->Arg(5);
 
-BENCHMARK_MAIN();
+SLIN_BENCH_JSON_MAIN()

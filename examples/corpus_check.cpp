@@ -1,0 +1,194 @@
+//===- examples/corpus_check.cpp - Batched corpus checking ----------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The batched-workload face of the chain-search engine: check a whole
+// corpus of traces through one CheckSession, which amortizes input
+// interning, arena scratch, and the transposition table across every trace.
+//
+// Usage:
+//   corpus_check [traces <ops>] [seed <n>]   generate + check a mixed corpus
+//   corpus_check file <trace.txt>...         check textual traces (consensus)
+//
+// With no arguments a deterministic mixed corpus (linearizable-by-
+// construction, arbitrary, and mutated traces over consensus and queue) is
+// generated with trace/Gen and checked; the tool prints one JSON line per
+// family and a final summary line with session-level statistics — the same
+// shape the benches emit, so corpus throughput can be tracked across PRs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/Queue.h"
+#include "engine/CheckSession.h"
+#include "trace/Gen.h"
+#include "trace/TraceIo.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace slin;
+
+namespace {
+
+struct FamilyReport {
+  const char *Name;
+  std::size_t Traces = 0;
+  std::size_t Yes = 0, No = 0, Unknown = 0;
+  double Millis = 0;
+};
+
+FamilyReport checkFamily(const char *Name, CheckSession &Session,
+                         const std::vector<Trace> &Corpus) {
+  FamilyReport Rep;
+  Rep.Name = Name;
+  Rep.Traces = Corpus.size();
+  auto Start = std::chrono::steady_clock::now();
+  for (const Trace &T : Corpus) {
+    LinCheckResult R = Session.checkLin(T);
+    if (R.Outcome == Verdict::Yes)
+      ++Rep.Yes;
+    else if (R.Outcome == Verdict::No)
+      ++Rep.No;
+    else
+      ++Rep.Unknown;
+  }
+  Rep.Millis = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  return Rep;
+}
+
+void printReport(const FamilyReport &Rep) {
+  double PerTrace = Rep.Traces ? Rep.Millis * 1e6 / Rep.Traces : 0;
+  std::printf("{\"family\":\"%s\",\"traces\":%zu,\"yes\":%zu,\"no\":%zu,"
+              "\"unknown\":%zu,\"ms\":%.2f,\"ns_per_trace\":%.0f}\n",
+              Rep.Name, Rep.Traces, Rep.Yes, Rep.No, Rep.Unknown, Rep.Millis,
+              PerTrace);
+}
+
+int checkFiles(int Argc, char **Argv) {
+  ConsensusAdt Cons;
+  CheckSession Session(Cons);
+  int Bad = 0;
+  for (int I = 0; I != Argc; ++I) {
+    std::ifstream In(Argv[I]);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", Argv[I]);
+      return 2;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    TraceParseResult Parsed = parseTrace(Text.str());
+    if (!Parsed.Ok) {
+      std::fprintf(stderr, "%s: %s\n", Argv[I], Parsed.Error.c_str());
+      return 2;
+    }
+    LinCheckResult R = Session.checkLin(Parsed.ParsedTrace);
+    const char *V = R.Outcome == Verdict::Yes      ? "yes"
+                    : R.Outcome == Verdict::No     ? "no"
+                                                   : "unknown";
+    std::printf("{\"file\":\"%s\",\"verdict\":\"%s\",\"nodes\":%llu%s%s%s}\n",
+                Argv[I], V,
+                static_cast<unsigned long long>(R.NodesExplored),
+                R.Reason.empty() ? "" : ",\"reason\":\"",
+                R.Reason.c_str(), R.Reason.empty() ? "" : "\"");
+    Bad += R.Outcome != Verdict::Yes;
+  }
+  return Bad ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned TracesPerFamily = 200;
+  std::uint64_t Seed = 0x5EED;
+  for (int I = 1; I < Argc; I += 2) {
+    bool IsFile = !std::strcmp(Argv[I], "file");
+    if (IsFile && I + 1 < Argc)
+      return checkFiles(Argc - I - 1, Argv + I + 1);
+    if (!IsFile && I + 1 < Argc && !std::strcmp(Argv[I], "traces")) {
+      TracesPerFamily = static_cast<unsigned>(std::atoi(Argv[I + 1]));
+      continue;
+    }
+    if (!IsFile && I + 1 < Argc && !std::strcmp(Argv[I], "seed")) {
+      Seed = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [traces <n>] [seed <n>] | file <t.txt>...\n",
+                 Argv[0]);
+    return 2;
+  }
+
+  Rng R(Seed);
+  auto Start = std::chrono::steady_clock::now();
+
+  // Consensus: linearizable-by-construction, mutated, and arbitrary traces
+  // share one session (and thus one interner/arena/memo table).
+  ConsensusAdt Cons;
+  CheckSession ConsSession(Cons);
+  {
+    GenOptions G;
+    G.NumClients = 4;
+    G.NumOps = 10;
+    G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+    G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+    std::vector<Trace> Positive, Mutated, Arbitrary;
+    for (unsigned I = 0; I != TracesPerFamily; ++I) {
+      Positive.push_back(genLinearizableTrace(Cons, G, R));
+      Trace M = Positive.back();
+      mutateTrace(M, static_cast<MutationKind>(I % 4), G, R);
+      Mutated.push_back(std::move(M));
+      Arbitrary.push_back(genArbitraryTrace(G, R));
+    }
+    printReport(checkFamily("consensus/positive", ConsSession, Positive));
+    printReport(checkFamily("consensus/mutated", ConsSession, Mutated));
+    printReport(checkFamily("consensus/arbitrary", ConsSession, Arbitrary));
+  }
+
+  QueueAdt Q;
+  CheckSession QueueSession(Q);
+  {
+    GenOptions G;
+    G.NumClients = 3;
+    G.NumOps = 8;
+    G.Alphabet = {queue::enq(1), queue::enq(2), queue::deq()};
+    G.Outputs = {Output{1}, Output{2}, Output{NoValue}};
+    std::vector<Trace> Positive, Arbitrary;
+    for (unsigned I = 0; I != TracesPerFamily; ++I) {
+      Positive.push_back(genLinearizableTrace(Q, G, R));
+      Arbitrary.push_back(genArbitraryTrace(G, R));
+    }
+    printReport(checkFamily("queue/positive", QueueSession, Positive));
+    printReport(checkFamily("queue/arbitrary", QueueSession, Arbitrary));
+  }
+
+  double TotalMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  const SessionStats &CS = ConsSession.stats();
+  const SessionStats &QS = QueueSession.stats();
+  std::printf(
+      "{\"summary\":{\"checks\":%llu,\"nodes\":%llu,\"memo_hits\":%llu,"
+      "\"commit_moves\":%llu,\"filler_moves\":%llu,\"total_ms\":%.1f,"
+      "\"traces_per_sec\":%.0f}}\n",
+      static_cast<unsigned long long>(CS.Checks + QS.Checks),
+      static_cast<unsigned long long>(CS.Search.Nodes + QS.Search.Nodes),
+      static_cast<unsigned long long>(CS.Search.MemoHits +
+                                      QS.Search.MemoHits),
+      static_cast<unsigned long long>(CS.Search.CommitMoves +
+                                      QS.Search.CommitMoves),
+      static_cast<unsigned long long>(CS.Search.FillerMoves +
+                                      QS.Search.FillerMoves),
+      TotalMs,
+      TotalMs > 0 ? (CS.Checks + QS.Checks) * 1000.0 / TotalMs : 0);
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- engine/Arena.h - Bump allocation for search scratch ------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic bump arena for the chain-search engine's scratch data: the
+/// per-obligation availability count arrays and the per-depth candidate
+/// buffers. The search allocates these once per trace instead of once per
+/// node (the seed checkers rebuilt a Multiset per node), and a CheckSession
+/// rewinds the arena between traces so a corpus run performs a bounded
+/// number of real heap allocations no matter how many traces it checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_ARENA_H
+#define SLIN_ENGINE_ARENA_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace slin {
+
+/// A monotonic allocator: allocation bumps a pointer within chained blocks;
+/// reset() rewinds to empty while keeping the blocks for reuse. Only
+/// trivially-destructible payloads may be placed in the arena — reset() runs
+/// no destructors.
+class Arena {
+public:
+  explicit Arena(std::size_t BlockBytes = 1u << 16) : BlockBytes(BlockBytes) {}
+
+  /// Allocates \p Bytes with the given power-of-two alignment.
+  void *allocate(std::size_t Bytes,
+                 std::size_t Align = alignof(std::max_align_t)) {
+    if (Current == Blocks.size() || Offset + Bytes + Align > Capacities[Current])
+      grow(Bytes + Align);
+    std::uintptr_t P =
+        reinterpret_cast<std::uintptr_t>(Blocks[Current].get() + Offset);
+    std::uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    Offset += (Aligned - P) + Bytes;
+    Allocated += Bytes;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Allocates an uninitialized array of \p N elements of \p T.
+  template <typename T> T *allocArray(std::size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Allocates an array of \p N elements of \p T, zero-filled.
+  template <typename T> T *allocZeroed(std::size_t N) {
+    T *P = allocArray<T>(N);
+    for (std::size_t I = 0; I != N; ++I)
+      P[I] = T{};
+    return P;
+  }
+
+  /// Rewinds the arena to empty, retaining the allocated blocks.
+  void reset() {
+    Current = 0;
+    Offset = 0;
+    Allocated = 0;
+  }
+
+  /// Bytes handed out since the last reset (excluding alignment padding).
+  std::size_t bytesAllocated() const { return Allocated; }
+
+private:
+  /// Advances to the next retained block with at least \p AtLeast free
+  /// bytes, appending a fresh block when none fits.
+  void grow(std::size_t AtLeast) {
+    std::size_t Next = Blocks.empty() ? 0 : Current + 1;
+    while (Next < Blocks.size() && Capacities[Next] < AtLeast)
+      ++Next;
+    if (Next == Blocks.size()) {
+      std::size_t Cap = std::max(BlockBytes, AtLeast);
+      Blocks.push_back(std::make_unique<std::byte[]>(Cap));
+      Capacities.push_back(Cap);
+    }
+    Current = Next;
+    Offset = 0;
+  }
+
+  std::size_t BlockBytes;
+  std::vector<std::unique_ptr<std::byte[]>> Blocks;
+  std::vector<std::size_t> Capacities;
+  std::size_t Current = 0; ///< Index of the block being bumped.
+  std::size_t Offset = 0;  ///< Bump offset within the current block.
+  std::size_t Allocated = 0;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_ARENA_H

@@ -1,0 +1,261 @@
+//===- engine/ChainSearch.cpp ---------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ChainSearch.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace slin;
+
+namespace {
+
+/// Stafford/splitmix finalizer: the per-(id, count) mix folded into the
+/// incremental used-multiset hash.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// XOR-combinable fingerprint of the pair (id, count). The used multiset is
+/// exactly the set of such pairs with count > 0, so XOR-ing fingerprints in
+/// and out as counts change maintains an order-independent multiset hash in
+/// O(1) per append/undo — where the seed checkers rehashed the whole
+/// multiset at every node.
+std::uint64_t pairMix(InputId Id, std::int32_t Count) {
+  return mix64((static_cast<std::uint64_t>(Id) << 32) |
+               static_cast<std::uint32_t>(Count));
+}
+
+/// One depth-first search run over a ChainProblem.
+class Runner {
+public:
+  Runner(const ChainProblem &P, const ChainLimits &Limits,
+         const InputInterner &Interner, TranspositionTable &Memo,
+         Arena &Scratch, std::uint64_t Salt)
+      : P(P), Limits(Limits), Interner(Interner), Memo(Memo),
+        Scratch(Scratch), Salt(Salt) {}
+
+  ChainResult run() {
+    ChainResult Result;
+    std::size_t NumOb = P.Commits.size();
+    if (NumOb > 64) {
+      Result.Outcome = Verdict::Unknown;
+      Result.Reason = "more than 64 responses; exact search not attempted";
+      return Result;
+    }
+    FullMask = NumOb == 64 ? ~0ull : ((1ull << NumOb) - 1);
+
+    InputId A = P.AlphabetSize;
+    Used = Scratch.allocZeroed<std::int32_t>(A);
+    Avail = Scratch.allocArray<const std::int32_t *>(NumOb);
+    for (std::size_t R = 0; R != NumOb; ++R)
+      Avail[R] = P.Commits[R].Available;
+    Deficit = Scratch.allocZeroed<std::int32_t>(NumOb);
+    if (P.SequenceSensitive) {
+      IdHash = Scratch.allocArray<std::uint64_t>(A);
+      for (InputId Id = 0; Id != A; ++Id)
+        IdHash[Id] = hashValue(Interner.input(Id));
+      SeqHashes.push_back(0x484953u); // hashValue(History) fold seed.
+    }
+    if (Limits.TimeBudgetMillis) {
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Limits.TimeBudgetMillis);
+      HaveDeadline = true;
+    }
+
+    std::unique_ptr<AdtState> State = P.Type->makeState();
+    for (InputId Id : P.Seed) {
+      State->apply(Interner.input(Id));
+      push(Id);
+    }
+
+    bool Found = dfs(0, *State);
+    Result.Stats = Stats;
+    if (Found) {
+      Result.Outcome = Verdict::Yes;
+      Result.Master = std::move(Master);
+      Result.Commits = std::move(Commits);
+      return Result;
+    }
+    if (BudgetExhausted) {
+      Result.Outcome = Verdict::Unknown;
+      Result.Reason = DeadlineExhausted ? "time budget exhausted"
+                                        : "node budget exhausted";
+      return Result;
+    }
+    Result.Outcome = Verdict::No;
+    return Result;
+  }
+
+private:
+  /// Appends input \p Id to the master: bumps its used count, maintains the
+  /// incremental multiset hash, the per-obligation deficit counters (number
+  /// of inputs over-used w.r.t. that obligation's availability), and the
+  /// sequence-hash stack.
+  void push(InputId Id) {
+    std::int32_t C = Used[Id]++;
+    if (C > 0)
+      UsedHash ^= pairMix(Id, C);
+    UsedHash ^= pairMix(Id, C + 1);
+    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R)
+      if (Avail[R][Id] == C)
+        ++Deficit[R];
+    Master.push_back(Interner.input(Id));
+    if (P.SequenceSensitive)
+      SeqHashes.push_back(hashCombine(SeqHashes.back(), IdHash[Id]));
+  }
+
+  /// Undoes the matching push.
+  void pop(InputId Id) {
+    std::int32_t C = --Used[Id];
+    UsedHash ^= pairMix(Id, C + 1);
+    if (C > 0)
+      UsedHash ^= pairMix(Id, C);
+    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R)
+      if (Avail[R][Id] == C)
+        --Deficit[R];
+    Master.pop_back();
+    if (P.SequenceSensitive)
+      SeqHashes.pop_back();
+  }
+
+  bool atLeaf() {
+    ++Stats.LeafChecks;
+    if (!P.AcceptLeaf)
+      return true;
+    std::size_t MaxCommitLen = 0;
+    for (const auto &[Tag, Len] : Commits) {
+      (void)Tag;
+      MaxCommitLen = std::max(MaxCommitLen, Len);
+    }
+    return P.AcceptLeaf(Master, MaxCommitLen);
+  }
+
+  bool dfs(std::uint64_t Committed, AdtState &State) {
+    if (Committed == FullMask)
+      return atLeaf();
+    if (++Stats.Nodes > Limits.NodeBudget) {
+      BudgetExhausted = true;
+      return false;
+    }
+    if (HaveDeadline && (Stats.Nodes & 1023u) == 0 &&
+        std::chrono::steady_clock::now() > Deadline) {
+      BudgetExhausted = DeadlineExhausted = true;
+      return false;
+    }
+    std::uint64_t Key = hashCombine(
+        hashCombine(hashCombine(Salt, Committed), State.digest()), UsedHash);
+    if (P.SequenceSensitive)
+      Key = hashCombine(Key, SeqHashes.back());
+    if (Memo.contains(Key)) {
+      ++Stats.MemoHits;
+      return false;
+    }
+
+    // Move 1: commit an outstanding response by appending its input.
+    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R) {
+      if (Committed & (1ull << R))
+        continue;
+      const CommitObligation &Ob = P.Commits[R];
+      if ((Committed & Ob.MustFollow) != Ob.MustFollow)
+        continue; // Real-time Order: a predecessor is still uncommitted.
+      if (Deficit[R] != 0)
+        continue; // Some earlier append is not available at this response.
+      if (Used[Ob.In] + 1 > Avail[R][Ob.In])
+        continue; // Validity would fail on the endpoint input.
+      std::unique_ptr<AdtState> Next = State.clone();
+      if (Next->apply(Interner.input(Ob.In)) != Ob.Out)
+        continue; // Would not explain the response.
+      ++Stats.CommitMoves;
+      push(Ob.In);
+      Commits.push_back({Ob.Tag, Master.size()});
+      if (dfs(Committed | (1ull << R), *Next))
+        return true;
+      Commits.pop_back();
+      pop(Ob.In);
+    }
+
+    // Move 2: append a filler input. A filler lies in every later commit
+    // history, so it must be available (beyond what is already used) at
+    // every uncommitted obligation: candidates are the inputs with positive
+    // pointwise-min remaining availability.
+    // Note: deeper recursion may reallocate Frames, so take the (arena-
+    // stable) buffer pointer rather than a reference into the vector.
+    InputId *Candidates = frameAt(Master.size()).Candidates;
+    std::size_t NumCandidates = 0;
+    for (InputId Id = 0; Id != P.AlphabetSize; ++Id) {
+      std::int32_t Min = INT32_MAX;
+      for (std::size_t R = 0, E = P.Commits.size(); R != E && Min > 0; ++R)
+        if (!(Committed & (1ull << R)))
+          Min = std::min(Min, Avail[R][Id] - Used[Id]);
+      if (Min > 0 && Min != INT32_MAX)
+        Candidates[NumCandidates++] = Id;
+    }
+    for (std::size_t I = 0; I != NumCandidates; ++I) {
+      InputId Id = Candidates[I];
+      std::unique_ptr<AdtState> Next = State.clone();
+      Next->apply(Interner.input(Id));
+      ++Stats.FillerMoves;
+      push(Id);
+      if (dfs(Committed, *Next))
+        return true;
+      pop(Id);
+    }
+
+    Memo.insert(Key);
+    ++Stats.MemoStores;
+    return false;
+  }
+
+  /// Per-depth candidate buffer; the recursion stack has strictly
+  /// increasing master lengths, so one buffer per depth never aliases.
+  struct Frame {
+    InputId *Candidates = nullptr;
+  };
+
+  Frame &frameAt(std::size_t Depth) {
+    while (Depth >= Frames.size()) {
+      Frame F;
+      F.Candidates = Scratch.allocArray<InputId>(P.AlphabetSize);
+      Frames.push_back(F);
+    }
+    return Frames[Depth];
+  }
+
+  const ChainProblem &P;
+  const ChainLimits &Limits;
+  const InputInterner &Interner;
+  TranspositionTable &Memo;
+  Arena &Scratch;
+  std::uint64_t Salt;
+
+  std::uint64_t FullMask = 0;
+  std::int32_t *Used = nullptr;
+  const std::int32_t **Avail = nullptr;
+  std::int32_t *Deficit = nullptr;
+  std::uint64_t *IdHash = nullptr;
+  std::uint64_t UsedHash = 0;
+  History Master;
+  std::vector<std::pair<std::size_t, std::size_t>> Commits;
+  std::vector<std::uint64_t> SeqHashes;
+  std::vector<Frame> Frames;
+  ChainStats Stats;
+  std::chrono::steady_clock::time_point Deadline;
+  bool HaveDeadline = false;
+  bool BudgetExhausted = false;
+  bool DeadlineExhausted = false;
+};
+
+} // namespace
+
+ChainResult ChainSearch::run(const ChainProblem &Problem,
+                             const ChainLimits &Limits, std::uint64_t Salt) {
+  Runner R(Problem, Limits, Interner, Memo, Scratch, mix64(Salt));
+  return R.run();
+}

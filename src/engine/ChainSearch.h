@@ -1,0 +1,161 @@
+//===- engine/ChainSearch.h - The shared chain-search core ------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified chain-search engine behind both linearizability checkers.
+/// Plain linearizability (Definition 5) and (m, n)-speculative
+/// linearizability (Definition 19) both reduce to the same commit-by-commit
+/// search: extend a candidate master history one input at a time, where each
+/// step either *commits* an outstanding response (whose output the ADT must
+/// then explain) or appends a *filler* input available to every remaining
+/// commit. The two checkers differ only in the obligations they feed the
+/// engine — plain lin derives availability from inputs invoked before each
+/// response; slin seeds the master with the init LCP, caps availability by
+/// vi(m, t, f_init, i) and every abort's budget, and synthesizes f_abort at
+/// each leaf — so the engine is parameterized by a ChainProblem:
+///
+///   * CommitObligations (input, expected output, availability counts,
+///     real-time-order predecessor mask),
+///   * an optional pre-applied Seed prefix,
+///   * an optional AcceptLeaf predicate run when every commit is placed.
+///
+/// Compared with the seed checkers the engine replaces per-node Multiset
+/// copies with dense count arrays over interned InputIds, rehash-the-world
+/// memo keys with an incrementally folded multiset hash, the unbounded
+/// failed-state set with a bounded salted TranspositionTable, and per-node
+/// heap churn with Arena scratch — same verdicts, measurably faster.
+///
+/// Deciding linearizability is NP-complete, so the search is bounded by a
+/// node budget and an optional deadline; exhaustion yields Verdict::Unknown
+/// (never a wrong answer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_CHAINSEARCH_H
+#define SLIN_ENGINE_CHAINSEARCH_H
+
+#include "adt/Adt.h"
+#include "engine/Arena.h"
+#include "engine/Interner.h"
+#include "engine/Transposition.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slin {
+
+/// Three-valued checker outcome.
+enum class Verdict : std::uint8_t {
+  Yes,     ///< Property holds; a witness is attached where applicable.
+  No,      ///< Property conclusively violated.
+  Unknown, ///< Search budget exhausted before a conclusion.
+};
+
+/// Resource bounds for one search run.
+struct ChainLimits {
+  /// Maximum number of search nodes before giving up with Unknown.
+  std::uint64_t NodeBudget = 1u << 22;
+  /// Wall-clock budget in milliseconds; 0 means unlimited. Checked every
+  /// 1024 nodes, so short overshoots are possible.
+  std::uint64_t TimeBudgetMillis = 0;
+};
+
+/// Counters one search run accumulates (a CheckSession aggregates them
+/// across runs).
+struct ChainStats {
+  std::uint64_t Nodes = 0;       ///< Interior search nodes expanded.
+  std::uint64_t CommitMoves = 0; ///< Commit edges taken.
+  std::uint64_t FillerMoves = 0; ///< Filler edges taken.
+  std::uint64_t LeafChecks = 0;  ///< All-committed leaves reached.
+  std::uint64_t MemoHits = 0;    ///< Subtrees pruned by the memo table.
+  std::uint64_t MemoStores = 0;  ///< Failed subtrees recorded.
+
+  void accumulate(const ChainStats &S) {
+    Nodes += S.Nodes;
+    CommitMoves += S.CommitMoves;
+    FillerMoves += S.FillerMoves;
+    LeafChecks += S.LeafChecks;
+    MemoHits += S.MemoHits;
+    MemoStores += S.MemoStores;
+  }
+};
+
+/// One outstanding response the search must commit: appending In must make
+/// the ADT produce Out, every input used so far (and In itself) must fit
+/// within Available, and every MustFollow predecessor must already be
+/// committed (Real-time Order).
+struct CommitObligation {
+  std::size_t Tag = 0; ///< Caller-defined; returned in ChainResult::Commits.
+  InputId In = 0;
+  Output Out;
+  std::uint64_t MustFollow = 0; ///< Bitmask over obligation indices.
+  /// Dense availability counts indexed by InputId; length is the problem's
+  /// AlphabetSize. Typically arena-allocated by the obligation provider.
+  const std::int32_t *Available = nullptr;
+};
+
+/// A chain-search instance: what to commit, what the master starts with,
+/// and what must hold at a leaf.
+struct ChainProblem {
+  const Adt *Type = nullptr;
+  /// Exclusive upper bound of the InputIds this problem mentions; all
+  /// Available arrays have this length.
+  InputId AlphabetSize = 0;
+  /// Obligations in the order moves are attempted (trace order preserves
+  /// the seed checkers' exploration order). At most 64 for exact search.
+  std::vector<CommitObligation> Commits;
+  /// Pre-applied master prefix (the slin init LCP); it consumes
+  /// availability and is part of every commit history.
+  std::vector<InputId> Seed;
+  /// Include the master's sequence hash in memo keys. Required whenever the
+  /// leaf predicate depends on the master's order (abort synthesis does);
+  /// plain multiset + ADT-digest keys suffice otherwise.
+  bool SequenceSensitive = false;
+  /// Called when every obligation is committed, with the candidate master
+  /// and the longest commit-prefix length; returning false rejects the
+  /// leaf and the search continues. Null accepts every leaf.
+  std::function<bool(const History &Master, std::size_t MaxCommitLen)>
+      AcceptLeaf;
+};
+
+/// Outcome of one search run. On Yes, Master/Commits describe the witness
+/// chain: Commits maps each obligation's Tag to its commit history's length
+/// (a prefix of Master).
+struct ChainResult {
+  Verdict Outcome = Verdict::No;
+  std::string Reason; ///< Set for Unknown; empty No is the caller's to name.
+  History Master;
+  std::vector<std::pair<std::size_t, std::size_t>> Commits;
+  ChainStats Stats;
+
+  explicit operator bool() const { return Outcome == Verdict::Yes; }
+};
+
+/// The engine. Borrows its interner, memo table, and arena from the caller
+/// (normally a CheckSession) so repeated runs amortize their setup; the
+/// \p Salt passed to run() keeps memo keys of distinct runs from aliasing
+/// in the shared table.
+class ChainSearch {
+public:
+  ChainSearch(const InputInterner &Interner, TranspositionTable &Memo,
+              Arena &Scratch)
+      : Interner(Interner), Memo(Memo), Scratch(Scratch) {}
+
+  ChainResult run(const ChainProblem &Problem, const ChainLimits &Limits,
+                  std::uint64_t Salt = 0);
+
+private:
+  const InputInterner &Interner;
+  TranspositionTable &Memo;
+  Arena &Scratch;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_CHAINSEARCH_H

@@ -1,0 +1,339 @@
+//===- engine/CheckSession.cpp --------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CheckSession.h"
+
+#include "slin/SlinWitness.h"
+#include "support/Sequences.h"
+#include "trace/WellFormed.h"
+
+#include <algorithm>
+
+using namespace slin;
+
+namespace {
+
+/// Pointwise min of two multisets (the cap an abort's budget imposes on
+/// every commit's availability).
+Multiset<Input> pointwiseMin(const Multiset<Input> &A,
+                             const Multiset<Input> &B) {
+  Multiset<Input> Result;
+  for (const auto &[In, Count] : A.entries()) {
+    std::int64_t C = std::min(Count, B.count(In));
+    if (C > 0)
+      Result.add(In, C);
+  }
+  return Result;
+}
+
+/// An abort action whose f_abort history the leaf predicate synthesizes.
+struct PendingAbort {
+  std::size_t TraceIndex;
+  Input In;
+  SwitchValue Sv;
+  Multiset<Input> Budget; ///< vi at the abort (or at trace end, relaxed).
+};
+
+} // namespace
+
+CheckSession::CheckSession(const Adt &Type, const SessionOptions &Opts)
+    : Type(Type), Memo(Opts.TranspositionCapacity) {}
+
+void CheckSession::internSorted(std::vector<Input> Pool) {
+  std::sort(Pool.begin(), Pool.end());
+  Pool.erase(std::unique(Pool.begin(), Pool.end()), Pool.end());
+  for (const Input &In : Pool)
+    Interner.intern(In);
+}
+
+const std::int32_t *CheckSession::denseCounts(const Multiset<Input> &M) {
+  InputId A = Interner.size();
+  std::int32_t *Counts = Scratch.allocZeroed<std::int32_t>(A);
+  for (const auto &[In, Count] : M.entries()) {
+    InputId Id = Interner.intern(In);
+    // An input first seen here cannot be a commit input or filler (those
+    // are interned before the alphabet is sized), so dropping its count is
+    // sound — it only keeps the array within its allocation.
+    if (Id < A)
+      Counts[Id] = static_cast<std::int32_t>(Count);
+  }
+  return Counts;
+}
+
+//===----------------------------------------------------------------------===//
+// Plain linearizability: the Definition 5 obligation provider.
+//===----------------------------------------------------------------------===//
+
+LinCheckResult CheckSession::checkLin(const Trace &T,
+                                      const LinCheckOptions &Opts) {
+  LinCheckResult Result;
+  WellFormedness Wf = checkWellFormedLin(T);
+  if (!Wf) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = "not well-formed: " + Wf.Reason;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+  for (const Action &A : T) {
+    if (!Type.validInput(A.In)) {
+      Result.Outcome = Verdict::No;
+      Result.Reason = "invalid input for ADT";
+      Stats.record(Result.Outcome);
+      return Result;
+    }
+  }
+  Result = runLin(T, Opts);
+  Stats.record(Result.Outcome);
+  return Result;
+}
+
+LinCheckResult CheckSession::runLin(const Trace &T,
+                                    const LinCheckOptions &Opts) {
+  Scratch.reset();
+  {
+    std::vector<Input> Pool;
+    Pool.reserve(T.size());
+    for (const Action &Act : T)
+      Pool.push_back(Act.In);
+    internSorted(std::move(Pool));
+  }
+  InputId A = Interner.size();
+
+  // One forward pass builds every obligation: Running holds the counts of
+  // inputs invoked so far, and each response snapshots it as its
+  // availability (elems(inputs(t, i)), Definition 9) — replacing the seed
+  // checker's per-response O(trace) multiset rebuild.
+  ChainProblem Problem;
+  Problem.Type = &Type;
+  Problem.AlphabetSize = A;
+  std::int32_t *Running = Scratch.allocZeroed<std::int32_t>(A);
+  std::vector<std::size_t> OpenInvoke(64, SIZE_MAX);
+  std::vector<std::size_t> InvokeIdx; // Parallel to Problem.Commits.
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &Act = T[I];
+    if (Act.Client >= OpenInvoke.size())
+      OpenInvoke.resize(Act.Client + 1, SIZE_MAX);
+    if (isInvoke(Act)) {
+      OpenInvoke[Act.Client] = I;
+      ++Running[Interner.intern(Act.In)];
+      continue;
+    }
+    std::int32_t *Avail = Scratch.allocArray<std::int32_t>(A);
+    std::copy(Running, Running + A, Avail);
+    CommitObligation Ob;
+    Ob.Tag = I;
+    Ob.In = Interner.intern(Act.In);
+    Ob.Out = Act.Out;
+    Ob.Available = Avail;
+    Problem.Commits.push_back(Ob);
+    InvokeIdx.push_back(OpenInvoke[Act.Client]);
+  }
+  // Real-time Order: if operation X responds before operation Y is
+  // invoked, X's commit history must be a strict prefix of Y's — i.e. X
+  // commits earlier in the chain (the condition Lemma 4 needs to reorder a
+  // trace while preserving non-overlapping operations).
+  for (std::size_t R = 0; R < Problem.Commits.size() && R < 64; ++R)
+    for (std::size_t Q = 0; Q < Problem.Commits.size() && Q < 64; ++Q)
+      if (Problem.Commits[Q].Tag < InvokeIdx[R])
+        Problem.Commits[R].MustFollow |= 1ull << Q;
+
+  ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
+  ChainSearch Engine(Interner, Memo, Scratch);
+  ChainResult R = Engine.run(Problem, Limits, ++RunSerial);
+  Stats.Search.accumulate(R.Stats);
+
+  LinCheckResult Result;
+  Result.Outcome = R.Outcome;
+  Result.NodesExplored = R.Stats.Nodes;
+  if (R.Outcome == Verdict::Yes) {
+    Result.Witness.Master = std::move(R.Master);
+    Result.Witness.Commits = std::move(R.Commits);
+  } else if (R.Outcome == Verdict::Unknown) {
+    Result.Reason = std::move(R.Reason);
+  } else {
+    Result.Reason = "no linearization function exists";
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative linearizability: the Definition 19 obligation provider.
+//===----------------------------------------------------------------------===//
+
+SlinCheckResult CheckSession::checkSlinUnder(const Trace &T,
+                                             const PhaseSignature &Sig,
+                                             const InitRelation &Rel,
+                                             const InitInterpretation &Finit,
+                                             const SlinCheckOptions &Opts) {
+  SlinCheckResult Result;
+  WellFormedness Wf = checkWellFormedPhase(T, Sig);
+  if (!Wf) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = "not (m, n)-well-formed: " + Wf.Reason;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+  Result = runSlinUnder(T, Sig, Rel, Finit, Opts);
+  Stats.record(Result.Outcome);
+  return Result;
+}
+
+SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
+                                           const PhaseSignature &Sig,
+                                           const InitRelation &Rel,
+                                           const InitInterpretation &Finit,
+                                           const SlinCheckOptions &Opts) {
+  Scratch.reset();
+  // One pool of trace inputs plus the interpretation's ghost inputs (the
+  // ghosts take part in availability counting, so they must be in the
+  // dense alphabet before arrays are sized).
+  {
+    std::vector<Input> Pool;
+    Pool.reserve(T.size());
+    for (const Action &Act : T)
+      Pool.push_back(Act.In);
+    for (const auto &[Index, H] : Finit) {
+      (void)Index;
+      Pool.insert(Pool.end(), H.begin(), H.end());
+    }
+    internSorted(std::move(Pool));
+  }
+
+  // Init LCP: Init Order forces it below every commit and abort history.
+  std::vector<History> InitHistories;
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    InitHistories.push_back(H);
+  }
+  History Lcp = longestCommonPrefix(InitHistories);
+  bool HaveInits = !InitHistories.empty();
+
+  std::vector<Multiset<Input>> CommitAvail;
+  std::vector<std::size_t> StartIdx;
+  std::vector<PendingAbort> Aborts;
+  ChainProblem Problem;
+  Problem.Type = &Type;
+
+  std::vector<std::size_t> OpenStart(64, SIZE_MAX);
+  for (std::size_t I = 0, E = T.size(); I != E; ++I) {
+    const Action &Act = T[I];
+    if (Act.Client >= OpenStart.size())
+      OpenStart.resize(Act.Client + 1, SIZE_MAX);
+    if (isInvoke(Act) || Sig.isInitAction(Act)) {
+      OpenStart[Act.Client] = I;
+      continue;
+    }
+    if (isRespond(Act)) {
+      CommitObligation Ob;
+      Ob.Tag = I;
+      Ob.In = Interner.intern(Act.In);
+      Ob.Out = Act.Out;
+      Problem.Commits.push_back(Ob);
+      // Commit availability is vi(m, t, f_init, i) (Definition 26).
+      CommitAvail.push_back(validInputs(T, Sig, Finit, I));
+      StartIdx.push_back(OpenStart[Act.Client]);
+    } else if (Sig.isAbortAction(Act)) {
+      Aborts.push_back(
+          {I, Act.In, Act.Sv,
+           validInputs(T, Sig, Finit,
+                       Opts.AbortValidityAtEnd ? T.size() : I)});
+    }
+  }
+  // Real-time Order among commits (as in the plain provider).
+  for (std::size_t R = 0; R < Problem.Commits.size() && R < 64; ++R)
+    for (std::size_t Q = 0; Q < Problem.Commits.size() && Q < 64; ++Q)
+      if (Problem.Commits[Q].Tag < StartIdx[R])
+        Problem.Commits[R].MustFollow |= 1ull << Q;
+  // A commit history is a prefix of every abort history (Abort Order),
+  // whose elements are valid at the abort (Definition 28): cap every
+  // commit's availability by every abort's budget.
+  for (Multiset<Input> &M : CommitAvail)
+    for (const PendingAbort &Ab : Aborts)
+      M = pointwiseMin(M, Ab.Budget);
+  Problem.AlphabetSize = Interner.size();
+  for (std::size_t R = 0; R != CommitAvail.size(); ++R)
+    Problem.Commits[R].Available = denseCounts(CommitAvail[R]);
+
+  // Seed the master with the init LCP (the strict-prefix obligation of
+  // Init Order); its availability for each commit is checked at commit
+  // time through the engine's deficit counters.
+  if (HaveInits)
+    for (const Input &In : Lcp)
+      Problem.Seed.push_back(Interner.intern(In));
+
+  // At a leaf every response is committed; synthesize f_abort per abort
+  // action. Abort histories extend the master *sequence*, so the memo key
+  // must distinguish orderings whenever aborts are present.
+  std::vector<std::pair<std::size_t, History>> FoundAborts;
+  Problem.SequenceSensitive = !Aborts.empty();
+  Problem.AcceptLeaf = [&](const History &Master, std::size_t MaxCommitLen) {
+    FoundAborts.clear();
+    History LongestCommit(Master.begin(), Master.begin() + MaxCommitLen);
+    for (const PendingAbort &Ab : Aborts) {
+      std::optional<History> AbortHistory = Rel.findAbortHistory(
+          Ab.Sv, LongestCommit, Lcp, Ab.In, Ab.Budget);
+      if (!AbortHistory)
+        return false;
+      FoundAborts.push_back({Ab.TraceIndex, std::move(*AbortHistory)});
+    }
+    return true;
+  };
+
+  ChainLimits Limits{Opts.Search.NodeBudget, Opts.Search.TimeBudgetMillis};
+  ChainSearch Engine(Interner, Memo, Scratch);
+  ChainResult R = Engine.run(Problem, Limits, ++RunSerial);
+  Stats.Search.accumulate(R.Stats);
+
+  SlinCheckResult Result;
+  Result.Outcome = R.Outcome;
+  Result.NodesExplored = R.Stats.Nodes;
+  if (R.Outcome == Verdict::Yes) {
+    Result.Witness.Master = std::move(R.Master);
+    Result.Witness.Commits = std::move(R.Commits);
+    Result.Witness.Aborts = std::move(FoundAborts);
+  } else if (R.Outcome == Verdict::Unknown) {
+    Result.Reason = std::move(R.Reason);
+  } else if (!Rel.abortSearchExact() && !Aborts.empty()) {
+    Result.Outcome = Verdict::Unknown;
+    Result.Reason = "no witness found (abort synthesis incomplete for "
+                    "this init relation)";
+  } else {
+    Result.Reason = "no speculative linearization function exists";
+  }
+  return Result;
+}
+
+SlinVerdict CheckSession::checkSlin(const Trace &T, const PhaseSignature &Sig,
+                                    const InitRelation &Rel,
+                                    const SlinCheckOptions &Opts) {
+  SlinVerdict Result;
+  WellFormedness Wf = checkWellFormedPhase(T, Sig);
+  if (!Wf) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = "not (m, n)-well-formed: " + Wf.Reason;
+    Result.Exact = true;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+
+  InterpretationFamily Family = Rel.interpretations(T, Sig);
+  Result.Exact = Family.Exact && Rel.abortSearchExact();
+  for (InitInterpretation &Finit : Family.Assignments) {
+    SlinCheckResult R = runSlinUnder(T, Sig, Rel, Finit, Opts);
+    if (R.Outcome == Verdict::Yes) {
+      Result.Witnesses.push_back({std::move(Finit), std::move(R.Witness)});
+      continue;
+    }
+    Result.Outcome = R.Outcome;
+    Result.Reason = R.Reason;
+    Result.Witnesses.clear();
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+  Result.Outcome = Verdict::Yes;
+  Stats.record(Result.Outcome);
+  return Result;
+}

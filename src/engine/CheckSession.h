@@ -1,0 +1,130 @@
+//===- engine/CheckSession.h - Batched checking over one ADT ----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CheckSession runs many linearizability / speculative-linearizability
+/// checks against one ADT while amortizing everything the per-trace entry
+/// points cannot: the input interner (each distinct input is hashed once
+/// per session, not once per node), the scratch arena (rewound, not freed,
+/// between traces), and the transposition table (kept warm across traces
+/// via per-run key salting). The session is also where the checkers'
+/// obligation providers live: checkLin and checkSlinUnder translate a trace
+/// into a ChainProblem — commit obligations, seed prefix, leaf predicate —
+/// and hand it to the shared ChainSearch engine.
+///
+/// The free functions checkLinearizable / checkSlinUnder / checkSlin are
+/// now thin wrappers that construct a single-use session; batch workloads
+/// (corpus checking, benchmarks) should hold a session and reuse it.
+///
+/// Sessions are single-threaded; use one session per thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_CHECKSESSION_H
+#define SLIN_ENGINE_CHECKSESSION_H
+
+#include "engine/Arena.h"
+#include "engine/ChainSearch.h"
+#include "engine/Interner.h"
+#include "engine/Transposition.h"
+#include "lin/LinChecker.h"
+#include "slin/SlinChecker.h"
+
+#include <cstdint>
+
+namespace slin {
+
+/// Session-level tuning knobs.
+struct SessionOptions {
+  /// Capacity (entries, rounded up to a power of two) of the shared
+  /// transposition table.
+  std::size_t TranspositionCapacity = 1u << 20;
+};
+
+/// Counters aggregated over every check a session ran.
+struct SessionStats {
+  std::uint64_t Checks = 0;
+  std::uint64_t Yes = 0;
+  std::uint64_t No = 0;
+  std::uint64_t Unknown = 0;
+  ChainStats Search; ///< Summed over all engine runs.
+
+  void record(Verdict V) {
+    ++Checks;
+    if (V == Verdict::Yes)
+      ++Yes;
+    else if (V == Verdict::No)
+      ++No;
+    else
+      ++Unknown;
+  }
+};
+
+/// Batched checking context for one ADT.
+class CheckSession {
+public:
+  explicit CheckSession(const Adt &Type, const SessionOptions &Opts = {});
+
+  const Adt &adt() const { return Type; }
+
+  /// Decides whether \p T (a switch-free trace in sig_T) satisfies the new
+  /// definition of linearizability (Definition 5). Identical conclusive
+  /// (Yes/No) verdicts to checkLinearizable; a budget-limited Unknown may
+  /// fall on a different trace than one-shot checking, because a warm
+  /// session's dense-id order — and therefore move exploration order —
+  /// depends on the traces checked before.
+  LinCheckResult checkLin(const Trace &T, const LinCheckOptions &Opts = {});
+
+  /// Decides existence of (g, f_abort) for \p T under the single
+  /// interpretation \p Finit of its init actions (Definition 19's inner
+  /// ∃-quantifier). Identical conclusive verdicts to the free
+  /// checkSlinUnder (see checkLin for the budget-limited caveat).
+  SlinCheckResult checkSlinUnder(const Trace &T, const PhaseSignature &Sig,
+                                 const InitRelation &Rel,
+                                 const InitInterpretation &Finit,
+                                 const SlinCheckOptions &Opts = {});
+
+  /// Decides (m, n)-speculative linearizability of \p T over the
+  /// relation's whole interpretation family. Identical conclusive
+  /// verdicts to the free checkSlin (see checkLin for the budget-limited
+  /// caveat).
+  SlinVerdict checkSlin(const Trace &T, const PhaseSignature &Sig,
+                        const InitRelation &Rel,
+                        const SlinCheckOptions &Opts = {});
+
+  const SessionStats &stats() const { return Stats; }
+  const TranspositionStats &memoStats() const { return Memo.stats(); }
+
+private:
+  /// Interns \p In, growing the dense-id space.
+  InputId intern(const Input &In) { return Interner.intern(In); }
+
+  /// Sorts and dedups \p Pool, then interns it in value order, so a fresh
+  /// session's dense-id order — and thus the engine's move exploration
+  /// order — matches the pre-engine checkers' sorted-multiset iteration.
+  void internSorted(std::vector<Input> Pool);
+
+  /// Snapshots a Multiset into a dense arena-allocated count array of the
+  /// current alphabet size.
+  const std::int32_t *denseCounts(const Multiset<Input> &M);
+
+  LinCheckResult runLin(const Trace &T, const LinCheckOptions &Opts);
+  SlinCheckResult runSlinUnder(const Trace &T, const PhaseSignature &Sig,
+                               const InitRelation &Rel,
+                               const InitInterpretation &Finit,
+                               const SlinCheckOptions &Opts);
+
+  const Adt &Type;
+  InputInterner Interner;
+  Arena Scratch;
+  TranspositionTable Memo;
+  SessionStats Stats;
+  std::uint64_t RunSerial = 0;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_CHECKSESSION_H

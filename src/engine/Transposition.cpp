@@ -1,0 +1,102 @@
+//===- engine/Transposition.cpp -------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Transposition.h"
+
+#include <algorithm>
+
+using namespace slin;
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t N) {
+  std::size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+TranspositionTable::TranspositionTable(std::size_t MaxCap) {
+  MaxCapacity = roundUpPow2(std::max(MaxCap, ProbeWindow));
+  std::size_t Cap = std::min(MaxCapacity, InitialCapacity);
+  Slots.assign(Cap, EmptyKey);
+  Mask = Cap - 1;
+}
+
+bool TranspositionTable::contains(std::uint64_t Key) {
+  if (Key == EmptyKey)
+    Key = 1; // Remap the sentinel; collides with genuine 1-keys only.
+  std::size_t Home = homeSlot(Key);
+  for (std::size_t I = 0; I != ProbeWindow; ++I) {
+    std::uint64_t Slot = Slots[(Home + I) & Mask];
+    if (Slot == Key) {
+      ++Stats.Hits;
+      return true;
+    }
+    if (Slot == EmptyKey)
+      break; // Probe chains never skip an empty slot.
+  }
+  ++Stats.Misses;
+  return false;
+}
+
+bool TranspositionTable::tryPlace(std::uint64_t Key) {
+  std::size_t Home = homeSlot(Key);
+  for (std::size_t I = 0; I != ProbeWindow; ++I) {
+    std::uint64_t &Slot = Slots[(Home + I) & Mask];
+    if (Slot == Key)
+      return true;
+    if (Slot == EmptyKey) {
+      Slot = Key;
+      ++Live;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TranspositionTable::grow() {
+  std::vector<std::uint64_t> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, EmptyKey);
+  Mask = Slots.size() - 1;
+  Live = 0;
+  for (std::uint64_t Key : Old)
+    if (Key != EmptyKey)
+      tryPlace(Key); // A full window here just drops the key: memo-safe.
+}
+
+void TranspositionTable::insert(std::uint64_t Key) {
+  if (Key == EmptyKey)
+    Key = 1;
+  // Keep load below 1/2 while growth is still allowed.
+  while (2 * Live >= Slots.size() && Slots.size() < MaxCapacity)
+    grow();
+  if (tryPlace(Key)) {
+    ++Stats.Inserts;
+    return;
+  }
+  if (Slots.size() < MaxCapacity) {
+    grow();
+    if (tryPlace(Key)) {
+      ++Stats.Inserts;
+      return;
+    }
+  }
+  // At max capacity with a full window: overwrite a window slot chosen from
+  // the key's high bits so repeated collisions spread their victims.
+  std::size_t Victim =
+      (homeSlot(Key) + ((Key >> 57) & (ProbeWindow - 1))) & Mask;
+  Slots[Victim] = Key;
+  ++Stats.Inserts;
+  ++Stats.Evictions;
+}
+
+void TranspositionTable::clear() {
+  std::fill(Slots.begin(), Slots.end(), EmptyKey);
+  Live = 0;
+}

@@ -1,0 +1,89 @@
+//===- engine/Transposition.h - Bounded failed-state memo -------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded transposition table over 64-bit search-state keys, replacing
+/// the seed checkers' unbounded std::unordered_set. The table records
+/// *failed* subtrees only, so losing an entry to replacement merely costs a
+/// re-exploration — never a wrong verdict. Keys are salted per run by the
+/// engine, which lets a CheckSession keep one warm table across an entire
+/// corpus without cross-trace key aliasing and without an O(capacity) clear
+/// per trace.
+///
+/// Layout: open addressing in a power-of-two array of raw keys, probing a
+/// short fixed window. When the window is full the entry whose slot the key
+/// hashes to is overwritten (an always-replace policy biased to spread
+/// overwrites across the window), which in practice retains the hot recent
+/// keys a depth-first search re-encounters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_TRANSPOSITION_H
+#define SLIN_ENGINE_TRANSPOSITION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slin {
+
+/// Statistics the table accumulates across its lifetime.
+struct TranspositionStats {
+  std::uint64_t Hits = 0;       ///< contains() found the key.
+  std::uint64_t Misses = 0;     ///< contains() did not find the key.
+  std::uint64_t Inserts = 0;    ///< Keys stored.
+  std::uint64_t Evictions = 0;  ///< Stores that overwrote another key.
+};
+
+/// A bounded set of 64-bit keys with replacement. Starts small and doubles
+/// (rehashing the stored keys) as it fills, so short checks never pay for a
+/// large table while long searches grow up to MaxCapacity before the
+/// replacement policy kicks in.
+class TranspositionTable {
+public:
+  /// \p MaxCapacity is rounded up to a power of two; growth stops there.
+  explicit TranspositionTable(std::size_t MaxCapacity = 1u << 20);
+
+  /// True iff \p Key is currently stored.
+  bool contains(std::uint64_t Key);
+
+  /// Stores \p Key, evicting a colliding key when the table is at max
+  /// capacity and the key's probe window is full.
+  void insert(std::uint64_t Key);
+
+  /// Forgets every key (O(capacity); prefer per-run salting).
+  void clear();
+
+  std::size_t capacity() const { return Slots.size(); }
+  std::size_t liveKeys() const { return Live; }
+  const TranspositionStats &stats() const { return Stats; }
+
+private:
+  static constexpr std::size_t ProbeWindow = 8;
+  static constexpr std::size_t InitialCapacity = 1u << 12;
+  static constexpr std::uint64_t EmptyKey = 0;
+
+  std::size_t homeSlot(std::uint64_t Key) const {
+    return static_cast<std::size_t>(Key) & Mask;
+  }
+
+  /// Doubles the slot array and reinserts every stored key.
+  void grow();
+
+  /// Places \p Key without growth bookkeeping; returns false when the
+  /// probe window was full (caller decides between growing and evicting).
+  bool tryPlace(std::uint64_t Key);
+
+  std::vector<std::uint64_t> Slots;
+  std::size_t Mask;
+  std::size_t MaxCapacity;
+  std::size_t Live = 0;
+  TranspositionStats Stats;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_TRANSPOSITION_H

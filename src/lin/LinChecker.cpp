@@ -3,217 +3,24 @@
 // Part of the slin project.
 //
 //===----------------------------------------------------------------------===//
+//
+// The Definition 5 decision procedure is now a thin entry point over the
+// shared chain-search engine: engine/CheckSession.cpp translates the trace
+// into commit obligations (the obligation provider for plain
+// linearizability) and engine/ChainSearch.cpp performs the memoized
+// commit-by-commit search both checkers share. Batch workloads should hold
+// a CheckSession directly and amortize its interner/arena/memo table.
+//
+//===----------------------------------------------------------------------===//
 
 #include "lin/LinChecker.h"
 
-#include "support/Multiset.h"
-#include "trace/WellFormed.h"
-
-#include <algorithm>
-#include <unordered_set>
+#include "engine/CheckSession.h"
 
 using namespace slin;
 
-namespace {
-
-/// One outstanding response the search still has to commit.
-struct PendingCommit {
-  std::size_t TraceIndex; ///< Index of the response action in the trace.
-  std::size_t InvokeIndex; ///< Index of the matching invocation.
-  Input In;               ///< Input the commit history must end with.
-  Output Out;             ///< Output f_T must produce.
-  Multiset<Input> Available; ///< elems(inputs(t, TraceIndex)).
-  std::uint64_t MustFollow = 0; ///< Responses that real-time-precede this op.
-};
-
-/// Depth-first search for a linearization function in chain form.
-class Search {
-public:
-  Search(const Trace &T, const Adt &Type, const LinCheckOptions &Opts)
-      : TheTrace(T), Type(Type), Opts(Opts) {
-    std::vector<std::size_t> OpenInvoke(64, SIZE_MAX);
-    for (std::size_t I = 0, E = T.size(); I != E; ++I) {
-      const Action &A = T[I];
-      if (A.Client >= OpenInvoke.size())
-        OpenInvoke.resize(A.Client + 1, SIZE_MAX);
-      if (isInvoke(A)) {
-        OpenInvoke[A.Client] = I;
-        continue;
-      }
-      Pending.push_back({I, OpenInvoke[A.Client], A.In, A.Out,
-                         Multiset<Input>::fromRange(inputsBefore(T, I)), 0});
-    }
-    // Real-time Order: if operation X responds before operation Y is
-    // invoked, X's commit history must be a strict prefix of Y's — i.e. X
-    // commits earlier in the chain. (This is the condition Lemma 4 of the
-    // paper needs to reorder a trace while preserving non-overlapping
-    // operations; without it the chain conditions alone admit traces with
-    // repeated inputs that are not classically linearizable.)
-    for (std::size_t R = 0; R < Pending.size() && R < 64; ++R)
-      for (std::size_t Q = 0; Q < Pending.size() && Q < 64; ++Q)
-        if (Pending[Q].TraceIndex < Pending[R].InvokeIndex)
-          Pending[R].MustFollow |= 1ull << Q;
-  }
-
-  LinCheckResult run() {
-    LinCheckResult Result;
-    if (Pending.size() > 64) {
-      Result.Outcome = Verdict::Unknown;
-      Result.Reason = "more than 64 responses; exact search not attempted";
-      return Result;
-    }
-    std::unique_ptr<AdtState> State = Type.makeState();
-    Multiset<Input> Used;
-    History Master;
-    bool Found = dfs(0, *State, Used, Master);
-    Result.NodesExplored = Nodes;
-    if (Found) {
-      Result.Outcome = Verdict::Yes;
-      Result.Witness.Master = std::move(Master);
-      Result.Witness.Commits = std::move(Commits);
-      return Result;
-    }
-    if (BudgetExhausted) {
-      Result.Outcome = Verdict::Unknown;
-      Result.Reason = "node budget exhausted";
-      return Result;
-    }
-    Result.Outcome = Verdict::No;
-    Result.Reason = "no linearization function exists";
-    return Result;
-  }
-
-private:
-  /// Committed is a bitmask over Pending. On success, Master/Commits are
-  /// left describing the witness.
-  bool dfs(std::uint64_t Committed, AdtState &State, Multiset<Input> &Used,
-           History &Master) {
-    if (Committed == (Pending.size() == 64
-                          ? ~0ull
-                          : ((1ull << Pending.size()) - 1)))
-      return true;
-    if (++Nodes > Opts.NodeBudget) {
-      BudgetExhausted = true;
-      return false;
-    }
-    std::uint64_t Key = hashCombine(
-        hashCombine(Committed, State.digest()), usedHash(Used));
-    if (Failed.count(Key))
-      return false;
-
-    // Move 1: commit an outstanding response by appending its input.
-    for (std::size_t R = 0, E = Pending.size(); R != E; ++R) {
-      if (Committed & (1ull << R))
-        continue;
-      const PendingCommit &P = Pending[R];
-      if ((Committed & P.MustFollow) != P.MustFollow)
-        continue; // Real-time Order: a predecessor is still uncommitted.
-      if (Used.count(P.In) + 1 > P.Available.count(P.In))
-        continue; // Validity would fail on the endpoint input.
-      if (!Used.includedIn(P.Available))
-        continue; // Some earlier filler is not available at this response.
-      std::unique_ptr<AdtState> Next = State.clone();
-      if (Next->apply(P.In) != P.Out)
-        continue; // Would not explain the response.
-      Used.add(P.In);
-      Master.push_back(P.In);
-      Commits.push_back({P.TraceIndex, Master.size()});
-      if (dfs(Committed | (1ull << R), *Next, Used, Master))
-        return true;
-      Commits.pop_back();
-      Master.pop_back();
-      Used.removeOne(P.In);
-    }
-
-    // Move 2: append a filler input. A filler lies in every later commit
-    // history, so it must be available (beyond what is already used) at
-    // every uncommitted response; take the pointwise-min of the remaining
-    // availability multisets.
-    Multiset<Input> Candidates = remainingMin(Committed, Used);
-    for (const auto &[In, Count] : Candidates.entries()) {
-      (void)Count;
-      std::unique_ptr<AdtState> Next = State.clone();
-      Next->apply(In);
-      Used.add(In);
-      Master.push_back(In);
-      if (dfs(Committed, *Next, Used, Master))
-        return true;
-      Master.pop_back();
-      Used.removeOne(In);
-    }
-
-    Failed.insert(Key);
-    return false;
-  }
-
-  /// Pointwise min over uncommitted responses of (Available - Used):
-  /// the inputs a filler may legally introduce next.
-  Multiset<Input> remainingMin(std::uint64_t Committed,
-                               const Multiset<Input> &Used) const {
-    Multiset<Input> Result;
-    bool First = true;
-    for (std::size_t R = 0, E = Pending.size(); R != E; ++R) {
-      if (Committed & (1ull << R))
-        continue;
-      Multiset<Input> Slack;
-      for (const auto &[In, Count] : Pending[R].Available.entries()) {
-        std::int64_t Free = Count - Used.count(In);
-        if (Free > 0)
-          Slack.add(In, Free);
-      }
-      if (First) {
-        Result = std::move(Slack);
-        First = false;
-        continue;
-      }
-      Multiset<Input> Min;
-      for (const auto &[In, Count] : Result.entries()) {
-        std::int64_t C = std::min(Count, Slack.count(In));
-        if (C > 0)
-          Min.add(In, C);
-      }
-      Result = std::move(Min);
-    }
-    return Result;
-  }
-
-  static std::uint64_t usedHash(const Multiset<Input> &Used) {
-    std::uint64_t H = 0x55edu;
-    for (const auto &[In, Count] : Used.entries()) {
-      H = hashCombine(H, hashValue(In));
-      H = hashCombine(H, static_cast<std::uint64_t>(Count));
-    }
-    return H;
-  }
-
-  const Trace &TheTrace;
-  const Adt &Type;
-  const LinCheckOptions &Opts;
-  std::vector<PendingCommit> Pending;
-  std::vector<std::pair<std::size_t, std::size_t>> Commits;
-  std::unordered_set<std::uint64_t> Failed;
-  std::uint64_t Nodes = 0;
-  bool BudgetExhausted = false;
-};
-
-} // namespace
-
 LinCheckResult slin::checkLinearizable(const Trace &T, const Adt &Type,
                                        const LinCheckOptions &Opts) {
-  LinCheckResult Result;
-  WellFormedness Wf = checkWellFormedLin(T);
-  if (!Wf) {
-    Result.Outcome = Verdict::No;
-    Result.Reason = "not well-formed: " + Wf.Reason;
-    return Result;
-  }
-  for (const Action &A : T) {
-    if (!Type.validInput(A.In)) {
-      Result.Outcome = Verdict::No;
-      Result.Reason = "invalid input for ADT";
-      return Result;
-    }
-  }
-  Search S(T, Type, Opts);
-  return S.run();
+  CheckSession Session(Type);
+  return Session.checkLin(T, Opts);
 }

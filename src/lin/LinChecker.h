@@ -29,6 +29,7 @@
 #define SLIN_LIN_LINCHECKER_H
 
 #include "adt/Adt.h"
+#include "engine/ChainSearch.h"
 #include "lin/Witness.h"
 #include "trace/Trace.h"
 
@@ -37,12 +38,9 @@
 
 namespace slin {
 
-/// Three-valued checker outcome.
-enum class Verdict : std::uint8_t {
-  Yes,     ///< Property holds; a witness is attached where applicable.
-  No,      ///< Property conclusively violated.
-  Unknown, ///< Search budget exhausted before a conclusion.
-};
+// Verdict (the three-valued checker outcome) now lives with the shared
+// chain-search engine in engine/ChainSearch.h and is re-exported here for
+// the checker's many existing users.
 
 /// Outcome of a linearizability check.
 struct LinCheckResult {
@@ -58,6 +56,8 @@ struct LinCheckResult {
 struct LinCheckOptions {
   /// Maximum number of search nodes before giving up with Unknown.
   std::uint64_t NodeBudget = 1u << 22;
+  /// Wall-clock budget in milliseconds; 0 means unlimited.
+  std::uint64_t TimeBudgetMillis = 0;
 };
 
 /// Decides whether \p T (a switch-free trace in sig_T) satisfies the

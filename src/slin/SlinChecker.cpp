@@ -3,319 +3,33 @@
 // Part of the slin project.
 //
 //===----------------------------------------------------------------------===//
+//
+// The Definition 19 decision procedure is now a thin entry point over the
+// shared chain-search engine: engine/CheckSession.cpp translates the trace
+// and interpretation into a ChainProblem (init-LCP seed, vi-capped commit
+// obligations, per-leaf f_abort synthesis) and engine/ChainSearch.cpp
+// performs the memoized commit-by-commit search both checkers share. Batch
+// workloads should hold a CheckSession directly.
+//
+//===----------------------------------------------------------------------===//
 
 #include "slin/SlinChecker.h"
 
-#include "support/Sequences.h"
-#include "trace/WellFormed.h"
-
-#include <algorithm>
-#include <unordered_set>
+#include "engine/CheckSession.h"
 
 using namespace slin;
-
-namespace {
-
-/// An outstanding response the search must commit.
-struct PendingCommit {
-  std::size_t TraceIndex;
-  std::size_t StartIndex; ///< Matching invocation or init-switch index.
-  Input In;
-  Output Out;
-  Multiset<Input> Available; ///< vi at the response, capped by abort vi's.
-  std::uint64_t MustFollow = 0; ///< Responses that real-time-precede this op.
-};
-
-/// An abort action whose f_abort history must be synthesized at each leaf.
-struct PendingAbort {
-  std::size_t TraceIndex;
-  Input In;
-  SwitchValue Sv;
-  Multiset<Input> Available; ///< vi at the abort.
-};
-
-class SlinSearch {
-public:
-  SlinSearch(const Trace &T, const PhaseSignature &Sig, const Adt &Type,
-             const InitRelation &Rel, const InitInterpretation &Finit,
-             const SlinCheckOptions &Opts)
-      : Sig(Sig), Type(Type), Rel(Rel), Opts(Opts) {
-    // Init LCP: Init Order forces it below every commit and abort history.
-    std::vector<History> InitHistories;
-    for (const auto &[Index, H] : Finit) {
-      (void)Index;
-      InitHistories.push_back(H);
-    }
-    Lcp = longestCommonPrefix(InitHistories);
-    HaveInits = !InitHistories.empty();
-
-    std::vector<std::size_t> OpenStart(64, SIZE_MAX);
-    for (std::size_t I = 0, E = T.size(); I != E; ++I) {
-      const Action &A = T[I];
-      if (A.Client >= OpenStart.size())
-        OpenStart.resize(A.Client + 1, SIZE_MAX);
-      if (isInvoke(A) || Sig.isInitAction(A)) {
-        OpenStart[A.Client] = I;
-        continue;
-      }
-      if (isRespond(A))
-        Pending.push_back({I, OpenStart[A.Client], A.In, A.Out,
-                           validInputs(T, Sig, Finit, I), 0});
-      else if (Sig.isAbortAction(A))
-        Aborts.push_back(
-            {I, A.In, A.Sv,
-             validInputs(T, Sig, Finit,
-                         Opts.AbortValidityAtEnd ? T.size() : I)});
-    }
-    // Real-time Order among commits (see lin/LinChecker.cpp).
-    for (std::size_t R = 0; R < Pending.size() && R < 64; ++R)
-      for (std::size_t Q = 0; Q < Pending.size() && Q < 64; ++Q)
-        if (Pending[Q].TraceIndex < Pending[R].StartIndex)
-          Pending[R].MustFollow |= 1ull << Q;
-    // A commit history is a prefix of every abort history (Abort Order),
-    // whose elements are valid at the abort (Definition 28): cap every
-    // commit's availability by every abort's.
-    for (PendingCommit &P : Pending)
-      for (const PendingAbort &A : Aborts)
-        P.Available = pointwiseMin(P.Available, A.Available);
-  }
-
-  SlinCheckResult run() {
-    SlinCheckResult Result;
-    if (Pending.size() > 64) {
-      Result.Outcome = Verdict::Unknown;
-      Result.Reason = "more than 64 responses; exact search not attempted";
-      return Result;
-    }
-    // Seed the master with the init LCP (strict-prefix obligation); its
-    // availability for each commit is checked at commit time.
-    std::unique_ptr<AdtState> State = Type.makeState();
-    Multiset<Input> Used;
-    History Master;
-    if (HaveInits) {
-      for (const Input &In : Lcp) {
-        State->apply(In);
-        Used.add(In);
-        Master.push_back(In);
-      }
-    }
-    bool Found = dfs(0, *State, Used, Master);
-    Result.NodesExplored = Nodes;
-    if (Found) {
-      Result.Outcome = Verdict::Yes;
-      Result.Witness.Master = std::move(Master);
-      Result.Witness.Commits = std::move(Commits);
-      Result.Witness.Aborts = std::move(FoundAborts);
-      return Result;
-    }
-    if (BudgetExhausted) {
-      Result.Outcome = Verdict::Unknown;
-      Result.Reason = "node budget exhausted";
-      return Result;
-    }
-    if (!Rel.abortSearchExact() && !Aborts.empty()) {
-      Result.Outcome = Verdict::Unknown;
-      Result.Reason = "no witness found (abort synthesis incomplete for "
-                      "this init relation)";
-      return Result;
-    }
-    Result.Outcome = Verdict::No;
-    Result.Reason = "no speculative linearization function exists";
-    return Result;
-  }
-
-private:
-  bool allCommitted(std::uint64_t Committed) const {
-    return Committed ==
-           (Pending.size() == 64 ? ~0ull : ((1ull << Pending.size()) - 1));
-  }
-
-  bool dfs(std::uint64_t Committed, AdtState &State, Multiset<Input> &Used,
-           History &Master) {
-    if (allCommitted(Committed))
-      return trySynthesizeAborts(Master);
-    if (++Nodes > Opts.Search.NodeBudget) {
-      BudgetExhausted = true;
-      return false;
-    }
-    // Memoization. When aborts are present the subtree outcome can depend
-    // on the master's *sequence* (abort histories extend it), so the key
-    // includes the full sequence hash; otherwise the multiset + ADT digest
-    // determine the subtree.
-    std::uint64_t Key =
-        hashCombine(hashCombine(Committed, State.digest()), usedHash(Used));
-    if (!Aborts.empty())
-      Key = hashCombine(Key, hashValue(Master));
-    if (Failed.count(Key))
-      return false;
-
-    // Move 1: commit an outstanding response.
-    for (std::size_t R = 0, E = Pending.size(); R != E; ++R) {
-      if (Committed & (1ull << R))
-        continue;
-      const PendingCommit &P = Pending[R];
-      if ((Committed & P.MustFollow) != P.MustFollow)
-        continue; // Real-time Order: a predecessor is still uncommitted.
-      if (Used.count(P.In) + 1 > P.Available.count(P.In))
-        continue;
-      if (!Used.includedIn(P.Available))
-        continue;
-      std::unique_ptr<AdtState> Next = State.clone();
-      if (Next->apply(P.In) != P.Out)
-        continue;
-      Used.add(P.In);
-      Master.push_back(P.In);
-      Commits.push_back({P.TraceIndex, Master.size()});
-      MaxCommitLen = std::max(MaxCommitLen, Master.size());
-      if (dfs(Committed | (1ull << R), *Next, Used, Master))
-        return true;
-      Commits.pop_back();
-      Master.pop_back();
-      recomputeMaxCommitLen();
-      Used.removeOne(P.In);
-    }
-
-    // Move 2: append a filler input available to every remaining commit.
-    Multiset<Input> Candidates = remainingMin(Committed, Used);
-    for (const auto &[In, Count] : Candidates.entries()) {
-      (void)Count;
-      std::unique_ptr<AdtState> Next = State.clone();
-      Next->apply(In);
-      Used.add(In);
-      Master.push_back(In);
-      if (dfs(Committed, *Next, Used, Master))
-        return true;
-      Master.pop_back();
-      Used.removeOne(In);
-    }
-
-    Failed.insert(Key);
-    return false;
-  }
-
-  /// At a leaf every response is committed; synthesize f_abort.
-  bool trySynthesizeAborts(const History &Master) {
-    FoundAborts.clear();
-    History LongestCommit(Master.begin(), Master.begin() + MaxCommitLen);
-    for (const PendingAbort &A : Aborts) {
-      std::optional<History> AbortHistory = Rel.findAbortHistory(
-          A.Sv, LongestCommit, HaveInits ? Lcp : History{}, A.In, A.Available);
-      if (!AbortHistory)
-        return false;
-      FoundAborts.push_back({A.TraceIndex, std::move(*AbortHistory)});
-    }
-    return true;
-  }
-
-  Multiset<Input> remainingMin(std::uint64_t Committed,
-                               const Multiset<Input> &Used) const {
-    Multiset<Input> Result;
-    bool First = true;
-    for (std::size_t R = 0, E = Pending.size(); R != E; ++R) {
-      if (Committed & (1ull << R))
-        continue;
-      Multiset<Input> Slack;
-      for (const auto &[In, Count] : Pending[R].Available.entries()) {
-        std::int64_t Free = Count - Used.count(In);
-        if (Free > 0)
-          Slack.add(In, Free);
-      }
-      if (First) {
-        Result = std::move(Slack);
-        First = false;
-        continue;
-      }
-      Result = pointwiseMin(Result, Slack);
-    }
-    return Result;
-  }
-
-  static Multiset<Input> pointwiseMin(const Multiset<Input> &A,
-                                      const Multiset<Input> &B) {
-    Multiset<Input> Result;
-    for (const auto &[In, Count] : A.entries()) {
-      std::int64_t C = std::min(Count, B.count(In));
-      if (C > 0)
-        Result.add(In, C);
-    }
-    return Result;
-  }
-
-  void recomputeMaxCommitLen() {
-    MaxCommitLen = 0;
-    for (const auto &[Index, Len] : Commits) {
-      (void)Index;
-      MaxCommitLen = std::max(MaxCommitLen, Len);
-    }
-  }
-
-  static std::uint64_t usedHash(const Multiset<Input> &Used) {
-    std::uint64_t H = 0x51edu;
-    for (const auto &[In, Count] : Used.entries()) {
-      H = hashCombine(H, hashValue(In));
-      H = hashCombine(H, static_cast<std::uint64_t>(Count));
-    }
-    return H;
-  }
-
-  const PhaseSignature &Sig;
-  const Adt &Type;
-  const InitRelation &Rel;
-  const SlinCheckOptions &Opts;
-  History Lcp;
-  bool HaveInits = false;
-  std::vector<PendingCommit> Pending;
-  std::vector<PendingAbort> Aborts;
-  std::vector<std::pair<std::size_t, std::size_t>> Commits;
-  std::vector<std::pair<std::size_t, History>> FoundAborts;
-  std::size_t MaxCommitLen = 0;
-  std::unordered_set<std::uint64_t> Failed;
-  std::uint64_t Nodes = 0;
-  bool BudgetExhausted = false;
-};
-
-} // namespace
 
 SlinCheckResult slin::checkSlinUnder(const Trace &T, const PhaseSignature &Sig,
                                      const Adt &Type, const InitRelation &Rel,
                                      const InitInterpretation &Finit,
                                      const SlinCheckOptions &Opts) {
-  SlinCheckResult Result;
-  WellFormedness Wf = checkWellFormedPhase(T, Sig);
-  if (!Wf) {
-    Result.Outcome = Verdict::No;
-    Result.Reason = "not (m, n)-well-formed: " + Wf.Reason;
-    return Result;
-  }
-  SlinSearch S(T, Sig, Type, Rel, Finit, Opts);
-  return S.run();
+  CheckSession Session(Type);
+  return Session.checkSlinUnder(T, Sig, Rel, Finit, Opts);
 }
 
 SlinVerdict slin::checkSlin(const Trace &T, const PhaseSignature &Sig,
                             const Adt &Type, const InitRelation &Rel,
                             const SlinCheckOptions &Opts) {
-  SlinVerdict Result;
-  WellFormedness Wf = checkWellFormedPhase(T, Sig);
-  if (!Wf) {
-    Result.Outcome = Verdict::No;
-    Result.Reason = "not (m, n)-well-formed: " + Wf.Reason;
-    Result.Exact = true;
-    return Result;
-  }
-
-  InterpretationFamily Family = Rel.interpretations(T, Sig);
-  Result.Exact = Family.Exact && Rel.abortSearchExact();
-  for (InitInterpretation &Finit : Family.Assignments) {
-    SlinCheckResult R = checkSlinUnder(T, Sig, Type, Rel, Finit, Opts);
-    if (R.Outcome == Verdict::Yes) {
-      Result.Witnesses.push_back({std::move(Finit), std::move(R.Witness)});
-      continue;
-    }
-    Result.Outcome = R.Outcome;
-    Result.Reason = R.Reason;
-    Result.Witnesses.clear();
-    return Result;
-  }
-  Result.Outcome = Verdict::Yes;
-  return Result;
+  CheckSession Session(Type);
+  return Session.checkSlin(T, Sig, Rel, Opts);
 }

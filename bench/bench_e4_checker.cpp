@@ -19,6 +19,7 @@
 #include "adt/Consensus.h"
 #include "adt/Queue.h"
 #include "engine/CheckSession.h"
+#include "engine/CorpusDriver.h"
 #include "lin/Classical.h"
 #include "lin/ConsensusLin.h"
 #include "lin/LinChecker.h"
@@ -120,6 +121,35 @@ static void BM_E4_FastConsensus(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Family.size());
 }
 BENCHMARK(BM_E4_FastConsensus)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Arg(50);
+
+/// The parallel corpus driver: a larger consensus corpus sharded across
+/// worker threads, one warm session each (budget-limited Unknowns retried
+/// one-shot, so verdict counts match every thread count). Args are
+/// {ops per trace, threads}; items/s is the corpus throughput lever.
+static void BM_E4_CorpusDriver_Consensus(benchmark::State &State) {
+  ConsensusAdt Cons;
+  auto Family = consensusFamily(static_cast<unsigned>(State.range(0)), 200);
+  CorpusOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(1));
+  Opts.RetryBudgetLimitedFresh = true;
+  CorpusDriver Driver(Cons, Opts);
+  std::uint64_t Yes = 0;
+  for (auto _ : State) {
+    CorpusReport R = Driver.checkLin(Family);
+    benchmark::DoNotOptimize(R.Results.data());
+    Yes += R.Yes;
+  }
+  State.SetItemsProcessed(State.iterations() * Family.size());
+  State.counters["yes_per_iter"] = benchmark::Counter(
+      static_cast<double>(Yes) / static_cast<double>(State.iterations()));
+}
+// Wall-clock rates: with worker threads the main thread mostly waits, so
+// CPU-time-based items/s would be meaningless.
+BENCHMARK(BM_E4_CorpusDriver_Consensus)
+    ->Args({14, 1})
+    ->Args({14, 2})
+    ->Args({14, 4})
+    ->UseRealTime();
 
 static void BM_E4_NewDefinition_Queue(benchmark::State &State) {
   QueueAdt Q;

@@ -14,6 +14,7 @@
 
 #include "adt/Consensus.h"
 #include "engine/CheckSession.h"
+#include "engine/CorpusDriver.h"
 #include "slin/SlinChecker.h"
 #include "spec/Refinement.h"
 #include "spec/SpecAutomaton.h"
@@ -95,6 +96,37 @@ static void BM_E7_SlinCheckerSession(benchmark::State &State) {
       static_cast<double>(Accepted) / static_cast<double>(State.iterations()));
 }
 BENCHMARK(BM_E7_SlinCheckerSession)->Arg(8)->Arg(12)->Arg(16);
+
+/// The slin checker through the parallel corpus driver: the walk corpus
+/// sharded across worker threads, one warm session each. Args are
+/// {walk steps, threads}.
+static void BM_E7_SlinCorpusDriver(benchmark::State &State) {
+  UniversalInitRelation Rel;
+  unsigned Steps = static_cast<unsigned>(State.range(0));
+  auto Family = walkFamily(2, Steps, 100, Rel);
+  ConsensusAdt Cons;
+  PhaseSignature Sig(2, 3);
+  CorpusOptions Opts;
+  Opts.Threads = static_cast<unsigned>(State.range(1));
+  Opts.RetryBudgetLimitedFresh = true;
+  CorpusDriver Driver(Cons, Opts);
+  std::uint64_t Accepted = 0;
+  for (auto _ : State) {
+    CorpusReport R = Driver.checkSlin(Family, Sig, Rel);
+    benchmark::DoNotOptimize(R.Results.data());
+    Accepted += R.Yes;
+  }
+  State.SetItemsProcessed(State.iterations() * Family.size());
+  State.counters["accepted_per_iter"] = benchmark::Counter(
+      static_cast<double>(Accepted) / static_cast<double>(State.iterations()));
+}
+// Wall-clock rates: with worker threads the main thread mostly waits, so
+// CPU-time-based items/s would be meaningless.
+BENCHMARK(BM_E7_SlinCorpusDriver)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->UseRealTime();
 
 /// Bounded refinement model checking: states explored per bound.
 static void BM_E7_Refinement(benchmark::State &State) {

@@ -4,28 +4,34 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The batched-workload face of the chain-search engine: check a whole
-// corpus of traces through one CheckSession, which amortizes input
-// interning, arena scratch, and the transposition table across every trace.
+// The batched-workload face of the chain-search engine: check whole corpora
+// of traces through the CorpusDriver, which shards each corpus across
+// worker threads, one warm CheckSession (interner + arena + transposition
+// table) per thread.
 //
 // Usage:
-//   corpus_check [traces <ops>] [seed <n>]   generate + check a mixed corpus
+//   corpus_check [traces <ops>] [seed <n>] [--threads <n>]
+//                                            generate + check a mixed corpus
 //   corpus_check file <trace.txt>...         check textual traces (consensus)
 //
 // With no arguments a deterministic mixed corpus (linearizable-by-
 // construction, arbitrary, and mutated traces over consensus and queue) is
 // generated with trace/Gen and checked; the tool prints one JSON line per
-// family and a final summary line with session-level statistics — the same
+// family and a final summary line with aggregated statistics — the same
 // shape the benches emit, so corpus throughput can be tracked across PRs.
+// Budget-limited Unknowns are retried one-shot; with the default budget
+// (orders of magnitude above what these traces need) that makes verdict
+// counts identical for every --threads value.
 //
 //===----------------------------------------------------------------------===//
 
 #include "adt/Consensus.h"
 #include "adt/Queue.h"
-#include "engine/CheckSession.h"
+#include "engine/CorpusDriver.h"
 #include "trace/Gen.h"
 #include "trace/TraceIo.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -41,36 +47,40 @@ namespace {
 struct FamilyReport {
   const char *Name;
   std::size_t Traces = 0;
-  std::size_t Yes = 0, No = 0, Unknown = 0;
+  std::uint64_t Yes = 0, No = 0, Unknown = 0, BudgetLimited = 0;
   double Millis = 0;
 };
 
-FamilyReport checkFamily(const char *Name, CheckSession &Session,
-                         const std::vector<Trace> &Corpus) {
+FamilyReport checkFamily(const char *Name, CorpusDriver &Driver,
+                         const std::vector<Trace> &Corpus,
+                         SessionStats &Aggregate, unsigned &ThreadsUsed) {
   FamilyReport Rep;
   Rep.Name = Name;
   Rep.Traces = Corpus.size();
   auto Start = std::chrono::steady_clock::now();
-  for (const Trace &T : Corpus) {
-    LinCheckResult R = Session.checkLin(T);
-    if (R.Outcome == Verdict::Yes)
-      ++Rep.Yes;
-    else if (R.Outcome == Verdict::No)
-      ++Rep.No;
-    else
-      ++Rep.Unknown;
-  }
+  CorpusReport R = Driver.checkLin(Corpus);
   Rep.Millis = std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - Start)
                    .count();
+  Rep.Yes = R.Yes;
+  Rep.No = R.No;
+  Rep.Unknown = R.Unknown;
+  Rep.BudgetLimited = R.BudgetLimited;
+  Aggregate.accumulate(R.Aggregate);
+  ThreadsUsed = std::max(ThreadsUsed, R.ThreadsUsed);
   return Rep;
 }
 
 void printReport(const FamilyReport &Rep) {
   double PerTrace = Rep.Traces ? Rep.Millis * 1e6 / Rep.Traces : 0;
-  std::printf("{\"family\":\"%s\",\"traces\":%zu,\"yes\":%zu,\"no\":%zu,"
-              "\"unknown\":%zu,\"ms\":%.2f,\"ns_per_trace\":%.0f}\n",
-              Rep.Name, Rep.Traces, Rep.Yes, Rep.No, Rep.Unknown, Rep.Millis,
+  std::printf("{\"family\":\"%s\",\"traces\":%zu,\"yes\":%llu,\"no\":%llu,"
+              "\"unknown\":%llu,\"budget_limited\":%llu,\"ms\":%.2f,"
+              "\"ns_per_trace\":%.0f}\n",
+              Rep.Name, Rep.Traces,
+              static_cast<unsigned long long>(Rep.Yes),
+              static_cast<unsigned long long>(Rep.No),
+              static_cast<unsigned long long>(Rep.Unknown),
+              static_cast<unsigned long long>(Rep.BudgetLimited), Rep.Millis,
               PerTrace);
 }
 
@@ -110,6 +120,7 @@ int checkFiles(int Argc, char **Argv) {
 int main(int Argc, char **Argv) {
   unsigned TracesPerFamily = 200;
   std::uint64_t Seed = 0x5EED;
+  unsigned Threads = 1;
   for (int I = 1; I < Argc; I += 2) {
     bool IsFile = !std::strcmp(Argv[I], "file");
     if (IsFile && I + 1 < Argc)
@@ -122,20 +133,43 @@ int main(int Argc, char **Argv) {
       Seed = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
       continue;
     }
-    std::fprintf(stderr,
-                 "usage: %s [traces <n>] [seed <n>] | file <t.txt>...\n",
-                 Argv[0]);
+    if (!IsFile && I + 1 < Argc &&
+        (!std::strcmp(Argv[I], "--threads") ||
+         !std::strcmp(Argv[I], "threads"))) {
+      int V = std::atoi(Argv[I + 1]);
+      if (V < 0 || V > 1024) {
+        std::fprintf(stderr, "--threads must be in [0, 1024] (0 = auto)\n");
+        return 2;
+      }
+      Threads = static_cast<unsigned>(V);
+      continue;
+    }
+    std::fprintf(
+        stderr,
+        "usage: %s [traces <n>] [seed <n>] [--threads <n>] | file <t.txt>...\n",
+        Argv[0]);
     return 2;
   }
 
+  CorpusOptions Drive;
+  Drive.Threads = Threads;
+  // One-shot retry of budget-limited Unknowns keeps verdict counts
+  // identical across --threads values.
+  Drive.RetryBudgetLimitedFresh = true;
+
   Rng R(Seed);
   auto Start = std::chrono::steady_clock::now();
+  SessionStats Total;
+  unsigned ThreadsUsed = 1;
 
-  // Consensus: linearizable-by-construction, mutated, and arbitrary traces
-  // share one session (and thus one interner/arena/memo table).
+  // Consensus: linearizable-by-construction, mutated, and arbitrary
+  // families run through one driver configuration. Note each checkLin call
+  // spawns its own worker sessions, so session warmth spans one family's
+  // corpus, not the whole program (unlike the pre-driver code, which
+  // reused a single session across the consensus families).
   ConsensusAdt Cons;
-  CheckSession ConsSession(Cons);
   {
+    CorpusDriver Driver(Cons, Drive);
     GenOptions G;
     G.NumClients = 4;
     G.NumOps = 10;
@@ -149,14 +183,20 @@ int main(int Argc, char **Argv) {
       Mutated.push_back(std::move(M));
       Arbitrary.push_back(genArbitraryTrace(G, R));
     }
-    printReport(checkFamily("consensus/positive", ConsSession, Positive));
-    printReport(checkFamily("consensus/mutated", ConsSession, Mutated));
-    printReport(checkFamily("consensus/arbitrary", ConsSession, Arbitrary));
+    printReport(
+        checkFamily("consensus/positive", Driver, Positive, Total,
+                    ThreadsUsed));
+    printReport(
+        checkFamily("consensus/mutated", Driver, Mutated, Total,
+                    ThreadsUsed));
+    printReport(
+        checkFamily("consensus/arbitrary", Driver, Arbitrary, Total,
+                    ThreadsUsed));
   }
 
   QueueAdt Q;
-  CheckSession QueueSession(Q);
   {
+    CorpusDriver Driver(Q, Drive);
     GenOptions G;
     G.NumClients = 3;
     G.NumOps = 8;
@@ -167,28 +207,25 @@ int main(int Argc, char **Argv) {
       Positive.push_back(genLinearizableTrace(Q, G, R));
       Arbitrary.push_back(genArbitraryTrace(G, R));
     }
-    printReport(checkFamily("queue/positive", QueueSession, Positive));
-    printReport(checkFamily("queue/arbitrary", QueueSession, Arbitrary));
+    printReport(
+        checkFamily("queue/positive", Driver, Positive, Total, ThreadsUsed));
+    printReport(
+        checkFamily("queue/arbitrary", Driver, Arbitrary, Total,
+                    ThreadsUsed));
   }
 
   double TotalMs = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - Start)
                        .count();
-  const SessionStats &CS = ConsSession.stats();
-  const SessionStats &QS = QueueSession.stats();
   std::printf(
-      "{\"summary\":{\"checks\":%llu,\"nodes\":%llu,\"memo_hits\":%llu,"
-      "\"commit_moves\":%llu,\"filler_moves\":%llu,\"total_ms\":%.1f,"
-      "\"traces_per_sec\":%.0f}}\n",
-      static_cast<unsigned long long>(CS.Checks + QS.Checks),
-      static_cast<unsigned long long>(CS.Search.Nodes + QS.Search.Nodes),
-      static_cast<unsigned long long>(CS.Search.MemoHits +
-                                      QS.Search.MemoHits),
-      static_cast<unsigned long long>(CS.Search.CommitMoves +
-                                      QS.Search.CommitMoves),
-      static_cast<unsigned long long>(CS.Search.FillerMoves +
-                                      QS.Search.FillerMoves),
-      TotalMs,
-      TotalMs > 0 ? (CS.Checks + QS.Checks) * 1000.0 / TotalMs : 0);
+      "{\"summary\":{\"checks\":%llu,\"threads\":%u,\"nodes\":%llu,"
+      "\"memo_hits\":%llu,\"commit_moves\":%llu,\"filler_moves\":%llu,"
+      "\"total_ms\":%.1f,\"traces_per_sec\":%.0f}}\n",
+      static_cast<unsigned long long>(Total.Checks), ThreadsUsed,
+      static_cast<unsigned long long>(Total.Search.Nodes),
+      static_cast<unsigned long long>(Total.Search.MemoHits),
+      static_cast<unsigned long long>(Total.Search.CommitMoves),
+      static_cast<unsigned long long>(Total.Search.FillerMoves), TotalMs,
+      TotalMs > 0 ? Total.Checks * 1000.0 / TotalMs : 0);
   return 0;
 }

@@ -12,6 +12,18 @@ using namespace slin;
 
 AdtState::~AdtState() = default;
 
+Output AdtState::applyInput(const Input &In, UndoToken &, Arena &) {
+  return apply(In);
+}
+
+void AdtState::undoInput(const UndoToken &) {
+  assert(false && "undoInput called on a state without undo support; "
+                  "callers must check supportsUndo() and fall back to "
+                  "clone()");
+}
+
+bool AdtState::supportsUndo() const { return false; }
+
 Adt::~Adt() = default;
 
 Output Adt::evaluate(const History &H) const {

@@ -13,6 +13,14 @@
 /// (AdtState) used heavily by the linearizability checkers, which explore
 /// many histories sharing long prefixes.
 ///
+/// Branching searches used to fork the replay state with clone() at every
+/// child node. AdtState now also speaks a mutate/undo protocol: applyInput
+/// records how to revert the step into a small POD UndoToken (spilling to a
+/// caller-provided Arena when the inline fields don't fit) and undoInput
+/// reverts it in O(1), so a depth-first search can thread ONE state down
+/// the whole search path. clone() remains the fallback for ADTs that do not
+/// implement undo (supportsUndo() == false, the default).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_ADT_ADT_H
@@ -25,6 +33,23 @@
 
 namespace slin {
 
+class Arena;
+
+/// How to revert one applyInput, recorded by the state that produced it.
+/// The fields are ADT-private: Kind discriminates the mutation performed,
+/// A/B carry the displaced values (previous register content, dequeued
+/// element, overwritten map entry, ...). State that does not fit the inline
+/// fields goes behind Overflow, allocated from the Arena passed to
+/// applyInput — that arena must stay live until the token is undone or
+/// abandoned, and is rewound by the owner (the engine's session arena is
+/// reset per trace), so tokens of abandoned branches need no cleanup.
+struct UndoToken {
+  std::uint32_t Kind = 0;
+  std::int64_t A = 0;
+  std::int64_t B = 0;
+  void *Overflow = nullptr;
+};
+
 /// Incremental evaluator for an ADT: mirrors the sequential state machine
 /// whose replay computes f_T. apply(In) returns f_T(h :: In) where h is the
 /// sequence of inputs applied so far.
@@ -36,7 +61,25 @@ public:
   /// f_T(applied-so-far :: In).
   virtual Output apply(const Input &In) = 0;
 
-  /// Deep-copies the state. Used by branching searches.
+  /// Applies \p In like apply and records into \p U how to revert it;
+  /// payloads too large for the token's inline fields are allocated from
+  /// \p Overflow. Meaningful only when supportsUndo(); the default
+  /// implementation forwards to apply and records nothing.
+  virtual Output applyInput(const Input &In, UndoToken &U, Arena &Overflow);
+
+  /// Reverts the most recent not-yet-undone applyInput (tokens are strictly
+  /// LIFO: undo order must mirror apply order). After the call the state is
+  /// logically identical — same digest, same response to every future — to
+  /// the state before the matching applyInput. Meaningful only when
+  /// supportsUndo().
+  virtual void undoInput(const UndoToken &U);
+
+  /// True when applyInput/undoInput implement an O(1) mutate/undo cycle.
+  /// Searches fall back to clone-per-child when false (the default).
+  virtual bool supportsUndo() const;
+
+  /// Deep-copies the state. Used by branching searches that cannot (or are
+  /// asked not to) use the undo protocol.
   virtual std::unique_ptr<AdtState> clone() const = 0;
 
   /// A fingerprint of the *logical* state: two states with equal digests

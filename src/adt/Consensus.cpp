@@ -20,6 +20,15 @@ public:
     return cons::decide(Decided);
   }
 
+  Output applyInput(const Input &In, UndoToken &U, Arena &) override {
+    U.A = Decided;
+    return apply(In);
+  }
+
+  void undoInput(const UndoToken &U) override { Decided = U.A; }
+
+  bool supportsUndo() const override { return true; }
+
   std::unique_ptr<AdtState> clone() const override {
     return std::make_unique<ConsensusState>(*this);
   }

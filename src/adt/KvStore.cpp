@@ -13,6 +13,8 @@ using namespace slin;
 namespace {
 
 class KvStoreState final : public AdtState {
+  enum UndoKind : std::uint32_t { UndoNothing, UndoEraseKey, UndoSetKey };
+
 public:
   Output apply(const Input &In) override {
     switch (In.Op) {
@@ -33,6 +35,48 @@ public:
     }
     }
   }
+
+  Output applyInput(const Input &In, UndoToken &U, Arena &) override {
+    switch (In.Op) {
+    case kv::OpGet:
+      U.Kind = UndoNothing;
+      return apply(In);
+    case kv::OpPut: {
+      auto [It, Inserted] = Map.try_emplace(In.A, In.B);
+      if (Inserted) {
+        U.Kind = UndoEraseKey;
+        U.A = In.A;
+      } else {
+        U.Kind = UndoSetKey;
+        U.A = In.A;
+        U.B = It->second;
+        It->second = In.B;
+      }
+      return Output{In.B};
+    }
+    default: {
+      auto It = Map.find(In.A);
+      if (It == Map.end()) {
+        U.Kind = UndoNothing;
+        return Output{NoValue};
+      }
+      U.Kind = UndoSetKey;
+      U.A = In.A;
+      U.B = It->second;
+      Map.erase(It);
+      return Output{U.B};
+    }
+    }
+  }
+
+  void undoInput(const UndoToken &U) override {
+    if (U.Kind == UndoEraseKey)
+      Map.erase(U.A);
+    else if (U.Kind == UndoSetKey)
+      Map[U.A] = U.B;
+  }
+
+  bool supportsUndo() const override { return true; }
 
   std::unique_ptr<AdtState> clone() const override {
     return std::make_unique<KvStoreState>(*this);

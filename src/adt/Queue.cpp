@@ -13,6 +13,8 @@ using namespace slin;
 namespace {
 
 class QueueState final : public AdtState {
+  enum UndoKind : std::uint32_t { UndoNothing, UndoEnq, UndoDeq };
+
 public:
   Output apply(const Input &In) override {
     if (In.Op == queue::OpEnq) {
@@ -25,6 +27,31 @@ public:
     Items.pop_front();
     return Output{Front};
   }
+
+  Output applyInput(const Input &In, UndoToken &U, Arena &) override {
+    if (In.Op == queue::OpEnq) {
+      U.Kind = UndoEnq;
+      Items.push_back(In.A);
+      return Output{In.A};
+    }
+    if (Items.empty()) {
+      U.Kind = UndoNothing;
+      return Output{NoValue};
+    }
+    U.Kind = UndoDeq;
+    U.A = Items.front();
+    Items.pop_front();
+    return Output{U.A};
+  }
+
+  void undoInput(const UndoToken &U) override {
+    if (U.Kind == UndoEnq)
+      Items.pop_back();
+    else if (U.Kind == UndoDeq)
+      Items.push_front(U.A);
+  }
+
+  bool supportsUndo() const override { return true; }
 
   std::unique_ptr<AdtState> clone() const override {
     return std::make_unique<QueueState>(*this);

@@ -18,6 +18,15 @@ public:
     return Output{Content};
   }
 
+  Output applyInput(const Input &In, UndoToken &U, Arena &) override {
+    U.A = Content;
+    return apply(In);
+  }
+
+  void undoInput(const UndoToken &U) override { Content = U.A; }
+
+  bool supportsUndo() const override { return true; }
+
   std::unique_ptr<AdtState> clone() const override {
     return std::make_unique<RegisterState>(*this);
   }

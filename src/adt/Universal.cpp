@@ -17,6 +17,17 @@ public:
     return Output{static_cast<std::int64_t>(Fingerprint)};
   }
 
+  Output applyInput(const Input &In, UndoToken &U, Arena &) override {
+    U.A = static_cast<std::int64_t>(Fingerprint);
+    return apply(In);
+  }
+
+  void undoInput(const UndoToken &U) override {
+    Fingerprint = static_cast<std::uint64_t>(U.A);
+  }
+
+  bool supportsUndo() const override { return true; }
+
   std::unique_ptr<AdtState> clone() const override {
     return std::make_unique<UniversalState>(*this);
   }

@@ -70,6 +70,7 @@ public:
     }
 
     std::unique_ptr<AdtState> State = P.Type->makeState();
+    UseUndo = State->supportsUndo() && !P.ForceCloneStates;
     for (InputId Id : P.Seed) {
       State->apply(Interner.input(Id));
       push(Id);
@@ -85,6 +86,7 @@ public:
     }
     if (BudgetExhausted) {
       Result.Outcome = Verdict::Unknown;
+      Result.BudgetLimited = true;
       Result.Reason = DeadlineExhausted ? "time budget exhausted"
                                         : "node budget exhausted";
       return Result;
@@ -158,7 +160,11 @@ private:
       return false;
     }
 
-    // Move 1: commit an outstanding response by appending its input.
+    // Move 1: commit an outstanding response by appending its input. With
+    // an undo-capable state the move mutates State in place and reverts on
+    // the way back; otherwise each child runs on a clone (the fallback for
+    // ADTs without undo and for differential testing). Move order, stats,
+    // and pruning are identical in both modes.
     for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R) {
       if (Committed & (1ull << R))
         continue;
@@ -169,16 +175,32 @@ private:
         continue; // Some earlier append is not available at this response.
       if (Used[Ob.In] + 1 > Avail[R][Ob.In])
         continue; // Validity would fail on the endpoint input.
-      std::unique_ptr<AdtState> Next = State.clone();
-      if (Next->apply(Interner.input(Ob.In)) != Ob.Out)
-        continue; // Would not explain the response.
-      ++Stats.CommitMoves;
-      push(Ob.In);
-      Commits.push_back({Ob.Tag, Master.size()});
-      if (dfs(Committed | (1ull << R), *Next))
-        return true;
-      Commits.pop_back();
-      pop(Ob.In);
+      if (UseUndo) {
+        UndoToken U;
+        if (State.applyInput(Interner.input(Ob.In), U, Scratch) != Ob.Out) {
+          State.undoInput(U);
+          continue; // Would not explain the response.
+        }
+        ++Stats.CommitMoves;
+        push(Ob.In);
+        Commits.push_back({Ob.Tag, Master.size()});
+        if (dfs(Committed | (1ull << R), State))
+          return true;
+        Commits.pop_back();
+        pop(Ob.In);
+        State.undoInput(U);
+      } else {
+        std::unique_ptr<AdtState> Next = State.clone();
+        if (Next->apply(Interner.input(Ob.In)) != Ob.Out)
+          continue; // Would not explain the response.
+        ++Stats.CommitMoves;
+        push(Ob.In);
+        Commits.push_back({Ob.Tag, Master.size()});
+        if (dfs(Committed | (1ull << R), *Next))
+          return true;
+        Commits.pop_back();
+        pop(Ob.In);
+      }
     }
 
     // Move 2: append a filler input. A filler lies in every later commit
@@ -199,13 +221,24 @@ private:
     }
     for (std::size_t I = 0; I != NumCandidates; ++I) {
       InputId Id = Candidates[I];
-      std::unique_ptr<AdtState> Next = State.clone();
-      Next->apply(Interner.input(Id));
-      ++Stats.FillerMoves;
-      push(Id);
-      if (dfs(Committed, *Next))
-        return true;
-      pop(Id);
+      if (UseUndo) {
+        UndoToken U;
+        State.applyInput(Interner.input(Id), U, Scratch);
+        ++Stats.FillerMoves;
+        push(Id);
+        if (dfs(Committed, State))
+          return true;
+        pop(Id);
+        State.undoInput(U);
+      } else {
+        std::unique_ptr<AdtState> Next = State.clone();
+        Next->apply(Interner.input(Id));
+        ++Stats.FillerMoves;
+        push(Id);
+        if (dfs(Committed, *Next))
+          return true;
+        pop(Id);
+      }
     }
 
     Memo.insert(Key);
@@ -236,6 +269,7 @@ private:
   std::uint64_t Salt;
 
   std::uint64_t FullMask = 0;
+  bool UseUndo = false;
   std::int32_t *Used = nullptr;
   const std::int32_t **Avail = nullptr;
   std::int32_t *Deficit = nullptr;

@@ -26,7 +26,12 @@
 /// copies with dense count arrays over interned InputIds, rehash-the-world
 /// memo keys with an incrementally folded multiset hash, the unbounded
 /// failed-state set with a bounded salted TranspositionTable, and per-node
-/// heap churn with Arena scratch — same verdicts, measurably faster.
+/// heap churn with Arena scratch — same verdicts, measurably faster. When
+/// the ADT speaks the mutate/undo protocol (AdtState::supportsUndo) the
+/// DFS threads a single replay state down the search path, reverting each
+/// move with an O(1) UndoToken instead of cloning the state at every child
+/// node; clone-per-child remains the fallback (and is selectable with
+/// ChainProblem::ForceCloneStates for differential testing).
 ///
 /// Deciding linearizability is NP-complete, so the search is bounded by a
 /// node budget and an optional deadline; exhaustion yields Verdict::Unknown
@@ -38,9 +43,9 @@
 #define SLIN_ENGINE_CHAINSEARCH_H
 
 #include "adt/Adt.h"
-#include "engine/Arena.h"
 #include "engine/Interner.h"
 #include "engine/Transposition.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <functional>
@@ -117,6 +122,10 @@ struct ChainProblem {
   /// leaf predicate depends on the master's order (abort synthesis does);
   /// plain multiset + ADT-digest keys suffice otherwise.
   bool SequenceSensitive = false;
+  /// Clone the ADT state at every child even when the state supports the
+  /// mutate/undo protocol. Exists for undo-vs-clone differential testing;
+  /// verdicts and node counts are identical either way.
+  bool ForceCloneStates = false;
   /// Called when every obligation is committed, with the candidate master
   /// and the longest commit-prefix length; returning false rejects the
   /// leaf and the search continues. Null accepts every leaf.
@@ -130,6 +139,10 @@ struct ChainProblem {
 struct ChainResult {
   Verdict Outcome = Verdict::No;
   std::string Reason; ///< Set for Unknown; empty No is the caller's to name.
+  /// True when an Unknown came from exhausting the node or time budget (as
+  /// opposed to a structural limit like >64 obligations). Batch drivers use
+  /// it to retry such traces one-shot with a fresh session.
+  bool BudgetLimited = false;
   History Master;
   std::vector<std::pair<std::size_t, std::size_t>> Commits;
   ChainStats Stats;

@@ -40,7 +40,8 @@ struct PendingAbort {
 } // namespace
 
 CheckSession::CheckSession(const Adt &Type, const SessionOptions &Opts)
-    : Type(Type), Memo(Opts.TranspositionCapacity) {}
+    : Type(Type), Memo(Opts.TranspositionCapacity),
+      ForceCloneStates(!Opts.UseUndoStates) {}
 
 void CheckSession::internSorted(std::vector<Input> Pool) {
   std::sort(Pool.begin(), Pool.end());
@@ -141,6 +142,7 @@ LinCheckResult CheckSession::runLin(const Trace &T,
         Problem.Commits[R].MustFollow |= 1ull << Q;
 
   ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
+  Problem.ForceCloneStates = ForceCloneStates;
   ChainSearch Engine(Interner, Memo, Scratch);
   ChainResult R = Engine.run(Problem, Limits, ++RunSerial);
   Stats.Search.accumulate(R.Stats);
@@ -148,6 +150,7 @@ LinCheckResult CheckSession::runLin(const Trace &T,
   LinCheckResult Result;
   Result.Outcome = R.Outcome;
   Result.NodesExplored = R.Stats.Nodes;
+  Result.BudgetLimited = R.BudgetLimited;
   if (R.Outcome == Verdict::Yes) {
     Result.Witness.Master = std::move(R.Master);
     Result.Witness.Commits = std::move(R.Commits);
@@ -283,6 +286,7 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
   };
 
   ChainLimits Limits{Opts.Search.NodeBudget, Opts.Search.TimeBudgetMillis};
+  Problem.ForceCloneStates = ForceCloneStates;
   ChainSearch Engine(Interner, Memo, Scratch);
   ChainResult R = Engine.run(Problem, Limits, ++RunSerial);
   Stats.Search.accumulate(R.Stats);
@@ -290,6 +294,7 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
   SlinCheckResult Result;
   Result.Outcome = R.Outcome;
   Result.NodesExplored = R.Stats.Nodes;
+  Result.BudgetLimited = R.BudgetLimited;
   if (R.Outcome == Verdict::Yes) {
     Result.Witness.Master = std::move(R.Master);
     Result.Witness.Commits = std::move(R.Commits);
@@ -323,12 +328,14 @@ SlinVerdict CheckSession::checkSlin(const Trace &T, const PhaseSignature &Sig,
   Result.Exact = Family.Exact && Rel.abortSearchExact();
   for (InitInterpretation &Finit : Family.Assignments) {
     SlinCheckResult R = runSlinUnder(T, Sig, Rel, Finit, Opts);
+    Result.NodesExplored += R.NodesExplored;
     if (R.Outcome == Verdict::Yes) {
       Result.Witnesses.push_back({std::move(Finit), std::move(R.Witness)});
       continue;
     }
     Result.Outcome = R.Outcome;
     Result.Reason = R.Reason;
+    Result.BudgetLimited = R.BudgetLimited;
     Result.Witnesses.clear();
     Stats.record(Result.Outcome);
     return Result;

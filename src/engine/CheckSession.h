@@ -26,12 +26,12 @@
 #ifndef SLIN_ENGINE_CHECKSESSION_H
 #define SLIN_ENGINE_CHECKSESSION_H
 
-#include "engine/Arena.h"
 #include "engine/ChainSearch.h"
 #include "engine/Interner.h"
 #include "engine/Transposition.h"
 #include "lin/LinChecker.h"
 #include "slin/SlinChecker.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 
@@ -42,6 +42,11 @@ struct SessionOptions {
   /// Capacity (entries, rounded up to a power of two) of the shared
   /// transposition table.
   std::size_t TranspositionCapacity = 1u << 20;
+  /// Drive the search through the ADT's mutate/undo protocol when the
+  /// state supports it (one state threaded down the DFS path) instead of
+  /// cloning at every child node. Off exists for undo-vs-clone
+  /// differential testing; verdicts and node counts are identical.
+  bool UseUndoStates = true;
 };
 
 /// Counters aggregated over every check a session ran.
@@ -60,6 +65,16 @@ struct SessionStats {
       ++No;
     else
       ++Unknown;
+  }
+
+  /// Folds another session's counters in (the CorpusDriver aggregates its
+  /// per-thread sessions this way).
+  void accumulate(const SessionStats &S) {
+    Checks += S.Checks;
+    Yes += S.Yes;
+    No += S.No;
+    Unknown += S.Unknown;
+    Search.accumulate(S.Search);
   }
 };
 
@@ -123,6 +138,7 @@ private:
   TranspositionTable Memo;
   SessionStats Stats;
   std::uint64_t RunSerial = 0;
+  bool ForceCloneStates = false;
 };
 
 } // namespace slin

@@ -1,0 +1,110 @@
+//===- engine/CorpusDriver.cpp --------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CorpusDriver.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+using namespace slin;
+
+CorpusDriver::CorpusDriver(const Adt &Type, const CorpusOptions &Opts)
+    : Type(Type), Opts(Opts) {}
+
+CorpusReport CorpusDriver::run(
+    std::size_t NumTraces,
+    const std::function<CorpusTraceResult(CheckSession &, std::size_t)>
+        &CheckOne) {
+  CorpusReport Report;
+  Report.Results.resize(NumTraces);
+
+  unsigned Threads =
+      Opts.Threads ? Opts.Threads : std::thread::hardware_concurrency();
+  if (Threads == 0)
+    Threads = 1;
+  std::size_t Chunk = Opts.ChunkSize ? Opts.ChunkSize : 1;
+  // No point spawning workers that could never claim a chunk.
+  std::size_t Claims = (NumTraces + Chunk - 1) / Chunk;
+  if (Threads > Claims)
+    Threads = static_cast<unsigned>(Claims ? Claims : 1);
+  Report.ThreadsUsed = Threads;
+
+  std::atomic<std::size_t> Cursor{0};
+  std::mutex AggregateMutex;
+  auto Worker = [&] {
+    CheckSession Session(Type, Opts.Session);
+    for (;;) {
+      std::size_t Begin =
+          Cursor.fetch_add(Chunk, std::memory_order_relaxed);
+      if (Begin >= NumTraces)
+        break;
+      std::size_t End = std::min(NumTraces, Begin + Chunk);
+      for (std::size_t I = Begin; I != End; ++I)
+        Report.Results[I] = CheckOne(Session, I);
+    }
+    std::lock_guard<std::mutex> Lock(AggregateMutex);
+    Report.Aggregate.accumulate(Session.stats());
+  };
+
+  if (Threads == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T != Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Deterministic repair pass: a warm session's budget-limited Unknowns
+  // depend on what that worker checked before, so re-check exactly those
+  // traces with one-shot semantics (fresh session per trace).
+  if (Opts.RetryBudgetLimitedFresh) {
+    for (std::size_t I = 0; I != NumTraces; ++I) {
+      CorpusTraceResult &R = Report.Results[I];
+      if (R.Outcome != Verdict::Unknown || !R.BudgetLimited)
+        continue;
+      CheckSession Fresh(Type, Opts.Session);
+      R = CheckOne(Fresh, I);
+      Report.Aggregate.accumulate(Fresh.stats());
+      ++Report.Retried;
+    }
+  }
+
+  for (const CorpusTraceResult &R : Report.Results) {
+    if (R.Outcome == Verdict::Yes)
+      ++Report.Yes;
+    else if (R.Outcome == Verdict::No)
+      ++Report.No;
+    else {
+      ++Report.Unknown;
+      Report.BudgetLimited += R.BudgetLimited;
+    }
+  }
+  return Report;
+}
+
+CorpusReport CorpusDriver::checkLin(const std::vector<Trace> &Corpus,
+                                    const LinCheckOptions &Check) {
+  return run(Corpus.size(),
+             [&](CheckSession &Session, std::size_t I) -> CorpusTraceResult {
+               LinCheckResult R = Session.checkLin(Corpus[I], Check);
+               return {R.Outcome, R.BudgetLimited, R.NodesExplored};
+             });
+}
+
+CorpusReport CorpusDriver::checkSlin(const std::vector<Trace> &Corpus,
+                                     const PhaseSignature &Sig,
+                                     const InitRelation &Rel,
+                                     const SlinCheckOptions &Check) {
+  return run(Corpus.size(),
+             [&](CheckSession &Session, std::size_t I) -> CorpusTraceResult {
+               SlinVerdict V = Session.checkSlin(Corpus[I], Sig, Rel, Check);
+               return {V.Outcome, V.BudgetLimited, V.NodesExplored};
+             });
+}

@@ -6,6 +6,7 @@
 
 #include "lin/Classical.h"
 
+#include "support/Arena.h"
 #include "trace/WellFormed.h"
 
 #include <limits>
@@ -59,6 +60,7 @@ public:
       return Result;
     }
     std::unique_ptr<AdtState> State = Type.makeState();
+    UseUndo = State->supportsUndo();
     bool Found = dfs(0, *State);
     Result.NodesExplored = Nodes;
     if (Found) {
@@ -103,17 +105,33 @@ private:
       const Operation &Op = Ops[I];
       if (Op.InvokeIndex > MinResp)
         continue; // Some unscheduled operation finished before Op started.
-      std::unique_ptr<AdtState> Next = State.clone();
-      Output Produced = Next->apply(Op.In);
       // Original responses must agree with the ADT; completed (pending)
       // operations accept whatever the ADT produces (Definition 45 lets the
-      // completion choose the output).
-      if (!Op.Pending && Produced != Op.Out)
-        continue;
-      Order.push_back({Op.InvokeIndex, Op.Pending, Produced});
-      if (dfs(Scheduled | (1ull << I), *Next))
-        return true;
-      Order.pop_back();
+      // completion choose the output). With an undo-capable state the step
+      // mutates in place and is reverted on mismatch or backtrack;
+      // otherwise each child runs on a clone.
+      if (UseUndo) {
+        UndoToken U;
+        Output Produced = State.applyInput(Op.In, U, TokenOverflow);
+        if (!Op.Pending && Produced != Op.Out) {
+          State.undoInput(U);
+          continue;
+        }
+        Order.push_back({Op.InvokeIndex, Op.Pending, Produced});
+        if (dfs(Scheduled | (1ull << I), State))
+          return true;
+        Order.pop_back();
+        State.undoInput(U);
+      } else {
+        std::unique_ptr<AdtState> Next = State.clone();
+        Output Produced = Next->apply(Op.In);
+        if (!Op.Pending && Produced != Op.Out)
+          continue;
+        Order.push_back({Op.InvokeIndex, Op.Pending, Produced});
+        if (dfs(Scheduled | (1ull << I), *Next))
+          return true;
+        Order.pop_back();
+      }
     }
     Failed.insert(Key);
     return false;
@@ -124,7 +142,9 @@ private:
   std::vector<Operation> Ops;
   std::vector<ClassicalWitness::Entry> Order;
   std::unordered_set<std::uint64_t> Failed;
+  Arena TokenOverflow; ///< Undo-token spill space; lives for the search.
   std::uint64_t Nodes = 0;
+  bool UseUndo = false;
   bool BudgetExhausted = false;
 };
 

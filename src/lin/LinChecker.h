@@ -48,6 +48,11 @@ struct LinCheckResult {
   std::string Reason;      ///< Human-readable cause for No/Unknown.
   LinWitness Witness;      ///< Valid iff Outcome == Verdict::Yes.
   std::uint64_t NodesExplored = 0;
+  /// True when an Unknown came from exhausting the node or time budget.
+  /// Since a warm session's budget-limited Unknowns can fall on different
+  /// traces than one-shot checking, batch callers use this to retry the
+  /// trace with a fresh session (see engine/CorpusDriver.h).
+  bool BudgetLimited = false;
 
   explicit operator bool() const { return Outcome == Verdict::Yes; }
 };

@@ -79,6 +79,9 @@ struct SlinCheckResult {
   std::string Reason;
   SlinWitness Witness; ///< Valid iff Outcome == Verdict::Yes.
   std::uint64_t NodesExplored = 0;
+  /// True when an Unknown came from exhausting the node or time budget
+  /// (batch callers can retry such traces one-shot; see LinCheckResult).
+  bool BudgetLimited = false;
 
   explicit operator bool() const { return Outcome == Verdict::Yes; }
 };
@@ -97,6 +100,11 @@ struct SlinVerdict {
   /// True when both the interpretation family and the abort search are
   /// exact, making the verdict a decision rather than a test.
   bool Exact = false;
+  /// True when an Unknown came from exhausting a search budget under some
+  /// interpretation (batch callers can retry such traces one-shot).
+  bool BudgetLimited = false;
+  /// Search nodes summed over every interpretation checked.
+  std::uint64_t NodesExplored = 0;
   /// Witnesses per interpretation (aligned with the family), populated on
   /// overall Yes.
   std::vector<std::pair<InitInterpretation, SlinWitness>> Witnesses;

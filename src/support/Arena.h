@@ -1,4 +1,4 @@
-//===- engine/Arena.h - Bump allocation for search scratch ------*- C++ -*-==//
+//===- support/Arena.h - Bump allocation for search scratch -----*- C++ -*-==//
 //
 // Part of the slin project.
 //
@@ -6,16 +6,18 @@
 ///
 /// \file
 /// A monotonic bump arena for the chain-search engine's scratch data: the
-/// per-obligation availability count arrays and the per-depth candidate
-/// buffers. The search allocates these once per trace instead of once per
-/// node (the seed checkers rebuilt a Multiset per node), and a CheckSession
-/// rewinds the arena between traces so a corpus run performs a bounded
-/// number of real heap allocations no matter how many traces it checks.
+/// per-obligation availability count arrays, the per-depth candidate
+/// buffers, and any AdtState undo payload too large for the inline
+/// UndoToken fields (the overflow-token contract of adt/Adt.h). The search
+/// allocates these once per trace instead of once per node (the seed
+/// checkers rebuilt a Multiset per node), and a CheckSession rewinds the
+/// arena between traces so a corpus run performs a bounded number of real
+/// heap allocations no matter how many traces it checks.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef SLIN_ENGINE_ARENA_H
-#define SLIN_ENGINE_ARENA_H
+#ifndef SLIN_SUPPORT_ARENA_H
+#define SLIN_SUPPORT_ARENA_H
 
 #include <algorithm>
 #include <cstddef>
@@ -98,4 +100,4 @@ private:
 
 } // namespace slin
 
-#endif // SLIN_ENGINE_ARENA_H
+#endif // SLIN_SUPPORT_ARENA_H

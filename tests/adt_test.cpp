@@ -9,10 +9,75 @@
 #include "adt/Queue.h"
 #include "adt/Register.h"
 #include "adt/Universal.h"
+#include "support/Arena.h"
+#include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 using namespace slin;
+
+namespace {
+
+/// Two states are behaviorally equal when they have equal digests and
+/// produce the same outputs (and equal digests again) after every probe
+/// input — the executable form of "responds identically to all futures".
+void expectBehaviorEqual(const AdtState &A, const AdtState &B,
+                         const std::vector<Input> &Probes) {
+  EXPECT_EQ(A.digest(), B.digest());
+  for (const Input &P : Probes) {
+    auto CA = A.clone();
+    auto CB = B.clone();
+    EXPECT_EQ(CA->apply(P), CB->apply(P));
+    EXPECT_EQ(CA->digest(), CB->digest());
+  }
+}
+
+/// Randomized apply/undo round-trip: drive one mutate/undo state alongside
+/// clone-based snapshots, checking that applyInput matches apply on a
+/// clone, that undoInput restores the exact pre-apply behavior, and that a
+/// full LIFO unwind returns to the initial state.
+void undoRoundTrip(const Adt &T, const std::vector<Input> &Alphabet,
+                   std::uint64_t Seed) {
+  Rng R(Seed);
+  Arena Overflow;
+  auto State = T.makeState();
+  ASSERT_TRUE(State->supportsUndo()) << T.name();
+
+  // Phase 1: random walk; each step is applied via the undo protocol and
+  // cross-checked against a clone driven by plain apply. Half the steps
+  // are immediately undone and must land exactly on the prior state.
+  for (int Step = 0; Step != 300; ++Step) {
+    auto Before = State->clone();
+    const Input &In =
+        Alphabet[static_cast<std::size_t>(R.nextBounded(Alphabet.size()))];
+    UndoToken U;
+    Output Mutated = State->applyInput(In, U, Overflow);
+    auto Cloned = Before->clone();
+    EXPECT_EQ(Mutated, Cloned->apply(In)) << T.name();
+    expectBehaviorEqual(*State, *Cloned, Alphabet);
+    if (R.nextBool(0.5)) {
+      State->undoInput(U);
+      expectBehaviorEqual(*State, *Before, Alphabet);
+    }
+  }
+
+  // Phase 2: deep apply stack, then a full LIFO unwind back to the start.
+  auto Initial = State->clone();
+  std::vector<UndoToken> Stack;
+  for (int Step = 0; Step != 64; ++Step) {
+    const Input &In =
+        Alphabet[static_cast<std::size_t>(R.nextBounded(Alphabet.size()))];
+    Stack.emplace_back();
+    State->applyInput(In, Stack.back(), Overflow);
+  }
+  for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+    State->undoInput(*It);
+  expectBehaviorEqual(*State, *Initial, Alphabet);
+}
+
+} // namespace
 
 TEST(ConsensusAdtTest, FirstProposalWins) {
   ConsensusAdt T;
@@ -119,6 +184,61 @@ TEST(KvStoreAdtTest, KeysAreIndependent) {
   KvStoreAdt T;
   EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::put(2, 20), kv::get(1)}).Val, 10);
   EXPECT_EQ(T.evaluate({kv::put(1, 10), kv::put(2, 20), kv::get(2)}).Val, 20);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutate/undo protocol: randomized round trips against clone snapshots.
+//===----------------------------------------------------------------------===//
+
+TEST(AdtUndoTest, RegisterRoundTrip) {
+  undoRoundTrip(RegisterAdt{}, {reg::write(1), reg::write(2), reg::read()},
+                0x5E61);
+}
+
+TEST(AdtUndoTest, QueueRoundTrip) {
+  undoRoundTrip(QueueAdt{}, {queue::enq(1), queue::enq(2), queue::deq()},
+                0x5E62);
+}
+
+TEST(AdtUndoTest, KvStoreRoundTrip) {
+  undoRoundTrip(KvStoreAdt{},
+                {kv::put(1, 10), kv::put(1, 20), kv::put(2, 5), kv::get(1),
+                 kv::get(2), kv::del(1), kv::del(2)},
+                0x5E63);
+}
+
+TEST(AdtUndoTest, ConsensusRoundTrip) {
+  undoRoundTrip(ConsensusAdt{}, {cons::propose(1), cons::propose(2)}, 0x5E64);
+}
+
+TEST(AdtUndoTest, UniversalRoundTrip) {
+  undoRoundTrip(UniversalAdt{}, {cons::propose(1), cons::propose(2)}, 0x5E65);
+}
+
+TEST(AdtUndoTest, QueueDeqOnEmptyUndoesToEmpty) {
+  QueueAdt T;
+  Arena Overflow;
+  auto S = T.makeState();
+  std::uint64_t Empty = S->digest();
+  UndoToken U;
+  EXPECT_EQ(S->applyInput(queue::deq(), U, Overflow).Val, NoValue);
+  S->undoInput(U);
+  EXPECT_EQ(S->digest(), Empty);
+}
+
+TEST(AdtUndoTest, KvPutOverwriteRestoresOldValue) {
+  KvStoreAdt T;
+  Arena Overflow;
+  auto S = T.makeState();
+  S->apply(kv::put(7, 1));
+  std::uint64_t Before = S->digest();
+  UndoToken U;
+  EXPECT_EQ(S->applyInput(kv::put(7, 2), U, Overflow).Val, 2);
+  EXPECT_EQ(S->apply(kv::get(7)).Val, 2);
+  // apply(get) mutated nothing, so the put's token still reverts cleanly.
+  S->undoInput(U);
+  EXPECT_EQ(S->digest(), Before);
+  EXPECT_EQ(S->apply(kv::get(7)).Val, 1);
 }
 
 TEST(UniversalAdtTest, OutputIdentifiesHistory) {

@@ -1,0 +1,276 @@
+//===- tests/engine_internals_test.cpp - Engine building blocks -----------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Direct unit tests for the engine's building blocks, which until now were
+// covered only through whole-checker runs: the Arena's rewind/overflow
+// block reuse (the guarantee that a corpus run performs a bounded number of
+// real heap allocations) and the TranspositionTable's lazy growth and
+// always-replace-at-capacity semantics (the guarantee that memo pressure
+// costs re-exploration, never a wrong verdict), plus the CorpusDriver's
+// scheduling-independent results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "engine/CorpusDriver.h"
+#include "engine/Transposition.h"
+#include "spec/SpecAutomaton.h"
+#include "support/Arena.h"
+#include "trace/Gen.h"
+
+#include <gtest/gtest.h>
+
+using namespace slin;
+
+//===----------------------------------------------------------------------===//
+// Arena: bump allocation, rewind, and overflow-block reuse.
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, AllocationsAreDisjointAndAligned) {
+  Arena A;
+  std::int32_t *X = A.allocZeroed<std::int32_t>(10);
+  std::int64_t *Y = A.allocArray<std::int64_t>(5);
+  ASSERT_NE(X, nullptr);
+  ASSERT_NE(Y, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(Y) % alignof(std::int64_t), 0u);
+  // Writing one allocation must not disturb the other.
+  for (int I = 0; I != 10; ++I)
+    X[I] = I;
+  for (int I = 0; I != 5; ++I)
+    Y[I] = -1;
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(X[I], I);
+  EXPECT_EQ(A.bytesAllocated(), 10 * sizeof(std::int32_t) +
+                                    5 * sizeof(std::int64_t));
+}
+
+TEST(ArenaTest, ResetRewindsToTheSameStorage) {
+  Arena A;
+  void *First = A.allocate(128);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  // After a rewind the first allocation reuses the first block's storage:
+  // no new heap allocation, same address handed back.
+  void *Again = A.allocate(128);
+  EXPECT_EQ(First, Again);
+}
+
+TEST(ArenaTest, OverflowBlocksAreRetainedAndReused) {
+  // A tiny block size forces overflow chaining immediately.
+  Arena A(/*BlockBytes=*/64);
+  void *Small = A.allocate(16);
+  void *Big = A.allocate(1024); // Cannot fit a 64-byte block: dedicated block.
+  ASSERT_NE(Small, nullptr);
+  ASSERT_NE(Big, nullptr);
+  A.reset();
+  // The rewound arena must serve the same shapes from the retained blocks.
+  void *Small2 = A.allocate(16);
+  void *Big2 = A.allocate(1024);
+  EXPECT_EQ(Small, Small2);
+  EXPECT_EQ(Big, Big2);
+}
+
+TEST(ArenaTest, ZeroedArraysAreZeroAfterDirtyReuse) {
+  Arena A(/*BlockBytes=*/64);
+  std::int32_t *X = A.allocZeroed<std::int32_t>(8);
+  for (int I = 0; I != 8; ++I)
+    X[I] = 0x5A5A5A5A;
+  A.reset();
+  // allocZeroed must clear recycled (dirty) storage.
+  std::int32_t *Y = A.allocZeroed<std::int32_t>(8);
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Y[I], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// TranspositionTable: lazy growth and always-replace at capacity.
+//===----------------------------------------------------------------------===//
+
+TEST(TranspositionTest, InsertThenContains) {
+  TranspositionTable T(1u << 12);
+  EXPECT_FALSE(T.contains(42));
+  T.insert(42);
+  EXPECT_TRUE(T.contains(42));
+  EXPECT_GE(T.stats().Inserts, 1u);
+  EXPECT_GE(T.stats().Hits, 1u);
+}
+
+TEST(TranspositionTest, ZeroKeyIsStorable) {
+  // 0 is the internal empty sentinel; the table must remap, not lose it.
+  TranspositionTable T;
+  EXPECT_FALSE(T.contains(0));
+  T.insert(0);
+  EXPECT_TRUE(T.contains(0));
+}
+
+TEST(TranspositionTest, GrowsUpToMaxCapacityUnderLoad) {
+  TranspositionTable T(/*MaxCapacity=*/1u << 14);
+  std::size_t Initial = T.capacity();
+  Rng R(0x7AB1E);
+  for (int I = 0; I != 1 << 13; ++I)
+    T.insert(R.next());
+  EXPECT_GT(T.capacity(), Initial);
+  EXPECT_LE(T.capacity(), 1u << 14);
+}
+
+TEST(TranspositionTest, CapacityIsBoundedAndReplacementKeepsNewKeys) {
+  // A deliberately tiny table: inserts far beyond capacity must neither
+  // grow it past the bound nor ever fail to record the newest key.
+  TranspositionTable T(/*MaxCapacity=*/64);
+  Rng R(0xCAFE);
+  std::uint64_t Last = 0;
+  for (int I = 0; I != 4096; ++I) {
+    Last = R.next();
+    T.insert(Last);
+    // Always-replace: the key just inserted is always findable, even when
+    // its probe window was full and a victim was evicted.
+    EXPECT_TRUE(T.contains(Last));
+  }
+  EXPECT_LE(T.capacity(), 64u);
+  EXPECT_LE(T.liveKeys(), T.capacity());
+  EXPECT_GT(T.stats().Evictions, 0u);
+}
+
+TEST(TranspositionTest, ClearForgetsEverything) {
+  TranspositionTable T;
+  for (std::uint64_t K = 1; K <= 100; ++K)
+    T.insert(K);
+  T.clear();
+  EXPECT_EQ(T.liveKeys(), 0u);
+  for (std::uint64_t K = 1; K <= 100; ++K)
+    EXPECT_FALSE(T.contains(K));
+}
+
+//===----------------------------------------------------------------------===//
+// CorpusDriver: results are positional and scheduling-independent.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Trace> mixedConsensusCorpus(unsigned Count) {
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 8;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xD21E);
+  std::vector<Trace> Corpus;
+  for (unsigned I = 0; I != Count; ++I) {
+    Corpus.push_back(genLinearizableTrace(Cons, G, R));
+    Corpus.push_back(genArbitraryTrace(G, R));
+  }
+  return Corpus;
+}
+
+} // namespace
+
+TEST(CorpusDriverTest, ThreadCountsAgreeTraceByTrace) {
+  ConsensusAdt Cons;
+  std::vector<Trace> Corpus = mixedConsensusCorpus(60);
+
+  CorpusOptions Serial;
+  Serial.Threads = 1;
+  Serial.RetryBudgetLimitedFresh = true;
+  CorpusReport Base = CorpusDriver(Cons, Serial).checkLin(Corpus);
+  ASSERT_EQ(Base.Results.size(), Corpus.size());
+  EXPECT_EQ(Base.ThreadsUsed, 1u);
+
+  for (unsigned Threads : {2u, 4u}) {
+    CorpusOptions Par = Serial;
+    Par.Threads = Threads;
+    Par.ChunkSize = 3; // Exercise many steals.
+    CorpusReport R = CorpusDriver(Cons, Par).checkLin(Corpus);
+    ASSERT_EQ(R.Results.size(), Corpus.size());
+    EXPECT_EQ(R.Yes, Base.Yes);
+    EXPECT_EQ(R.No, Base.No);
+    EXPECT_EQ(R.Unknown, Base.Unknown);
+    for (std::size_t I = 0; I != Corpus.size(); ++I)
+      EXPECT_EQ(R.Results[I].Outcome, Base.Results[I].Outcome)
+          << "trace " << I << " changed verdict at " << Threads
+          << " threads";
+  }
+}
+
+TEST(CorpusDriverTest, AggregateCountsEveryCheck) {
+  ConsensusAdt Cons;
+  std::vector<Trace> Corpus = mixedConsensusCorpus(20);
+  CorpusOptions O;
+  O.Threads = 2;
+  CorpusReport R = CorpusDriver(Cons, O).checkLin(Corpus);
+  EXPECT_EQ(R.Aggregate.Checks, Corpus.size());
+  EXPECT_EQ(R.Yes + R.No + R.Unknown, Corpus.size());
+  EXPECT_GT(R.Aggregate.Search.Nodes, 0u);
+}
+
+TEST(CorpusDriverTest, BudgetLimitedIsReportedAndRetryRunsOneShot) {
+  ConsensusAdt Cons;
+  std::vector<Trace> Corpus = mixedConsensusCorpus(10);
+
+  LinCheckOptions Tight;
+  Tight.NodeBudget = 1; // Everything non-trivial exhausts instantly.
+  CorpusOptions NoRetry;
+  NoRetry.Threads = 1; // Deterministic trace->session assignment.
+  CorpusReport Starved = CorpusDriver(Cons, NoRetry).checkLin(Corpus, Tight);
+  EXPECT_GT(Starved.Unknown, 0u);
+  EXPECT_EQ(Starved.BudgetLimited, Starved.Unknown);
+  for (const CorpusTraceResult &R : Starved.Results)
+    if (R.Outcome == Verdict::Unknown)
+      EXPECT_TRUE(R.BudgetLimited);
+
+  // With retry enabled under the same tight budget, the repair pass must
+  // actually run — once per budget-limited trace — and every result must
+  // land on its one-shot verdict (fresh-session semantics) at the right
+  // corpus position.
+  CorpusOptions Retry = NoRetry;
+  Retry.RetryBudgetLimitedFresh = true;
+  CorpusReport Repaired = CorpusDriver(Cons, Retry).checkLin(Corpus, Tight);
+  EXPECT_EQ(Repaired.Retried, Starved.BudgetLimited);
+  EXPECT_GT(Repaired.Retried, 0u);
+  ASSERT_EQ(Repaired.Results.size(), Corpus.size());
+  for (std::size_t I = 0; I != Corpus.size(); ++I) {
+    if (Starved.Results[I].Outcome != Verdict::Unknown)
+      continue;
+    LinCheckResult OneShot = checkLinearizable(Corpus[I], Cons, Tight);
+    EXPECT_EQ(Repaired.Results[I].Outcome, OneShot.Outcome) << "trace " << I;
+    EXPECT_EQ(Repaired.Results[I].BudgetLimited, OneShot.BudgetLimited);
+  }
+
+  // And with the default budget nothing is budget-limited, so the retry
+  // pass has nothing to do.
+  CorpusReport Roomy = CorpusDriver(Cons, Retry).checkLin(Corpus);
+  EXPECT_EQ(Roomy.Unknown, 0u);
+  EXPECT_EQ(Roomy.BudgetLimited, 0u);
+  EXPECT_EQ(Roomy.Retried, 0u);
+}
+
+TEST(CorpusDriverTest, SlinCorpusRunsThroughTheDriver) {
+  ConsensusAdt Cons;
+  UniversalInitRelation Rel;
+  PhaseSignature Sig(1, 2);
+  SpecAutomaton A(Sig, 3);
+  SpecAutomaton::WalkOptions W;
+  W.Steps = 8;
+  W.Alphabet = {cons::propose(1), cons::propose(2)};
+  W.InitChoices = {{cons::ghostPropose(1)},
+                   {cons::ghostPropose(1), cons::ghostPropose(2)}};
+  Rng R(0xD21F);
+  std::vector<Trace> Corpus;
+  for (int I = 0; I != 30; ++I)
+    Corpus.push_back(A.randomWalk(W, R, Rel));
+
+  CorpusOptions Serial;
+  Serial.Threads = 1;
+  CorpusReport Base = CorpusDriver(Cons, Serial).checkSlin(Corpus, Sig, Rel);
+  CorpusOptions Par = Serial;
+  Par.Threads = 3;
+  Par.ChunkSize = 2;
+  CorpusReport R2 = CorpusDriver(Cons, Par).checkSlin(Corpus, Sig, Rel);
+  ASSERT_EQ(Base.Results.size(), R2.Results.size());
+  for (std::size_t I = 0; I != Base.Results.size(); ++I)
+    EXPECT_EQ(Base.Results[I].Outcome, R2.Results[I].Outcome);
+  EXPECT_GT(Base.Yes + Base.No, 0u);
+}

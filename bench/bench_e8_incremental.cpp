@@ -1,0 +1,277 @@
+//===- bench/bench_e8_incremental.cpp - E8: incremental re-checking -------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E8: what resumable sessions buy for monitoring. Two shapes,
+// on linearizable-by-construction histories (the steady state of watching
+// a correct implementation):
+//
+//   * AppendOne_*: the monitor's inner loop. A history of N events is
+//     already ingested and checked; measure re-checking after ONE more
+//     (invoke, response) arrives — incremental append+verdict against the
+//     retained frontier vs a batch session re-checking the whole extended
+//     trace. Manual timing excludes the per-iteration re-priming of the
+//     incremental session. This is the pair the ">= 5x at N >= 64"
+//     acceptance bar reads from.
+//
+//   * Growing_*: the end-to-end monitor cost. Process a whole history
+//     event by event with a verdict after every event — incremental
+//     session vs batch re-check per event; items are events.
+//
+//   * PrefixCorpus_*: the corpus face. A prefix-closed corpus (every even
+//     prefix of growing histories) through the CorpusDriver with and
+//     without SharePrefixes, single-threaded (the bench box has 1 CPU —
+//     this measures the memo/frontier lever, not thread scaling).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/Register.h"
+#include "engine/CorpusDriver.h"
+#include "engine/Incremental.h"
+#include "trace/Gen.h"
+
+#include "BenchJson.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace slin;
+
+namespace {
+
+/// A linearizable history of exactly N events (N/2 operations, none
+/// pending), over a register — reads and writes keep the chain search
+/// honest without exploding it.
+Trace registerHistory(unsigned Events, std::uint64_t Seed) {
+  RegisterAdt Reg;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = Events / 2;
+  G.PendingFraction = 0;
+  G.Alphabet = {reg::read(), reg::write(1), reg::write(2), reg::write(3)};
+  Rng R(Seed);
+  return genLinearizableTrace(Reg, G, R);
+}
+
+Trace consensusHistory(unsigned Events, std::uint64_t Seed) {
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = Events / 2;
+  G.PendingFraction = 0;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  Rng R(Seed);
+  return genLinearizableTrace(Cons, G, R);
+}
+
+/// The one-event extension appended in the AppendOne benchmarks: a fresh
+/// client invokes and the object answers as the ADT would.
+Trace extensionPair(const Adt &Type, const Trace &T, const Input &In) {
+  std::unique_ptr<AdtState> S = Type.makeState();
+  Output Out;
+  for (const Action &A : T)
+    if (isInvoke(A))
+      Out = S->apply(A.In);
+  Out = S->apply(In);
+  Trace Ext;
+  Ext.push_back(makeInvoke(63, 1, In));
+  Ext.push_back(makeRespond(63, 1, In, Out));
+  return Ext;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AppendOne: steady-state single-event re-check at history length N.
+//===----------------------------------------------------------------------===//
+
+static void BM_E8_AppendOne_Incremental_Register(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = registerHistory(N, 0xE8);
+  Trace Ext = extensionPair(Reg, T, reg::write(7));
+  std::uint64_t Nodes = 0, Checks = 0;
+  for (auto _ : State) {
+    // Untimed: re-prime the session with the already-ingested history.
+    IncrementalLinSession Inc(Reg);
+    for (const Action &A : T)
+      Inc.append(A);
+    benchmark::DoNotOptimize(Inc.verdict().Outcome);
+    // Timed: one more operation arrives.
+    auto Start = std::chrono::steady_clock::now();
+    for (const Action &A : Ext)
+      Inc.append(A);
+    LinCheckResult R = Inc.verdict();
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  State.counters["nodes_per_check"] = benchmark::Counter(
+      static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
+}
+BENCHMARK(BM_E8_AppendOne_Incremental_Register)
+    ->Arg(32)->Arg(64)->Arg(96)->Arg(120)
+    ->UseManualTime();
+
+static void BM_E8_AppendOne_Batch_Register(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = registerHistory(N, 0xE8);
+  Trace Ext = extensionPair(Reg, T, reg::write(7));
+  Trace Extended = T;
+  Extended.insert(Extended.end(), Ext.begin(), Ext.end());
+  CheckSession Session(Reg); // Warm batch session: the fair baseline.
+  std::uint64_t Nodes = 0, Checks = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    LinCheckResult R = Session.checkLin(Extended);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  State.counters["nodes_per_check"] = benchmark::Counter(
+      static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
+}
+BENCHMARK(BM_E8_AppendOne_Batch_Register)
+    ->Arg(32)->Arg(64)->Arg(96)->Arg(120)
+    ->UseManualTime();
+
+static void BM_E8_AppendOne_Incremental_Consensus(benchmark::State &State) {
+  ConsensusAdt Cons;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = consensusHistory(N, 0xE81);
+  Trace Ext = extensionPair(Cons, T, cons::propose(2));
+  std::uint64_t Nodes = 0, Checks = 0;
+  for (auto _ : State) {
+    IncrementalLinSession Inc(Cons);
+    for (const Action &A : T)
+      Inc.append(A);
+    benchmark::DoNotOptimize(Inc.verdict().Outcome);
+    auto Start = std::chrono::steady_clock::now();
+    for (const Action &A : Ext)
+      Inc.append(A);
+    LinCheckResult R = Inc.verdict();
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  State.counters["nodes_per_check"] = benchmark::Counter(
+      static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
+}
+BENCHMARK(BM_E8_AppendOne_Incremental_Consensus)
+    ->Arg(64)->Arg(96)
+    ->UseManualTime();
+
+static void BM_E8_AppendOne_Batch_Consensus(benchmark::State &State) {
+  ConsensusAdt Cons;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = consensusHistory(N, 0xE81);
+  Trace Ext = extensionPair(Cons, T, cons::propose(2));
+  Trace Extended = T;
+  Extended.insert(Extended.end(), Ext.begin(), Ext.end());
+  CheckSession Session(Cons);
+  std::uint64_t Nodes = 0, Checks = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    LinCheckResult R = Session.checkLin(Extended);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  State.counters["nodes_per_check"] = benchmark::Counter(
+      static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
+}
+BENCHMARK(BM_E8_AppendOne_Batch_Consensus)
+    ->Arg(64)->Arg(96)
+    ->UseManualTime();
+
+//===----------------------------------------------------------------------===//
+// Growing: end-to-end monitor cost (verdict after every event).
+//===----------------------------------------------------------------------===//
+
+static void BM_E8_Growing_Incremental_Register(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = registerHistory(N, 0xE82);
+  for (auto _ : State) {
+    IncrementalLinSession Inc(Reg);
+    for (const Action &A : T) {
+      Inc.append(A);
+      benchmark::DoNotOptimize(Inc.verdict().Outcome);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * T.size());
+}
+BENCHMARK(BM_E8_Growing_Incremental_Register)->Arg(64)->Arg(96);
+
+static void BM_E8_Growing_Batch_Register(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = registerHistory(N, 0xE82);
+  CheckSession Session(Reg);
+  for (auto _ : State) {
+    Trace Prefix;
+    for (const Action &A : T) {
+      Prefix.push_back(A);
+      benchmark::DoNotOptimize(Session.checkLin(Prefix).Outcome);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * T.size());
+}
+BENCHMARK(BM_E8_Growing_Batch_Register)->Arg(64)->Arg(96);
+
+//===----------------------------------------------------------------------===//
+// PrefixCorpus: the CorpusDriver's shared-prefix lever (1 thread).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Trace> prefixClosedCorpus(unsigned Histories, unsigned Events) {
+  std::vector<Trace> Corpus;
+  for (unsigned I = 0; I != Histories; ++I) {
+    Trace T = registerHistory(Events, 0xE83 + I);
+    for (std::size_t Len = 2; Len <= T.size(); Len += 2)
+      Corpus.emplace_back(T.begin(), T.begin() + Len);
+  }
+  return Corpus;
+}
+
+} // namespace
+
+static void BM_E8_PrefixCorpus(benchmark::State &State) {
+  RegisterAdt Reg;
+  auto Corpus = prefixClosedCorpus(8, 48);
+  CorpusOptions Opts;
+  Opts.Threads = 1;
+  Opts.RetryBudgetLimitedFresh = true;
+  Opts.SharePrefixes = State.range(0) != 0;
+  CorpusDriver Driver(Reg, Opts);
+  std::uint64_t Yes = 0;
+  for (auto _ : State) {
+    CorpusReport R = Driver.checkLin(Corpus);
+    benchmark::DoNotOptimize(R.Results.data());
+    Yes += R.Yes;
+  }
+  State.SetItemsProcessed(State.iterations() * Corpus.size());
+  State.counters["yes_per_iter"] = benchmark::Counter(
+      static_cast<double>(Yes) / static_cast<double>(State.iterations()));
+}
+BENCHMARK(BM_E8_PrefixCorpus)->Arg(0)->Arg(1)->UseRealTime();
+
+SLIN_BENCH_JSON_MAIN()

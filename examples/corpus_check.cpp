@@ -10,7 +10,7 @@
 // table) per thread.
 //
 // Usage:
-//   corpus_check [traces <ops>] [seed <n>] [--threads <n>]
+//   corpus_check [traces <ops>] [seed <n>] [--threads <n>] [--share-prefixes]
 //                                            generate + check a mixed corpus
 //   corpus_check file <trace.txt>...         check textual traces (consensus)
 //
@@ -121,6 +121,7 @@ int main(int Argc, char **Argv) {
   unsigned TracesPerFamily = 200;
   std::uint64_t Seed = 0x5EED;
   unsigned Threads = 1;
+  bool SharePrefixes = false;
   for (int I = 1; I < Argc; I += 2) {
     bool IsFile = !std::strcmp(Argv[I], "file");
     if (IsFile && I + 1 < Argc)
@@ -144,15 +145,24 @@ int main(int Argc, char **Argv) {
       Threads = static_cast<unsigned>(V);
       continue;
     }
-    std::fprintf(
-        stderr,
-        "usage: %s [traces <n>] [seed <n>] [--threads <n>] | file <t.txt>...\n",
-        Argv[0]);
+    if (!IsFile && !std::strcmp(Argv[I], "--share-prefixes")) {
+      SharePrefixes = true;
+      --I; // Flag takes no value.
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [traces <n>] [seed <n>] [--threads <n>] "
+                 "[--share-prefixes] | file <t.txt>...\n",
+                 Argv[0]);
     return 2;
   }
 
   CorpusOptions Drive;
   Drive.Threads = Threads;
+  // Sorts each shard by prefix and threads one resumable session through
+  // each prefix group (engine/Incremental.h). Verdicts are unchanged;
+  // corpora with shared prefixes get cross-trace memo/frontier reuse.
+  Drive.SharePrefixes = SharePrefixes;
   // One-shot retry of budget-limited Unknowns keeps verdict counts
   // identical across --threads values.
   Drive.RetryBudgetLimitedFresh = true;

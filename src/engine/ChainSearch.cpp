@@ -39,7 +39,8 @@ public:
          const InputInterner &Interner, TranspositionTable &Memo,
          Arena &Scratch, std::uint64_t Salt)
       : P(P), Limits(Limits), Interner(Interner), Memo(Memo),
-        Scratch(Scratch), Salt(Salt) {}
+        Scratch(Scratch), Salt(Salt), ProbeSalt(mix64(P.ProbeSalt)),
+        HaveProbeSalt(P.HaveProbeSalt) {}
 
   ChainResult run() {
     ChainResult Result;
@@ -71,12 +72,27 @@ public:
 
     std::unique_ptr<AdtState> State = P.Type->makeState();
     UseUndo = State->supportsUndo() && !P.ForceCloneStates;
+
+    // Obligations the seed already commits (a resumable session's retained
+    // witness chain): mark them committed and replay their witness rows, so
+    // the run starts at the retained frontier. Deficit counters are
+    // maintained only for the remaining (active) obligations.
+    std::uint64_t PreCommitted = 0;
+    for (const auto &[Index, Len] : P.SeedCommits) {
+      PreCommitted |= 1ull << Index;
+      Commits.push_back({P.Commits[Index].Tag, Len});
+    }
+    Active = Scratch.allocArray<std::uint32_t>(NumOb);
+    for (std::size_t R = 0; R != NumOb; ++R)
+      if (!(PreCommitted & (1ull << R)))
+        Active[NumActive++] = static_cast<std::uint32_t>(R);
+
     for (InputId Id : P.Seed) {
       State->apply(Interner.input(Id));
       push(Id);
     }
 
-    bool Found = dfs(0, *State);
+    bool Found = dfs(PreCommitted, *State);
     Result.Stats = Stats;
     if (Found) {
       Result.Outcome = Verdict::Yes;
@@ -105,8 +121,12 @@ private:
     if (C > 0)
       UsedHash ^= pairMix(Id, C);
     UsedHash ^= pairMix(Id, C + 1);
-    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R)
-      if (Avail[R][Id] == C)
+    // Deficits are tracked only for obligations the run can still commit:
+    // a seed-committed obligation is never uncommitted, so its counter is
+    // never read (the hot-loop saving a resumable session's seed replay
+    // depends on).
+    for (std::size_t K = 0; K != NumActive; ++K)
+      if (std::size_t R = Active[K]; Avail[R][Id] == C)
         ++Deficit[R];
     Master.push_back(Interner.input(Id));
     if (P.SequenceSensitive)
@@ -119,8 +139,8 @@ private:
     UsedHash ^= pairMix(Id, C + 1);
     if (C > 0)
       UsedHash ^= pairMix(Id, C);
-    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R)
-      if (Avail[R][Id] == C)
+    for (std::size_t K = 0; K != NumActive; ++K)
+      if (std::size_t R = Active[K]; Avail[R][Id] == C)
         --Deficit[R];
     Master.pop_back();
     if (P.SequenceSensitive)
@@ -151,11 +171,16 @@ private:
       BudgetExhausted = DeadlineExhausted = true;
       return false;
     }
-    std::uint64_t Key = hashCombine(
-        hashCombine(hashCombine(Salt, Committed), State.digest()), UsedHash);
-    if (P.SequenceSensitive)
-      Key = hashCombine(Key, SeqHashes.back());
-    if (Memo.contains(Key)) {
+    std::uint64_t Digest = State.digest();
+    auto KeyFor = [&](std::uint64_t S) {
+      std::uint64_t K =
+          hashCombine(hashCombine(hashCombine(S, Committed), Digest),
+                      UsedHash);
+      return P.SequenceSensitive ? hashCombine(K, SeqHashes.back()) : K;
+    };
+    std::uint64_t Key = KeyFor(Salt);
+    if (Memo.contains(Key) ||
+        (HaveProbeSalt && Memo.contains(KeyFor(ProbeSalt)))) {
       ++Stats.MemoHits;
       return false;
     }
@@ -267,12 +292,16 @@ private:
   TranspositionTable &Memo;
   Arena &Scratch;
   std::uint64_t Salt;
+  std::uint64_t ProbeSalt;
+  bool HaveProbeSalt;
 
   std::uint64_t FullMask = 0;
   bool UseUndo = false;
   std::int32_t *Used = nullptr;
   const std::int32_t **Avail = nullptr;
   std::int32_t *Deficit = nullptr;
+  std::uint32_t *Active = nullptr; ///< Obligations not committed by the seed.
+  std::size_t NumActive = 0;
   std::uint64_t *IdHash = nullptr;
   std::uint64_t UsedHash = 0;
   History Master;

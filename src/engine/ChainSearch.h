@@ -115,9 +115,18 @@ struct ChainProblem {
   /// Obligations in the order moves are attempted (trace order preserves
   /// the seed checkers' exploration order). At most 64 for exact search.
   std::vector<CommitObligation> Commits;
-  /// Pre-applied master prefix (the slin init LCP); it consumes
-  /// availability and is part of every commit history.
+  /// Pre-applied master prefix (the slin init LCP, or a resumable
+  /// session's retained witness chain); it consumes availability and is
+  /// part of every commit history.
   std::vector<InputId> Seed;
+  /// Obligations already committed *within* the Seed, as (obligation
+  /// index, master length at the commit point) in chain order. The search
+  /// starts with these marked committed — this is how a resumable session
+  /// resumes from its retained success frontier instead of re-deriving the
+  /// old witness: the root of the run is the old leaf, and backtracking
+  /// above it is the fallback full search's job. Every listed length must
+  /// be <= Seed.size().
+  std::vector<std::pair<std::size_t, std::size_t>> SeedCommits;
   /// Include the master's sequence hash in memo keys. Required whenever the
   /// leaf predicate depends on the master's order (abort synthesis does);
   /// plain multiset + ADT-digest keys suffice otherwise.
@@ -131,6 +140,16 @@ struct ChainProblem {
   /// leaf and the search continues. Null accepts every leaf.
   std::function<bool(const History &Master, std::size_t MaxCommitLen)>
       AcceptLeaf;
+  /// A second salt *probed* (never inserted under) on memo lookups.
+  /// Incremental sessions use it to keep entries sealed under a shared
+  /// prefix's lineage visible after the per-trace lineage salt moves on:
+  /// sealed entries record subtrees that failed against a prefix's
+  /// obligation set, and a failure against a prefix remains a failure
+  /// against every extension (committing the extension's extra obligations
+  /// only interleaves more-constrained appends), so a hit is always a
+  /// sound prune.
+  std::uint64_t ProbeSalt = 0;
+  bool HaveProbeSalt = false;
 };
 
 /// Outcome of one search run. On Yes, Master/Commits describe the witness

@@ -29,19 +29,68 @@ Multiset<Input> pointwiseMin(const Multiset<Input> &A,
   return Result;
 }
 
-/// An abort action whose f_abort history the leaf predicate synthesizes.
-struct PendingAbort {
-  std::size_t TraceIndex;
-  Input In;
-  SwitchValue Sv;
-  Multiset<Input> Budget; ///< vi at the abort (or at trace end, relaxed).
-};
-
 } // namespace
+
+void detail::capByAbortBudgets(std::vector<Multiset<Input>> &CommitAvail,
+                               const std::vector<PendingAbort> &Aborts) {
+  for (Multiset<Input> &M : CommitAvail)
+    for (const PendingAbort &Ab : Aborts)
+      M = pointwiseMin(M, Ab.Budget);
+}
+
+std::function<bool(const History &, std::size_t)>
+detail::makeAbortSynthesisLeaf(
+    const InitRelation &Rel, const std::vector<PendingAbort> &Aborts,
+    const History &Lcp,
+    std::vector<std::pair<std::size_t, History>> &FoundAborts) {
+  return [&Rel, &Aborts, &Lcp, &FoundAborts](const History &Master,
+                                             std::size_t MaxCommitLen) {
+    FoundAborts.clear();
+    History LongestCommit(Master.begin(), Master.begin() + MaxCommitLen);
+    for (const PendingAbort &Ab : Aborts) {
+      std::optional<History> AbortHistory =
+          Rel.findAbortHistory(Ab.Sv, LongestCommit, Lcp, Ab.In, Ab.Budget);
+      if (!AbortHistory)
+        return false;
+      FoundAborts.push_back({Ab.TraceIndex, std::move(*AbortHistory)});
+    }
+    return true;
+  };
+}
+
+SlinCheckResult detail::shapeSlinResult(
+    ChainResult R, const InitRelation &Rel, bool HadAborts,
+    std::vector<std::pair<std::size_t, History>> FoundAborts) {
+  SlinCheckResult Result;
+  Result.Outcome = R.Outcome;
+  Result.NodesExplored = R.Stats.Nodes;
+  Result.BudgetLimited = R.BudgetLimited;
+  if (R.Outcome == Verdict::Yes) {
+    Result.Witness.Master = std::move(R.Master);
+    Result.Witness.Commits = std::move(R.Commits);
+    Result.Witness.Aborts = std::move(FoundAborts);
+  } else if (R.Outcome == Verdict::Unknown) {
+    Result.Reason = std::move(R.Reason);
+  } else if (!Rel.abortSearchExact() && HadAborts) {
+    Result.Outcome = Verdict::Unknown;
+    Result.Reason = "no witness found (abort synthesis incomplete for "
+                    "this init relation)";
+  } else {
+    Result.Reason = "no speculative linearization function exists";
+  }
+  return Result;
+}
 
 CheckSession::CheckSession(const Adt &Type, const SessionOptions &Opts)
     : Type(Type), Memo(Opts.TranspositionCapacity),
       ForceCloneStates(!Opts.UseUndoStates) {}
+
+void CheckSession::reset() {
+  Interner.clear();
+  Scratch.reset();
+  Memo.shrinkToInitial();
+  RunSerial = 0;
+}
 
 void CheckSession::internSorted(std::vector<Input> Pool) {
   std::sort(Pool.begin(), Pool.end());
@@ -216,7 +265,7 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
 
   std::vector<Multiset<Input>> CommitAvail;
   std::vector<std::size_t> StartIdx;
-  std::vector<PendingAbort> Aborts;
+  std::vector<detail::PendingAbort> Aborts;
   ChainProblem Problem;
   Problem.Type = &Type;
 
@@ -250,12 +299,7 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
     for (std::size_t Q = 0; Q < Problem.Commits.size() && Q < 64; ++Q)
       if (Problem.Commits[Q].Tag < StartIdx[R])
         Problem.Commits[R].MustFollow |= 1ull << Q;
-  // A commit history is a prefix of every abort history (Abort Order),
-  // whose elements are valid at the abort (Definition 28): cap every
-  // commit's availability by every abort's budget.
-  for (Multiset<Input> &M : CommitAvail)
-    for (const PendingAbort &Ab : Aborts)
-      M = pointwiseMin(M, Ab.Budget);
+  detail::capByAbortBudgets(CommitAvail, Aborts);
   Problem.AlphabetSize = Interner.size();
   for (std::size_t R = 0; R != CommitAvail.size(); ++R)
     Problem.Commits[R].Available = denseCounts(CommitAvail[R]);
@@ -272,43 +316,16 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
   // must distinguish orderings whenever aborts are present.
   std::vector<std::pair<std::size_t, History>> FoundAborts;
   Problem.SequenceSensitive = !Aborts.empty();
-  Problem.AcceptLeaf = [&](const History &Master, std::size_t MaxCommitLen) {
-    FoundAborts.clear();
-    History LongestCommit(Master.begin(), Master.begin() + MaxCommitLen);
-    for (const PendingAbort &Ab : Aborts) {
-      std::optional<History> AbortHistory = Rel.findAbortHistory(
-          Ab.Sv, LongestCommit, Lcp, Ab.In, Ab.Budget);
-      if (!AbortHistory)
-        return false;
-      FoundAborts.push_back({Ab.TraceIndex, std::move(*AbortHistory)});
-    }
-    return true;
-  };
+  Problem.AcceptLeaf =
+      detail::makeAbortSynthesisLeaf(Rel, Aborts, Lcp, FoundAborts);
 
   ChainLimits Limits{Opts.Search.NodeBudget, Opts.Search.TimeBudgetMillis};
   Problem.ForceCloneStates = ForceCloneStates;
   ChainSearch Engine(Interner, Memo, Scratch);
   ChainResult R = Engine.run(Problem, Limits, ++RunSerial);
   Stats.Search.accumulate(R.Stats);
-
-  SlinCheckResult Result;
-  Result.Outcome = R.Outcome;
-  Result.NodesExplored = R.Stats.Nodes;
-  Result.BudgetLimited = R.BudgetLimited;
-  if (R.Outcome == Verdict::Yes) {
-    Result.Witness.Master = std::move(R.Master);
-    Result.Witness.Commits = std::move(R.Commits);
-    Result.Witness.Aborts = std::move(FoundAborts);
-  } else if (R.Outcome == Verdict::Unknown) {
-    Result.Reason = std::move(R.Reason);
-  } else if (!Rel.abortSearchExact() && !Aborts.empty()) {
-    Result.Outcome = Verdict::Unknown;
-    Result.Reason = "no witness found (abort synthesis incomplete for "
-                    "this init relation)";
-  } else {
-    Result.Reason = "no speculative linearization function exists";
-  }
-  return Result;
+  return detail::shapeSlinResult(std::move(R), Rel, !Aborts.empty(),
+                                 std::move(FoundAborts));
 }
 
 SlinVerdict CheckSession::checkSlin(const Trace &T, const PhaseSignature &Sig,

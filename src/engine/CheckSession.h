@@ -34,8 +34,49 @@
 #include "support/Arena.h"
 
 #include <cstdint>
+#include <utility>
 
 namespace slin {
+
+namespace detail {
+
+/// An abort action whose f_abort history the accepting-leaf predicate must
+/// synthesize. Shared between the batch (CheckSession::runSlinUnder) and
+/// incremental (IncrementalSlinSession::runUnder) slin obligation
+/// providers so the Definition 26/28 plumbing cannot drift between them.
+struct PendingAbort {
+  std::size_t TraceIndex = 0;
+  Input In;
+  SwitchValue Sv;
+  Multiset<Input> Budget; ///< vi at the abort (or at trace end, relaxed).
+};
+
+/// Abort Order + Definition 28: a commit history is a prefix of every
+/// abort history, whose elements are valid at the abort — cap every
+/// commit's availability by every abort's budget (pointwise min).
+void capByAbortBudgets(std::vector<Multiset<Input>> &CommitAvail,
+                       const std::vector<PendingAbort> &Aborts);
+
+/// Builds the accepting-leaf predicate that synthesizes f_abort per abort
+/// action via Rel.findAbortHistory, collecting the found histories into
+/// \p FoundAborts. All reference parameters are captured by reference and
+/// must outlive the search run.
+std::function<bool(const History &, std::size_t)>
+makeAbortSynthesisLeaf(const InitRelation &Rel,
+                       const std::vector<PendingAbort> &Aborts,
+                       const History &Lcp,
+                       std::vector<std::pair<std::size_t, History>>
+                           &FoundAborts);
+
+/// Maps the engine's outcome onto a SlinCheckResult: witness assembly on
+/// Yes, reason pass-through on Unknown, and the downgrade of a No to
+/// Unknown when aborts are present but the relation's abort search is not
+/// a decision procedure.
+SlinCheckResult
+shapeSlinResult(ChainResult R, const InitRelation &Rel, bool HadAborts,
+                std::vector<std::pair<std::size_t, History>> FoundAborts);
+
+} // namespace detail
 
 /// Session-level tuning knobs.
 struct SessionOptions {
@@ -112,6 +153,15 @@ public:
 
   const SessionStats &stats() const { return Stats; }
   const TranspositionStats &memoStats() const { return Memo.stats(); }
+
+  /// Restores fresh-session *semantics* while keeping warm storage: the
+  /// interner is emptied (dense-id — and thus move exploration — order
+  /// restarts as in a new session), the memo table shrinks back to its
+  /// initial capacity, the run-salt serial restarts, and the arena is
+  /// rewound without freeing its blocks. After reset(), verdicts and node
+  /// counts of subsequent checks are bit-identical to a newly constructed
+  /// session's; only the heap traffic differs. Cumulative Stats are kept.
+  void reset();
 
 private:
   /// Interns \p In, growing the dense-id space.

@@ -56,9 +56,23 @@ struct CorpusOptions {
   /// contention; smaller chunks balance uneven per-trace costs.
   std::size_t ChunkSize = 8;
   /// After the parallel drain, re-check every budget-limited Unknown with
-  /// a fresh single-use session (one-shot semantics). Makes the result
-  /// vector independent of thread count and scheduling.
+  /// one-shot semantics: a single retry session is reused (reset between
+  /// traces, so its warm arena blocks survive) and produces verdicts and
+  /// node counts bit-identical to a fresh session per trace. Makes the
+  /// result vector independent of thread count and scheduling.
   bool RetryBudgetLimitedFresh = false;
+  /// Lin corpora only: sort each shard by trace prefix and thread one
+  /// *resumable* session (engine/Incremental.h) through each prefix
+  /// group — consecutive traces that extend the session's view stream
+  /// only their delta, and a group's common prefix is checked once,
+  /// sealed, and shared (retained memo + retained success frontier) by
+  /// every member. Closes the cross-trace memo-sharing gap for corpora
+  /// with common prefixes (monitoring logs, prefix-closed families).
+  /// Conclusive verdicts are unchanged; which traces exhaust a budget can
+  /// shift, as with any warm session (the retry pass repairs that).
+  bool SharePrefixes = false;
+  /// Shortest common prefix (in events) worth sealing for reuse.
+  std::size_t MinSharedPrefix = 4;
   /// Tuning for each worker's session.
   SessionOptions Session;
 };
@@ -105,6 +119,18 @@ private:
   /// the given session and returns its row of the report.
   CorpusReport
   run(std::size_t NumTraces,
+      const std::function<CorpusTraceResult(CheckSession &, std::size_t)>
+          &CheckOne);
+
+  /// The SharePrefixes drain for lin corpora: workers steal chunks of the
+  /// prefix-sorted permutation and thread one resumable session through
+  /// each chunk's prefix groups.
+  CorpusReport runLinShared(const std::vector<Trace> &Corpus,
+                            const LinCheckOptions &Check);
+
+  /// Retry pass + verdict counting shared by both drains.
+  void finalizeReport(
+      CorpusReport &Report,
       const std::function<CorpusTraceResult(CheckSession &, std::size_t)>
           &CheckOne);
 

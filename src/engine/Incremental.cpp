@@ -1,0 +1,653 @@
+//===- engine/Incremental.cpp ---------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Soundness notes for the retention rules implemented here.
+//
+// *Monotonicity of failure.* A transposition entry records "from this
+// (committed set, used multiset, ADT state), the remaining obligations
+// cannot all be committed". Extending the trace adds obligations whose
+// availability snapshots cover strictly later indices and leaves every
+// existing obligation's snapshot, predecessors, and output untouched. If
+// the extended problem were completable from the same search state, then
+// deleting the new obligations' commit appends from that completion yields
+// a completion of the original problem from the same state: used counts
+// only shrink, every kept filler was available at all then-uncommitted
+// original obligations, and no original obligation ever must-follow a new
+// one (the new response's invocation lies after every original response).
+// Hence failure is preserved by extension and every retained entry stays a
+// sound prune — the basis for both the lineage salt (one growing trace)
+// and the sealed prefix salt (many traces over one prefix).
+//
+// *Absorption.* The same deletion argument gives: an extension of a
+// non-linearizable trace is non-linearizable (No is final), and an
+// appended invocation changes no obligation at all (the cached verdict
+// stands as-is). For the slin session the argument holds per
+// interpretation for response and abort appends (aborts only tighten
+// budgets and leaf predicates) and for invocations under the strict abort
+// reading; a new init action changes the interpretation family and the
+// init LCP seed, and an invocation under the relaxed reading grows every
+// abort budget — both are non-monotone, so the epoch moves and the
+// affected entries are salted out.
+//
+// *Pollution.* A budget-exhausted run returns through ancestors whose
+// other children were never explored, yet those ancestors insert memo
+// entries on the way out. Such entries are sound within the aborted run
+// (the whole run answers Unknown) but not for a later run under the same
+// salt, so any budget-limited result marks the lineage polluted and the
+// next search re-salts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Incremental.h"
+
+#include "support/Sequences.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace slin;
+
+namespace {
+
+constexpr std::uint64_t LinSaltDomain = 0x1A2B3C4D5E6F7081ull;
+constexpr std::uint64_t SlinSaltDomain = 0x51A9B8C7D6E5F403ull;
+
+std::uint64_t interpretationHash(const InitInterpretation &Finit) {
+  std::uint64_t H = 0xF1417ull;
+  for (const auto &[Index, Hist] : Finit) {
+    H = hashCombine(H, Index);
+    H = hashCombine(H, hashValue(Hist));
+  }
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IncrementalLinSession
+//===----------------------------------------------------------------------===//
+
+IncrementalLinSession::IncrementalLinSession(const Adt &Type,
+                                             const IncrementalOptions &Opts)
+    : Type(Type), Opts(Opts), Memo(Opts.TranspositionCapacity) {
+  LineageSalt = nextLineageSalt();
+}
+
+std::uint64_t IncrementalLinSession::nextLineageSalt() {
+  return hashCombine(LinSaltDomain, ++SaltCounter);
+}
+
+WellFormedness IncrementalLinSession::append(const Action &A) {
+  if (Doomed)
+    return WellFormedness::fail(DoomReason);
+  if (!Type.validInput(A.In)) {
+    Doomed = true;
+    DoomReason = "invalid input for ADT";
+    return WellFormedness::fail(DoomReason);
+  }
+  WellFormedness W = Builder.append(A);
+  if (!W) {
+    Doomed = true;
+    DoomReason = "not well-formed: " + W.Reason;
+    return W;
+  }
+
+  std::size_t I = Builder.size() - 1;
+  if (A.Client >= OpenInvoke.size())
+    OpenInvoke.resize(A.Client + 1, SIZE_MAX);
+  if (isInvoke(A)) {
+    InputId Id = Interner.intern(A.In);
+    if (Id >= Invoked.size())
+      Invoked.resize(Id + 1, 0);
+    ++Invoked[Id];
+    OpenInvoke[A.Client] = I;
+    // An appended invocation changes no obligation: every availability
+    // snapshot covers indices before it, so the cached verdict stands.
+    return W;
+  }
+  // Response: one new obligation, derived in O(#obligations).
+  Obligation Ob;
+  Ob.Tag = I;
+  Ob.In = Interner.intern(A.In);
+  Ob.Out = A.Out;
+  Ob.InvokeIdx = OpenInvoke[A.Client];
+  Ob.Avail = Invoked; // elems(inputs(t, I)), Definition 9.
+  for (std::size_t Q = 0, E = std::min<std::size_t>(Obligations.size(), 64);
+       Q != E; ++Q)
+    if (Obligations[Q].Tag < Ob.InvokeIdx)
+      Ob.MustFollow |= 1ull << Q; // Real-time Order.
+  Obligations.push_back(std::move(Ob));
+  // A cached No stays No (absorption); a cached Yes now undercounts the
+  // obligations and verdict() will resume from the retained frontier.
+  return W;
+}
+
+ChainProblem IncrementalLinSession::buildProblem() {
+  ChainProblem P;
+  P.Type = &Type;
+  P.AlphabetSize = Interner.size();
+  P.ForceCloneStates = !Opts.UseUndoStates;
+  P.Commits.reserve(Obligations.size());
+  for (Obligation &Ob : Obligations) {
+    // Zero-extend lazily: an input interned after this response cannot
+    // have been invoked before it.
+    if (Ob.Avail.size() < P.AlphabetSize)
+      Ob.Avail.resize(P.AlphabetSize, 0);
+    CommitObligation C;
+    C.Tag = Ob.Tag;
+    C.In = Ob.In;
+    C.Out = Ob.Out;
+    C.MustFollow = Ob.MustFollow;
+    C.Available = Ob.Avail.data();
+    P.Commits.push_back(std::move(C));
+  }
+  if (HavePrefixSalt) {
+    P.ProbeSalt = PrefixSalt;
+    P.HaveProbeSalt = true;
+  }
+  return P;
+}
+
+LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
+                                                bool FromFrontier) {
+  Scratch.reset();
+  ChainProblem P = buildProblem();
+  if (FromFrontier) {
+    P.Seed = SuccessMaster;
+    P.SeedCommits.reserve(SuccessCommits.size());
+    for (const auto &[Tag, Len] : SuccessCommits) {
+      // Obligations are in trace order, so Tag resolves by binary search.
+      auto It = std::lower_bound(
+          Obligations.begin(), Obligations.end(), Tag,
+          [](const Obligation &Ob, std::size_t T) { return Ob.Tag < T; });
+      P.SeedCommits.push_back(
+          {static_cast<std::size_t>(It - Obligations.begin()), Len});
+    }
+  }
+
+  ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
+  ChainSearch Engine(Interner, Memo, Scratch);
+  ChainResult R = Engine.run(P, Limits, LineageSalt);
+  Stats.Search.accumulate(R.Stats);
+
+  LinCheckResult Result;
+  Result.Outcome = R.Outcome;
+  Result.NodesExplored = R.Stats.Nodes;
+  Result.BudgetLimited = R.BudgetLimited;
+  if (R.Outcome == Verdict::Yes) {
+    Result.Witness.Master = std::move(R.Master);
+    Result.Witness.Commits = std::move(R.Commits);
+  } else if (R.Outcome == Verdict::Unknown) {
+    Result.Reason = std::move(R.Reason);
+  } else {
+    Result.Reason = "no linearization function exists";
+  }
+  return Result;
+}
+
+LinCheckResult IncrementalLinSession::finish(LinCheckResult R) {
+  Stats.record(R.Outcome);
+  return R;
+}
+
+LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
+  LinCheckResult R;
+  if (Doomed) {
+    R.Outcome = Verdict::No;
+    R.Reason = DoomReason;
+    return finish(std::move(R));
+  }
+  if (Opts.Resume && HaveResult && Cached == Verdict::No) {
+    R.Outcome = Verdict::No;
+    R.Reason = CachedReason;
+    return finish(std::move(R)); // No is final under extension.
+  }
+  if (Opts.Resume && HaveResult && Cached == Verdict::Yes &&
+      CheckedObligations == Obligations.size()) {
+    // Nothing but invocations arrived since the Yes: same obligations,
+    // same witness.
+    R.Outcome = Verdict::Yes;
+    R.Witness.Master.reserve(SuccessMaster.size());
+    for (InputId Id : SuccessMaster)
+      R.Witness.Master.push_back(Interner.input(Id));
+    R.Witness.Commits = SuccessCommits;
+    return finish(std::move(R));
+  }
+
+  if (Polluted || !Opts.Resume) {
+    LineageSalt = nextLineageSalt();
+    Polluted = false;
+  }
+
+  std::uint64_t SpentNodes = 0;
+  LinCheckOptions Rest = Limits;
+  if (Opts.Resume && HaveResult && Cached == Verdict::Yes) {
+    // Resume at the retained accepting leaf: only the new obligations
+    // need placing. A conclusive No here only rules out that subtree, so
+    // it falls through to the full root search (whose memo the subtree's
+    // failures now seed).
+    auto Start = std::chrono::steady_clock::now();
+    R = runSearch(Limits, /*FromFrontier=*/true);
+    if (R.Outcome == Verdict::Yes) {
+      SuccessCommits = R.Witness.Commits;
+      SuccessMaster.clear();
+      for (const Input &In : R.Witness.Master)
+        SuccessMaster.push_back(Interner.intern(In));
+      Cached = Verdict::Yes;
+      HaveResult = true;
+      CheckedObligations = Obligations.size();
+      return finish(std::move(R));
+    }
+    if (R.Outcome == Verdict::Unknown) {
+      Polluted = true;
+      HaveResult = false;
+      return finish(std::move(R));
+    }
+    SpentNodes = R.NodesExplored;
+    // The completeness fallback gets only what the resumed run left, so
+    // one verdict() never exceeds the configured budgets. The cached
+    // frontier stays valid for a retry with a larger budget.
+    std::uint64_t ElapsedMs = 0;
+    if (Limits.TimeBudgetMillis)
+      ElapsedMs = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
+    if (SpentNodes >= Rest.NodeBudget ||
+        (Limits.TimeBudgetMillis && ElapsedMs >= Limits.TimeBudgetMillis)) {
+      LinCheckResult Exhausted;
+      Exhausted.Outcome = Verdict::Unknown;
+      Exhausted.BudgetLimited = true;
+      Exhausted.Reason = SpentNodes >= Rest.NodeBudget
+                             ? "node budget exhausted"
+                             : "time budget exhausted";
+      Exhausted.NodesExplored = SpentNodes;
+      return finish(std::move(Exhausted));
+    }
+    Rest.NodeBudget -= SpentNodes;
+    if (Rest.TimeBudgetMillis)
+      Rest.TimeBudgetMillis -= ElapsedMs;
+  }
+
+  R = runSearch(Rest, /*FromFrontier=*/false);
+  R.NodesExplored += SpentNodes;
+  if (R.Outcome == Verdict::Yes) {
+    HaveResult = true;
+    Cached = Verdict::Yes;
+    CheckedObligations = Obligations.size();
+    SuccessCommits = R.Witness.Commits;
+    SuccessMaster.clear();
+    for (const Input &In : R.Witness.Master)
+      SuccessMaster.push_back(Interner.intern(In));
+  } else if (R.Outcome == Verdict::No) {
+    HaveResult = true;
+    Cached = Verdict::No;
+    CachedReason = R.Reason;
+    CheckedObligations = Obligations.size();
+  } else {
+    HaveResult = false;
+    if (R.BudgetLimited)
+      Polluted = true;
+  }
+  return finish(std::move(R));
+}
+
+void IncrementalLinSession::reset() {
+  Builder.clear();
+  Obligations.clear();
+  Invoked.assign(Interner.size(), 0);
+  OpenInvoke.clear();
+  Doomed = false;
+  DoomReason.clear();
+  HaveResult = false;
+  CheckedObligations = 0;
+  SuccessMaster.clear();
+  SuccessCommits.clear();
+  Mark.reset();
+  HavePrefixSalt = false;
+  LineageSalt = nextLineageSalt();
+  Polluted = false;
+  Scratch.reset();
+}
+
+void IncrementalLinSession::markPrefix() {
+  // A doomed session cannot represent a shared prefix: the rejected event
+  // is part of the stream but not of the view, so a mark here would doom
+  // sibling traces that share only the *accepted* events. Keep any
+  // earlier (clean) mark instead.
+  if (Doomed)
+    return;
+  MarkState M;
+  M.Len = Builder.size();
+  M.Ingest = Builder.snapshot();
+  M.NumObligations = Obligations.size();
+  M.Invoked = Invoked;
+  M.OpenInvoke = OpenInvoke;
+  M.HaveResult = HaveResult;
+  M.Cached = Cached;
+  M.CachedReason = CachedReason;
+  M.CheckedObligations = CheckedObligations;
+  M.SuccessMaster = SuccessMaster;
+  M.SuccessCommits = SuccessCommits;
+  Mark = std::move(M);
+  // Seal this lineage's entries: everything recorded so far failed
+  // against (a prefix of) the marked prefix's obligations, hence prunes
+  // soundly in every extension. A polluted lineage is not sealed.
+  if (!Polluted)
+    PrefixSalt = LineageSalt;
+  HavePrefixSalt = HavePrefixSalt || !Polluted;
+  LineageSalt = nextLineageSalt();
+  Polluted = false;
+}
+
+void IncrementalLinSession::rewindToMark() {
+  if (!Mark)
+    return;
+  const MarkState &M = *Mark;
+  Builder.restore(M.Ingest);
+  Obligations.resize(M.NumObligations); // Append-only: truncation suffices.
+  Invoked = M.Invoked;
+  OpenInvoke = M.OpenInvoke;
+  Doomed = false; // Marks are only ever taken on clean sessions.
+  DoomReason.clear();
+  HaveResult = M.HaveResult;
+  Cached = M.Cached;
+  CachedReason = M.CachedReason;
+  CheckedObligations = M.CheckedObligations;
+  SuccessMaster = M.SuccessMaster;
+  SuccessCommits = M.SuccessCommits;
+  // Entries recorded after the mark describe another member's suffix
+  // obligations; salt them out. The sealed prefix salt stays probe-able.
+  LineageSalt = nextLineageSalt();
+  Polluted = false;
+}
+
+//===----------------------------------------------------------------------===//
+// IncrementalSlinSession
+//===----------------------------------------------------------------------===//
+
+IncrementalSlinSession::IncrementalSlinSession(const Adt &Type,
+                                               const PhaseSignature &Sig,
+                                               const InitRelation &Rel,
+                                               const IncrementalOptions &Opts)
+    : Type(Type), Sig(Sig), Rel(Rel), Opts(Opts),
+      Memo(Opts.TranspositionCapacity), Builder(Sig),
+      SessionSalt(SlinSaltDomain) {}
+
+WellFormedness IncrementalSlinSession::append(const Action &A) {
+  if (Doomed)
+    return WellFormedness::fail(DoomReason);
+  WellFormedness W = Builder.append(A);
+  if (!W) {
+    Doomed = true;
+    DoomReason = "not (m, n)-well-formed: " + W.Reason;
+    return W;
+  }
+
+  std::size_t I = Builder.size() - 1;
+  if (A.Client >= OpenStart.size())
+    OpenStart.resize(A.Client + 1, SIZE_MAX);
+  Interner.intern(A.In);
+  if (isInvoke(A)) {
+    OpenStart[A.Client] = I;
+    Invoked.add(A.In);
+    SawInvokeSinceVerdict = true;
+  } else if (Sig.isInitAction(A)) {
+    OpenStart[A.Client] = I;
+    InitIdx.push_back(I);
+    SawInitSinceVerdict = true;
+  } else if (isRespond(A)) {
+    ResponseRec R;
+    R.Tag = I;
+    R.In = A.In;
+    R.Out = A.Out;
+    R.StartIdx = OpenStart[A.Client];
+    R.InvokedBefore = Invoked;
+    for (std::size_t Q = 0, E = std::min<std::size_t>(Responses.size(), 64);
+         Q != E; ++Q)
+      if (Responses[Q].Tag < R.StartIdx)
+        R.MustFollow |= 1ull << Q;
+    Responses.push_back(std::move(R));
+    SawResponseSinceVerdict = true;
+  } else if (Sig.isAbortAction(A)) {
+    Aborts.push_back({I, A.In, A.Sv, Invoked});
+    // An abort only tightens the problem (budget caps, leaf predicate):
+    // retained failures stay failures, but a cached Yes is stale.
+    SawResponseSinceVerdict = true;
+  }
+  // Interior switches of a composed phase carry no obligation.
+  return W;
+}
+
+std::uint64_t
+IncrementalSlinSession::familyHash(const InterpretationFamily &F) const {
+  std::uint64_t H = hashCombine(0xFA111ull, F.Assignments.size());
+  for (const InitInterpretation &Finit : F.Assignments)
+    H = hashCombine(H, interpretationHash(Finit));
+  return H;
+}
+
+SlinCheckResult
+IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
+                                 const SlinCheckOptions &SOpts,
+                                 std::uint64_t Salt) {
+  Scratch.reset();
+  // Ghost inputs join the alphabet before any dense array is sized.
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    for (const Input &In : H)
+      Interner.intern(In);
+  }
+
+  std::vector<History> InitHistories;
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    InitHistories.push_back(H);
+  }
+  History Lcp = longestCommonPrefix(InitHistories);
+  bool HaveInits = !InitHistories.empty();
+
+  // One sweep in trace-index order maintains the running max-union of
+  // init contributions, giving each response and abort its
+  // initiallyValidInputs in O(#inits + #responses) multiset unions —
+  // instead of recomputing the whole-trace validInputs per index.
+  std::vector<Multiset<Input>> CommitAvail(Responses.size());
+  std::vector<detail::PendingAbort> Budgeted;
+  Budgeted.reserve(Aborts.size());
+  {
+    const Trace &T = Builder.trace();
+    Multiset<Input> RunningInit;
+    std::size_t NextInit = 0;
+    auto AdvanceTo = [&](std::size_t Index) {
+      while (NextInit != InitIdx.size() && InitIdx[NextInit] < Index) {
+        std::size_t J = InitIdx[NextInit++];
+        Multiset<Input> Contribution;
+        Contribution.add(T[J].In);
+        if (auto It = Finit.find(J); It != Finit.end())
+          Contribution.unionMaxInPlace(Multiset<Input>::fromRange(It->second));
+        RunningInit.unionMaxInPlace(Contribution);
+      }
+    };
+    std::size_t R = 0, A = 0;
+    while (R != Responses.size() || A != Aborts.size()) {
+      bool TakeResponse =
+          A == Aborts.size() ||
+          (R != Responses.size() && Responses[R].Tag < Aborts[A].TraceIndex);
+      if (TakeResponse) {
+        AdvanceTo(Responses[R].Tag);
+        CommitAvail[R] = RunningInit.unionSum(Responses[R].InvokedBefore);
+        ++R;
+      } else if (SOpts.AbortValidityAtEnd) {
+        // Relaxed reading: budget measured at the trace's end; fill in
+        // after the sweep.
+        Budgeted.push_back({Aborts[A].TraceIndex, Aborts[A].In, Aborts[A].Sv,
+                            Multiset<Input>()});
+        ++A;
+      } else {
+        AdvanceTo(Aborts[A].TraceIndex);
+        Budgeted.push_back({Aborts[A].TraceIndex, Aborts[A].In, Aborts[A].Sv,
+                            RunningInit.unionSum(Aborts[A].InvokedBefore)});
+        ++A;
+      }
+    }
+    if (SOpts.AbortValidityAtEnd && !Budgeted.empty()) {
+      AdvanceTo(T.size());
+      Multiset<Input> AtEnd = RunningInit.unionSum(Invoked);
+      for (detail::PendingAbort &Ab : Budgeted)
+        Ab.Budget = AtEnd;
+    }
+  }
+
+  detail::capByAbortBudgets(CommitAvail, Budgeted);
+
+  ChainProblem Problem;
+  Problem.Type = &Type;
+  Problem.AlphabetSize = Interner.size();
+  Problem.ForceCloneStates = !Opts.UseUndoStates;
+  for (std::size_t R = 0; R != Responses.size(); ++R) {
+    CommitObligation Ob;
+    Ob.Tag = Responses[R].Tag;
+    Ob.In = Interner.intern(Responses[R].In);
+    Ob.Out = Responses[R].Out;
+    Ob.MustFollow = Responses[R].MustFollow;
+    std::int32_t *Counts =
+        Scratch.allocZeroed<std::int32_t>(Problem.AlphabetSize);
+    for (const auto &[In, Count] : CommitAvail[R].entries()) {
+      InputId Id = Interner.intern(In);
+      if (Id < Problem.AlphabetSize)
+        Counts[Id] = static_cast<std::int32_t>(Count);
+    }
+    Ob.Available = Counts;
+    Problem.Commits.push_back(Ob);
+  }
+
+  if (HaveInits)
+    for (const Input &In : Lcp)
+      Problem.Seed.push_back(Interner.intern(In));
+
+  std::vector<std::pair<std::size_t, History>> FoundAborts;
+  Problem.SequenceSensitive = !Budgeted.empty();
+  Problem.AcceptLeaf =
+      detail::makeAbortSynthesisLeaf(Rel, Budgeted, Lcp, FoundAborts);
+
+  ChainLimits Limits{SOpts.Search.NodeBudget, SOpts.Search.TimeBudgetMillis};
+  ChainSearch Engine(Interner, Memo, Scratch);
+  ChainResult R = Engine.run(Problem, Limits, Salt);
+  Stats.Search.accumulate(R.Stats);
+  return detail::shapeSlinResult(std::move(R), Rel, !Budgeted.empty(),
+                                 std::move(FoundAborts));
+}
+
+SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
+  SlinVerdict Result;
+  if (Doomed) {
+    Result.Outcome = Verdict::No;
+    Result.Reason = DoomReason;
+    Result.Exact = true;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+
+  InterpretationFamily Family = Rel.interpretations(Builder.trace(), Sig);
+  std::uint64_t FH = familyHash(Family);
+  bool OptsChanged =
+      AnyVerdict && SOpts.AbortValidityAtEnd != LastAbortValidityAtEnd;
+  bool FamilyChanged = !AnyVerdict || FH != LastFamilyHash;
+  // Non-monotone deltas orphan every retained entry: a changed family (or
+  // reading) changes seeds and availabilities outright, and under the
+  // relaxed reading a new invocation grows every abort budget — prior
+  // "failures" may now complete.
+  bool NonMonotone =
+      OptsChanged || FamilyChanged ||
+      (SOpts.AbortValidityAtEnd && !Aborts.empty() && SawInvokeSinceVerdict);
+  if (NonMonotone && AnyVerdict)
+    ++Epoch;
+
+  if (!Opts.Resume)
+    ++Epoch; // Reference mode: nothing is reused across verdicts.
+
+  bool DeltaOnlyInvokes =
+      !SawResponseSinceVerdict && !SawInitSinceVerdict;
+  if (Opts.Resume && HaveResult && !NonMonotone) {
+    if (CachedVerdict.Outcome == Verdict::No) {
+      // Every monotone delta tightens the problem: No is final.
+      Stats.record(Verdict::No);
+      SlinVerdict R = CachedVerdict;
+      R.NodesExplored = 0;
+      return R;
+    }
+    if (CachedVerdict.Outcome == Verdict::Yes && DeltaOnlyInvokes) {
+      // Identical obligations under every interpretation (strict reading)
+      // or loosened budgets only (relaxed): the witnesses stand.
+      Stats.record(Verdict::Yes);
+      SlinVerdict R = CachedVerdict;
+      R.NodesExplored = 0;
+      return R;
+    }
+  }
+
+  Result.Exact = Family.Exact && Rel.abortSearchExact();
+  bool AnyBudgetLimited = false;
+  bool Concluded = false;
+  for (InitInterpretation &Finit : Family.Assignments) {
+    std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch),
+                                     interpretationHash(Finit));
+    SlinCheckResult R = runUnder(Finit, SOpts, Salt);
+    Result.NodesExplored += R.NodesExplored;
+    AnyBudgetLimited |= R.BudgetLimited;
+    if (R.Outcome == Verdict::Yes) {
+      Result.Witnesses.push_back({std::move(Finit), std::move(R.Witness)});
+      continue;
+    }
+    Result.Outcome = R.Outcome;
+    Result.Reason = R.Reason;
+    Result.BudgetLimited = R.BudgetLimited;
+    Result.Witnesses.clear();
+    Concluded = true;
+    break;
+  }
+  if (!Concluded)
+    Result.Outcome = Verdict::Yes;
+  Stats.record(Result.Outcome);
+
+  // A budget-limited run polluted its interpretation's lineage; move the
+  // epoch so the next verdict starts from clean salts.
+  if (AnyBudgetLimited)
+    ++Epoch;
+
+  SawInvokeSinceVerdict = false;
+  SawResponseSinceVerdict = false;
+  SawInitSinceVerdict = false;
+  AnyVerdict = true;
+  LastAbortValidityAtEnd = SOpts.AbortValidityAtEnd;
+  LastFamilyHash = FH;
+  if (Result.Outcome != Verdict::Unknown) {
+    HaveResult = true;
+    CachedVerdict = Result;
+  } else {
+    HaveResult = false;
+  }
+  return Result;
+}
+
+void IncrementalSlinSession::reset() {
+  Builder.clear();
+  Responses.clear();
+  Aborts.clear();
+  InitIdx.clear();
+  OpenStart.clear();
+  Invoked = Multiset<Input>();
+  Doomed = false;
+  DoomReason.clear();
+  ++Epoch;
+  SawInvokeSinceVerdict = false;
+  SawResponseSinceVerdict = false;
+  SawInitSinceVerdict = false;
+  AnyVerdict = false;
+  HaveResult = false;
+  CachedVerdict = SlinVerdict();
+  Scratch.reset();
+}

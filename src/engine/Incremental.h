@@ -1,0 +1,308 @@
+//===- engine/Incremental.h - Resumable check sessions ----------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming, resumable counterparts of the batch CheckSession: append one
+/// event at a time, ask for a verdict at any point, and pay only for the
+/// suffix since the last conclusive answer. This is the monitoring shape
+/// speculative linearizability is about — mode switches happen while the
+/// history unfolds — and it exploits the observation (Bouajjani et al.'s
+/// reachability reduction; Hamza's complexity analysis) that checking an
+/// extension of a history revisits the prefix's reachable states.
+///
+/// Three mechanisms carry the incrementality:
+///
+///   * **Per-event obligation deltas.** Appending an event updates the
+///     obligation set in O(#obligations): an invocation bumps a running
+///     dense invoked-count vector; a response snapshots it as the new
+///     obligation's availability (Definition 9) and derives its real-time
+///     predecessors from the per-client open-invocation table. Existing
+///     obligations are never touched — an availability snapshot taken at
+///     response index i is a function of the prefix up to i only.
+///
+///   * **A retained success frontier.** After a Yes, the witness chain
+///     (master, commit rows, in dense ids) is kept. A later verdict seeds
+///     the search with it (ChainProblem::SeedCommits): the run starts at
+///     the old accepting leaf and only has to place the new obligations on
+///     top — O(new work) when the extension is linearizable, which is the
+///     steady state of monitoring a correct implementation. If that
+///     resumed subtree fails, a full root search (still memo-accelerated)
+///     restores completeness.
+///
+///   * **A lineage-salted memo chain.** All transposition entries of one
+///     growing trace are recorded under a single *lineage salt*. A failed
+///     subtree w.r.t. a prefix's obligation set stays failed for every
+///     extension — deleting the extension's extra commits from a
+///     hypothetical witness yields a witness for the prefix — so every
+///     retained entry remains a sound prune as the trace grows, and a
+///     shared prefix between traces hits the same retained memo. Entries
+///     are *salted out* (the lineage salt moves on, orphaning them in the
+///     bounded table) whenever they could be unsound: on reset() to an
+///     unrelated trace, on rewindToMark() past suffix-contaminated
+///     entries, after a budget-limited run (ancestors of an unexplored
+///     subtree were recorded as failed), and — for the slin session — on
+///     any non-monotone delta (a new init action changes the
+///     interpretation family and the seed; a new invocation under the
+///     relaxed abort reading grows every abort budget).
+///
+/// Verdicts are preserved exactly: conclusive (Yes/No) answers equal the
+/// batch checkers' on the materialized trace (the search is complete and
+/// every prune is sound); only which traces exhaust a *budget* can differ,
+/// as with warm batch sessions. Two zero-search absorptions shortcut the
+/// common monitor path: an appended invocation changes no obligation (the
+/// cached verdict stands, returned without expanding a single node), and
+/// No is final — an extension of a non-linearizable trace is
+/// non-linearizable (its witness would restrict to one for the prefix).
+/// Absorbed Yes verdicts still hand back the retained witness, so they
+/// cost a copy of it; only the search work is zero.
+///
+/// markPrefix()/rewindToMark() expose the shared-prefix form of the same
+/// machinery to the corpus driver: verdict at the group's common prefix,
+/// seal that lineage (entries stay probe-able via a second salt), then
+/// check each member by appending its suffix and rewinding back.
+///
+/// Sessions are single-threaded; use one per thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_INCREMENTAL_H
+#define SLIN_ENGINE_INCREMENTAL_H
+
+#include "engine/CheckSession.h"
+#include "trace/TraceBuilder.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slin {
+
+/// Tuning knobs for the incremental sessions.
+struct IncrementalOptions {
+  /// Capacity of the session's transposition table.
+  std::size_t TranspositionCapacity = 1u << 20;
+  /// Drive the search through the mutate/undo protocol when available.
+  bool UseUndoStates = true;
+  /// Resume searches from the retained success frontier and retained memo.
+  /// Off forces a freshly salted full root search per verdict — same
+  /// verdicts, no reuse; exists for differential testing and as the
+  /// reference point the resumable path is benchmarked against.
+  bool Resume = true;
+};
+
+/// Streaming, resumable plain-linearizability checking (Definition 5) of
+/// one growing trace against one ADT.
+class IncrementalLinSession {
+public:
+  explicit IncrementalLinSession(const Adt &Type,
+                                 const IncrementalOptions &Opts = {});
+
+  const Adt &adt() const { return Type; }
+
+  /// Validates and ingests one event. A rejected event (ill-formed at this
+  /// position, or not an input of the ADT) leaves the view unchanged and
+  /// dooms the session: the trace the stream describes is not
+  /// linearizable, so every later verdict is No with this reason, exactly
+  /// as the batch checker would answer on the full stream.
+  WellFormedness append(const Action &A);
+
+  /// The verdict for the trace ingested so far. Identical conclusive
+  /// answers to checkLinearizable(trace(), adt()); NodesExplored counts
+  /// only the nodes this call spent (0 for the O(1) absorption paths).
+  LinCheckResult verdict(const LinCheckOptions &Opts = {});
+
+  /// The materialized view of everything ingested.
+  const Trace &trace() const { return Builder.trace(); }
+  std::size_t size() const { return Builder.size(); }
+
+  /// True once an event was rejected: the stream describes a trace that is
+  /// not linearizable (ill-formed or not over the ADT's inputs), the view
+  /// is frozen, and every verdict is No. Cleared by reset(); a rewind
+  /// restores the mark-time value.
+  bool doomed() const { return Doomed; }
+
+  /// Starts a new, unrelated trace: clears the view, obligations, cached
+  /// result, and mark; moves the lineage salt on (old memo entries are
+  /// salted out); keeps the warm interner, arena blocks, and table.
+  void reset();
+
+  /// Declares the current view a shared prefix: snapshots the ingest state
+  /// and seals this lineage's memo entries — they stay probe-able (via the
+  /// engine's second salt) for every trace extending the prefix. Call
+  /// after a verdict at the prefix to prime the seal and the shared
+  /// success frontier. A budget-polluted lineage is snapshotted but not
+  /// sealed. Replaces any previous mark. No-op on a doomed session: the
+  /// rejected event belongs to the stream but not to the view, so the
+  /// view is not a prefix siblings could share.
+  void markPrefix();
+
+  bool hasMark() const { return Mark.has_value(); }
+  std::size_t markLength() const { return Mark ? Mark->Len : 0; }
+
+  /// Rewinds to the marked prefix (view, obligations, cached result,
+  /// success frontier) under a fresh lineage salt; the sealed prefix
+  /// entries remain visible. The mark stays set for further rewinds.
+  void rewindToMark();
+
+  const SessionStats &stats() const { return Stats; }
+
+private:
+  /// One commit obligation, maintained incrementally.
+  struct Obligation {
+    std::size_t Tag = 0; ///< Trace index of the response.
+    InputId In = 0;
+    Output Out;
+    std::uint64_t MustFollow = 0;
+    std::size_t InvokeIdx = 0;
+    /// Dense availability snapshot; zero-extended to the alphabet lazily
+    /// at verdict time (an input first interned later cannot have been
+    /// invoked before this response).
+    std::vector<std::int32_t> Avail;
+  };
+
+  /// Everything a mark must be able to restore. Obligations are
+  /// append-only and immutable once appended (the Avail zero-extension in
+  /// buildProblem is idempotent), so the mark stores only their count and
+  /// a rewind truncates.
+  struct MarkState {
+    std::size_t Len = 0;
+    TraceBuilder::Snapshot Ingest;
+    std::size_t NumObligations = 0;
+    std::vector<std::int32_t> Invoked;
+    std::vector<std::size_t> OpenInvoke;
+    bool HaveResult = false;
+    Verdict Cached = Verdict::No;
+    std::string CachedReason;
+    std::size_t CheckedObligations = 0;
+    std::vector<InputId> SuccessMaster;
+    std::vector<std::pair<std::size_t, std::size_t>> SuccessCommits;
+  };
+
+  ChainProblem buildProblem();
+  LinCheckResult runSearch(const LinCheckOptions &Opts, bool FromFrontier);
+  LinCheckResult finish(LinCheckResult R);
+  std::uint64_t nextLineageSalt();
+
+  const Adt &Type;
+  IncrementalOptions Opts;
+  InputInterner Interner;
+  Arena Scratch;
+  TranspositionTable Memo;
+  SessionStats Stats;
+
+  TraceBuilder Builder;
+  std::vector<Obligation> Obligations;
+  std::vector<std::int32_t> Invoked;     ///< Running invoked counts by id.
+  std::vector<std::size_t> OpenInvoke;   ///< Per client: open invoke index.
+  bool Doomed = false;
+  std::string DoomReason;
+
+  std::uint64_t SaltCounter = 0;
+  std::uint64_t LineageSalt = 0;
+  std::uint64_t PrefixSalt = 0;
+  bool HavePrefixSalt = false;
+  /// A budget-limited run recorded ancestors of unexplored subtrees as
+  /// failed; the lineage is re-salted before the next search.
+  bool Polluted = false;
+
+  bool HaveResult = false;
+  Verdict Cached = Verdict::No;
+  std::string CachedReason;
+  std::size_t CheckedObligations = 0; ///< Obligations the cache covers.
+  std::vector<InputId> SuccessMaster;
+  std::vector<std::pair<std::size_t, std::size_t>> SuccessCommits;
+
+  std::optional<MarkState> Mark;
+};
+
+/// Streaming (m, n)-speculative-linearizability checking (Definition 19)
+/// of one growing phase trace. Obligations, init actions, and aborts are
+/// accumulated per event; each verdict runs the relation's interpretation
+/// family with per-interpretation lineage salts, retaining memo entries
+/// across verdicts for as long as the deltas since the last verdict are
+/// monotone (see the epoch rules in the implementation).
+class IncrementalSlinSession {
+public:
+  IncrementalSlinSession(const Adt &Type, const PhaseSignature &Sig,
+                         const InitRelation &Rel,
+                         const IncrementalOptions &Opts = {});
+
+  /// Validates and ingests one event (Definitions 33–35 per event); a
+  /// rejected event dooms the session as in IncrementalLinSession.
+  WellFormedness append(const Action &A);
+
+  /// The verdict for the trace ingested so far; identical conclusive
+  /// answers to checkSlin(trace(), ...) over the same relation.
+  SlinVerdict verdict(const SlinCheckOptions &Opts = {});
+
+  const Trace &trace() const { return Builder.trace(); }
+  std::size_t size() const { return Builder.size(); }
+
+  /// Starts a new, unrelated trace (keeps warm storage; salts out memo).
+  void reset();
+
+  const SessionStats &stats() const { return Stats; }
+
+private:
+  struct ResponseRec {
+    std::size_t Tag = 0;
+    Input In;
+    Output Out;
+    std::size_t StartIdx = 0;
+    std::uint64_t MustFollow = 0;
+    /// elems(inputs(t, Tag)): invoked inputs strictly before the response.
+    Multiset<Input> InvokedBefore;
+  };
+  struct AbortRec {
+    std::size_t TraceIndex = 0;
+    Input In;
+    SwitchValue Sv;
+    Multiset<Input> InvokedBefore; ///< As of the abort's index.
+  };
+
+  SlinCheckResult runUnder(const InitInterpretation &Finit,
+                           const SlinCheckOptions &Opts, std::uint64_t Salt);
+  std::uint64_t familyHash(const InterpretationFamily &F) const;
+
+  const Adt &Type;
+  PhaseSignature Sig;
+  const InitRelation &Rel;
+  IncrementalOptions Opts;
+  InputInterner Interner;
+  Arena Scratch;
+  TranspositionTable Memo;
+  SessionStats Stats;
+
+  TraceBuilder Builder;
+  std::vector<ResponseRec> Responses;
+  std::vector<AbortRec> Aborts;
+  std::vector<std::size_t> InitIdx; ///< Trace indices of init actions.
+  std::vector<std::size_t> OpenStart;
+  Multiset<Input> Invoked; ///< All invoked inputs so far.
+  bool Doomed = false;
+  std::string DoomReason;
+
+  /// Bumped whenever retained memo entries could be unsound for the
+  /// current problem; folded into every per-interpretation salt.
+  std::uint64_t Epoch = 0;
+  std::uint64_t SessionSalt;
+
+  // Delta classification since the last verdict.
+  bool SawInvokeSinceVerdict = false;
+  bool SawResponseSinceVerdict = false;
+  bool SawInitSinceVerdict = false;
+  bool AnyVerdict = false;
+  bool LastAbortValidityAtEnd = false;
+  std::uint64_t LastFamilyHash = 0;
+
+  bool HaveResult = false;
+  SlinVerdict CachedVerdict;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_INCREMENTAL_H

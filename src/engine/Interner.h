@@ -46,6 +46,15 @@ public:
   /// Number of distinct inputs interned so far (== smallest unassigned id).
   InputId size() const { return static_cast<InputId>(Inputs.size()); }
 
+  /// Forgets every interned input. Ids restart from 0, so a reused session
+  /// regains a fresh session's dense-id order (and with it the fresh
+  /// session's move exploration order — the one-shot semantics batch
+  /// retry passes rely on). Keeps allocated buckets/storage for reuse.
+  void clear() {
+    Inputs.clear();
+    Index.clear();
+  }
+
 private:
   struct InputHash {
     std::size_t operator()(const Input &In) const {

@@ -100,3 +100,11 @@ void TranspositionTable::clear() {
   std::fill(Slots.begin(), Slots.end(), EmptyKey);
   Live = 0;
 }
+
+void TranspositionTable::shrinkToInitial() {
+  std::size_t Cap = std::min(MaxCapacity, InitialCapacity);
+  Slots.assign(Cap, EmptyKey);
+  Slots.shrink_to_fit();
+  Mask = Cap - 1;
+  Live = 0;
+}

@@ -57,6 +57,12 @@ public:
   /// Forgets every key (O(capacity); prefer per-run salting).
   void clear();
 
+  /// Forgets every key and shrinks back to the initial capacity, exactly
+  /// as freshly constructed — the cheap way for a reused session to offer
+  /// fresh-session semantics (a clear() of a fully grown table memsets
+  /// MaxCapacity slots; this reallocates a 4 Ki one).
+  void shrinkToInitial();
+
   std::size_t capacity() const { return Slots.size(); }
   std::size_t liveKeys() const { return Live; }
   const TranspositionStats &stats() const { return Stats; }

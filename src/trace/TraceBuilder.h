@@ -1,0 +1,114 @@
+//===- trace/TraceBuilder.h - Streaming trace ingest ------------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming ingest of a trace, one action at a time. Speculative
+/// linearizability is about monitoring histories as they unfold, so the
+/// well-formedness disciplines of Definitions 13–15 (plain traces) and
+/// 33–35 (phase traces) are enforced *per event*: append(A) runs the
+/// appending client's sequential-client automaton one step and either
+/// accepts the action into the materialized Trace view or rejects it with
+/// the first violation — the builder itself is left unchanged by a
+/// rejection. The batch checkers (trace/WellFormed.h) are now thin loops
+/// over a TraceBuilder, so the streaming and whole-trace paths cannot
+/// drift apart.
+///
+/// Because every prefix of a well-formed trace is well-formed (each client
+/// automaton is simply mid-run), a builder's view is a checkable trace at
+/// every point — the property the incremental check sessions
+/// (engine/Incremental.h) rely on to emit a verdict after every event.
+///
+/// snapshot()/restore() capture the ingest state (length plus per-client
+/// automata) in O(#clients), which the corpus driver uses to rewind a
+/// resumable session to the shared prefix of a sorted trace group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_TRACE_TRACEBUILDER_H
+#define SLIN_TRACE_TRACEBUILDER_H
+
+#include "trace/Action.h"
+#include "trace/Signature.h"
+#include "trace/WellFormed.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace slin {
+
+/// Streaming, per-event-validated trace construction.
+class TraceBuilder {
+public:
+  /// Client ids at or above this bound are rejected: every per-client
+  /// structure in the builder and the engine is indexed densely by client
+  /// id, so an adversarial 2^32-scale id would be a memory bomb.
+  static constexpr ClientId MaxClients = 1u << 20;
+
+  /// A plain (switch-free, sig_T) builder: Definitions 13–15 per event.
+  TraceBuilder() = default;
+
+  /// A phase builder over sig_T(m, n, Init): Definitions 33–35 per event.
+  explicit TraceBuilder(const PhaseSignature &Sig) : Sig(Sig), Phase(true) {}
+
+  /// Validates \p A as the next action and appends it to the view. On
+  /// failure the builder is unchanged and the result carries the first
+  /// violation, phrased as in the batch checkers.
+  WellFormedness append(const Action &A);
+
+  /// The materialized view: everything accepted so far, a well-formed
+  /// trace at all times.
+  const Trace &trace() const { return View; }
+
+  std::size_t size() const { return View.size(); }
+  bool isPhase() const { return Phase; }
+  const PhaseSignature &signature() const { return Sig; }
+
+  /// Forgets everything; mode is retained.
+  void clear() {
+    View.clear();
+    Clients.clear();
+  }
+
+  /// The ingest state at one point: view length plus per-client automata.
+  /// Opaque; only meaningful to the builder that produced it.
+  struct Snapshot {
+    std::size_t Len = 0;
+    std::vector<std::uint8_t> States;
+    std::vector<Input> Pending;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Rewinds to \p S, which must come from this builder with no clear() in
+  /// between; actions accepted after the snapshot are dropped.
+  void restore(const Snapshot &S);
+
+private:
+  /// Per-client sequential-client automaton (Definition 34; the plain
+  /// discipline uses the subset {Start, NeedAnswer, Idle}).
+  enum class ClientState : std::uint8_t {
+    Start,      ///< No action seen yet.
+    NeedAnswer, ///< An invocation or init switch is pending.
+    Idle,       ///< Last invocation answered; may invoke again.
+    Done,       ///< Aborted: no further actions allowed.
+  };
+
+  struct ClientSlot {
+    ClientState State = ClientState::Start;
+    Input PendingIn;
+  };
+
+  WellFormedness step(ClientSlot &C, const Action &A) const;
+
+  PhaseSignature Sig;
+  bool Phase = false;
+  Trace View;
+  std::vector<ClientSlot> Clients;
+};
+
+} // namespace slin
+
+#endif // SLIN_TRACE_TRACEBUILDER_H

@@ -6,6 +6,8 @@
 
 #include "trace/TraceIo.h"
 
+#include "trace/TraceBuilder.h"
+
 #include <cstdio>
 #include <sstream>
 #include <vector>
@@ -57,18 +59,31 @@ static bool parseFields(const std::string &Line,
   return !Fields.empty();
 }
 
+/// Overflow-checked signed-decimal parse. Never throws: a value outside
+/// int64 range is a parse failure, not an exception — untrusted trace
+/// files must not be able to terminate the process.
 static bool parseI64(const std::string &S, std::int64_t &Out) {
   if (S.empty())
     return false;
-  std::size_t Pos = 0;
-  std::size_t Start = S[0] == '-' ? 1 : 0;
+  bool Negative = S[0] == '-';
+  std::size_t Start = Negative ? 1 : 0;
   if (Start == S.size())
     return false;
-  for (std::size_t I = Start; I < S.size(); ++I)
+  std::uint64_t Acc = 0;
+  // Largest magnitude representable: 2^63 for negatives, 2^63-1 otherwise.
+  const std::uint64_t Limit =
+      Negative ? (1ull << 63) : (1ull << 63) - 1;
+  for (std::size_t I = Start; I < S.size(); ++I) {
     if (S[I] < '0' || S[I] > '9')
       return false;
-  Out = std::stoll(S, &Pos);
-  return Pos == S.size();
+    std::uint64_t Digit = static_cast<std::uint64_t>(S[I] - '0');
+    if (Acc > (Limit - Digit) / 10)
+      return false;
+    Acc = Acc * 10 + Digit;
+  }
+  Out = Negative ? static_cast<std::int64_t>(~Acc + 1)
+                 : static_cast<std::int64_t>(Acc);
+  return true;
 }
 
 static bool parseU32(const std::string &S, std::uint32_t &Out) {
@@ -79,55 +94,82 @@ static bool parseU32(const std::string &S, std::uint32_t &Out) {
   return true;
 }
 
+/// Bound on parsed client and phase ids. Downstream structures (the
+/// well-formedness automata, the engine's per-client tables) are densely
+/// indexed by these, so the parser rejects ids that no legitimate trace
+/// reaches but that would turn a one-line file into gigabytes of zeroed
+/// memory. The builder's bound is authoritative so they cannot drift.
+static constexpr std::uint32_t MaxDenseId = TraceBuilder::MaxClients;
+
+LineKind slin::parseActionLine(const std::string &Line, Action &A,
+                               std::string &Error) {
+  if (Line.empty() || Line[0] == '#')
+    return LineKind::Blank;
+  std::vector<std::string> Fields;
+  if (!parseFields(Line, Fields))
+    return LineKind::Blank;
+
+  auto Fail = [&](std::string Why) {
+    Error = std::move(Why);
+    return LineKind::Bad;
+  };
+
+  const std::string &Kind = Fields[0];
+  bool HasExtra = Kind == "res" || Kind == "swi";
+  std::size_t Expected = HasExtra ? 8 : 7;
+  if (Kind != "inv" && Kind != "res" && Kind != "swi")
+    return Fail("unknown action kind '" + Kind + "'");
+  if (Fields.size() != Expected)
+    return Fail("expected " + std::to_string(Expected) + " fields, found " +
+                std::to_string(Fields.size()));
+
+  A = Action();
+  std::int64_t Extra = 0;
+  if (!parseU32(Fields[1], A.Client) || !parseU32(Fields[2], A.Phase) ||
+      !parseU32(Fields[3], A.In.Op) || !parseU32(Fields[4], A.In.Tag) ||
+      !parseI64(Fields[5], A.In.A) || !parseI64(Fields[6], A.In.B) ||
+      (HasExtra && !parseI64(Fields[7], Extra)))
+    return Fail("malformed numeric field");
+  if (A.Phase == 0)
+    return Fail("phase numbering starts at 1");
+  if (A.Client >= MaxDenseId)
+    return Fail("client id " + Fields[1] + " out of range");
+  if (A.Phase >= MaxDenseId)
+    return Fail("phase id " + Fields[2] + " out of range");
+
+  if (Kind == "inv") {
+    A.Kind = ActionKind::Invoke;
+  } else if (Kind == "res") {
+    A.Kind = ActionKind::Respond;
+    A.Out.Val = Extra;
+  } else {
+    A.Kind = ActionKind::Switch;
+    A.Sv.Val = Extra;
+  }
+  return LineKind::Record;
+}
+
 TraceParseResult slin::parseTrace(const std::string &Text) {
   TraceParseResult Result;
   std::istringstream Stream(Text);
   std::string Line;
   unsigned LineNo = 0;
-  std::vector<std::string> Fields;
-
-  auto Fail = [&](const std::string &Why) {
-    Result.Ok = false;
-    Result.Error = "line " + std::to_string(LineNo) + ": " + Why;
-    return Result;
-  };
 
   while (std::getline(Stream, Line)) {
     ++LineNo;
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    if (!parseFields(Line, Fields))
-      continue;
-
-    const std::string &Kind = Fields[0];
-    bool HasExtra = Kind == "res" || Kind == "swi";
-    std::size_t Expected = HasExtra ? 8 : 7;
-    if (Kind != "inv" && Kind != "res" && Kind != "swi")
-      return Fail("unknown action kind '" + Kind + "'");
-    if (Fields.size() != Expected)
-      return Fail("expected " + std::to_string(Expected) + " fields, found " +
-                  std::to_string(Fields.size()));
-
     Action A;
-    std::int64_t Extra = 0;
-    if (!parseU32(Fields[1], A.Client) || !parseU32(Fields[2], A.Phase) ||
-        !parseU32(Fields[3], A.In.Op) || !parseU32(Fields[4], A.In.Tag) ||
-        !parseI64(Fields[5], A.In.A) || !parseI64(Fields[6], A.In.B) ||
-        (HasExtra && !parseI64(Fields[7], Extra)))
-      return Fail("malformed numeric field");
-    if (A.Phase == 0)
-      return Fail("phase numbering starts at 1");
-
-    if (Kind == "inv") {
-      A.Kind = ActionKind::Invoke;
-    } else if (Kind == "res") {
-      A.Kind = ActionKind::Respond;
-      A.Out.Val = Extra;
-    } else {
-      A.Kind = ActionKind::Switch;
-      A.Sv.Val = Extra;
+    std::string Error;
+    switch (parseActionLine(Line, A, Error)) {
+    case LineKind::Blank:
+      break;
+    case LineKind::Bad:
+      Result.Ok = false;
+      Result.Error = "line " + std::to_string(LineNo) + ": " + Error;
+      return Result;
+    case LineKind::Record:
+      Result.ParsedTrace.push_back(A);
+      break;
     }
-    Result.ParsedTrace.push_back(A);
   }
   Result.Ok = true;
   return Result;

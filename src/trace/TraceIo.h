@@ -6,13 +6,19 @@
 ///
 /// \file
 /// A line-oriented textual format for traces, used by the trace-lint example
-/// tool and by test fixtures. One action per line:
+/// tool, the online monitor, and test fixtures. One action per line:
 ///
-///   inv <client> <phase> <op> <a> <b>
-///   res <client> <phase> <op> <a> <b> <out>
-///   swi <client> <phase> <op> <a> <b> <sv>
+///   inv <client> <phase> <op> <tag> <a> <b>
+///   res <client> <phase> <op> <tag> <a> <b> <out>
+///   swi <client> <phase> <op> <tag> <a> <b> <sv>
 ///
 /// Blank lines and lines starting with '#' are ignored.
+///
+/// The parser is hardened for untrusted input — the streaming ingest path
+/// (trace/TraceBuilder.h) inherits it record by record: numeric fields
+/// reject overflow instead of throwing, and client/phase ids are bounded
+/// (every per-client structure downstream is densely indexed, so a 2^32
+/// client id would be a memory bomb, not a trace).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +37,19 @@ std::string formatAction(const Action &A);
 /// Renders a whole trace, one action per line.
 std::string formatTrace(const Trace &T);
 
+/// Outcome of parsing one line of the textual format.
+enum class LineKind : std::uint8_t {
+  Record, ///< The line held one action, written to the out-parameter.
+  Blank,  ///< Blank or comment line; nothing parsed.
+  Bad,    ///< Malformed; the error string describes the first problem.
+};
+
+/// Parses a single line — the streaming unit of the format. Returns
+/// LineKind::Record and fills \p A on success; LineKind::Bad and fills
+/// \p Error (without line-number prefix) on a malformed record.
+LineKind parseActionLine(const std::string &Line, Action &A,
+                         std::string &Error);
+
 /// Result of parsing a textual trace.
 struct TraceParseResult {
   bool Ok = false;
@@ -38,8 +57,8 @@ struct TraceParseResult {
   Trace ParsedTrace;
 };
 
-/// Parses the textual format. Returns Ok=false with a diagnostic on the
-/// first malformed line.
+/// Parses the textual format, one parseActionLine per line. Returns
+/// Ok=false with a diagnostic on the first malformed line.
 TraceParseResult parseTrace(const std::string &Text);
 
 } // namespace slin

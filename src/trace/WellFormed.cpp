@@ -3,128 +3,34 @@
 // Part of the slin project.
 //
 //===----------------------------------------------------------------------===//
+//
+// The batch well-formedness checks are loops over the streaming
+// TraceBuilder, so the per-event and whole-trace paths share one
+// implementation of the sequential-client automata. A whole-trace check
+// reports the first violating *action* in trace order (the streaming
+// discipline), which is also the first event an online monitor would
+// reject.
+//
+//===----------------------------------------------------------------------===//
 
 #include "trace/WellFormed.h"
 
-#include "trace/Trace.h"
-
-#include <string>
+#include "trace/TraceBuilder.h"
 
 using namespace slin;
 
-static std::string describe(const Action &A) {
-  std::string Kind = isInvoke(A) ? "inv" : isRespond(A) ? "res" : "swi";
-  return Kind + "(c" + std::to_string(A.Client) + ", ph" +
-         std::to_string(A.Phase) + ")";
+static WellFormedness runBuilder(TraceBuilder &&B, const Trace &T) {
+  for (const Action &A : T)
+    if (WellFormedness W = B.append(A); !W)
+      return W;
+  return WellFormedness::pass();
 }
 
 WellFormedness slin::checkWellFormedLin(const Trace &T) {
-  for (const Action &A : T)
-    if (isSwitch(A))
-      return WellFormedness::fail("switch action " + describe(A) +
-                                  " in a plain sig_T trace");
-
-  for (ClientId C : clientsOf(T)) {
-    Trace Sub = clientSubTrace(T, C);
-    bool Pending = false;
-    Input PendingIn;
-    for (const Action &A : Sub) {
-      if (isInvoke(A)) {
-        if (Pending)
-          return WellFormedness::fail(
-              "client " + std::to_string(C) +
-              " invokes while an invocation is pending");
-        Pending = true;
-        PendingIn = A.In;
-        continue;
-      }
-      // Response.
-      if (!Pending)
-        return WellFormedness::fail("response " + describe(A) +
-                                    " with no pending invocation");
-      if (A.In != PendingIn)
-        return WellFormedness::fail("response " + describe(A) +
-                                    " does not answer the pending input");
-      Pending = false;
-    }
-  }
-  return WellFormedness::pass();
+  return runBuilder(TraceBuilder(), T);
 }
-
-namespace {
-
-/// Per-client automaton for Definition 34.
-enum class ClientState {
-  Start,      ///< No action seen yet.
-  NeedAnswer, ///< An invocation or init switch is pending.
-  Idle,       ///< Last invocation answered; may invoke again.
-  Done,       ///< Aborted: no further actions allowed.
-};
-
-} // namespace
 
 WellFormedness slin::checkWellFormedPhase(const Trace &T,
                                           const PhaseSignature &Sig) {
-  for (const Action &A : T)
-    if (!Sig.contains(A))
-      return WellFormedness::fail("action " + describe(A) +
-                                  " outside signature");
-
-  for (ClientId C : clientsOf(T)) {
-    Trace Sub = clientSubTrace(T, C, Sig);
-    if (Sub.empty())
-      continue;
-    ClientState State = ClientState::Start;
-    Input PendingIn;
-    for (const Action &A : Sub) {
-      if (State == ClientState::Done)
-        return WellFormedness::fail("client " + std::to_string(C) +
-                                    " acts after aborting");
-      if (Sig.isInitAction(A)) {
-        if (Sig.M == 1)
-          return WellFormedness::fail("init action " + describe(A) +
-                                      " in a first phase (m = 1)");
-        if (State != ClientState::Start)
-          return WellFormedness::fail("client " + std::to_string(C) +
-                                      " has more than one init action");
-        State = ClientState::NeedAnswer;
-        PendingIn = A.In;
-        continue;
-      }
-      if (Sig.isAbortAction(A)) {
-        if (State != ClientState::NeedAnswer)
-          return WellFormedness::fail(
-              "abort " + describe(A) + " without a pending invocation");
-        if (A.In != PendingIn)
-          return WellFormedness::fail(
-              "abort " + describe(A) + " does not carry the pending input");
-        State = ClientState::Done;
-        continue;
-      }
-      if (isInvoke(A)) {
-        if (State == ClientState::Start) {
-          if (Sig.M != 1)
-            return WellFormedness::fail(
-                "client " + std::to_string(C) +
-                " of phase (m != 1) must start with an init action");
-        } else if (State != ClientState::Idle) {
-          return WellFormedness::fail(
-              "client " + std::to_string(C) +
-              " invokes while an invocation is pending");
-        }
-        State = ClientState::NeedAnswer;
-        PendingIn = A.In;
-        continue;
-      }
-      // Response.
-      if (State != ClientState::NeedAnswer)
-        return WellFormedness::fail("response " + describe(A) +
-                                    " with no pending invocation");
-      if (A.In != PendingIn)
-        return WellFormedness::fail("response " + describe(A) +
-                                    " does not answer the pending input");
-      State = ClientState::Idle;
-    }
-  }
-  return WellFormedness::pass();
+  return runBuilder(TraceBuilder(Sig), T);
 }

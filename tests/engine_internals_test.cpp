@@ -15,7 +15,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "adt/Consensus.h"
+#include "adt/Queue.h"
 #include "engine/CorpusDriver.h"
+#include "engine/Incremental.h"
 #include "engine/Transposition.h"
 #include "spec/SpecAutomaton.h"
 #include "support/Arena.h"
@@ -245,6 +247,336 @@ TEST(CorpusDriverTest, BudgetLimitedIsReportedAndRetryRunsOneShot) {
   EXPECT_EQ(Roomy.Unknown, 0u);
   EXPECT_EQ(Roomy.BudgetLimited, 0u);
   EXPECT_EQ(Roomy.Retried, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Resumable sessions: append-order invariance, frontier reuse, absorption,
+// mark/rewind, and pollution recovery.
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalSessionTest, CheckingScheduleDoesNotPerturbTheSearch) {
+  // Randomized append-order invariance: with resumption off (a freshly
+  // salted full search per verdict), checking after every event and
+  // checking once at the end must produce identical verdicts AND node
+  // counts for the final trace — intermediate checks must not perturb the
+  // incrementally built problem.
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 8;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xA11F);
+  IncrementalOptions NoResume;
+  NoResume.Resume = false;
+  for (int I = 0; I != 40; ++I) {
+    Trace T = I % 2 ? genArbitraryTrace(G, R) : genLinearizableTrace(Cons, G, R);
+
+    IncrementalLinSession Every(Cons, NoResume);
+    LinCheckResult Last;
+    for (const Action &A : T) {
+      Every.append(A);
+      Last = Every.verdict();
+    }
+
+    IncrementalLinSession Once(Cons, NoResume);
+    for (const Action &A : T)
+      Once.append(A);
+    LinCheckResult End = Once.verdict();
+
+    ASSERT_EQ(Last.Outcome, End.Outcome) << "trace " << I;
+    ASSERT_EQ(Last.NodesExplored, End.NodesExplored)
+        << "intermediate checks perturbed the final search on trace " << I;
+  }
+}
+
+TEST(IncrementalSessionTest, ResumptionPaysOnlyForTheSuffix) {
+  // On linearizable-by-construction growing histories the resumable path
+  // must (a) agree with the resumption-free path at every prefix and
+  // (b) spend strictly fewer total nodes: each verdict resumes from the
+  // retained frontier instead of re-deriving the witness.
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 12;
+  G.PendingFraction = 0;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xA120);
+  IncrementalOptions NoResume;
+  NoResume.Resume = false;
+  std::uint64_t ResumeNodes = 0, FullNodes = 0;
+  for (int I = 0; I != 10; ++I) {
+    Trace T = genLinearizableTrace(Cons, G, R);
+    IncrementalLinSession Fast(Cons);
+    IncrementalLinSession Slow(Cons, NoResume);
+    for (const Action &A : T) {
+      Fast.append(A);
+      Slow.append(A);
+      LinCheckResult RF = Fast.verdict();
+      LinCheckResult RS = Slow.verdict();
+      ASSERT_EQ(RF.Outcome, RS.Outcome);
+      ResumeNodes += RF.NodesExplored;
+      FullNodes += RS.NodesExplored;
+    }
+  }
+  EXPECT_LT(ResumeNodes, FullNodes)
+      << "frontier resumption did not reduce search work";
+}
+
+TEST(IncrementalSessionTest, InvokeAppendsAndNoAreAbsorbed) {
+  QueueAdt Q;
+  IncrementalLinSession Inc(Q);
+  Inc.append(makeInvoke(0, 1, queue::enq(1)));
+  Inc.append(makeRespond(0, 1, queue::enq(1), Output{1}));
+  ASSERT_EQ(Inc.verdict().Outcome, Verdict::Yes);
+  // An appended invocation changes no obligation: O(1), zero nodes.
+  Inc.append(makeInvoke(1, 1, queue::enq(2)));
+  LinCheckResult R = Inc.verdict();
+  EXPECT_EQ(R.Outcome, Verdict::Yes);
+  EXPECT_EQ(R.NodesExplored, 0u);
+  // A dequeue that returns a value never enqueued: conclusive No...
+  Inc.append(makeInvoke(2, 1, queue::deq()));
+  Inc.append(makeRespond(2, 1, queue::deq(), Output{77}));
+  ASSERT_EQ(Inc.verdict().Outcome, Verdict::No);
+  // ...which is final under extension, at zero additional nodes.
+  Inc.append(makeInvoke(0, 1, queue::enq(3)));
+  Inc.append(makeRespond(0, 1, queue::enq(3), Output{3}));
+  R = Inc.verdict();
+  EXPECT_EQ(R.Outcome, Verdict::No);
+  EXPECT_EQ(R.NodesExplored, 0u);
+}
+
+TEST(IncrementalSessionTest, MarkRewindMembersMatchOneShot) {
+  // A sealed shared prefix: members of the group (prefix + divergent
+  // suffixes) are checked by rewinding and appending; their verdicts must
+  // match one-shot checks of the full member traces.
+  ConsensusAdt Cons;
+  Trace Prefix;
+  Prefix.push_back(makeInvoke(0, 1, cons::propose(1)));
+  Prefix.push_back(makeInvoke(1, 1, cons::propose(2)));
+  Prefix.push_back(makeRespond(0, 1, cons::propose(1), cons::decide(1)));
+
+  // Suffix A: consistent second decision (linearizable).
+  Trace SufYes;
+  SufYes.push_back(makeRespond(1, 1, cons::propose(2), cons::decide(1)));
+  // Suffix B: split decision (not linearizable).
+  Trace SufNo;
+  SufNo.push_back(makeRespond(1, 1, cons::propose(2), cons::decide(2)));
+  // Suffix C: more work on top of A.
+  Trace SufLong = SufYes;
+  SufLong.push_back(makeInvoke(2, 1, cons::propose(3)));
+  SufLong.push_back(makeRespond(2, 1, cons::propose(3), cons::decide(1)));
+
+  IncrementalLinSession Inc(Cons);
+  for (const Action &A : Prefix)
+    ASSERT_TRUE(Inc.append(A));
+  ASSERT_EQ(Inc.verdict().Outcome, Verdict::Yes); // Prime the seal.
+  Inc.markPrefix();
+  ASSERT_TRUE(Inc.hasMark());
+  EXPECT_EQ(Inc.markLength(), Prefix.size());
+
+  for (const Trace *Suffix : {&SufYes, &SufNo, &SufLong, &SufYes}) {
+    Inc.rewindToMark();
+    ASSERT_EQ(Inc.size(), Prefix.size());
+    Trace Member = Prefix;
+    for (const Action &A : *Suffix) {
+      Inc.append(A);
+      Member.push_back(A);
+    }
+    LinCheckResult Streamed = Inc.verdict();
+    LinCheckResult OneShot = checkLinearizable(Member, Cons);
+    ASSERT_EQ(Streamed.Outcome, OneShot.Outcome)
+        << "member with suffix of " << Suffix->size() << " events";
+  }
+}
+
+TEST(IncrementalSessionTest, BudgetExhaustionRecoversCleanly) {
+  // A budget-limited verdict pollutes the lineage (ancestors of
+  // unexplored subtrees were recorded as failed); the next verdict must
+  // re-salt and still reach the batch checker's conclusive answer.
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 8;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xA121);
+  for (int I = 0; I != 20; ++I) {
+    Trace T = I % 2 ? genArbitraryTrace(G, R) : genLinearizableTrace(Cons, G, R);
+    IncrementalLinSession Inc(Cons);
+    for (const Action &A : T)
+      Inc.append(A);
+    LinCheckOptions Tight;
+    Tight.NodeBudget = 1;
+    LinCheckResult Starved = Inc.verdict(Tight);
+    if (Starved.Outcome == Verdict::Unknown)
+      EXPECT_TRUE(Starved.BudgetLimited);
+    LinCheckResult Recovered = Inc.verdict();
+    LinCheckResult Batch = checkLinearizable(T, Cons);
+    ASSERT_EQ(Recovered.Outcome, Batch.Outcome) << "trace " << I;
+  }
+}
+
+TEST(IncrementalSessionTest, BudgetLadderOnResumedSessionsStaysSound) {
+  // The frontier resume and the completeness fallback share ONE budget
+  // (the fallback runs on what the resumed subtree left, never on a fresh
+  // full budget — see IncrementalLinSession::verdict). Walking a budget
+  // ladder over a resumed session must stay sound at every rung: an
+  // exhausted verdict is Unknown+BudgetLimited, a conclusive one matches
+  // the batch checker. The engine's own unwinding can overshoot any
+  // budget by the abandoned siblings on the stack (batch behaves the
+  // same), so node counts are sanity-bounded, not pinned.
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 10;
+  G.PendingFraction = 0;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xA122);
+  for (int I = 0; I != 10; ++I) {
+    Trace T = genLinearizableTrace(Cons, G, R);
+    // A split decision: decide a value different from the history's (the
+    // resumed subtree must fail and fall back).
+    std::int64_t Decided = 1;
+    for (const Action &A : T)
+      if (isRespond(A)) {
+        Decided = A.Out.Val;
+        break;
+      }
+    std::int64_t Other = Decided == 1 ? 2 : 1;
+    Trace Extended = T;
+    Extended.push_back(makeInvoke(60, 1, cons::propose(Other)));
+    Extended.push_back(
+        makeRespond(60, 1, cons::propose(Other), cons::decide(Other)));
+    for (std::uint64_t Budget : {1ull, 4ull, 64ull, 1ull << 20}) {
+      // Fresh session per rung so the frontier path runs at every budget.
+      IncrementalLinSession Inc(Cons);
+      for (const Action &A : T)
+        Inc.append(A);
+      ASSERT_EQ(Inc.verdict().Outcome, Verdict::Yes); // Prime the frontier.
+      Inc.append(Extended[T.size()]);
+      Inc.append(Extended[T.size() + 1]);
+      LinCheckOptions Opts;
+      Opts.NodeBudget = Budget;
+      LinCheckResult V = Inc.verdict(Opts);
+      LinCheckResult Batch = checkLinearizable(Extended, Cons, Opts);
+      if (V.Outcome == Verdict::Unknown) {
+        EXPECT_TRUE(V.BudgetLimited);
+      } else {
+        EXPECT_EQ(V.Outcome, Verdict::No);
+      }
+      if (Batch.Outcome != Verdict::Unknown && V.Outcome != Verdict::Unknown)
+        EXPECT_EQ(V.Outcome, Batch.Outcome);
+      // Shared-budget sanity: nowhere near two fresh budgets of real work
+      // at the big rung (the old bug), and bounded unwinding at small ones.
+      EXPECT_LE(V.NodesExplored,
+                2 * Budget + 8 * Extended.size())
+          << "trace " << I << " budget " << Budget;
+    }
+  }
+}
+
+TEST(CheckSessionTest, ResetRestoresFreshSessionSemantics) {
+  // After warming a session on one corpus, reset() must make subsequent
+  // checks bit-identical (verdict AND node count) to a new session's.
+  ConsensusAdt Cons;
+  std::vector<Trace> Corpus = mixedConsensusCorpus(20);
+  CheckSession Warm(Cons);
+  for (const Trace &T : Corpus)
+    Warm.checkLin(T);
+  Warm.reset();
+  for (const Trace &T : Corpus) {
+    CheckSession Fresh(Cons);
+    LinCheckResult A = Warm.checkLin(T);
+    LinCheckResult B = Fresh.checkLin(T);
+    ASSERT_EQ(A.Outcome, B.Outcome);
+    ASSERT_EQ(A.NodesExplored, B.NodesExplored);
+    Warm.reset();
+  }
+}
+
+TEST(CorpusDriverTest, SharePrefixesPreservesVerdicts) {
+  // Prefix sharing changes scheduling and warmth, never conclusive
+  // verdicts: a prefix-closed corpus (every even prefix of growing
+  // histories — the shape an online monitor's log re-check produces) and
+  // a mixed corpus must agree row by row with the unshared baseline, at
+  // every thread count.
+  ConsensusAdt Cons;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 10;
+  G.PendingFraction = 0;
+  G.Alphabet = {cons::propose(1), cons::propose(2), cons::propose(3)};
+  G.Outputs = {cons::decide(1), cons::decide(2), cons::decide(3)};
+  Rng R(0xD22E);
+  std::vector<Trace> Corpus;
+  for (int I = 0; I != 8; ++I) {
+    Trace T = genLinearizableTrace(Cons, G, R);
+    for (std::size_t Len = 2; Len <= T.size(); Len += 2)
+      Corpus.emplace_back(T.begin(), T.begin() + Len);
+    Corpus.push_back(genArbitraryTrace(G, R));
+  }
+
+  CorpusOptions Plain;
+  Plain.Threads = 1;
+  Plain.RetryBudgetLimitedFresh = true;
+  CorpusReport Base = CorpusDriver(Cons, Plain).checkLin(Corpus);
+
+  for (unsigned Threads : {1u, 3u}) {
+    CorpusOptions Shared = Plain;
+    Shared.Threads = Threads;
+    Shared.SharePrefixes = true;
+    Shared.ChunkSize = 5; // Force groups to straddle chunk boundaries.
+    CorpusReport Rep = CorpusDriver(Cons, Shared).checkLin(Corpus);
+    ASSERT_EQ(Rep.Results.size(), Corpus.size());
+    for (std::size_t I = 0; I != Corpus.size(); ++I)
+      ASSERT_EQ(Rep.Results[I].Outcome, Base.Results[I].Outcome)
+          << "trace " << I << " at " << Threads << " threads";
+    EXPECT_EQ(Rep.Yes, Base.Yes);
+    EXPECT_EQ(Rep.No, Base.No);
+    EXPECT_EQ(Rep.Unknown, Base.Unknown);
+  }
+}
+
+TEST(CorpusDriverTest, SharePrefixesDoomedPrefixDoesNotPoisonSiblings) {
+  // Regression: an ill-formed event rejected while streaming a group's
+  // shared prefix must not be sealed into the mark — a sibling trace that
+  // shares only the *accepted* events would rewind into the doomed state
+  // and wrongly report No. Corpus: X and Y share an ill-formed event at
+  // index 4 (both genuinely No); W shares only the 4 valid events and is
+  // linearizable.
+  ConsensusAdt Cons;
+  Trace P4;
+  P4.push_back(makeInvoke(0, 1, cons::propose(1)));
+  P4.push_back(makeRespond(0, 1, cons::propose(1), cons::decide(1)));
+  P4.push_back(makeInvoke(1, 1, cons::propose(2)));
+  P4.push_back(makeInvoke(2, 1, cons::propose(3)));
+  Action Doomer = makeInvoke(1, 1, cons::propose(2)); // Client 1 pending.
+
+  Trace X = P4;
+  X.push_back(Doomer);
+  X.push_back(makeInvoke(3, 1, cons::propose(1)));
+  Trace Y = P4;
+  Y.push_back(Doomer);
+  Y.push_back(makeInvoke(3, 1, cons::propose(2)));
+  Trace W = P4;
+  W.push_back(makeRespond(1, 1, cons::propose(2), cons::decide(1)));
+
+  std::vector<Trace> Corpus = {W, X, Y};
+  CorpusOptions Plain;
+  Plain.Threads = 1;
+  CorpusReport Base = CorpusDriver(Cons, Plain).checkLin(Corpus);
+  CorpusOptions Shared = Plain;
+  Shared.SharePrefixes = true;
+  CorpusReport Rep = CorpusDriver(Cons, Shared).checkLin(Corpus);
+  for (std::size_t I = 0; I != Corpus.size(); ++I)
+    EXPECT_EQ(Rep.Results[I].Outcome, Base.Results[I].Outcome)
+        << "trace " << I;
+  EXPECT_EQ(Base.Results[0].Outcome, Verdict::Yes);
+  EXPECT_EQ(Base.Results[1].Outcome, Verdict::No);
+  EXPECT_EQ(Base.Results[2].Outcome, Verdict::No);
 }
 
 TEST(CorpusDriverTest, SlinCorpusRunsThroughTheDriver) {

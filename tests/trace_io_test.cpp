@@ -1,0 +1,183 @@
+//===- tests/trace_io_test.cpp - Hardened textual trace parsing -----------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Malformed-input and round-trip coverage for trace/TraceIo: the streaming
+// ingest path (TraceBuilder + parseActionLine) consumes records from
+// untrusted sources, so the parser must reject — never crash on, never
+// mis-read — truncated records, overflowing numerics, and out-of-range
+// dense ids, and the well-formedness layer behind it must catch the
+// semantic corruptions (duplicate completions) the parser cannot see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIo.h"
+
+#include "support/Rng.h"
+#include "trace/TraceBuilder.h"
+#include "trace/WellFormed.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace slin;
+
+namespace {
+
+Trace sampleTrace() {
+  Trace T;
+  T.push_back(makeInvoke(0, 1, Input{3, 1, 42, -7}));
+  T.push_back(makeInvoke(1, 1, Input{2, 2, INT64_MIN, INT64_MAX}));
+  T.push_back(makeRespond(0, 1, Input{3, 1, 42, -7}, Output{9}));
+  T.push_back(makeSwitch(1, 2, Input{2, 2, INT64_MIN, INT64_MAX},
+                         SwitchValue{-1}));
+  return T;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoHardeningTest, ExtremeValuesRoundTrip) {
+  Trace T = sampleTrace();
+  TraceParseResult R = parseTrace(formatTrace(T));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ParsedTrace, T);
+}
+
+TEST(TraceIoHardeningTest, RandomTracesRoundTrip) {
+  Rng Rand(0x10AD);
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    Trace T;
+    unsigned Len = 1 + Rand.next() % 12;
+    for (unsigned I = 0; I != Len; ++I) {
+      Action A;
+      A.Kind = static_cast<ActionKind>(Rand.next() % 3);
+      A.Client = static_cast<ClientId>(Rand.next() % 1000);
+      A.Phase = 1 + static_cast<PhaseId>(Rand.next() % 1000);
+      A.In.Op = static_cast<std::uint32_t>(Rand.next());
+      A.In.Tag = static_cast<std::uint32_t>(Rand.next());
+      A.In.A = static_cast<std::int64_t>(Rand.next());
+      A.In.B = static_cast<std::int64_t>(Rand.next());
+      if (isRespond(A))
+        A.Out.Val = static_cast<std::int64_t>(Rand.next());
+      if (isSwitch(A))
+        A.Sv.Val = static_cast<std::int64_t>(Rand.next());
+      T.push_back(A);
+    }
+    TraceParseResult R = parseTrace(formatTrace(T));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.ParsedTrace, T);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Truncated and corrupted records.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoHardeningTest, EveryTruncationOfAValidLineIsRejected) {
+  // Dropping trailing fields must always produce a structured error, never
+  // a crash or a silently short record.
+  const std::string Full = "res 1 2 3 4 5 6 7";
+  for (std::size_t Cut = Full.size() - 1; Cut > 0; --Cut) {
+    std::string Line = Full.substr(0, Cut);
+    Action A;
+    std::string Error;
+    LineKind K = parseActionLine(Line, A, Error);
+    if (K == LineKind::Record)
+      ADD_FAILURE() << "truncation parsed as a record: '" << Line << "'";
+  }
+}
+
+TEST(TraceIoHardeningTest, NumericOverflowIsAnErrorNotAThrow) {
+  // Values beyond int64 range used to escape as std::out_of_range from
+  // std::stoll; they must be ordinary parse failures.
+  EXPECT_FALSE(parseTrace("inv 1 1 0 0 99999999999999999999999 0\n").Ok);
+  EXPECT_FALSE(parseTrace("inv 1 1 0 0 0 -99999999999999999999999\n").Ok);
+  EXPECT_FALSE(parseTrace("res 1 1 0 0 0 0 18446744073709551616\n").Ok);
+  // The exact boundary still parses.
+  TraceParseResult R =
+      parseTrace("inv 1 1 0 0 -9223372036854775808 9223372036854775807\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ParsedTrace[0].In.A, INT64_MIN);
+  EXPECT_EQ(R.ParsedTrace[0].In.B, INT64_MAX);
+}
+
+TEST(TraceIoHardeningTest, OutOfRangeProcessIdsAreRejected) {
+  // Dense per-client indexing downstream makes giant ids a memory bomb;
+  // the parser stops them at the door.
+  EXPECT_FALSE(parseTrace("inv 4294967295 1 0 0 0 0\n").Ok);
+  EXPECT_FALSE(parseTrace("inv 1048576 1 0 0 0 0\n").Ok);
+  EXPECT_TRUE(parseTrace("inv 1048575 1 0 0 0 0\n").Ok);
+  EXPECT_FALSE(parseTrace("inv 1 4294967295 0 0 0 0\n").Ok);
+  // And the streaming builder enforces the same bound on directly
+  // constructed actions.
+  TraceBuilder B;
+  EXPECT_FALSE(B.append(makeInvoke(TraceBuilder::MaxClients, 1, Input{})));
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(TraceIoHardeningTest, RandomCorruptionNeverCrashesTheParser) {
+  Rng Rand(0xF422);
+  const std::string Base = formatTrace(sampleTrace());
+  const char Junk[] = {'x', '-', ' ', '\t', '9', '#', '\n', '\0', '+'};
+  for (int Iter = 0; Iter != 500; ++Iter) {
+    std::string Text = Base;
+    // Corrupt 1-4 positions with junk bytes.
+    unsigned Edits = 1 + Rand.next() % 4;
+    for (unsigned E = 0; E != Edits; ++E)
+      Text[Rand.next() % Text.size()] =
+          Junk[Rand.next() % (sizeof(Junk) / sizeof(Junk[0]))];
+    TraceParseResult R = parseTrace(Text);
+    if (!R.Ok)
+      EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+TEST(TraceIoHardeningTest, BlankAndCommentLinesStream) {
+  Action A;
+  std::string Error;
+  EXPECT_EQ(parseActionLine("", A, Error), LineKind::Blank);
+  EXPECT_EQ(parseActionLine("   ", A, Error), LineKind::Blank);
+  EXPECT_EQ(parseActionLine("# res 1 1 0 0 0 0 0", A, Error),
+            LineKind::Blank);
+  EXPECT_EQ(parseActionLine("res 1 1 0 0 0 0 0", A, Error),
+            LineKind::Record);
+  EXPECT_TRUE(isRespond(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic corruption the parser cannot see: the well-formedness layer.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoHardeningTest, DuplicateCompletionsAreCaughtDownstream) {
+  // Two completions for one invocation parse fine — rejecting them is the
+  // well-formedness automaton's job, per event.
+  TraceParseResult R = parseTrace("inv 0 1 0 0 5 0\n"
+                                  "res 0 1 0 0 5 0 1\n"
+                                  "res 0 1 0 0 5 0 1\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(checkWellFormedLin(R.ParsedTrace).Ok);
+
+  TraceBuilder B;
+  EXPECT_TRUE(B.append(R.ParsedTrace[0]));
+  EXPECT_TRUE(B.append(R.ParsedTrace[1]));
+  WellFormedness W = B.append(R.ParsedTrace[2]);
+  EXPECT_FALSE(W.Ok);
+  // The duplicate is not ingested: the view stays a well-formed trace.
+  EXPECT_EQ(B.size(), 2u);
+  EXPECT_TRUE(checkWellFormedLin(B.trace()).Ok);
+}
+
+TEST(TraceIoHardeningTest, ResponseToWrongInputCaughtPerEvent) {
+  TraceBuilder B;
+  EXPECT_TRUE(B.append(makeInvoke(0, 1, Input{0, 0, 5, 0})));
+  EXPECT_FALSE(B.append(makeRespond(0, 1, Input{0, 0, 6, 0}, Output{1})));
+  EXPECT_TRUE(B.append(makeRespond(0, 1, Input{0, 0, 5, 0}, Output{1})));
+  EXPECT_EQ(B.size(), 2u);
+}

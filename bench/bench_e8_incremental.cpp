@@ -25,6 +25,20 @@
 //     without SharePrefixes, single-threaded (the bench box has 1 CPU —
 //     this measures the memo/frontier lever, not thread scaling).
 //
+//   * SteadyState_Monitor_*: the O(1) steady-state rows. Same shape as
+//     AppendOne, but verdicts run witness-free (WantWitness off) and the
+//     row reports nodes_per_check AND seed_replay_per_check — with the
+//     retained replay state the latter must be 0.0 and the latency stays
+//     flat as the history grows. CI guards nodes_per_check regressions
+//     against the committed BENCH_e8.json.
+//
+//   * AppendOne_IncrementalSlin / AppendOne_BatchSlin: the slin monitor's
+//     inner loop (frontier resumption per interpretation), on switch-free
+//     consensus phase traces through the consensus relation.
+//
+// All rows are single-threaded; capture BENCH_e8.json as interleaved
+// median-of-3 runs (1-core bench box).
+//
 //===----------------------------------------------------------------------===//
 
 #include "adt/Consensus.h"
@@ -253,6 +267,125 @@ std::vector<Trace> prefixClosedCorpus(unsigned Histories, unsigned Events) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// SteadyState_Monitor: witness-free O(1) per-event verdicts; the row CI
+// reads nodes_per_check and seed_replay_per_check from.
+//===----------------------------------------------------------------------===//
+
+static void BM_E8_SteadyState_Monitor_Register(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = registerHistory(N, 0xE8);
+  Trace Ext = extensionPair(Reg, T, reg::write(7));
+  std::uint64_t Nodes = 0, Checks = 0, Replays = 0, Skips = 0;
+  for (auto _ : State) {
+    // Untimed: re-prime the session with the already-ingested history.
+    IncrementalLinSession Inc(Reg);
+    for (const Action &A : T)
+      Inc.append(A);
+    benchmark::DoNotOptimize(Inc.verdict().Outcome);
+    std::uint64_t Replayed0 = Inc.stats().Search.SeedStepsReplayed;
+    std::uint64_t Skipped0 = Inc.stats().Search.SeedStepsSkipped;
+    // Timed: one more operation arrives; the monitor consumes outcomes
+    // only, so the verdict runs witness-free.
+    auto Start = std::chrono::steady_clock::now();
+    for (const Action &A : Ext)
+      Inc.append(A);
+    LinCheckOptions Opts;
+    Opts.WantWitness = false;
+    LinCheckResult R = Inc.verdict(Opts);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    Replays += Inc.stats().Search.SeedStepsReplayed - Replayed0;
+    Skips += Inc.stats().Search.SeedStepsSkipped - Skipped0;
+    ++Checks;
+  }
+  double C = static_cast<double>(Checks ? Checks : 1);
+  State.counters["nodes_per_check"] =
+      benchmark::Counter(static_cast<double>(Nodes) / C);
+  State.counters["seed_replay_per_check"] =
+      benchmark::Counter(static_cast<double>(Replays) / C);
+  State.counters["seed_skip_per_check"] =
+      benchmark::Counter(static_cast<double>(Skips) / C);
+}
+BENCHMARK(BM_E8_SteadyState_Monitor_Register)
+    ->Arg(32)->Arg(64)->Arg(96)->Arg(120)
+    ->UseManualTime();
+
+//===----------------------------------------------------------------------===//
+// AppendOne for the slin session: per-interpretation frontier resumption
+// on switch-free consensus phase traces (the slin monitor steady state).
+//===----------------------------------------------------------------------===//
+
+static void BM_E8_AppendOne_IncrementalSlin(benchmark::State &State) {
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = consensusHistory(N, 0xE84);
+  Trace Ext = extensionPair(Cons, T, cons::propose(2));
+  std::uint64_t Nodes = 0, Checks = 0, Replays = 0;
+  for (auto _ : State) {
+    IncrementalSlinSession Inc(Cons, Sig, Rel);
+    for (const Action &A : T)
+      Inc.append(A);
+    benchmark::DoNotOptimize(Inc.verdict().Outcome);
+    std::uint64_t Replayed0 = Inc.stats().Search.SeedStepsReplayed;
+    auto Start = std::chrono::steady_clock::now();
+    for (const Action &A : Ext)
+      Inc.append(A);
+    SlinCheckOptions Opts;
+    Opts.WantWitness = false;
+    SlinVerdict R = Inc.verdict(Opts);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    Replays += Inc.stats().Search.SeedStepsReplayed - Replayed0;
+    ++Checks;
+  }
+  double C = static_cast<double>(Checks ? Checks : 1);
+  State.counters["nodes_per_check"] =
+      benchmark::Counter(static_cast<double>(Nodes) / C);
+  State.counters["seed_replay_per_check"] =
+      benchmark::Counter(static_cast<double>(Replays) / C);
+}
+BENCHMARK(BM_E8_AppendOne_IncrementalSlin)
+    ->Arg(64)->Arg(96)
+    ->UseManualTime();
+
+static void BM_E8_AppendOne_BatchSlin(benchmark::State &State) {
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  unsigned N = static_cast<unsigned>(State.range(0));
+  Trace T = consensusHistory(N, 0xE84);
+  Trace Ext = extensionPair(Cons, T, cons::propose(2));
+  Trace Extended = T;
+  Extended.insert(Extended.end(), Ext.begin(), Ext.end());
+  CheckSession Session(Cons); // Warm batch session: the fair baseline.
+  std::uint64_t Nodes = 0, Checks = 0;
+  for (auto _ : State) {
+    auto Start = std::chrono::steady_clock::now();
+    SlinVerdict R = Session.checkSlin(Extended, Sig, Rel);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  State.counters["nodes_per_check"] = benchmark::Counter(
+      static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
+}
+BENCHMARK(BM_E8_AppendOne_BatchSlin)
+    ->Arg(64)->Arg(96)
+    ->UseManualTime();
 
 static void BM_E8_PrefixCorpus(benchmark::State &State) {
   RegisterAdt Reg;

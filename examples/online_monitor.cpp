@@ -11,8 +11,12 @@
 // streamed into the monitor as it happens and a verdict is emitted after
 // each one. The steady state is the incremental fast path: an invocation is
 // absorbed in O(1), a response resumes from the retained witness frontier
+// *with its retained replay state* (the monitor never re-replays the seed
+// prefix — the summary's seed_steps_replayed stays at its priming value)
 // and typically costs a handful of search nodes, and a violation, once
-// detected, is final (No is absorbing under extension).
+// detected, is final (No is absorbing under extension). Verdicts run with
+// WantWitness off: the monitor consumes only the outcome, so the absorbed
+// paths are genuinely O(1).
 //
 // Usage:
 //   online_monitor [clients <n>] [servers <n>] [ops <n>] [seed <n>]
@@ -104,6 +108,7 @@ int main(int Argc, char **Argv) {
   std::size_t Fed = 0;
   std::uint64_t TotalNodes = 0;
   double TotalMs = 0;
+  double MaxMs = 0;
   Verdict Final = Verdict::Yes;
 
   // Streams every newly observed object-level event into the monitor and
@@ -114,12 +119,15 @@ int main(int Argc, char **Argv) {
       const Action &A = T[Fed];
       auto Start = std::chrono::steady_clock::now();
       Monitor.append(A);
-      LinCheckResult R = Monitor.verdict();
+      LinCheckOptions MonitorOpts;
+      MonitorOpts.WantWitness = false; // Outcome-only: keep verdicts O(1).
+      LinCheckResult R = Monitor.verdict(MonitorOpts);
       double Ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
       TotalNodes += R.NodesExplored;
       TotalMs += Ms;
+      MaxMs = Ms > MaxMs ? Ms : MaxMs;
       Final = R.Outcome;
       const char *V = R.Outcome == Verdict::Yes   ? "yes"
                       : R.Outcome == Verdict::No  ? "no"
@@ -149,14 +157,20 @@ int main(int Argc, char **Argv) {
   Drain(-1);
 
   std::printf("{\"summary\":{\"events\":%zu,\"verdict\":\"%s\","
-              "\"total_nodes\":%llu,\"monitor_ms\":%.3f,"
-              "\"search_nodes_total\":%llu}}\n",
+              "\"total_nodes\":%llu,\"monitor_ms\":%.3f,\"max_event_ms\":%.3f,"
+              "\"search_nodes_total\":%llu,\"frontier_resumes\":%llu,"
+              "\"seed_steps_replayed\":%llu,\"seed_steps_skipped\":%llu}}\n",
               Fed,
               Final == Verdict::Yes   ? "yes"
               : Final == Verdict::No  ? "no"
                                       : "unknown",
-              static_cast<unsigned long long>(TotalNodes), TotalMs,
+              static_cast<unsigned long long>(TotalNodes), TotalMs, MaxMs,
+              static_cast<unsigned long long>(Monitor.stats().Search.Nodes),
               static_cast<unsigned long long>(
-                  Monitor.stats().Search.Nodes));
+                  Monitor.stats().FrontierResumes),
+              static_cast<unsigned long long>(
+                  Monitor.stats().Search.SeedStepsReplayed),
+              static_cast<unsigned long long>(
+                  Monitor.stats().Search.SeedStepsSkipped));
   return Final == Verdict::Yes ? 0 : 1;
 }

@@ -24,6 +24,10 @@ void AdtState::undoInput(const UndoToken &) {
 
 bool AdtState::supportsUndo() const { return false; }
 
+void AdtState::serializeCanonical(std::vector<std::int64_t> &Out) const {
+  Out.push_back(static_cast<std::int64_t>(digest()));
+}
+
 Adt::~Adt() = default;
 
 Output Adt::evaluate(const History &H) const {

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace slin {
 
@@ -87,6 +88,16 @@ public:
   /// paper's notion of history equivalence (Section 2.3) made executable,
   /// and it powers memoization in the checkers.
   virtual std::uint64_t digest() const = 0;
+
+  /// Appends a canonical encoding of the logical state to \p Out: two
+  /// states are logically identical iff their canonical serializations are
+  /// equal — an exact witness where digest() is only a hash. The property
+  /// tests for the engine's retained replay state (a cached AdtState rolled
+  /// forward across appends must stay bit-equivalent to a fresh seed
+  /// replay) compare through this. The default encodes the digest, which is
+  /// exact only up to collision; all in-tree ADTs override it with a
+  /// lossless encoding.
+  virtual void serializeCanonical(std::vector<std::int64_t> &Out) const;
 };
 
 /// An abstract data type T = (I_T, O_T, f_T).

@@ -37,6 +37,10 @@ public:
     return hashCombine(0xC0115u, static_cast<std::uint64_t>(Decided));
   }
 
+  void serializeCanonical(std::vector<std::int64_t> &Out) const override {
+    Out.push_back(Decided);
+  }
+
 private:
   std::int64_t Decided = NoValue;
 };

@@ -91,6 +91,14 @@ public:
     return H;
   }
 
+  void serializeCanonical(std::vector<std::int64_t> &Out) const override {
+    Out.push_back(static_cast<std::int64_t>(Map.size()));
+    for (const auto &[K, V] : Map) { // std::map iterates in key order.
+      Out.push_back(K);
+      Out.push_back(V);
+    }
+  }
+
 private:
   std::map<std::int64_t, std::int64_t> Map;
 };

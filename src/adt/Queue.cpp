@@ -64,6 +64,11 @@ public:
     return H;
   }
 
+  void serializeCanonical(std::vector<std::int64_t> &Out) const override {
+    Out.push_back(static_cast<std::int64_t>(Items.size()));
+    Out.insert(Out.end(), Items.begin(), Items.end());
+  }
+
 private:
   std::deque<std::int64_t> Items;
 };

@@ -35,6 +35,10 @@ public:
     return hashCombine(0x4e6u, static_cast<std::uint64_t>(Content));
   }
 
+  void serializeCanonical(std::vector<std::int64_t> &Out) const override {
+    Out.push_back(Content);
+  }
+
 private:
   std::int64_t Content = NoValue;
 };

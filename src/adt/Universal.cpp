@@ -34,6 +34,10 @@ public:
 
   std::uint64_t digest() const override { return Fingerprint; }
 
+  void serializeCanonical(std::vector<std::int64_t> &Out) const override {
+    Out.push_back(static_cast<std::int64_t>(Fingerprint));
+  }
+
 private:
   std::uint64_t Fingerprint = 0x484953u;
 };

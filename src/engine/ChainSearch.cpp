@@ -70,7 +70,20 @@ public:
       HaveDeadline = true;
     }
 
-    std::unique_ptr<AdtState> State = P.Type->makeState();
+    // Bring the search to the end of the seed prefix. Fast path: adopt the
+    // caller's retained FrontierState — the ADT state, used counts, and
+    // hashes materialized by the previous run — so no seed input is ever
+    // re-applied (and no throwaway fresh state is allocated). Slow path:
+    // replay the seed into a fresh state. Both paths leave identical
+    // (Used, UsedHash, Deficit, Master, SeqHash) search state, so verdicts
+    // AND node counts are independent of which one ran.
+    FrontierState *F = P.Retained;
+    TrackIds = F != nullptr;
+    bool Adopted = F && F->Valid && F->State && !P.ForceCloneStates &&
+                   F->State->supportsUndo() && F->Len == P.Seed.size() &&
+                   !P.Seed.empty() && F->Used.size() <= A;
+    std::unique_ptr<AdtState> State =
+        Adopted ? std::move(F->State) : P.Type->makeState();
     UseUndo = State->supportsUndo() && !P.ForceCloneStates;
 
     // Obligations the seed already commits (a resumable session's retained
@@ -87,18 +100,67 @@ public:
       if (!(PreCommitted & (1ull << R)))
         Active[NumActive++] = static_cast<std::uint32_t>(R);
 
-    for (InputId Id : P.Seed) {
-      State->apply(Interner.input(Id));
-      push(Id);
+    if (Adopted) {
+      std::copy(F->Used.begin(), F->Used.end(), Used);
+      UsedHash = F->UsedHash;
+      Master.reserve(P.Seed.size());
+      MasterIds.reserve(P.Seed.size());
+      for (InputId Id : P.Seed) {
+        Master.push_back(Interner.input(Id));
+        MasterIds.push_back(Id);
+      }
+      if (P.SequenceSensitive) {
+        std::uint64_t H = F->SeqHash;
+        if (!F->HasSeqHash) {
+          // Captured before the problem became sequence-sensitive (first
+          // abort): fold the seed's hash once, without touching the ADT.
+          H = SeqHashes.back();
+          for (InputId Id : P.Seed)
+            H = hashCombine(H, IdHash[Id]);
+        }
+        SeqHashes.push_back(H);
+      }
+      // Deficits of the active obligations w.r.t. the retained counts:
+      // Deficit[R] is the number of ids over-used beyond Avail[R].
+      for (std::size_t K = 0; K != NumActive; ++K) {
+        std::size_t R = Active[K];
+        for (InputId Id = 0; Id != A; ++Id)
+          if (Used[Id] > Avail[R][Id])
+            ++Deficit[R];
+      }
+      Stats.SeedStepsSkipped += P.Seed.size();
+    } else {
+      for (InputId Id : P.Seed) {
+        State->apply(Interner.input(Id));
+        push(Id);
+      }
+      Stats.SeedStepsReplayed += P.Seed.size();
     }
 
     bool Found = dfs(PreCommitted, *State);
     Result.Stats = Stats;
     if (Found) {
+      if (UseUndo && F) {
+        // Capture the new accepting leaf as the caller's next frontier:
+        // the threaded state sits exactly there.
+        F->State = std::move(State);
+        F->Used.assign(Used, Used + A);
+        F->UsedHash = UsedHash;
+        F->HasSeqHash = P.SequenceSensitive;
+        F->SeqHash = P.SequenceSensitive ? SeqHashes.back() : 0;
+        F->Len = Master.size();
+        F->Valid = true;
+      }
       Result.Outcome = Verdict::Yes;
       Result.Master = std::move(Master);
+      Result.MasterIds = std::move(MasterIds);
       Result.Commits = std::move(Commits);
       return Result;
+    }
+    if (Adopted) {
+      // Strict LIFO undo restored the adopted state to the frontier; hand
+      // it back so the caller's retained state survives failed runs.
+      F->State = std::move(State);
     }
     if (BudgetExhausted) {
       Result.Outcome = Verdict::Unknown;
@@ -129,6 +191,8 @@ private:
       if (std::size_t R = Active[K]; Avail[R][Id] == C)
         ++Deficit[R];
     Master.push_back(Interner.input(Id));
+    if (TrackIds)
+      MasterIds.push_back(Id);
     if (P.SequenceSensitive)
       SeqHashes.push_back(hashCombine(SeqHashes.back(), IdHash[Id]));
   }
@@ -143,6 +207,8 @@ private:
       if (std::size_t R = Active[K]; Avail[R][Id] == C)
         --Deficit[R];
     Master.pop_back();
+    if (TrackIds)
+      MasterIds.pop_back();
     if (P.SequenceSensitive)
       SeqHashes.pop_back();
   }
@@ -297,6 +363,10 @@ private:
 
   std::uint64_t FullMask = 0;
   bool UseUndo = false;
+  /// Dense master ids are maintained only for callers that retain the
+  /// chain (P.Retained set — resumable sessions); batch searches skip the
+  /// per-node bookkeeping.
+  bool TrackIds = false;
   std::int32_t *Used = nullptr;
   const std::int32_t **Avail = nullptr;
   std::int32_t *Deficit = nullptr;
@@ -305,6 +375,7 @@ private:
   std::uint64_t *IdHash = nullptr;
   std::uint64_t UsedHash = 0;
   History Master;
+  std::vector<InputId> MasterIds;
   std::vector<std::pair<std::size_t, std::size_t>> Commits;
   std::vector<std::uint64_t> SeqHashes;
   std::vector<Frame> Frames;

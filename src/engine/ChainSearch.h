@@ -80,6 +80,13 @@ struct ChainStats {
   std::uint64_t LeafChecks = 0;  ///< All-committed leaves reached.
   std::uint64_t MemoHits = 0;    ///< Subtrees pruned by the memo table.
   std::uint64_t MemoStores = 0;  ///< Failed subtrees recorded.
+  /// Seed inputs replayed into a fresh ADT state at the start of a run —
+  /// the linear term a retained FrontierState eliminates. A resumable
+  /// session in steady state must not grow this counter.
+  std::uint64_t SeedStepsReplayed = 0;
+  /// Seed inputs absorbed from a retained FrontierState instead of being
+  /// replayed (the O(1)-per-event monitoring fast path).
+  std::uint64_t SeedStepsSkipped = 0;
 
   void accumulate(const ChainStats &S) {
     Nodes += S.Nodes;
@@ -88,6 +95,8 @@ struct ChainStats {
     LeafChecks += S.LeafChecks;
     MemoHits += S.MemoHits;
     MemoStores += S.MemoStores;
+    SeedStepsReplayed += S.SeedStepsReplayed;
+    SeedStepsSkipped += S.SeedStepsSkipped;
   }
 };
 
@@ -103,6 +112,53 @@ struct CommitObligation {
   /// Dense availability counts indexed by InputId; length is the problem's
   /// AlphabetSize. Typically arena-allocated by the obligation provider.
   const std::int32_t *Available = nullptr;
+};
+
+/// Caller-retained replay state at the end of a problem's Seed prefix: the
+/// materialized AdtState after applying every seed input, plus the dense
+/// used counts, the incremental used-multiset hash, and (for
+/// sequence-sensitive problems) the master sequence-hash fold at that
+/// point. A resumable session that seeds consecutive runs with its growing
+/// success frontier owns one of these; the engine *adopts* it instead of
+/// replaying the seed into a fresh state — eliminating the O(seed) ADT
+/// replay that was the last linear term in a monitor's steady state — and,
+/// on an accepting undo-mode run, *captures* the new accepting leaf back
+/// into it (the undo protocol leaves the threaded state exactly there).
+/// On a failed or exhausted run the strict LIFO undo discipline has
+/// restored the adopted state to the frontier, so it is handed back
+/// unchanged. Only undo-capable states can be adopted or captured;
+/// clone-mode runs leave the struct untouched and replay the seed.
+struct FrontierState {
+  std::unique_ptr<AdtState> State; ///< Positioned after the seed prefix.
+  std::vector<std::int32_t> Used;  ///< Used counts by InputId at the frontier.
+  std::uint64_t UsedHash = 0;      ///< Incremental multiset hash at the frontier.
+  std::uint64_t SeqHash = 0;       ///< Sequence-hash fold of the seed.
+  bool HasSeqHash = false; ///< SeqHash was maintained (sequence-sensitive run).
+  std::size_t Len = 0;     ///< Seed length this state corresponds to.
+  bool Valid = false;
+
+  /// Drops the retained state (keeps vector capacity for reuse).
+  void invalidate() {
+    State.reset();
+    Used.clear();
+    UsedHash = SeqHash = 0;
+    HasSeqHash = false;
+    Len = 0;
+    Valid = false;
+  }
+
+  /// Deep copy (clones the ADT state); used by mark/rewind snapshots.
+  FrontierState snapshot() const {
+    FrontierState F;
+    F.State = State ? State->clone() : nullptr;
+    F.Used = Used;
+    F.UsedHash = UsedHash;
+    F.SeqHash = SeqHash;
+    F.HasSeqHash = HasSeqHash;
+    F.Len = Len;
+    F.Valid = Valid && F.State != nullptr;
+    return F;
+  }
 };
 
 /// A chain-search instance: what to commit, what the master starts with,
@@ -140,6 +196,13 @@ struct ChainProblem {
   /// leaf and the search continues. Null accepts every leaf.
   std::function<bool(const History &Master, std::size_t MaxCommitLen)>
       AcceptLeaf;
+  /// Optional retained replay state for Seed, owned by the caller (in-out).
+  /// When it is valid, matches Seed's length, and the run is undo-capable,
+  /// the engine starts from it — zero seed replay — and refreshes it to the
+  /// new accepting leaf on Yes. A fresh (or mismatched) run still captures
+  /// the leaf into it on Yes, which is how a resumable session's frontier
+  /// state gets created in the first place. Null disables retention.
+  FrontierState *Retained = nullptr;
   /// A second salt *probed* (never inserted under) on memo lookups.
   /// Incremental sessions use it to keep entries sealed under a shared
   /// prefix's lineage visible after the per-trace lineage salt moves on:
@@ -163,6 +226,11 @@ struct ChainResult {
   /// it to retry such traces one-shot with a fresh session.
   bool BudgetLimited = false;
   History Master;
+  /// Master in dense ids (parallel to Master). Resumable sessions retain
+  /// this as the next run's seed without re-interning the witness.
+  /// Populated only when ChainProblem::Retained was set — batch searches
+  /// skip the per-node id bookkeeping.
+  std::vector<InputId> MasterIds;
   std::vector<std::pair<std::size_t, std::size_t>> Commits;
   ChainStats Stats;
 

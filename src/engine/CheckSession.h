@@ -96,6 +96,10 @@ struct SessionStats {
   std::uint64_t Yes = 0;
   std::uint64_t No = 0;
   std::uint64_t Unknown = 0;
+  /// Verdicts a resumable session answered by resuming from a retained
+  /// success frontier (engine/Incremental.h) rather than a full root
+  /// search. Batch sessions never bump this.
+  std::uint64_t FrontierResumes = 0;
   ChainStats Search; ///< Summed over all engine runs.
 
   void record(Verdict V) {
@@ -115,6 +119,7 @@ struct SessionStats {
     Yes += S.Yes;
     No += S.No;
     Unknown += S.Unknown;
+    FrontierResumes += S.FrontierResumes;
     Search.accumulate(S.Search);
   }
 };

@@ -64,6 +64,43 @@ std::uint64_t interpretationHash(const InitInterpretation &Finit) {
   return H;
 }
 
+/// One verdict's budget, split between a resumed attempt and its
+/// completeness fallback: given what the resumed run spent, either reports
+/// exhaustion (the fallback must not run) or yields the remaining limits.
+/// Shared by the lin and slin sessions so the soundness-critical
+/// accounting cannot drift between them.
+struct BudgetSplit {
+  bool Exhausted = false;
+  const char *Reason = nullptr; ///< Set when Exhausted.
+  std::uint64_t RestNodes = 0;
+  std::uint64_t RestMillis = 0; ///< 0 = unlimited.
+};
+
+BudgetSplit splitBudget(std::uint64_t SpentNodes,
+                        std::chrono::steady_clock::time_point Start,
+                        std::uint64_t NodeBudget,
+                        std::uint64_t TimeBudgetMillis) {
+  BudgetSplit S;
+  std::uint64_t ElapsedMs = 0;
+  if (TimeBudgetMillis)
+    ElapsedMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  if (SpentNodes >= NodeBudget ||
+      (TimeBudgetMillis && ElapsedMs >= TimeBudgetMillis)) {
+    S.Exhausted = true;
+    S.Reason = SpentNodes >= NodeBudget ? "node budget exhausted"
+                                        : "time budget exhausted";
+    return S;
+  }
+  // The strict >= guards above keep both remainders >= 1, so a bounded
+  // budget can never collapse to 0 ("unlimited").
+  S.RestNodes = NodeBudget - SpentNodes;
+  S.RestMillis = TimeBudgetMillis ? TimeBudgetMillis - ElapsedMs : 0;
+  return S;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -167,6 +204,11 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
           {static_cast<std::size_t>(It - Obligations.begin()), Len});
     }
   }
+  // Hand the engine the retained replay state: a frontier-seeded run
+  // adopts it (zero seed replay) and every accepting run — including the
+  // completeness fallback — captures its leaf into it. Reference mode
+  // retains nothing.
+  P.Retained = this->Opts.Resume ? &Frontier : nullptr;
 
   ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
   ChainSearch Engine(Interner, Memo, Scratch);
@@ -178,6 +220,7 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
   Result.NodesExplored = R.Stats.Nodes;
   Result.BudgetLimited = R.BudgetLimited;
   if (R.Outcome == Verdict::Yes) {
+    LastMasterIds = std::move(R.MasterIds);
     Result.Witness.Master = std::move(R.Master);
     Result.Witness.Commits = std::move(R.Commits);
   } else if (R.Outcome == Verdict::Unknown) {
@@ -208,12 +251,15 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
   if (Opts.Resume && HaveResult && Cached == Verdict::Yes &&
       CheckedObligations == Obligations.size()) {
     // Nothing but invocations arrived since the Yes: same obligations,
-    // same witness.
+    // same witness. With WantWitness off this path is O(1); materializing
+    // the retained witness is the only per-event cost it ever pays.
     R.Outcome = Verdict::Yes;
-    R.Witness.Master.reserve(SuccessMaster.size());
-    for (InputId Id : SuccessMaster)
-      R.Witness.Master.push_back(Interner.input(Id));
-    R.Witness.Commits = SuccessCommits;
+    if (Limits.WantWitness) {
+      R.Witness.Master.reserve(SuccessMaster.size());
+      for (InputId Id : SuccessMaster)
+        R.Witness.Master.push_back(Interner.input(Id));
+      R.Witness.Commits = SuccessCommits;
+    }
     return finish(std::move(R));
   }
 
@@ -230,15 +276,16 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     // it falls through to the full root search (whose memo the subtree's
     // failures now seed).
     auto Start = std::chrono::steady_clock::now();
+    ++Stats.FrontierResumes;
     R = runSearch(Limits, /*FromFrontier=*/true);
     if (R.Outcome == Verdict::Yes) {
       SuccessCommits = R.Witness.Commits;
-      SuccessMaster.clear();
-      for (const Input &In : R.Witness.Master)
-        SuccessMaster.push_back(Interner.intern(In));
+      SuccessMaster = std::move(LastMasterIds);
       Cached = Verdict::Yes;
       HaveResult = true;
       CheckedObligations = Obligations.size();
+      if (!Limits.WantWitness)
+        R.Witness = LinWitness();
       return finish(std::move(R));
     }
     if (R.Outcome == Verdict::Unknown) {
@@ -250,26 +297,18 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     // The completeness fallback gets only what the resumed run left, so
     // one verdict() never exceeds the configured budgets. The cached
     // frontier stays valid for a retry with a larger budget.
-    std::uint64_t ElapsedMs = 0;
-    if (Limits.TimeBudgetMillis)
-      ElapsedMs = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - Start)
-              .count());
-    if (SpentNodes >= Rest.NodeBudget ||
-        (Limits.TimeBudgetMillis && ElapsedMs >= Limits.TimeBudgetMillis)) {
+    BudgetSplit Split = splitBudget(SpentNodes, Start, Limits.NodeBudget,
+                                    Limits.TimeBudgetMillis);
+    if (Split.Exhausted) {
       LinCheckResult Exhausted;
       Exhausted.Outcome = Verdict::Unknown;
       Exhausted.BudgetLimited = true;
-      Exhausted.Reason = SpentNodes >= Rest.NodeBudget
-                             ? "node budget exhausted"
-                             : "time budget exhausted";
+      Exhausted.Reason = Split.Reason;
       Exhausted.NodesExplored = SpentNodes;
       return finish(std::move(Exhausted));
     }
-    Rest.NodeBudget -= SpentNodes;
-    if (Rest.TimeBudgetMillis)
-      Rest.TimeBudgetMillis -= ElapsedMs;
+    Rest.NodeBudget = Split.RestNodes;
+    Rest.TimeBudgetMillis = Split.RestMillis;
   }
 
   R = runSearch(Rest, /*FromFrontier=*/false);
@@ -279,9 +318,9 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     Cached = Verdict::Yes;
     CheckedObligations = Obligations.size();
     SuccessCommits = R.Witness.Commits;
-    SuccessMaster.clear();
-    for (const Input &In : R.Witness.Master)
-      SuccessMaster.push_back(Interner.intern(In));
+    SuccessMaster = std::move(LastMasterIds);
+    if (!Limits.WantWitness)
+      R.Witness = LinWitness();
   } else if (R.Outcome == Verdict::No) {
     HaveResult = true;
     Cached = Verdict::No;
@@ -306,11 +345,20 @@ void IncrementalLinSession::reset() {
   CheckedObligations = 0;
   SuccessMaster.clear();
   SuccessCommits.clear();
+  Frontier.invalidate();
   Mark.reset();
   HavePrefixSalt = false;
   LineageSalt = nextLineageSalt();
   Polluted = false;
   Scratch.reset();
+}
+
+History IncrementalLinSession::frontierHistory() const {
+  History H;
+  H.reserve(SuccessMaster.size());
+  for (InputId Id : SuccessMaster)
+    H.push_back(Interner.input(Id));
+  return H;
 }
 
 void IncrementalLinSession::markPrefix() {
@@ -332,6 +380,7 @@ void IncrementalLinSession::markPrefix() {
   M.CheckedObligations = CheckedObligations;
   M.SuccessMaster = SuccessMaster;
   M.SuccessCommits = SuccessCommits;
+  M.Frontier = Frontier.snapshot();
   Mark = std::move(M);
   // Seal this lineage's entries: everything recorded so far failed
   // against (a prefix of) the marked prefix's obligations, hence prunes
@@ -359,6 +408,9 @@ void IncrementalLinSession::rewindToMark() {
   CheckedObligations = M.CheckedObligations;
   SuccessMaster = M.SuccessMaster;
   SuccessCommits = M.SuccessCommits;
+  // Restore the mark-time replay state (a fresh deep copy per rewind: the
+  // mark must survive any number of member checks advancing the frontier).
+  Frontier = M.Frontier.snapshot();
   // Entries recorded after the mark describe another member's suffix
   // obligations; salt them out. The sealed prefix salt stays probe-able.
   LineageSalt = nextLineageSalt();
@@ -391,34 +443,41 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
   if (A.Client >= OpenStart.size())
     OpenStart.resize(A.Client + 1, SIZE_MAX);
   Interner.intern(A.In);
-  if (isInvoke(A)) {
+  switch (classifySlinDelta(A, Sig)) {
+  case SlinDeltaKind::Invoke:
     OpenStart[A.Client] = I;
     Invoked.add(A.In);
     SawInvokeSinceVerdict = true;
-  } else if (Sig.isInitAction(A)) {
+    break;
+  case SlinDeltaKind::Init:
     OpenStart[A.Client] = I;
     InitIdx.push_back(I);
     SawInitSinceVerdict = true;
-  } else if (isRespond(A)) {
-    ResponseRec R;
-    R.Tag = I;
-    R.In = A.In;
-    R.Out = A.Out;
-    R.StartIdx = OpenStart[A.Client];
-    R.InvokedBefore = Invoked;
-    for (std::size_t Q = 0, E = std::min<std::size_t>(Responses.size(), 64);
-         Q != E; ++Q)
-      if (Responses[Q].Tag < R.StartIdx)
-        R.MustFollow |= 1ull << Q;
-    Responses.push_back(std::move(R));
+    break;
+  case SlinDeltaKind::Obligation:
+    if (isRespond(A)) {
+      ResponseRec R;
+      R.Tag = I;
+      R.In = A.In;
+      R.Out = A.Out;
+      R.StartIdx = OpenStart[A.Client];
+      R.InvokedBefore = Invoked;
+      for (std::size_t Q = 0, E = std::min<std::size_t>(Responses.size(), 64);
+           Q != E; ++Q)
+        if (Responses[Q].Tag < R.StartIdx)
+          R.MustFollow |= 1ull << Q;
+      Responses.push_back(std::move(R));
+    } else {
+      // An abort only tightens the problem (budget caps, leaf predicate):
+      // retained failures stay failures, but a cached Yes is stale.
+      Aborts.push_back({I, A.In, A.Sv, Invoked});
+    }
     SawResponseSinceVerdict = true;
-  } else if (Sig.isAbortAction(A)) {
-    Aborts.push_back({I, A.In, A.Sv, Invoked});
-    // An abort only tightens the problem (budget caps, leaf predicate):
-    // retained failures stay failures, but a cached Yes is stale.
-    SawResponseSinceVerdict = true;
+    break;
+  case SlinDeltaKind::Neutral:
+    // Interior switches of a composed phase carry no obligation.
+    break;
   }
-  // Interior switches of a composed phase carry no obligation.
   return W;
 }
 
@@ -433,7 +492,8 @@ IncrementalSlinSession::familyHash(const InterpretationFamily &F) const {
 SlinCheckResult
 IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
                                  const SlinCheckOptions &SOpts,
-                                 std::uint64_t Salt) {
+                                 std::uint64_t Salt, InterpFrontier *Frontier,
+                                 bool FromFrontier, Verdict *RawOutcome) {
   Scratch.reset();
   // Ghost inputs join the alphabet before any dense array is sized.
   for (const auto &[Index, H] : Finit) {
@@ -524,9 +584,42 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
     Problem.Commits.push_back(Ob);
   }
 
-  if (HaveInits)
+  if (FromFrontier && Frontier) {
+    // Resume from this interpretation's retained witness chain: the master
+    // (which starts with the init LCP — same interpretation, same LCP)
+    // becomes the seed and the retained commit rows are pre-committed. The
+    // engine adopts the retained replay state, so the seed costs zero ADT
+    // work; the accepting-leaf predicate re-validates every abort
+    // constraint under the *current* budgets, which is what keeps this
+    // sound across non-monotone deltas (see the class comment).
+    Problem.Seed = Frontier->Master;
+    Problem.SeedCommits.reserve(Frontier->Commits.size());
+    for (const auto &[Tag, Len] : Frontier->Commits) {
+      // Responses are in trace order, so Tag resolves by binary search. A
+      // tag that fails to resolve would silently pre-commit the wrong
+      // obligation, so it aborts the resumption instead (cannot happen
+      // while the reset()-clears-frontiers invariant holds; this is
+      // defense in depth for a soundness-critical mapping).
+      auto It = std::lower_bound(
+          Responses.begin(), Responses.end(), Tag,
+          [](const ResponseRec &Rec, std::size_t T) { return Rec.Tag < T; });
+      if (It == Responses.end() || It->Tag != Tag) {
+        Problem.Seed.clear();
+        Problem.SeedCommits.clear();
+        if (HaveInits)
+          for (const Input &In : Lcp)
+            Problem.Seed.push_back(Interner.intern(In));
+        break;
+      }
+      Problem.SeedCommits.push_back(
+          {static_cast<std::size_t>(It - Responses.begin()), Len});
+    }
+  } else if (HaveInits) {
     for (const Input &In : Lcp)
       Problem.Seed.push_back(Interner.intern(In));
+  }
+  if (Frontier)
+    Problem.Retained = &Frontier->Replay;
 
   std::vector<std::pair<std::size_t, History>> FoundAborts;
   Problem.SequenceSensitive = !Budgeted.empty();
@@ -537,6 +630,14 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
   ChainSearch Engine(Interner, Memo, Scratch);
   ChainResult R = Engine.run(Problem, Limits, Salt);
   Stats.Search.accumulate(R.Stats);
+  if (RawOutcome)
+    *RawOutcome = R.Outcome;
+  if (R.Outcome == Verdict::Yes && Frontier) {
+    // Retain the accepting chain as this interpretation's next frontier
+    // (the engine already captured the replay state at the leaf).
+    Frontier->Master = std::move(R.MasterIds);
+    Frontier->Commits = R.Commits;
+  }
   return detail::shapeSlinResult(std::move(R), Rel, !Budgeted.empty(),
                                  std::move(FoundAborts));
 }
@@ -556,13 +657,16 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   bool OptsChanged =
       AnyVerdict && SOpts.AbortValidityAtEnd != LastAbortValidityAtEnd;
   bool FamilyChanged = !AnyVerdict || FH != LastFamilyHash;
-  // Non-monotone deltas orphan every retained entry: a changed family (or
-  // reading) changes seeds and availabilities outright, and under the
-  // relaxed reading a new invocation grows every abort budget — prior
-  // "failures" may now complete.
-  bool NonMonotone =
-      OptsChanged || FamilyChanged ||
-      (SOpts.AbortValidityAtEnd && !Aborts.empty() && SawInvokeSinceVerdict);
+  // Non-monotone deltas orphan every retained *memo* entry: a changed
+  // family (or reading) changes seeds and availabilities outright, and
+  // under the relaxed reading a new invocation grows every abort budget —
+  // prior "failures" may now complete. The retained frontiers are only
+  // invalidated (their memo era is salted out), never discarded: keyed by
+  // interpretation hash, their chains stay sound seeds (the leaf predicate
+  // re-validates aborts under current budgets).
+  bool NonMonotone = slinDeltasNonMonotone(
+      SawInvokeSinceVerdict, FamilyChanged, OptsChanged, !Aborts.empty(),
+      SOpts.AbortValidityAtEnd);
   if (NonMonotone && AnyVerdict)
     ++Epoch;
 
@@ -575,16 +679,22 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     if (CachedVerdict.Outcome == Verdict::No) {
       // Every monotone delta tightens the problem: No is final.
       Stats.record(Verdict::No);
-      SlinVerdict R = CachedVerdict;
-      R.NodesExplored = 0;
+      SlinVerdict R;
+      R.Outcome = Verdict::No;
+      R.Reason = CachedVerdict.Reason;
+      R.Exact = CachedVerdict.Exact;
       return R;
     }
     if (CachedVerdict.Outcome == Verdict::Yes && DeltaOnlyInvokes) {
       // Identical obligations under every interpretation (strict reading)
-      // or loosened budgets only (relaxed): the witnesses stand.
+      // or loosened budgets only (relaxed): the witnesses stand. With
+      // WantWitness off this absorption is O(1).
       Stats.record(Verdict::Yes);
-      SlinVerdict R = CachedVerdict;
-      R.NodesExplored = 0;
+      SlinVerdict R;
+      R.Outcome = Verdict::Yes;
+      R.Exact = CachedVerdict.Exact;
+      if (SOpts.WantWitness)
+        R.Witnesses = CachedVerdict.Witnesses;
       return R;
     }
   }
@@ -593,9 +703,70 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   bool AnyBudgetLimited = false;
   bool Concluded = false;
   for (InitInterpretation &Finit : Family.Assignments) {
-    std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch),
-                                     interpretationHash(Finit));
-    SlinCheckResult R = runUnder(Finit, SOpts, Salt);
+    std::uint64_t IH = interpretationHash(Finit);
+    std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch), IH);
+    // Only interpretations that actually captured a frontier live in the
+    // table (a stream of never-recurring interpretations — e.g. the
+    // consensus relation's extended extremes over a growing trace — must
+    // not flood it with dead entries and evict the hot steady-state
+    // frontier). A miss runs against a scratch slot that is inserted only
+    // if the run captures something.
+    InterpFrontier FreshFrontier;
+    InterpFrontier *F = nullptr;
+    bool Fresh = false;
+    if (Opts.Resume) {
+      auto It = Frontiers.find(IH);
+      if (It != Frontiers.end()) {
+        F = &It->second;
+      } else {
+        F = &FreshFrontier;
+        Fresh = true;
+      }
+    }
+    SlinCheckResult R;
+    Verdict Raw = Verdict::Unknown;
+    if (F && !F->Master.empty()) {
+      // Resume at this interpretation's retained accepting leaf: only the
+      // new obligations need placing. A conclusive No there only rules out
+      // the resumed subtree, so it falls through to a full root search on
+      // whatever budget the resumed attempt left (one verdict never
+      // exceeds the configured budgets).
+      ++Stats.FrontierResumes;
+      auto Start = std::chrono::steady_clock::now();
+      R = runUnder(Finit, SOpts, Salt, F, /*FromFrontier=*/true, &Raw);
+      if (Raw == Verdict::No) {
+        BudgetSplit Split =
+            splitBudget(R.NodesExplored, Start, SOpts.Search.NodeBudget,
+                        SOpts.Search.TimeBudgetMillis);
+        if (Split.Exhausted) {
+          std::uint64_t Spent = R.NodesExplored;
+          R = SlinCheckResult();
+          R.Outcome = Verdict::Unknown;
+          R.BudgetLimited = true;
+          R.Reason = Split.Reason;
+          R.NodesExplored = Spent;
+        } else {
+          std::uint64_t Spent = R.NodesExplored;
+          SlinCheckOptions Rest = SOpts;
+          Rest.Search.NodeBudget = Split.RestNodes;
+          Rest.Search.TimeBudgetMillis = Split.RestMillis;
+          SlinCheckResult Full =
+              runUnder(Finit, Rest, Salt, F, /*FromFrontier=*/false, nullptr);
+          Full.NodesExplored += Spent;
+          R = std::move(Full);
+        }
+      }
+    } else {
+      R = runUnder(Finit, SOpts, Salt, F, /*FromFrontier=*/false, nullptr);
+    }
+    if (Fresh && !FreshFrontier.Master.empty()) {
+      // The run captured a frontier for a new interpretation: admit it,
+      // evicting one arbitrary entry at the bound (losing a frontier costs
+      // re-search, never soundness).
+      if (Frontiers.size() >= 64)
+        Frontiers.erase(Frontiers.begin());
+      Frontiers.emplace(IH, std::move(FreshFrontier));
+    }
     Result.NodesExplored += R.NodesExplored;
     AnyBudgetLimited |= R.BudgetLimited;
     if (R.Outcome == Verdict::Yes) {
@@ -630,6 +801,8 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   } else {
     HaveResult = false;
   }
+  if (!SOpts.WantWitness)
+    Result.Witnesses.clear();
   return Result;
 }
 
@@ -649,5 +822,8 @@ void IncrementalSlinSession::reset() {
   AnyVerdict = false;
   HaveResult = false;
   CachedVerdict = SlinVerdict();
+  // Frontiers of an unrelated trace are meaningless (their commit tags
+  // index the old trace): discard, don't just invalidate.
+  Frontiers.clear();
   Scratch.reset();
 }

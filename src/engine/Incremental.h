@@ -23,14 +23,24 @@
 ///     obligations are never touched — an availability snapshot taken at
 ///     response index i is a function of the prefix up to i only.
 ///
-///   * **A retained success frontier.** After a Yes, the witness chain
-///     (master, commit rows, in dense ids) is kept. A later verdict seeds
-///     the search with it (ChainProblem::SeedCommits): the run starts at
-///     the old accepting leaf and only has to place the new obligations on
-///     top — O(new work) when the extension is linearizable, which is the
-///     steady state of monitoring a correct implementation. If that
-///     resumed subtree fails, a full root search (still memo-accelerated)
-///     restores completeness.
+///   * **A retained success frontier with retained replay state.** After a
+///     Yes, the witness chain (master, commit rows, in dense ids) is kept,
+///     *together with* the materialized AdtState, used counts, and hashes
+///     at the accepting leaf (engine FrontierState). A later verdict seeds
+///     the search with the chain (ChainProblem::SeedCommits) and adopts
+///     the retained state instead of replaying the seed prefix: the run
+///     starts at the old accepting leaf with zero seed replay and only has
+///     to place the new obligations on top — O(1) amortized per event
+///     when the extension is linearizable, which is the steady state of
+///     monitoring a correct implementation. If that resumed subtree fails,
+///     a full root search (still memo-accelerated) restores completeness.
+///     The slin session keeps one frontier *per interpretation* of the
+///     relation's family, keyed by interpretation hash: a mode switch
+///     (new init action, changed reading) moves the memo epoch but only
+///     invalidates — never discards — the frontiers; an interpretation
+///     that recurs resumes from its retained chain, and the accepting-leaf
+///     predicate re-validates every abort constraint, so resumption stays
+///     sound across non-monotone deltas.
 ///
 ///   * **A lineage-salted memo chain.** All transposition entries of one
 ///     growing trace are recorded under a single *lineage salt*. A failed
@@ -75,6 +85,7 @@
 #include "trace/TraceBuilder.h"
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -144,11 +155,22 @@ public:
   std::size_t markLength() const { return Mark ? Mark->Len : 0; }
 
   /// Rewinds to the marked prefix (view, obligations, cached result,
-  /// success frontier) under a fresh lineage salt; the sealed prefix
-  /// entries remain visible. The mark stays set for further rewinds.
+  /// success frontier, retained replay state) under a fresh lineage salt;
+  /// the sealed prefix entries remain visible. The mark stays set for
+  /// further rewinds.
   void rewindToMark();
 
   const SessionStats &stats() const { return Stats; }
+
+  /// The engine-retained replay state at the success frontier (exposed for
+  /// the retained-replay property tests and diagnostics). When Valid, it
+  /// is the state reached by replaying frontierHistory() from scratch.
+  const FrontierState &frontierState() const { return Frontier; }
+
+  /// Materialized inputs of the retained success-frontier master (the
+  /// history frontierState() corresponds to; meaningful when
+  /// frontierState().Valid).
+  History frontierHistory() const;
 
 private:
   /// One commit obligation, maintained incrementally.
@@ -180,12 +202,17 @@ private:
     std::size_t CheckedObligations = 0;
     std::vector<InputId> SuccessMaster;
     std::vector<std::pair<std::size_t, std::size_t>> SuccessCommits;
+    FrontierState Frontier; ///< Deep snapshot of the retained replay state.
   };
 
   ChainProblem buildProblem();
   LinCheckResult runSearch(const LinCheckOptions &Opts, bool FromFrontier);
   LinCheckResult finish(LinCheckResult R);
   std::uint64_t nextLineageSalt();
+
+  /// Dense ids of the last search's accepting master (runSearch -> verdict
+  /// hand-off; avoids re-interning the witness per verdict).
+  std::vector<InputId> LastMasterIds;
 
   const Adt &Type;
   IncrementalOptions Opts;
@@ -215,6 +242,12 @@ private:
   std::size_t CheckedObligations = 0; ///< Obligations the cache covers.
   std::vector<InputId> SuccessMaster;
   std::vector<std::pair<std::size_t, std::size_t>> SuccessCommits;
+  /// Retained replay state at the success frontier: the AdtState (plus
+  /// used counts and hashes) materialized at SuccessMaster's end. The
+  /// engine adopts it on resumption (zero seed replay) and refreshes it at
+  /// every accepting leaf; reset() invalidates it, mark/rewind snapshot
+  /// and restore it.
+  FrontierState Frontier;
 
   std::optional<MarkState> Mark;
 };
@@ -224,7 +257,22 @@ private:
 /// accumulated per event; each verdict runs the relation's interpretation
 /// family with per-interpretation lineage salts, retaining memo entries
 /// across verdicts for as long as the deltas since the last verdict are
-/// monotone (see the epoch rules in the implementation).
+/// monotone (see the epoch rules in the implementation; the delta
+/// taxonomy is slin/SlinChecker.h's classifySlinDelta /
+/// slinDeltasNonMonotone).
+///
+/// Each interpretation additionally retains a *success frontier* — the
+/// witness chain plus the engine's FrontierState replay cache — keyed by
+/// interpretation hash. A verdict whose interpretation already has a
+/// frontier resumes from the retained accepting leaf (zero seed replay,
+/// O(new obligations) search in the steady state) and falls back to a
+/// full root search on failure. Non-monotone deltas move the memo epoch
+/// (salting retained entries out) but the frontiers are invalidated, not
+/// discarded: a recurring interpretation hash implies identical init
+/// contributions, the pre-cap availability snapshots of old responses are
+/// append-stable, and every abort constraint is re-validated by the
+/// accepting-leaf predicate under the *current* budgets — so the retained
+/// chain remains a sound seed and only genuinely new work is searched.
 class IncrementalSlinSession {
 public:
   IncrementalSlinSession(const Adt &Type, const PhaseSignature &Sig,
@@ -242,10 +290,15 @@ public:
   const Trace &trace() const { return Builder.trace(); }
   std::size_t size() const { return Builder.size(); }
 
-  /// Starts a new, unrelated trace (keeps warm storage; salts out memo).
+  /// Starts a new, unrelated trace (keeps warm storage; salts out memo and
+  /// drops every retained frontier).
   void reset();
 
   const SessionStats &stats() const { return Stats; }
+
+  /// Number of interpretations currently holding a retained frontier
+  /// (diagnostics/tests).
+  std::size_t retainedFrontiers() const { return Frontiers.size(); }
 
 private:
   struct ResponseRec {
@@ -264,8 +317,19 @@ private:
     Multiset<Input> InvokedBefore; ///< As of the abort's index.
   };
 
+  /// One interpretation's retained success frontier: the witness chain in
+  /// dense ids plus the engine's replay cache. Kept across epochs (see the
+  /// class comment); dropped only by reset() or table pressure.
+  struct InterpFrontier {
+    std::vector<InputId> Master;
+    std::vector<std::pair<std::size_t, std::size_t>> Commits; ///< (Tag, Len)
+    FrontierState Replay;
+  };
+
   SlinCheckResult runUnder(const InitInterpretation &Finit,
-                           const SlinCheckOptions &Opts, std::uint64_t Salt);
+                           const SlinCheckOptions &Opts, std::uint64_t Salt,
+                           InterpFrontier *Frontier, bool FromFrontier,
+                           Verdict *RawOutcome);
   std::uint64_t familyHash(const InterpretationFamily &F) const;
 
   const Adt &Type;
@@ -301,6 +365,12 @@ private:
 
   bool HaveResult = false;
   SlinVerdict CachedVerdict;
+
+  /// Per-interpretation success frontiers, keyed by interpretation hash.
+  /// Only interpretations that captured a frontier are admitted, and at
+  /// the size bound one arbitrary entry is evicted per admission —
+  /// frontier loss costs re-search, never soundness.
+  std::map<std::uint64_t, InterpFrontier> Frontiers;
 };
 
 } // namespace slin

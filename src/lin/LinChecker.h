@@ -63,6 +63,12 @@ struct LinCheckOptions {
   std::uint64_t NodeBudget = 1u << 22;
   /// Wall-clock budget in milliseconds; 0 means unlimited.
   std::uint64_t TimeBudgetMillis = 0;
+  /// Materialize the witness on Yes. Monitors that consume only
+  /// Outcome/NodesExplored can turn this off; the incremental session then
+  /// skips the O(trace) witness copy on its absorbed-Yes fast path, making
+  /// the steady-state verdict genuinely O(1) (batch checkers always
+  /// materialize).
+  bool WantWitness = true;
 };
 
 /// Decides whether \p T (a switch-free trace in sig_T) satisfies the

@@ -33,3 +33,27 @@ SlinVerdict slin::checkSlin(const Trace &T, const PhaseSignature &Sig,
   CheckSession Session(Type);
   return Session.checkSlin(T, Sig, Rel, Opts);
 }
+
+SlinDeltaKind slin::classifySlinDelta(const Action &A,
+                                      const PhaseSignature &Sig) {
+  if (isInvoke(A))
+    return SlinDeltaKind::Invoke;
+  if (isRespond(A))
+    return SlinDeltaKind::Obligation;
+  if (Sig.isInitAction(A))
+    return SlinDeltaKind::Init;
+  if (Sig.isAbortAction(A))
+    return SlinDeltaKind::Obligation;
+  // Interior switches of a composed phase carry no obligation.
+  return SlinDeltaKind::Neutral;
+}
+
+bool slin::slinDeltasNonMonotone(bool SawInvoke, bool FamilyChanged,
+                                 bool ReadingChanged, bool HaveAborts,
+                                 bool AbortValidityAtEnd) {
+  if (FamilyChanged || ReadingChanged)
+    return true;
+  // Under the relaxed reading every abort budget is measured at the
+  // trace's end, so a new invocation loosens every abort's cap.
+  return AbortValidityAtEnd && HaveAborts && SawInvoke;
+}

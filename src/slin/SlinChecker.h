@@ -71,7 +71,48 @@ namespace slin {
 struct SlinCheckOptions {
   LinCheckOptions Search;
   bool AbortValidityAtEnd = false;
+  /// Materialize per-interpretation witnesses on Yes. Monitors that consume
+  /// only Outcome/NodesExplored can turn this off; the incremental session
+  /// then skips the O(trace) witness copy on its absorbed-verdict fast
+  /// path (batch checkers always materialize).
+  bool WantWitness = true;
 };
+
+/// How one appended event moves the incremental (m, n)-speculative checking
+/// problem relative to the last verdict — the taxonomy the resumable
+/// session's retention rules key off (see engine/Incremental.h):
+///
+///   * Neutral: no obligation, no budget, no family change (an interior
+///     switch of a composed phase).
+///   * Invoke: grows the availability snapshots of *future* responses only;
+///     existing obligations are untouched under the strict Definition 28
+///     reading, but under the relaxed reading every abort budget grows.
+///   * Obligation: a new response or abort — adds an obligation or tightens
+///     budgets and the leaf predicate. Retained failures stay failures
+///     (monotonicity), so memo and frontiers survive.
+///   * Init: a new init action — changes the interpretation family, the
+///     init LCP seed, and every availability outright.
+enum class SlinDeltaKind : std::uint8_t {
+  Neutral,
+  Invoke,
+  Obligation,
+  Init,
+};
+
+/// Classifies one appended action under signature \p Sig.
+SlinDeltaKind classifySlinDelta(const Action &A, const PhaseSignature &Sig);
+
+/// True iff the deltas accumulated since the last verdict are non-monotone
+/// — retained memo entries could prune soundly no longer, so the session's
+/// epoch must move (entries are salted out; frontiers keyed by
+/// interpretation hash are *invalidated for memo purposes, not discarded*):
+/// a changed interpretation family or abort-validity reading replaces seeds
+/// and availabilities outright, and a new invocation under the relaxed
+/// Definition 28 reading grows every abort budget, so prior failures may
+/// now complete.
+bool slinDeltasNonMonotone(bool SawInvoke, bool FamilyChanged,
+                           bool ReadingChanged, bool HaveAborts,
+                           bool AbortValidityAtEnd);
 
 /// Outcome of a speculative-linearizability check under one interpretation.
 struct SlinCheckResult {

@@ -16,12 +16,15 @@
 
 #include "adt/Consensus.h"
 #include "adt/Queue.h"
+#include "adt/Register.h"
+#include "adt/Universal.h"
 #include "engine/CorpusDriver.h"
 #include "engine/Incremental.h"
 #include "engine/Transposition.h"
 #include "spec/SpecAutomaton.h"
 #include "support/Arena.h"
 #include "trace/Gen.h"
+#include "trace/TraceIo.h"
 
 #include <gtest/gtest.h>
 
@@ -605,4 +608,170 @@ TEST(CorpusDriverTest, SlinCorpusRunsThroughTheDriver) {
   for (std::size_t I = 0; I != Base.Results.size(); ++I)
     EXPECT_EQ(Base.Results[I].Outcome, R2.Results[I].Outcome);
   EXPECT_GT(Base.Yes + Base.No, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Retained replay state and slin frontier resumption (O(1) steady state).
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalSessionTest, SteadyStateDoesZeroSeedReplay) {
+  // The monitor's inner loop: once a Yes is cached, every later verdict
+  // must adopt the retained AdtState instead of replaying the seed prefix
+  // — SeedStepsReplayed must not grow, event after event, regardless of
+  // history length.
+  RegisterAdt Reg;
+  GenOptions G;
+  G.NumClients = 4;
+  G.NumOps = 24;
+  G.PendingFraction = 0;
+  G.Alphabet = {reg::read(), reg::write(1), reg::write(2), reg::write(3)};
+  G.Outputs = {Output{1}, Output{2}, Output{NoValue}};
+  Rng R(0xA123);
+  Trace T = genLinearizableTrace(Reg, G, R);
+  IncrementalLinSession Inc(Reg);
+  // Prime on the first quarter.
+  std::size_t Primed = T.size() / 4;
+  for (std::size_t I = 0; I != Primed; ++I)
+    Inc.append(T[I]);
+  ASSERT_EQ(Inc.verdict().Outcome, Verdict::Yes);
+  std::uint64_t ReplayedAfterPriming = Inc.stats().Search.SeedStepsReplayed;
+  for (std::size_t I = Primed; I != T.size(); ++I) {
+    Inc.append(T[I]);
+    LinCheckOptions O;
+    O.WantWitness = false; // The O(1) monitor path.
+    LinCheckResult V = Inc.verdict(O);
+    ASSERT_EQ(V.Outcome, Verdict::Yes);
+    EXPECT_EQ(Inc.stats().Search.SeedStepsReplayed, ReplayedAfterPriming)
+        << "verdict after event " << I << " replayed the seed prefix";
+  }
+  // The retained state did absorb the seeds the replays used to pay for.
+  EXPECT_GT(Inc.stats().Search.SeedStepsSkipped, 0u);
+  EXPECT_GT(Inc.stats().FrontierResumes, 0u);
+}
+
+TEST(IncrementalSessionTest, SlinResumptionPaysOnlyForTheSuffix) {
+  // The slin analogue of ResumptionPaysOnlyForTheSuffix: on speculatively
+  // linearizable growing phase traces (spec-automaton walks checked in the
+  // Section 6 universal instantiation — every prefix is Yes) the
+  // per-interpretation frontier must (a) agree with the resumption-free
+  // reference at every prefix and (b) spend strictly fewer total nodes.
+  UniversalAdt Uni;
+  UniversalInitRelation Rel;
+  Rng R(0xA124);
+  IncrementalOptions NoResume;
+  NoResume.Resume = false;
+  std::uint64_t ResumeNodes = 0, FullNodes = 0;
+  for (int I = 0; I != 10; ++I) {
+    PhaseId M = 1 + (I % 2); // M=2 walks include init actions (recoveries).
+    PhaseSignature Sig(M, M + 1);
+    SpecAutomaton A(Sig, 3);
+    SpecAutomaton::WalkOptions W;
+    W.Steps = 12;
+    W.Alphabet = {cons::propose(1), cons::propose(2)};
+    W.InitChoices = {{cons::ghostPropose(1)}};
+    W.AbortProbability = 0; // Positive family: every prefix stays Yes.
+    Trace T = A.randomWalk(W, R, Rel);
+    IncrementalSlinSession Fast(Uni, Sig, Rel);
+    IncrementalSlinSession Slow(Uni, Sig, Rel, NoResume);
+    bool SawYes = false;
+    for (const Action &Act : T) {
+      Fast.append(Act);
+      Slow.append(Act);
+      SlinVerdict VF = Fast.verdict();
+      SlinVerdict VS = Slow.verdict();
+      ASSERT_EQ(VF.Outcome, VS.Outcome) << "walk " << I;
+      SawYes |= VF.Outcome == Verdict::Yes;
+      ResumeNodes += VF.NodesExplored;
+      FullNodes += VS.NodesExplored;
+    }
+    EXPECT_TRUE(SawYes) << "walk " << I;
+    EXPECT_GT(Fast.stats().FrontierResumes, 0u) << "walk " << I;
+  }
+  EXPECT_LT(ResumeNodes, FullNodes)
+      << "slin frontier resumption did not reduce search work";
+}
+
+TEST(IncrementalSessionTest, SlinBudgetPollutionSaltsOutRetainedFrontiers) {
+  // Regression: a budget-limited slin verdict records memo entries for
+  // subtrees it never finished exploring, under the same salts the
+  // retained frontier's next resumption would probe. The epoch must move
+  // (salting the polluted era out) while the frontier itself survives —
+  // the recovery verdict must match the batch checker, and still resume.
+  UniversalAdt Uni;
+  PhaseSignature Sig(1, 2);
+  UniversalInitRelation Rel;
+  SpecAutomaton A(Sig, 3);
+  SpecAutomaton::WalkOptions W;
+  W.Steps = 10;
+  W.Alphabet = {cons::propose(1), cons::propose(2)};
+  W.InitChoices = {{cons::ghostPropose(1)},
+                   {cons::ghostPropose(1), cons::ghostPropose(2)}};
+  W.AbortProbability = 0.3; // Injected aborts exercise the budget caps.
+  Rng R(0xA125);
+  for (int I = 0; I != 12; ++I) {
+    Trace T = A.randomWalk(W, R, Rel);
+    IncrementalSlinSession Inc(Uni, Sig, Rel);
+    std::size_t Fed = 0;
+    // Prime a frontier on the first half (walks are Yes by construction).
+    for (; Fed != T.size() / 2; ++Fed)
+      Inc.append(T[Fed]);
+    SlinCheckOptions Full;
+    ASSERT_EQ(Inc.verdict(Full).Outcome, Verdict::Yes);
+    // Stream the rest, starving every other verdict.
+    for (; Fed != T.size(); ++Fed) {
+      Inc.append(T[Fed]);
+      SlinCheckOptions Tight;
+      Tight.Search.NodeBudget = 1;
+      SlinVerdict Starved = Inc.verdict(Tight);
+      if (Starved.Outcome == Verdict::Unknown)
+        EXPECT_TRUE(Starved.BudgetLimited);
+      SlinVerdict Recovered = Inc.verdict(Full);
+      Trace Prefix(T.begin(), T.begin() + static_cast<std::ptrdiff_t>(Fed) + 1);
+      SlinVerdict Batch = checkSlin(Prefix, Sig, Uni, Rel, Full);
+      ASSERT_EQ(Recovered.Outcome, Batch.Outcome)
+          << "walk " << I << " at prefix " << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    }
+  }
+}
+
+TEST(IncrementalSessionTest, MarkRewindRestoresRetainedReplayState) {
+  // The retained-state lifecycle across mark/rewind: members advance the
+  // frontier past the mark; each rewind must restore the mark-time replay
+  // state so member verdicts keep matching one-shot checks AND keep doing
+  // zero seed replay once resumed.
+  ConsensusAdt Cons;
+  Trace Prefix;
+  Prefix.push_back(makeInvoke(0, 1, cons::propose(1)));
+  Prefix.push_back(makeRespond(0, 1, cons::propose(1), cons::decide(1)));
+  Prefix.push_back(makeInvoke(1, 1, cons::propose(2)));
+
+  IncrementalLinSession Inc(Cons);
+  for (const Action &A : Prefix)
+    ASSERT_TRUE(Inc.append(A));
+  ASSERT_EQ(Inc.verdict().Outcome, Verdict::Yes);
+  ASSERT_TRUE(Inc.frontierState().Valid);
+  Inc.markPrefix();
+
+  for (int Member = 0; Member != 3; ++Member) {
+    Inc.rewindToMark();
+    ASSERT_TRUE(Inc.frontierState().Valid)
+        << "rewind dropped the retained replay state";
+    ASSERT_EQ(Inc.frontierState().Len, Inc.frontierHistory().size());
+    Trace MemberTrace = Prefix;
+    Action R1 = makeRespond(1, 1, cons::propose(2), cons::decide(1));
+    Action I2 = makeInvoke(2, 1, cons::propose(3));
+    Action R2 = makeRespond(2, 1, cons::propose(3),
+                            cons::decide(Member == 1 ? 3 : 1));
+    for (const Action &A : {R1, I2, R2}) {
+      Inc.append(A);
+      MemberTrace.push_back(A);
+    }
+    std::uint64_t ReplayedBefore = Inc.stats().Search.SeedStepsReplayed;
+    LinCheckResult Streamed = Inc.verdict();
+    LinCheckResult OneShot = checkLinearizable(MemberTrace, Cons);
+    ASSERT_EQ(Streamed.Outcome, OneShot.Outcome) << "member " << Member;
+    EXPECT_EQ(Inc.stats().Search.SeedStepsReplayed, ReplayedBefore)
+        << "member " << Member << " replayed the marked prefix";
+  }
 }

@@ -1,0 +1,455 @@
+//===- tests/trace_fuzz_test.cpp - Randomized trace-fuzzing harness -------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The randomized lock-down for the incremental sessions' O(1) steady state
+// (slin frontier resumption + retained replay state). A seeded trace
+// generator covers all five ADTs (lin) and both init relations under both
+// Definition 28 readings (slin), with configurable client/phase counts and
+// injected aborts and recoveries (spec-automaton walks whose clients abort
+// out and switch back in); every generated trace drives a *per-prefix*
+// streamed-vs-batch differential:
+//
+//   * verdict equality — a resumable session asked after every event must
+//     agree with a scratch batch check of that prefix, including the
+//     dooming paths (corrupted traces are injected on purpose);
+//   * for lin, node-count equality across checking schedules — with
+//     resumption off, checking after every event and checking the prefix
+//     once in a fresh session must spend identical nodes (the incremental
+//     obligation builder must not perturb the search). Node counts are
+//     compared within the incremental interning discipline: the batch
+//     session interns sorted, so its counts are only verdict-comparable
+//     (see the warm-session caveat in docs/engine.md).
+//
+// Every failure message carries the deterministic per-trace seed; re-run a
+// single trace with SLIN_FUZZ_SEED=<seed> (and the suite with
+// SLIN_FUZZ_TRACES=<n> to scale the budget, e.g. in sanitizer CI).
+//
+// The file also hosts the retained-replay-state property test: after any
+// interleaving of append/verdict/markPrefix/rewindToMark/reset, the cached
+// AdtState at the frontier must be bit-equivalent (clone + canonical
+// serialization) to a fresh replay of the retained master.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Consensus.h"
+#include "adt/KvStore.h"
+#include "adt/Queue.h"
+#include "adt/Register.h"
+#include "adt/Universal.h"
+#include "engine/Incremental.h"
+#include "spec/SpecAutomaton.h"
+#include "trace/Gen.h"
+#include "trace/TraceIo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace slin;
+
+namespace {
+
+std::uint64_t baseSeed() {
+  if (const char *S = std::getenv("SLIN_FUZZ_SEED"))
+    return std::strtoull(S, nullptr, 0);
+  return 0xF0221ull;
+}
+
+/// Per-test trace budget; SLIN_FUZZ_TRACES overrides (sanitizer CI shrinks
+/// it, soak runs raise it). The defaults put the whole suite at >= 1000
+/// seeded traces.
+unsigned traceBudget(unsigned Default) {
+  if (const char *S = std::getenv("SLIN_FUZZ_TRACES"))
+    return static_cast<unsigned>(std::strtoul(S, nullptr, 0));
+  return Default;
+}
+
+std::string seedNote(std::uint64_t TraceSeed, unsigned Index) {
+  std::ostringstream Os;
+  Os << "trace seed 0x" << std::hex << TraceSeed << std::dec << " (index "
+     << Index << ", base seed 0x" << std::hex << baseSeed()
+     << "; reproduce via SLIN_FUZZ_SEED)";
+  return Os.str();
+}
+
+/// One ADT's generator configuration for the lin fuzz family.
+struct LinFixture {
+  const Adt &Type;
+  std::vector<Input> Alphabet;
+  std::vector<Output> Outputs;
+};
+
+/// Draws one randomized trace: the family rotates through
+/// linearizable-by-construction, mutated, arbitrary, and corrupted
+/// (ill-formed on purpose, exercising the dooming path).
+Trace drawLinTrace(const LinFixture &Fx, unsigned Index, Rng &R) {
+  GenOptions G;
+  G.NumClients = 2 + static_cast<unsigned>(R.next() % 3); // 2..4
+  G.NumOps = 4 + static_cast<unsigned>(R.next() % 6);     // 4..9
+  G.PendingFraction = (R.next() % 3) * 0.2;
+  G.Alphabet = Fx.Alphabet;
+  G.Outputs = Fx.Outputs;
+  Trace T;
+  switch (Index % 4) {
+  case 0:
+    T = genLinearizableTrace(Fx.Type, G, R);
+    break;
+  case 1:
+    T = genLinearizableTrace(Fx.Type, G, R);
+    mutateTrace(T, static_cast<MutationKind>(R.next() % 4), G, R);
+    break;
+  case 2:
+    T = genArbitraryTrace(G, R);
+    break;
+  default:
+    // Corrupted: duplicate a response (ill-formed at the duplicate), or
+    // respond for a client with nothing pending.
+    T = genLinearizableTrace(Fx.Type, G, R);
+    if (!T.empty()) {
+      std::size_t At = R.next() % T.size();
+      for (std::size_t I = 0; I != T.size(); ++I) {
+        std::size_t J = (At + I) % T.size();
+        if (isRespond(T[J])) {
+          T.insert(T.begin() + static_cast<std::ptrdiff_t>(J) + 1, T[J]);
+          break;
+        }
+      }
+    }
+    break;
+  }
+  return T;
+}
+
+/// The per-prefix streamed-vs-batch differential for one lin trace, plus
+/// the schedule node-count parity check.
+void fuzzLinTrace(const LinFixture &Fx, const Trace &T) {
+  IncrementalLinSession Resumed(Fx.Type);
+  IncrementalOptions NoResumeOpts;
+  NoResumeOpts.Resume = false;
+  IncrementalLinSession Streamed(Fx.Type, NoResumeOpts);
+
+  Trace Prefix;
+  for (const Action &A : T) {
+    Resumed.append(A); // Rejected events doom the session; keep streaming.
+    Streamed.append(A);
+    Prefix.push_back(A);
+
+    LinCheckResult FromResumed = Resumed.verdict();
+    LinCheckResult Batch = checkLinearizable(Prefix, Fx.Type);
+    ASSERT_EQ(FromResumed.Outcome, Batch.Outcome)
+        << Fx.Type.name() << ": resumable session disagrees with batch at "
+        << "prefix " << Prefix.size() << ":\n"
+        << formatTrace(Prefix);
+
+    LinCheckResult FromStreamed = Streamed.verdict();
+    ASSERT_EQ(FromStreamed.Outcome, Batch.Outcome)
+        << Fx.Type.name() << ": resumption-free session disagrees with "
+        << "batch at prefix " << Prefix.size() << ":\n"
+        << formatTrace(Prefix);
+
+    // Node-count parity across checking schedules: a fresh session fed the
+    // whole prefix and asked once must spend exactly the nodes the
+    // per-event session spent on this verdict.
+    IncrementalLinSession Fresh(Fx.Type, NoResumeOpts);
+    for (const Action &B : Prefix)
+      Fresh.append(B);
+    LinCheckResult Once = Fresh.verdict();
+    ASSERT_EQ(FromStreamed.Outcome, Once.Outcome);
+    ASSERT_EQ(FromStreamed.NodesExplored, Once.NodesExplored)
+        << Fx.Type.name() << ": checking schedule perturbed the search at "
+        << "prefix " << Prefix.size() << ":\n"
+        << formatTrace(Prefix);
+  }
+}
+
+void runLinFuzz(const LinFixture &Fx, std::uint64_t FamilyTag) {
+  unsigned N = traceBudget(220);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed =
+        hashCombine(hashCombine(baseSeed(), FamilyTag), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    fuzzLinTrace(Fx, drawLinTrace(Fx, I, R));
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Plain linearizability: all five ADTs, every prefix, every family.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFuzzTest, LinFuzz_Consensus) {
+  ConsensusAdt Cons;
+  runLinFuzz({Cons,
+              {cons::propose(1), cons::propose(2), cons::propose(3)},
+              {cons::decide(1), cons::decide(2), cons::decide(3)}},
+             0x11);
+}
+
+TEST(TraceFuzzTest, LinFuzz_Queue) {
+  QueueAdt Q;
+  runLinFuzz({Q,
+              {queue::enq(1), queue::enq(2), queue::deq()},
+              {Output{1}, Output{2}, Output{NoValue}}},
+             0x12);
+}
+
+TEST(TraceFuzzTest, LinFuzz_Register) {
+  RegisterAdt Reg;
+  runLinFuzz({Reg,
+              {reg::read(), reg::write(1), reg::write(2)},
+              {Output{1}, Output{2}, Output{NoValue}}},
+             0x13);
+}
+
+TEST(TraceFuzzTest, LinFuzz_KvStore) {
+  KvStoreAdt Kv;
+  runLinFuzz({Kv,
+              {kv::put(1, 10), kv::put(1, 20), kv::get(1), kv::del(1)},
+              {Output{10}, Output{20}, Output{NoValue}}},
+             0x14);
+}
+
+TEST(TraceFuzzTest, LinFuzz_Universal) {
+  UniversalAdt Uni;
+  runLinFuzz({Uni,
+              {Input{1, 0, 1, 0}, Input{2, 0, 2, 0}, Input{3, 0, 3, 0}},
+              {Output{0}, Output{1}}},
+             0x15);
+}
+
+//===----------------------------------------------------------------------===//
+// Speculative linearizability: both relations, both readings, injected
+// aborts and recoveries.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Draws one randomized phase-trace walk: client count, walk length, and
+/// abort pressure vary per seed; switch-ins after aborts are the recovery
+/// events of the next phase's clients.
+Trace drawSlinWalk(const PhaseSignature &Sig, UniversalInitRelation &WalkRel,
+                   Rng &R) {
+  SpecAutomaton A(Sig, 2 + static_cast<unsigned>(R.next() % 3)); // 2..4
+  SpecAutomaton::WalkOptions W;
+  W.Steps = 6 + static_cast<unsigned>(R.next() % 7); // 6..12
+  W.Alphabet = {cons::propose(1), cons::propose(2)};
+  W.InitChoices = {{cons::ghostPropose(1)},
+                   {cons::ghostPropose(1), cons::ghostPropose(2)}};
+  W.AbortProbability = (R.next() % 3) * 0.2; // 0, 0.2, 0.4
+  W.SilentProbability = (R.next() % 2) * 0.1;
+  return A.randomWalk(W, R, WalkRel);
+}
+
+void fuzzSlinTrace(const Adt &Type, const PhaseSignature &Sig,
+                   const InitRelation &Rel, const Trace &T,
+                   const SlinCheckOptions &O, bool AlsoNoResume) {
+  IncrementalSlinSession Inc(Type, Sig, Rel);
+  IncrementalOptions NoResumeOpts;
+  NoResumeOpts.Resume = false;
+  IncrementalSlinSession Ref(Type, Sig, Rel, NoResumeOpts);
+  Trace Prefix;
+  for (const Action &A : T) {
+    Inc.append(A);
+    Prefix.push_back(A);
+    SlinVerdict Streamed = Inc.verdict(O);
+    SlinVerdict Batch = checkSlin(Prefix, Sig, Type, Rel, O);
+    ASSERT_EQ(Streamed.Outcome, Batch.Outcome)
+        << "slin streamed-vs-batch mismatch at prefix " << Prefix.size()
+        << " (atEnd=" << O.AbortValidityAtEnd << "):\n"
+        << formatTrace(Prefix);
+    ASSERT_EQ(Streamed.Exact, Batch.Exact);
+    if (AlsoNoResume) {
+      Ref.append(A);
+      SlinVerdict Reference = Ref.verdict(O);
+      ASSERT_EQ(Reference.Outcome, Batch.Outcome)
+          << "slin reference-mode mismatch at prefix " << Prefix.size()
+          << ":\n"
+          << formatTrace(Prefix);
+    }
+  }
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, SlinFuzz_UniversalRelation) {
+  ConsensusAdt Cons;
+  unsigned N = traceBudget(260);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x21), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    PhaseId M = 1 + (I % 2);
+    PhaseSignature Sig(M, M + 1);
+    UniversalInitRelation Rel;
+    Trace T = drawSlinWalk(Sig, Rel, R);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = (I / 2) % 2 == 1; // Both readings over the run.
+    fuzzSlinTrace(Cons, Sig, Rel, T, O, /*AlsoNoResume=*/I % 4 == 0);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TEST(TraceFuzzTest, SlinFuzz_ConsensusRelation) {
+  // Walk traces re-targeted at the consensus relation by remapping switch
+  // values into small proposals: mixed-verdict phase traces whose streamed
+  // and batch checks must agree at every prefix under both readings.
+  ConsensusAdt Cons;
+  ConsensusInitRelation ConsRel;
+  unsigned N = traceBudget(200);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x22), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    PhaseId M = 1 + (I % 2);
+    PhaseSignature Sig(M, M + 1);
+    UniversalInitRelation WalkRel;
+    Trace T = drawSlinWalk(Sig, WalkRel, R);
+    for (Action &Act : T)
+      if (isSwitch(Act))
+        Act.Sv.Val = 1 + (Act.Sv.Val & 1);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    fuzzSlinTrace(Cons, Sig, ConsRel, T, O, /*AlsoNoResume=*/I % 5 == 0);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Retained replay state: bit-equivalence with a fresh seed replay under
+// arbitrary append / rewindToMark / reset interleavings.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::int64_t> canonical(const AdtState &S) {
+  std::vector<std::int64_t> Out;
+  // Clone first: serialization must not depend on the live session state.
+  S.clone()->serializeCanonical(Out);
+  return Out;
+}
+
+/// Replays \p H into a fresh state of \p Type and serializes it.
+std::vector<std::int64_t> replayCanonical(const Adt &Type, const History &H) {
+  std::unique_ptr<AdtState> S = Type.makeState();
+  for (const Input &In : H)
+    S->apply(In);
+  std::vector<std::int64_t> Out;
+  S->serializeCanonical(Out);
+  return Out;
+}
+
+void expectFrontierMatchesReplay(const Adt &Type,
+                                 const IncrementalLinSession &Inc) {
+  const FrontierState &F = Inc.frontierState();
+  if (!F.Valid)
+    return;
+  History H = Inc.frontierHistory();
+  ASSERT_EQ(F.Len, H.size())
+      << "retained frontier length diverged from the retained master";
+  ASSERT_NE(F.State, nullptr);
+  ASSERT_EQ(canonical(*F.State), replayCanonical(Type, H))
+      << "retained AdtState is not bit-equivalent to a fresh replay of the "
+      << "retained master (" << H.size() << " inputs)";
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, RetainedReplayStateMatchesFreshReplay) {
+  // Drive random interleavings of append / verdict / markPrefix /
+  // rewindToMark / reset against every ADT; after every verdict the cached
+  // frontier state (when present) must be bit-equivalent to a fresh seed
+  // replay of the retained master.
+  ConsensusAdt Cons;
+  QueueAdt Q;
+  RegisterAdt Reg;
+  KvStoreAdt Kv;
+  UniversalAdt Uni;
+  const LinFixture Fixtures[] = {
+      {Cons,
+       {cons::propose(1), cons::propose(2), cons::propose(3)},
+       {cons::decide(1), cons::decide(2), cons::decide(3)}},
+      {Q,
+       {queue::enq(1), queue::enq(2), queue::deq()},
+       {Output{1}, Output{2}, Output{NoValue}}},
+      {Reg,
+       {reg::read(), reg::write(1), reg::write(2)},
+       {Output{1}, Output{2}, Output{NoValue}}},
+      {Kv,
+       {kv::put(1, 10), kv::put(2, 20), kv::get(1), kv::del(2)},
+       {Output{10}, Output{20}, Output{NoValue}}},
+      {Uni,
+       {Input{1, 0, 1, 0}, Input{2, 0, 2, 0}},
+       {Output{0}, Output{1}}},
+  };
+
+  unsigned Rounds = traceBudget(60);
+  for (const LinFixture &Fx : Fixtures) {
+    for (unsigned I = 0; I != Rounds; ++I) {
+      std::uint64_t TraceSeed =
+          hashCombine(hashCombine(baseSeed(), 0x31),
+                      hashCombine(hashValue(Fx.Alphabet.front()), I));
+      SCOPED_TRACE(seedNote(TraceSeed, I));
+      Rng R(TraceSeed);
+      GenOptions G;
+      G.NumClients = 3;
+      G.NumOps = 10;
+      G.PendingFraction = 0;
+      G.Alphabet = Fx.Alphabet;
+      G.Outputs = Fx.Outputs;
+      Trace Feed = genLinearizableTrace(Fx.Type, G, R);
+
+      IncrementalLinSession Inc(Fx.Type);
+      std::size_t Next = 0;
+      for (unsigned Step = 0; Step != 48; ++Step) {
+        switch (R.next() % 8) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: // Append the next event (refill from a fresh trace at end).
+          if (Next == Feed.size()) {
+            Feed = genLinearizableTrace(Fx.Type, G, R);
+            Inc.reset();
+            Next = 0;
+          }
+          Inc.append(Feed[Next++]);
+          break;
+        case 4:
+        case 5: // Verdict; afterwards the frontier must match a replay.
+          Inc.verdict();
+          expectFrontierMatchesReplay(Fx.Type, Inc);
+          break;
+        case 6:
+          if (Inc.hasMark() && R.next() % 2) {
+            Inc.rewindToMark();
+            // The view rewound with the frontier; keep feeding from the
+            // mark's position in the trace.
+            Next = Inc.size();
+          } else {
+            Inc.markPrefix();
+          }
+          expectFrontierMatchesReplay(Fx.Type, Inc);
+          break;
+        default:
+          Inc.reset();
+          Next = 0;
+          Feed = genLinearizableTrace(Fx.Type, G, R);
+          EXPECT_FALSE(Inc.frontierState().Valid)
+              << "reset must invalidate the retained replay state";
+          break;
+        }
+        if (::testing::Test::HasFatalFailure())
+          return;
+      }
+    }
+  }
+}

@@ -82,6 +82,34 @@ Trace consensusHistory(unsigned Events, std::uint64_t Seed) {
   return genLinearizableTrace(Cons, G, R);
 }
 
+/// A linearizable register history of exactly \p Events events arranged in
+/// fully-quiescing rounds of \p Conc concurrent operations: all clients of
+/// a round invoke, then all respond with the outputs of applying their
+/// inputs in invocation order. Every round boundary is a quiescence cut —
+/// the structure that lets the windowed session retire continuously on
+/// unbounded runs (genLinearizableTrace gives no such guarantee).
+Trace quiescingRegisterHistory(unsigned Events, unsigned Conc,
+                               std::uint64_t Seed) {
+  RegisterAdt Reg;
+  std::unique_ptr<AdtState> S = Reg.makeState();
+  const Input Alphabet[] = {reg::read(), reg::write(1), reg::write(2),
+                            reg::write(3)};
+  Rng R(Seed);
+  Trace T;
+  unsigned Ops = Events / 2;
+  for (unsigned I = 0; I < Ops; I += Conc) {
+    unsigned RoundOps = std::min(Conc, Ops - I);
+    std::vector<Input> Ins;
+    for (unsigned C = 0; C != RoundOps; ++C) {
+      Ins.push_back(Alphabet[R.next() % 4]);
+      T.push_back(makeInvoke(C, 1, Ins.back()));
+    }
+    for (unsigned C = 0; C != RoundOps; ++C)
+      T.push_back(makeRespond(C, 1, Ins[C], S->apply(Ins[C])));
+  }
+  return T;
+}
+
 /// The one-event extension appended in the AppendOne benchmarks: a fresh
 /// client invokes and the object answers as the ADT would.
 Trace extensionPair(const Adt &Type, const Trace &T, const Input &In) {
@@ -314,6 +342,69 @@ static void BM_E8_SteadyState_Monitor_Register(benchmark::State &State) {
 }
 BENCHMARK(BM_E8_SteadyState_Monitor_Register)
     ->Arg(32)->Arg(64)->Arg(96)->Arg(120)
+    ->UseManualTime();
+
+//===----------------------------------------------------------------------===//
+// SteadyState_Monitor_Long: the unbounded-trace row. One session is primed
+// with a >= 4096-operation quiescing history (obligation retirement keeps
+// the live window bounded the whole way), then every iteration streams one
+// more complete operation and takes a witness-free verdict — the trace
+// keeps growing across iterations, the window and the per-event cost do
+// not. CI gates nodes_per_check and seed_replay_per_check like the other
+// steady-state rows; live_window_high_water must stay <= 64 no matter how
+// long the run.
+//===----------------------------------------------------------------------===//
+
+static void BM_E8_SteadyState_Monitor_Long(benchmark::State &State) {
+  RegisterAdt Reg;
+  unsigned Ops = static_cast<unsigned>(State.range(0));
+  Trace T = quiescingRegisterHistory(2 * Ops, 4, 0xE85);
+  LinCheckOptions Opts;
+  Opts.WantWitness = false;
+  // Prime once (untimed): verdict per event so retirement always has a
+  // covering success frontier to fold.
+  IncrementalLinSession Inc(Reg);
+  for (const Action &A : T) {
+    Inc.append(A);
+    benchmark::DoNotOptimize(Inc.verdict(Opts).Outcome);
+  }
+  // Replica of the linearization order the generator used; supplies the
+  // outputs of the endless steady-state extension.
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  for (const Action &A : T)
+    if (isInvoke(A))
+      Model->apply(A.In);
+  std::uint64_t Nodes = 0, Checks = 0, K = 0;
+  std::uint64_t Replays0 = Inc.stats().Search.SeedStepsReplayed;
+  for (auto _ : State) {
+    Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
+                     : reg::read();
+    ++K;
+    Output Out = Model->apply(In);
+    auto Start = std::chrono::steady_clock::now();
+    Inc.append(makeInvoke(62, 1, In));
+    Inc.append(makeRespond(62, 1, In, Out));
+    LinCheckResult R = Inc.verdict(Opts);
+    auto Elapsed = std::chrono::steady_clock::now() - Start;
+    State.SetIterationTime(
+        std::chrono::duration<double>(Elapsed).count());
+    benchmark::DoNotOptimize(R.Outcome);
+    Nodes += R.NodesExplored;
+    ++Checks;
+  }
+  double C = static_cast<double>(Checks ? Checks : 1);
+  State.counters["nodes_per_check"] =
+      benchmark::Counter(static_cast<double>(Nodes) / C);
+  State.counters["seed_replay_per_check"] = benchmark::Counter(
+      static_cast<double>(Inc.stats().Search.SeedStepsReplayed - Replays0) /
+      C);
+  State.counters["retired_obligations"] = benchmark::Counter(
+      static_cast<double>(Inc.stats().RetiredObligations));
+  State.counters["live_window_high_water"] = benchmark::Counter(
+      static_cast<double>(Inc.stats().LiveWindowHighWater));
+}
+BENCHMARK(BM_E8_SteadyState_Monitor_Long)
+    ->Arg(4096)
     ->UseManualTime();
 
 //===----------------------------------------------------------------------===//

@@ -50,6 +50,14 @@ public:
       Result.Reason = "more than 64 responses; exact search not attempted";
       return Result;
     }
+    Base = P.SeedBase;
+    if (Base && (!P.RetiredPrefix || P.RetiredPrefix->size() != Base)) {
+      // A virtual seed without its retired ids cannot be replayed if
+      // adoption fails; refuse up front rather than risk a wrong answer.
+      Result.Outcome = Verdict::Unknown;
+      Result.Reason = "retired seed prefix unavailable for replay";
+      return Result;
+    }
     FullMask = NumOb == 64 ? ~0ull : ((1ull << NumOb) - 1);
 
     InputId A = P.AlphabetSize;
@@ -80,8 +88,9 @@ public:
     FrontierState *F = P.Retained;
     TrackIds = F != nullptr;
     bool Adopted = F && F->Valid && F->State && !P.ForceCloneStates &&
-                   F->State->supportsUndo() && F->Len == P.Seed.size() &&
-                   !P.Seed.empty() && F->Used.size() <= A;
+                   F->State->supportsUndo() &&
+                   F->Len == Base + P.Seed.size() && F->Len != 0 &&
+                   F->Used.size() <= A;
     std::unique_ptr<AdtState> State =
         Adopted ? std::move(F->State) : P.Type->makeState();
     UseUndo = State->supportsUndo() && !P.ForceCloneStates;
@@ -115,6 +124,9 @@ public:
           // Captured before the problem became sequence-sensitive (first
           // abort): fold the seed's hash once, without touching the ADT.
           H = SeqHashes.back();
+          if (Base)
+            for (InputId Id : *P.RetiredPrefix)
+              H = hashCombine(H, IdHash[Id]);
           for (InputId Id : P.Seed)
             H = hashCombine(H, IdHash[Id]);
         }
@@ -128,13 +140,22 @@ public:
           if (Used[Id] > Avail[R][Id])
             ++Deficit[R];
       }
-      Stats.SeedStepsSkipped += P.Seed.size();
+      Stats.SeedStepsSkipped += Base + P.Seed.size();
     } else {
+      // The retired prefix (if any) is replayed for its state, counts, and
+      // hashes but never materialized into the master: its inputs are part
+      // of every commit history, yet only the caller that retired them can
+      // name them in a witness.
+      if (Base)
+        for (InputId Id : *P.RetiredPrefix) {
+          State->apply(Interner.input(Id));
+          applyVirtual(Id);
+        }
       for (InputId Id : P.Seed) {
         State->apply(Interner.input(Id));
         push(Id);
       }
-      Stats.SeedStepsReplayed += P.Seed.size();
+      Stats.SeedStepsReplayed += Base + P.Seed.size();
     }
 
     bool Found = dfs(PreCommitted, *State);
@@ -148,7 +169,7 @@ public:
         F->UsedHash = UsedHash;
         F->HasSeqHash = P.SequenceSensitive;
         F->SeqHash = P.SequenceSensitive ? SeqHashes.back() : 0;
-        F->Len = Master.size();
+        F->Len = Base + Master.size();
         F->Valid = true;
       }
       Result.Outcome = Verdict::Yes;
@@ -195,6 +216,22 @@ private:
       MasterIds.push_back(Id);
     if (P.SequenceSensitive)
       SeqHashes.push_back(hashCombine(SeqHashes.back(), IdHash[Id]));
+  }
+
+  /// Applies a *retired* input: used counts, hashes, and deficits move as
+  /// in push(), but the master (live window) is untouched — retired inputs
+  /// live before it and are never popped, so the sequence hash is folded in
+  /// place instead of stacked.
+  void applyVirtual(InputId Id) {
+    std::int32_t C = Used[Id]++;
+    if (C > 0)
+      UsedHash ^= pairMix(Id, C);
+    UsedHash ^= pairMix(Id, C + 1);
+    for (std::size_t K = 0; K != NumActive; ++K)
+      if (std::size_t R = Active[K]; Avail[R][Id] == C)
+        ++Deficit[R];
+    if (P.SequenceSensitive)
+      SeqHashes.back() = hashCombine(SeqHashes.back(), IdHash[Id]);
   }
 
   /// Undoes the matching push.
@@ -274,7 +311,7 @@ private:
         }
         ++Stats.CommitMoves;
         push(Ob.In);
-        Commits.push_back({Ob.Tag, Master.size()});
+        Commits.push_back({Ob.Tag, Base + Master.size()});
         if (dfs(Committed | (1ull << R), State))
           return true;
         Commits.pop_back();
@@ -286,7 +323,7 @@ private:
           continue; // Would not explain the response.
         ++Stats.CommitMoves;
         push(Ob.In);
-        Commits.push_back({Ob.Tag, Master.size()});
+        Commits.push_back({Ob.Tag, Base + Master.size()});
         if (dfs(Committed | (1ull << R), *Next))
           return true;
         Commits.pop_back();
@@ -362,6 +399,7 @@ private:
   bool HaveProbeSalt;
 
   std::uint64_t FullMask = 0;
+  std::size_t Base = 0; ///< ChainProblem::SeedBase (retired master inputs).
   bool UseUndo = false;
   /// Dense master ids are maintained only for callers that retain the
   /// chain (P.Retained set — resumable sessions); batch searches skip the
@@ -387,6 +425,24 @@ private:
 };
 
 } // namespace
+
+void slin::advanceFrontierState(FrontierState &F, const InputInterner &Interner,
+                                const InputId *Ids, std::size_t N) {
+  for (std::size_t I = 0; I != N; ++I) {
+    InputId Id = Ids[I];
+    const Input &In = Interner.input(Id);
+    F.State->apply(In);
+    if (F.Used.size() <= Id)
+      F.Used.resize(Id + 1, 0);
+    std::int32_t C = F.Used[Id]++;
+    if (C > 0)
+      F.UsedHash ^= pairMix(Id, C);
+    F.UsedHash ^= pairMix(Id, C + 1);
+    if (F.HasSeqHash)
+      F.SeqHash = hashCombine(F.SeqHash, hashValue(In));
+    ++F.Len;
+  }
+}
 
 ChainResult ChainSearch::run(const ChainProblem &Problem,
                              const ChainLimits &Limits, std::uint64_t Salt) {

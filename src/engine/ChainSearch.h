@@ -161,6 +161,16 @@ struct FrontierState {
   }
 };
 
+/// Applies \p N interned inputs to \p F in place: the ADT state advances,
+/// the dense used counts grow, and the incremental used-multiset hash (and
+/// the sequence hash, when maintained) are folded exactly as the engine
+/// would fold them. This is how a retiring session moves its
+/// retired-boundary replay state past a newly retired chain segment without
+/// ever re-replaying the whole prefix — each retired input is applied once,
+/// ever. \p F must hold a valid state.
+void advanceFrontierState(FrontierState &F, const InputInterner &Interner,
+                          const InputId *Ids, std::size_t N);
+
 /// A chain-search instance: what to commit, what the master starts with,
 /// and what must hold at a leaf.
 struct ChainProblem {
@@ -169,19 +179,41 @@ struct ChainProblem {
   /// Available arrays have this length.
   InputId AlphabetSize = 0;
   /// Obligations in the order moves are attempted (trace order preserves
-  /// the seed checkers' exploration order). At most 64 for exact search.
+  /// the seed checkers' exploration order). At most 64 for exact search —
+  /// windowed sessions keep this the *live* obligation window and retire
+  /// committed quiescent prefixes behind SeedBase.
   std::vector<CommitObligation> Commits;
   /// Pre-applied master prefix (the slin init LCP, or a resumable
   /// session's retained witness chain); it consumes availability and is
   /// part of every commit history.
   std::vector<InputId> Seed;
-  /// Obligations already committed *within* the Seed, as (obligation
-  /// index, master length at the commit point) in chain order. The search
-  /// starts with these marked committed — this is how a resumable session
-  /// resumes from its retained success frontier instead of re-deriving the
-  /// old witness: the root of the run is the old leaf, and backtracking
-  /// above it is the fallback full search's job. Every listed length must
-  /// be <= Seed.size().
+  /// Number of *retired* master inputs that virtually precede Seed. The
+  /// full master is retired-prefix ++ Seed ++ search appends, but the
+  /// engine never materializes the retired part: the adopted Retained
+  /// state already sits past it (its Used counts and hashes cover it), so
+  /// a steady-state run costs O(live window) regardless of how much
+  /// history was retired. Commit lengths (SeedCommits and
+  /// ChainResult::Commits) are absolute — they include SeedBase — while
+  /// ChainResult::Master/MasterIds carry only the live part (the caller
+  /// that retired the prefix owns it and prepends it when materializing a
+  /// witness). Requires either an adoptable Retained state of length
+  /// SeedBase + Seed.size() or RetiredPrefix for the replay fallback; the
+  /// AcceptLeaf predicate (if any) must not inspect the retired region of
+  /// the master (it only sees the live part).
+  std::size_t SeedBase = 0;
+  /// Dense ids of the retired prefix, used only when the Retained state
+  /// cannot be adopted (clone-mode/mismatched runs replay it without
+  /// materializing it into the master) and to fold sequence hashes for
+  /// states captured before the problem became sequence-sensitive. Must
+  /// have exactly SeedBase elements whenever SeedBase != 0.
+  const std::vector<InputId> *RetiredPrefix = nullptr;
+  /// Obligations already committed *within* the (virtual ++ materialized)
+  /// seed, as (obligation index, absolute master length at the commit
+  /// point) in chain order. The search starts with these marked committed
+  /// — this is how a resumable session resumes from its retained success
+  /// frontier instead of re-deriving the old witness: the root of the run
+  /// is the old leaf, and backtracking above it is the fallback full
+  /// search's job. Every listed length must be <= SeedBase + Seed.size().
   std::vector<std::pair<std::size_t, std::size_t>> SeedCommits;
   /// Include the master's sequence hash in memo keys. Required whenever the
   /// leaf predicate depends on the master's order (abort synthesis does);
@@ -217,7 +249,8 @@ struct ChainProblem {
 
 /// Outcome of one search run. On Yes, Master/Commits describe the witness
 /// chain: Commits maps each obligation's Tag to its commit history's length
-/// (a prefix of Master).
+/// (a prefix of Master). Under ChainProblem::SeedBase, Master holds only
+/// the live (post-retirement) part while commit lengths stay absolute.
 struct ChainResult {
   Verdict Outcome = Verdict::No;
   std::string Reason; ///< Set for Unknown; empty No is the caller's to name.

@@ -46,6 +46,11 @@ detail::makeAbortSynthesisLeaf(
   return [&Rel, &Aborts, &Lcp, &FoundAborts](const History &Master,
                                              std::size_t MaxCommitLen) {
     FoundAborts.clear();
+    if (Aborts.empty())
+      return true; // Nothing to synthesize — and the master must not be
+                   // touched: under ChainProblem::SeedBase (abort-free by
+                   // construction) it holds the live window only, while
+                   // commit lengths stay absolute.
     History LongestCommit(Master.begin(), Master.begin() + MaxCommitLen);
     for (const PendingAbort &Ab : Aborts) {
       std::optional<History> AbortHistory =

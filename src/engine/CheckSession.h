@@ -100,6 +100,22 @@ struct SessionStats {
   /// success frontier (engine/Incremental.h) rather than a full root
   /// search. Batch sessions never bump this.
   std::uint64_t FrontierResumes = 0;
+  /// Obligations a windowed session folded into its retired prefix at
+  /// quiescent cuts (engine/Incremental.h); what keeps the live window —
+  /// and therefore every steady-state verdict — bounded on unbounded
+  /// streams. Batch sessions never bump this.
+  std::uint64_t RetiredObligations = 0;
+  /// Appends that found the live window full with no retirable quiescent
+  /// prefix: the session enters the structural-Unknown state immediately
+  /// (stable reason string, no search is ever attempted for it).
+  std::uint64_t WindowOverflows = 0;
+  /// Verdicts where the live-window search concluded No but a retired
+  /// prefix pinned the chain: reported as Unknown with the stable
+  /// WindowRetired reason (a conclusive No would require backtracking into
+  /// retired obligations).
+  std::uint64_t WindowRetiredUnknowns = 0;
+  /// High-water mark of the live obligation window (accumulates by max).
+  std::uint64_t LiveWindowHighWater = 0;
   ChainStats Search; ///< Summed over all engine runs.
 
   void record(Verdict V) {
@@ -120,6 +136,12 @@ struct SessionStats {
     No += S.No;
     Unknown += S.Unknown;
     FrontierResumes += S.FrontierResumes;
+    RetiredObligations += S.RetiredObligations;
+    WindowOverflows += S.WindowOverflows;
+    WindowRetiredUnknowns += S.WindowRetiredUnknowns;
+    LiveWindowHighWater = LiveWindowHighWater > S.LiveWindowHighWater
+                              ? LiveWindowHighWater
+                              : S.LiveWindowHighWater;
     Search.accumulate(S.Search);
   }
 };

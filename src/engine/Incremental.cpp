@@ -101,6 +101,37 @@ BudgetSplit splitBudget(std::uint64_t SpentNodes,
   return S;
 }
 
+/// The shared fold core both sessions retire through: advances \p Boundary
+/// (created fresh on first use) over the chain segment up to the K-th row's
+/// absolute length and splices ids/rows into the retired storage. The
+/// soundness-critical bookkeeping lives here exactly once.
+void foldIntoRetired(
+    const Adt &Type, const InputInterner &Interner, FrontierState &Boundary,
+    std::vector<InputId> &RetiredMaster,
+    std::vector<std::pair<std::size_t, std::size_t>> &RetiredCommits,
+    const std::vector<InputId> &Chain,
+    const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
+    std::size_t K) {
+  std::size_t L = Rows[K - 1].second; // Absolute chain length at the cut.
+  std::size_t LiveTake = L - RetiredMaster.size();
+  if (!Boundary.Valid) {
+    Boundary.State = Type.makeState();
+    Boundary.Used.assign(Interner.size(), 0);
+    Boundary.UsedHash = 0;
+    Boundary.SeqHash = 0;
+    Boundary.HasSeqHash = false;
+    Boundary.Len = 0;
+    Boundary.Valid = true;
+  }
+  // Each retired input is applied exactly once, ever: the boundary state
+  // advances incrementally, keeping the whole scheme O(1) amortized per
+  // event.
+  advanceFrontierState(Boundary, Interner, Chain.data(), LiveTake);
+  RetiredMaster.insert(RetiredMaster.end(), Chain.begin(),
+                       Chain.begin() + LiveTake);
+  RetiredCommits.insert(RetiredCommits.end(), Rows.begin(), Rows.begin() + K);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -145,30 +176,253 @@ WellFormedness IncrementalLinSession::append(const Action &A) {
     // snapshot covers indices before it, so the cached verdict stands.
     return W;
   }
-  // Response: one new obligation, derived in O(#obligations).
+  // Response: the invoking operation closes (the open-invocation table is
+  // what retirement derives its quiescent cut from, so it must be exact).
+  std::size_t InvokeIdx = OpenInvoke[A.Client];
+  OpenInvoke[A.Client] = SIZE_MAX;
+  // One new obligation, derived in O(window).
   Obligation Ob;
   Ob.Tag = I;
   Ob.In = Interner.intern(A.In);
   Ob.Out = A.Out;
-  Ob.InvokeIdx = OpenInvoke[A.Client];
+  Ob.InvokeIdx = InvokeIdx;
   Ob.Avail = Invoked; // elems(inputs(t, I)), Definition 9.
-  for (std::size_t Q = 0, E = std::min<std::size_t>(Obligations.size(), 64);
-       Q != E; ++Q)
-    if (Obligations[Q].Tag < Ob.InvokeIdx)
-      Ob.MustFollow |= 1ull << Q; // Real-time Order.
+  if (Obligations.size() == WindowLimit)
+    retireQuiescentPrefix(); // The cheap cached-chain fold, search-free.
+  if (Obligations.size() < WindowLimit)
+    for (std::size_t Q = 0, E = Obligations.size(); Q != E; ++Q) {
+      if (Obligations[Q].Tag < Ob.InvokeIdx)
+        Ob.MustFollow |= 1ull << Q; // Real-time Order (window-relative bit).
+    }
+  // else: the window is in an overflow excursion (a straggling operation
+  // overlaps more completions than the engine's exact search can carry);
+  // the mask cannot be represented and is rebuilt when drainOverflow()
+  // brings the window back under the limit. Verdicts in between are the
+  // structural Unknown, surfaced without a search.
   Obligations.push_back(std::move(Ob));
+  if (Obligations.size() > Stats.LiveWindowHighWater)
+    Stats.LiveWindowHighWater = Obligations.size();
+  if (Obligations.size() > WindowLimit && !OverflowNoted) {
+    OverflowNoted = true; // One overflow excursion, counted once.
+    ++Stats.WindowOverflows;
+  }
   // A cached No stays No (absorption); a cached Yes now undercounts the
   // obligations and verdict() will resume from the retained frontier.
   return W;
 }
 
-ChainProblem IncrementalLinSession::buildProblem() {
+std::size_t IncrementalLinSession::openCut() const {
+  // The quiescent cut: every response before E — the earliest
+  // currently-open invocation (trace end when fully quiesced) — precedes
+  // every open and every future invocation, so real-time order forces
+  // those commits before everything still live. No instant of zero
+  // concurrency is required; a pipelined stream retires continuously.
+  std::size_t E = Builder.size();
+  for (std::size_t Idx : OpenInvoke)
+    if (Idx < E)
+      E = Idx;
+  return E;
+}
+
+std::size_t IncrementalLinSession::alignedRetireLen(
+    const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
+    std::size_t Limit, std::size_t E) const {
+  // K: the largest chain prefix of the witness rows that commits *exactly*
+  // the first K window obligations, all with responses before E. The chain
+  // may commit concurrent operations out of response order, so only a
+  // prefix aligned on both axes — commit-length order and response (tag)
+  // order — can be folded: rows' tags are distinct window tags, so
+  // rows[0..k) == window[0..k) iff their running max tag equals
+  // window[k-1]'s.
+  Limit = std::min(Limit, Rows.size());
+  std::size_t K = 0;
+  std::size_t MaxTag = 0;
+  for (std::size_t Q = 1; Q <= Limit; ++Q) {
+    MaxTag = std::max(MaxTag, Rows[Q - 1].first);
+    if (MaxTag >= E)
+      break; // The running max only grows; later prefixes cannot qualify.
+    if (MaxTag == Obligations[Q - 1].Tag &&
+        Rows[Q - 1].second >= RetiredMaster.size())
+      K = Q;
+  }
+  return K;
+}
+
+void IncrementalLinSession::foldRetired(
+    const std::vector<InputId> &Chain,
+    const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
+    std::size_t K) {
+  foldIntoRetired(Type, Interner, RetiredBoundary, RetiredMaster,
+                  RetiredCommits, Chain, Rows, K);
+  Obligations.erase(Obligations.begin(), Obligations.begin() + K);
+  WindowBase += K;
+  Stats.RetiredObligations += K;
+  // Memo keys embed window-relative committed masks; the shift re-numbers
+  // every bit, so all retained entries — including any sealed prefix —
+  // must be salted out. Retirement is amortized-rare, so the lost reuse is
+  // a bounded cost, not a steady-state one.
+  LineageSalt = nextLineageSalt();
+  HavePrefixSalt = false;
+  Polluted = false;
+}
+
+void IncrementalLinSession::retireQuiescentPrefix() {
+  // The search-free retirement path: fold the *cached Yes chain's*
+  // committed prefix out of the live window. It needs a frontier covering
+  // the obligations being retired; without resumption there is nothing
+  // sound to pin.
+  if (!Opts.Resume || !HaveResult || Cached != Verdict::Yes)
+    return;
+  std::size_t K = alignedRetireLen(
+      SuccessCommits, std::min(CheckedObligations, SuccessCommits.size()),
+      openCut());
+  if (K == 0)
+    return;
+  std::size_t L = SuccessCommits[K - 1].second;
+  if (L - RetiredMaster.size() > SuccessMaster.size())
+    return; // Defensive: a malformed row must never pin a prefix.
+  std::size_t LiveTake = L - RetiredMaster.size();
+  foldRetired(SuccessMaster, SuccessCommits, K);
+  // The cached chain stays valid beyond the fold: trim its retired part
+  // and shift the surviving masks to the shrunk window's bit positions
+  // (the dropped low bits are enforced by the seed).
+  SuccessMaster.erase(SuccessMaster.begin(), SuccessMaster.begin() + LiveTake);
+  SuccessCommits.erase(SuccessCommits.begin(), SuccessCommits.begin() + K);
+  CheckedObligations -= K;
+  for (Obligation &Ob : Obligations)
+    Ob.MustFollow >>= K;
+}
+
+void IncrementalLinSession::rebuildMasks() {
+  // Recompute every window-relative MustFollow mask from first principles
+  // (tags and invocation indices are retained). Needed after an overflow
+  // drain: folds shifted bit positions while excursion-appended
+  // obligations had no representable mask at all.
+  for (std::size_t Q = 0, N = Obligations.size(); Q != N; ++Q) {
+    std::uint64_t M = 0;
+    if (Q < WindowLimit)
+      for (std::size_t P = 0; P != Q; ++P)
+        if (Obligations[P].Tag < Obligations[Q].InvokeIdx)
+          M |= 1ull << P;
+    Obligations[Q].MustFollow = M;
+  }
+}
+
+IncrementalLinSession::DrainOutcome
+IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
+                                     std::uint64_t &SpentNodes,
+                                     std::chrono::steady_clock::time_point
+                                         DrainStart) {
+  // Overflow recovery: the window outgrew the engine's exact-search bound
+  // (a straggling operation overlapped more completions than 64). Retire
+  // by *searching* prefix sub-problems — the first WindowLimit obligations
+  // form a valid restriction (deleting later obligations' commits from any
+  // full witness leaves a witness for the prefix), so a sub-chain's
+  // aligned prefix is a sound retired prefix and a sub-No is conclusive
+  // for the whole problem. All sub-searches together stay within the one
+  // verdict's configured budgets.
+  DrainOutcome Out;
+  bool FoldedAny = false;
+  while (Obligations.size() > WindowLimit) {
+    std::size_t E = openCut();
+    if (Obligations.front().Tag >= E)
+      break; // Pinned by an open straggler; O(clients) and no search.
+    BudgetSplit Split = splitBudget(SpentNodes, DrainStart, Limits.NodeBudget,
+                                    Limits.TimeBudgetMillis);
+    if (Split.Exhausted) {
+      Out.BudgetStopped = true;
+      Out.BudgetReason = Split.Reason;
+      Polluted = true;
+      break;
+    }
+    Scratch.reset();
+    // Same problem mapping as a regular verdict, capped at the engine's
+    // window and with fresh masks (the stored ones are deferred/stale
+    // during an excursion).
+    ChainProblem P = buildProblem(WindowLimit, /*RecomputeMasks=*/true);
+    P.SeedBase = RetiredMaster.size();
+    if (P.SeedBase)
+      P.RetiredPrefix = &RetiredMaster;
+    // Adopt a clone of the retired boundary (or run fresh when nothing is
+    // retired yet); the scratch state doubles as the MasterIds request.
+    FrontierState BoundaryScratch;
+    if (WindowBase != 0)
+      BoundaryScratch = RetiredBoundary.snapshot();
+    P.Retained = &BoundaryScratch;
+
+    ChainLimits CL{Split.RestNodes, Split.RestMillis};
+    ChainSearch Engine(Interner, Memo, Scratch);
+    ChainResult R = Engine.run(P, CL, LineageSalt);
+    Stats.Search.accumulate(R.Stats);
+    SpentNodes += R.Stats.Nodes;
+    if (R.Outcome == Verdict::Unknown) {
+      if (R.BudgetLimited) {
+        Polluted = true;
+        Out.BudgetStopped = true;
+        Out.BudgetReason = std::move(R.Reason); // The engine's own wording.
+      }
+      break;
+    }
+    if (R.Outcome == Verdict::No) {
+      if (WindowBase == 0) {
+        // Conclusive for the whole stream: the restriction of any full
+        // witness would have satisfied this sub-problem.
+        HaveResult = true;
+        Cached = Verdict::No;
+        CachedReason = "no linearization function exists";
+      } else {
+        Out.RetiredNo = true;
+        ++Stats.WindowRetiredUnknowns;
+      }
+      break;
+    }
+    std::size_t K = alignedRetireLen(R.Commits, WindowLimit, E);
+    if (K == 0 || R.Commits[K - 1].second - RetiredMaster.size() >
+                      R.MasterIds.size())
+      break;
+    foldRetired(R.MasterIds, R.Commits, K);
+    FoldedAny = true;
+  }
+  if (FoldedAny) {
+    rebuildMasks();
+    // The old cached chain and frontier predate the drain's folds; they no
+    // longer extend the retired base. (A cached No survives — it is
+    // absorbing regardless of windowing.)
+    if (Cached == Verdict::Yes)
+      HaveResult = false;
+    SuccessMaster.clear();
+    SuccessCommits.clear();
+    CheckedObligations = 0;
+    Frontier.invalidate();
+  }
+  if (Obligations.size() <= WindowLimit)
+    OverflowNoted = false; // The excursion ended; count the next one anew.
+  return Out;
+}
+
+void IncrementalLinSession::completeWitness(LinWitness &W) const {
+  if (WindowBase == 0)
+    return;
+  History Full;
+  Full.reserve(RetiredMaster.size() + W.Master.size());
+  for (InputId Id : RetiredMaster)
+    Full.push_back(Interner.input(Id));
+  Full.insert(Full.end(), W.Master.begin(), W.Master.end());
+  W.Master = std::move(Full);
+  W.Commits.insert(W.Commits.begin(), RetiredCommits.begin(),
+                   RetiredCommits.end());
+}
+
+ChainProblem IncrementalLinSession::buildProblem(std::size_t Count,
+                                                 bool RecomputeMasks) {
+  Count = std::min(Count, Obligations.size());
   ChainProblem P;
   P.Type = &Type;
   P.AlphabetSize = Interner.size();
   P.ForceCloneStates = !Opts.UseUndoStates;
-  P.Commits.reserve(Obligations.size());
-  for (Obligation &Ob : Obligations) {
+  P.Commits.reserve(Count);
+  for (std::size_t Q = 0; Q != Count; ++Q) {
+    Obligation &Ob = Obligations[Q];
     // Zero-extend lazily: an input interned after this response cannot
     // have been invoked before it.
     if (Ob.Avail.size() < P.AlphabetSize)
@@ -178,6 +432,12 @@ ChainProblem IncrementalLinSession::buildProblem() {
     C.In = Ob.In;
     C.Out = Ob.Out;
     C.MustFollow = Ob.MustFollow;
+    if (RecomputeMasks) {
+      C.MustFollow = 0;
+      for (std::size_t R = 0; R != Q; ++R)
+        if (Obligations[R].Tag < Ob.InvokeIdx)
+          C.MustFollow |= 1ull << R;
+    }
     C.Available = Ob.Avail.data();
     P.Commits.push_back(std::move(C));
   }
@@ -192,6 +452,19 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
                                                 bool FromFrontier) {
   Scratch.reset();
   ChainProblem P = buildProblem();
+  // The retired prefix rides behind the engine's virtual seed: searches
+  // cover the live window only, and neither the frontier resumption nor
+  // the fallback ever re-materializes or re-replays the retired ids.
+  P.SeedBase = RetiredMaster.size();
+  if (P.SeedBase)
+    P.RetiredPrefix = &RetiredMaster;
+  // The fallback full-root search under a retired prefix adopts a clone of
+  // the retired-boundary replay state (the session frontier sits at the
+  // chain's *end*, not the boundary); on Yes the advanced clone becomes
+  // the new frontier, on failure it is discarded and the boundary state
+  // survives untouched.
+  FrontierState BoundaryScratch;
+  bool CaptureFromBoundary = false;
   if (FromFrontier) {
     P.Seed = SuccessMaster;
     P.SeedCommits.reserve(SuccessCommits.size());
@@ -208,12 +481,20 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
   // adopts it (zero seed replay) and every accepting run — including the
   // completeness fallback — captures its leaf into it. Reference mode
   // retains nothing.
-  P.Retained = this->Opts.Resume ? &Frontier : nullptr;
+  if (!FromFrontier && this->Opts.Resume && WindowBase != 0) {
+    BoundaryScratch = RetiredBoundary.snapshot();
+    P.Retained = &BoundaryScratch;
+    CaptureFromBoundary = true;
+  } else {
+    P.Retained = this->Opts.Resume ? &Frontier : nullptr;
+  }
 
   ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
   ChainSearch Engine(Interner, Memo, Scratch);
   ChainResult R = Engine.run(P, Limits, LineageSalt);
   Stats.Search.accumulate(R.Stats);
+  if (R.Outcome == Verdict::Yes && CaptureFromBoundary)
+    Frontier = std::move(BoundaryScratch);
 
   LinCheckResult Result;
   Result.Outcome = R.Outcome;
@@ -248,6 +529,53 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     R.Reason = CachedReason;
     return finish(std::move(R)); // No is final under extension.
   }
+  std::uint64_t DrainNodes = 0;
+  LinCheckOptions Avail = Limits; // Budget left for the search phases.
+  if (Obligations.size() > WindowLimit) {
+    // Overflow excursion. Resuming sessions try to drain it (prefix
+    // sub-searches retire what the cut allows — a no-op O(clients) check
+    // while a straggler pins the cut); whatever the window still holds
+    // past the limit is the structural Unknown, surfaced without a
+    // search. The drain can also conclude: No (nothing retired — cached
+    // and absorbed above on the next call) or a retired-prefix No (the
+    // WindowRetired Unknown). Drain work and the searches below share the
+    // one verdict's configured budgets.
+    auto DrainStart = std::chrono::steady_clock::now();
+    DrainOutcome D;
+    if (Opts.Resume)
+      D = drainOverflow(Limits, DrainNodes, DrainStart);
+    if (HaveResult && Cached == Verdict::No) {
+      R.Outcome = Verdict::No;
+      R.Reason = CachedReason;
+      R.NodesExplored = DrainNodes;
+      return finish(std::move(R));
+    }
+    if (Obligations.size() > WindowLimit) {
+      R.Outcome = Verdict::Unknown;
+      if (D.BudgetStopped) {
+        // A retryable exhaustion, not the structural state: with a larger
+        // budget the drain can finish.
+        R.Reason = D.BudgetReason;
+        R.BudgetLimited = true;
+      } else {
+        R.Reason = D.RetiredNo ? WindowRetiredReason : WindowOverflowReason;
+      }
+      R.NodesExplored = DrainNodes;
+      return finish(std::move(R));
+    }
+    BudgetSplit Split = splitBudget(DrainNodes, DrainStart, Limits.NodeBudget,
+                                    Limits.TimeBudgetMillis);
+    if (Split.Exhausted) {
+      Polluted = true;
+      R.Outcome = Verdict::Unknown;
+      R.Reason = Split.Reason;
+      R.BudgetLimited = true;
+      R.NodesExplored = DrainNodes;
+      return finish(std::move(R));
+    }
+    Avail.NodeBudget = Split.RestNodes;
+    Avail.TimeBudgetMillis = Split.RestMillis;
+  }
   if (Opts.Resume && HaveResult && Cached == Verdict::Yes &&
       CheckedObligations == Obligations.size()) {
     // Nothing but invocations arrived since the Yes: same obligations,
@@ -259,6 +587,7 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
       for (InputId Id : SuccessMaster)
         R.Witness.Master.push_back(Interner.input(Id));
       R.Witness.Commits = SuccessCommits;
+      completeWitness(R.Witness);
     }
     return finish(std::move(R));
   }
@@ -268,23 +597,26 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     Polluted = false;
   }
 
-  std::uint64_t SpentNodes = 0;
-  LinCheckOptions Rest = Limits;
+  std::uint64_t SpentNodes = DrainNodes;
+  LinCheckOptions Rest = Avail;
   if (Opts.Resume && HaveResult && Cached == Verdict::Yes) {
     // Resume at the retained accepting leaf: only the new obligations
     // need placing. A conclusive No here only rules out that subtree, so
     // it falls through to the full root search (whose memo the subtree's
-    // failures now seed).
+    // failures now seed). (A drain that folded cannot reach here — it
+    // invalidated the cache — so Avail == Limits on this path.)
     auto Start = std::chrono::steady_clock::now();
     ++Stats.FrontierResumes;
-    R = runSearch(Limits, /*FromFrontier=*/true);
+    R = runSearch(Avail, /*FromFrontier=*/true);
     if (R.Outcome == Verdict::Yes) {
       SuccessCommits = R.Witness.Commits;
       SuccessMaster = std::move(LastMasterIds);
       Cached = Verdict::Yes;
       HaveResult = true;
       CheckedObligations = Obligations.size();
-      if (!Limits.WantWitness)
+      if (Limits.WantWitness)
+        completeWitness(R.Witness);
+      else
         R.Witness = LinWitness();
       return finish(std::move(R));
     }
@@ -297,8 +629,8 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     // The completeness fallback gets only what the resumed run left, so
     // one verdict() never exceeds the configured budgets. The cached
     // frontier stays valid for a retry with a larger budget.
-    BudgetSplit Split = splitBudget(SpentNodes, Start, Limits.NodeBudget,
-                                    Limits.TimeBudgetMillis);
+    BudgetSplit Split = splitBudget(SpentNodes, Start, Avail.NodeBudget,
+                                    Avail.TimeBudgetMillis);
     if (Split.Exhausted) {
       LinCheckResult Exhausted;
       Exhausted.Outcome = Verdict::Unknown;
@@ -319,8 +651,20 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
     CheckedObligations = Obligations.size();
     SuccessCommits = R.Witness.Commits;
     SuccessMaster = std::move(LastMasterIds);
-    if (!Limits.WantWitness)
+    if (Limits.WantWitness)
+      completeWitness(R.Witness);
+    else
       R.Witness = LinWitness();
+  } else if (R.Outcome == Verdict::No && WindowBase != 0) {
+    // The live-window search is complete over completions of the retired
+    // chain only: a different linearization of the retired region might
+    // have worked, so a conclusive No is not sound here. (Doomed streams
+    // never reach this point — ill-formedness is No regardless.)
+    R.Outcome = Verdict::Unknown;
+    R.Reason = WindowRetiredReason;
+    R.BudgetLimited = false;
+    ++Stats.WindowRetiredUnknowns;
+    HaveResult = false;
   } else if (R.Outcome == Verdict::No) {
     HaveResult = true;
     Cached = Verdict::No;
@@ -346,6 +690,11 @@ void IncrementalLinSession::reset() {
   SuccessMaster.clear();
   SuccessCommits.clear();
   Frontier.invalidate();
+  WindowBase = 0;
+  RetiredMaster.clear();
+  RetiredCommits.clear();
+  RetiredBoundary.invalidate();
+  OverflowNoted = false;
   Mark.reset();
   HavePrefixSalt = false;
   LineageSalt = nextLineageSalt();
@@ -355,7 +704,9 @@ void IncrementalLinSession::reset() {
 
 History IncrementalLinSession::frontierHistory() const {
   History H;
-  H.reserve(SuccessMaster.size());
+  H.reserve(RetiredMaster.size() + SuccessMaster.size());
+  for (InputId Id : RetiredMaster)
+    H.push_back(Interner.input(Id));
   for (InputId Id : SuccessMaster)
     H.push_back(Interner.input(Id));
   return H;
@@ -371,7 +722,7 @@ void IncrementalLinSession::markPrefix() {
   MarkState M;
   M.Len = Builder.size();
   M.Ingest = Builder.snapshot();
-  M.NumObligations = Obligations.size();
+  M.Window = Obligations; // Deep copy: retirement mutates the window.
   M.Invoked = Invoked;
   M.OpenInvoke = OpenInvoke;
   M.HaveResult = HaveResult;
@@ -381,13 +732,21 @@ void IncrementalLinSession::markPrefix() {
   M.SuccessMaster = SuccessMaster;
   M.SuccessCommits = SuccessCommits;
   M.Frontier = Frontier.snapshot();
+  M.WindowBase = WindowBase;
+  M.RetiredLen = RetiredMaster.size();
+  M.RetiredCommitsLen = RetiredCommits.size();
+  M.RetiredBoundary = RetiredBoundary.snapshot();
+  M.OverflowNoted = OverflowNoted;
   Mark = std::move(M);
+  // (The mark-time seal fields are filled in below, after sealing.)
   // Seal this lineage's entries: everything recorded so far failed
   // against (a prefix of) the marked prefix's obligations, hence prunes
   // soundly in every extension. A polluted lineage is not sealed.
   if (!Polluted)
     PrefixSalt = LineageSalt;
   HavePrefixSalt = HavePrefixSalt || !Polluted;
+  Mark->PrefixSalt = PrefixSalt;
+  Mark->HavePrefixSalt = HavePrefixSalt;
   LineageSalt = nextLineageSalt();
   Polluted = false;
 }
@@ -397,7 +756,7 @@ void IncrementalLinSession::rewindToMark() {
     return;
   const MarkState &M = *Mark;
   Builder.restore(M.Ingest);
-  Obligations.resize(M.NumObligations); // Append-only: truncation suffices.
+  Obligations = M.Window; // Retirement mutates in place: restore the copy.
   Invoked = M.Invoked;
   OpenInvoke = M.OpenInvoke;
   Doomed = false; // Marks are only ever taken on clean sessions.
@@ -411,6 +770,15 @@ void IncrementalLinSession::rewindToMark() {
   // Restore the mark-time replay state (a fresh deep copy per rewind: the
   // mark must survive any number of member checks advancing the frontier).
   Frontier = M.Frontier.snapshot();
+  WindowBase = M.WindowBase;
+  RetiredMaster.resize(M.RetiredLen);    // Append-only across folds:
+  RetiredCommits.resize(M.RetiredCommitsLen); // truncation suffices.
+  RetiredBoundary = M.RetiredBoundary.snapshot();
+  OverflowNoted = M.OverflowNoted;
+  // Restore the mark-time seal: a retirement after the mark disabled the
+  // probe (renumbered masks), but the rewound window matches it again.
+  PrefixSalt = M.PrefixSalt;
+  HavePrefixSalt = M.HavePrefixSalt;
   // Entries recorded after the mark describe another member's suffix
   // obligations; salt them out. The sealed prefix salt stays probe-able.
   LineageSalt = nextLineageSalt();
@@ -456,21 +824,48 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
     break;
   case SlinDeltaKind::Obligation:
     if (isRespond(A)) {
+      // The client's operation closes; the open table must be exact — it
+      // is what retirement derives its quiescent cut from.
+      std::size_t StartIdx = OpenStart[A.Client];
+      OpenStart[A.Client] = SIZE_MAX;
+      if (Overflowed) {
+        // Responses past the overflow are not tracked (see the lin
+        // session); the structural Unknown stands until reset().
+        SawResponseSinceVerdict = true;
+        break;
+      }
       ResponseRec R;
       R.Tag = I;
       R.In = A.In;
       R.Out = A.Out;
-      R.StartIdx = OpenStart[A.Client];
+      R.StartIdx = StartIdx;
       R.InvokedBefore = Invoked;
-      for (std::size_t Q = 0, E = std::min<std::size_t>(Responses.size(), 64);
-           Q != E; ++Q)
+      if (Responses.size() == IncrementalWindowLimit)
+        retireQuiescentPrefix();
+      if (Responses.size() == IncrementalWindowLimit) {
+        Overflowed = true;
+        ++Stats.WindowOverflows;
+        SawResponseSinceVerdict = true;
+        break;
+      }
+      for (std::size_t Q = 0, E = Responses.size(); Q != E; ++Q)
         if (Responses[Q].Tag < R.StartIdx)
-          R.MustFollow |= 1ull << Q;
+          R.MustFollow |= 1ull << Q; // Window-relative bit positions.
       Responses.push_back(std::move(R));
+      if (Responses.size() > Stats.LiveWindowHighWater)
+        Stats.LiveWindowHighWater = Responses.size();
     } else {
       // An abort only tightens the problem (budget caps, leaf predicate):
-      // retained failures stay failures, but a cached Yes is stale.
+      // retained failures stay failures, but a cached Yes is stale. An
+      // abort arriving *after* retirement is the one tightening a frozen
+      // prefix cannot absorb — Abort Order caps every commit's
+      // availability, including retired ones — so it forces the
+      // WindowRetired Unknown from here on. The aborting client never
+      // responds, so its open entry pins the cut, which also (correctly)
+      // disables further retirement.
       Aborts.push_back({I, A.In, A.Sv, Invoked});
+      if (WindowBase != 0)
+        AbortAfterRetire = true;
     }
     SawResponseSinceVerdict = true;
     break;
@@ -487,6 +882,105 @@ IncrementalSlinSession::familyHash(const InterpretationFamily &F) const {
   for (const InitInterpretation &Finit : F.Assignments)
     H = hashCombine(H, interpretationHash(Finit));
   return H;
+}
+
+void IncrementalSlinSession::retireQuiescentPrefix() {
+  // Slin retirement is abort-free only: Abort Order caps *every* commit's
+  // availability by every abort's budget, so a frozen retired prefix could
+  // not be re-capped by an abort (past or future). It also needs the cached
+  // family-level Yes — every interpretation of the current family must hold
+  // a frontier whose chain commits the prefix being retired, because each
+  // one linearizes the retired region its own way.
+  if (!Opts.Resume || !Aborts.empty() || !HaveResult ||
+      CachedVerdict.Outcome != Verdict::Yes)
+    return;
+  // The quiescent cut: every response before E — the earliest
+  // currently-open invocation or init — precedes every open and future
+  // invocation (see the lin session; no zero-concurrency instant needed).
+  std::size_t E = Builder.size();
+  for (std::size_t Idx : OpenStart)
+    if (Idx < E)
+      E = Idx;
+  // Cheap O(clients) early-out before the O(trace) family walk below: a
+  // pinned cut (straggler open since before the oldest window response)
+  // can never fold anything, and it is exactly the case where this runs
+  // on every append while the window stays full.
+  if (Responses.empty() || Responses.front().Tag >= E)
+    return;
+
+  // Per-frontier foldable prefix lengths, as a bitmask over k-1 (window
+  // <= 64): bit set iff the frontier's first k commit rows are exactly the
+  // first k window responses, all with tags before E, at in-bounds chain
+  // lengths. Each interpretation linearizes the retired region its own
+  // way, but the *set* of retired responses must be uniform, so the
+  // session folds at the largest k valid for the whole family.
+  auto FoldMask = [&](const InterpFrontier &F) -> std::uint64_t {
+    if (F.RetiredCommits.size() != WindowBase)
+      return 0; // Stale retirement depth: cannot participate.
+    std::uint64_t Mask = 0;
+    std::size_t MaxTag = 0;
+    std::size_t Limit = std::min(F.Commits.size(), Responses.size());
+    static_assert(IncrementalWindowLimit <= 64,
+                  "fold masks are 64-bit over window positions");
+    for (std::size_t Q = 1; Q <= Limit; ++Q) {
+      MaxTag = std::max(MaxTag, F.Commits[Q - 1].first);
+      if (MaxTag >= E)
+        break;
+      std::size_t L = F.Commits[Q - 1].second;
+      if (L < F.RetiredMaster.size() ||
+          L - F.RetiredMaster.size() > F.Master.size())
+        break;
+      if (MaxTag == Responses[Q - 1].Tag)
+        Mask |= 1ull << (Q - 1);
+    }
+    return Mask;
+  };
+  auto Fold = [&](InterpFrontier &F, std::size_t K) {
+    std::size_t LiveTake = F.Commits[K - 1].second - F.RetiredMaster.size();
+    foldIntoRetired(Type, Interner, F.RetiredBoundary, F.RetiredMaster,
+                    F.RetiredCommits, F.Master, F.Commits, K);
+    F.Master.erase(F.Master.begin(), F.Master.begin() + LiveTake);
+    F.Commits.erase(F.Commits.begin(), F.Commits.begin() + K);
+  };
+
+  // Validate the whole family before mutating anything: a partial fold
+  // would leave the shared window and the frontiers disagreeing. K is the
+  // largest prefix every family member can fold. An empty family would
+  // vacuously validate everything — refuse instead of retiring a window
+  // nothing can ever re-validate.
+  InterpretationFamily Family = Rel.interpretations(Builder.trace(), Sig);
+  if (Family.Assignments.empty())
+    return;
+  std::uint64_t Common = ~0ull;
+  for (const InitInterpretation &Finit : Family.Assignments) {
+    auto It = Frontiers.find(interpretationHash(Finit));
+    if (It == Frontiers.end())
+      return;
+    Common &= FoldMask(It->second);
+    if (!Common)
+      return;
+  }
+  std::size_t K = 64 - static_cast<std::size_t>(__builtin_clzll(Common));
+  // Fold every capable retained frontier (family members and recurring
+  // stale interpretations alike); entries that cannot fold at K would
+  // reference dropped responses, so they are discarded — losing one costs
+  // re-search for that interpretation, never soundness.
+  for (auto It = Frontiers.begin(); It != Frontiers.end();) {
+    if (FoldMask(It->second) & (1ull << (K - 1))) {
+      Fold(It->second, K);
+      ++It;
+    } else {
+      It = Frontiers.erase(It);
+    }
+  }
+  Responses.erase(Responses.begin(), Responses.begin() + K);
+  for (ResponseRec &R : Responses)
+    R.MustFollow >>= K;
+  WindowBase += K;
+  Stats.RetiredObligations += K;
+  // Memo keys embed window-relative committed masks; the shift re-numbers
+  // every bit, so every retained entry is salted out via the epoch.
+  ++Epoch;
 }
 
 SlinCheckResult
@@ -584,14 +1078,40 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
     Problem.Commits.push_back(Ob);
   }
 
+  // When the session has retired, every run for this interpretation rides
+  // behind the engine's virtual seed: the per-interpretation retired chain
+  // is never re-materialized, and the WindowRetired Unknown is synthesized
+  // whenever retired obligations could not be validated under this
+  // interpretation (no covering frontier — the verdict loop pre-checks,
+  // this is defense in depth for a soundness-critical mapping).
+  auto WindowRetiredResult = [&] {
+    ++Stats.WindowRetiredUnknowns;
+    SlinCheckResult R;
+    R.Outcome = Verdict::Unknown;
+    R.Reason = WindowRetiredReason;
+    if (RawOutcome)
+      *RawOutcome = Verdict::Unknown;
+    return R;
+  };
+  bool HaveRetired =
+      Frontier && WindowBase != 0 &&
+      Frontier->RetiredCommits.size() == WindowBase;
+  if (WindowBase != 0 && !HaveRetired)
+    return WindowRetiredResult();
+  FrontierState BoundaryScratch;
+  bool CaptureFromBoundary = false;
   if (FromFrontier && Frontier) {
     // Resume from this interpretation's retained witness chain: the master
-    // (which starts with the init LCP — same interpretation, same LCP)
-    // becomes the seed and the retained commit rows are pre-committed. The
-    // engine adopts the retained replay state, so the seed costs zero ADT
-    // work; the accepting-leaf predicate re-validates every abort
-    // constraint under the *current* budgets, which is what keeps this
-    // sound across non-monotone deltas (see the class comment).
+    // (which starts with the init LCP — same interpretation, same LCP —
+    // inside the retired prefix once the session has retired) becomes the
+    // seed and the retained commit rows are pre-committed. The engine
+    // adopts the retained replay state, so the seed costs zero ADT work;
+    // the accepting-leaf predicate re-validates every abort constraint
+    // under the *current* budgets, which is what keeps this sound across
+    // non-monotone deltas (see the class comment).
+    Problem.SeedBase = Frontier->RetiredMaster.size();
+    if (Problem.SeedBase)
+      Problem.RetiredPrefix = &Frontier->RetiredMaster;
     Problem.Seed = Frontier->Master;
     Problem.SeedCommits.reserve(Frontier->Commits.size());
     for (const auto &[Tag, Len] : Frontier->Commits) {
@@ -604,6 +1124,8 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
           Responses.begin(), Responses.end(), Tag,
           [](const ResponseRec &Rec, std::size_t T) { return Rec.Tag < T; });
       if (It == Responses.end() || It->Tag != Tag) {
+        if (WindowBase != 0)
+          return WindowRetiredResult();
         Problem.Seed.clear();
         Problem.SeedCommits.clear();
         if (HaveInits)
@@ -614,12 +1136,25 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
       Problem.SeedCommits.push_back(
           {static_cast<std::size_t>(It - Responses.begin()), Len});
     }
-  } else if (HaveInits) {
-    for (const Input &In : Lcp)
-      Problem.Seed.push_back(Interner.intern(In));
-  }
-  if (Frontier)
     Problem.Retained = &Frontier->Replay;
+  } else if (HaveRetired) {
+    // Full root search over the live window behind the retired prefix: the
+    // engine adopts a clone of the retired-boundary replay state (the
+    // frontier's own Replay sits at the chain's end, not the boundary); on
+    // Yes the advanced clone becomes the interpretation's new frontier
+    // state, on failure it is discarded and the boundary survives.
+    Problem.SeedBase = Frontier->RetiredMaster.size();
+    Problem.RetiredPrefix = &Frontier->RetiredMaster;
+    BoundaryScratch = Frontier->RetiredBoundary.snapshot();
+    Problem.Retained = &BoundaryScratch;
+    CaptureFromBoundary = true;
+  } else {
+    if (HaveInits)
+      for (const Input &In : Lcp)
+        Problem.Seed.push_back(Interner.intern(In));
+    if (Frontier)
+      Problem.Retained = &Frontier->Replay;
+  }
 
   std::vector<std::pair<std::size_t, History>> FoundAborts;
   Problem.SequenceSensitive = !Budgeted.empty();
@@ -634,7 +1169,10 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
     *RawOutcome = R.Outcome;
   if (R.Outcome == Verdict::Yes && Frontier) {
     // Retain the accepting chain as this interpretation's next frontier
-    // (the engine already captured the replay state at the leaf).
+    // (the engine already captured the replay state at the leaf — into the
+    // boundary clone for the post-retirement full root search).
+    if (CaptureFromBoundary)
+      Frontier->Replay = std::move(BoundaryScratch);
     Frontier->Master = std::move(R.MasterIds);
     Frontier->Commits = R.Commits;
   }
@@ -648,6 +1186,23 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     Result.Outcome = Verdict::No;
     Result.Reason = DoomReason;
     Result.Exact = true;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+  if (Overflowed) {
+    // Recorded by the overflowing append: no problem build, no search.
+    Result.Outcome = Verdict::Unknown;
+    Result.Reason = WindowOverflowReason;
+    Stats.record(Result.Outcome);
+    return Result;
+  }
+  if (AbortAfterRetire) {
+    // An abort after retirement caps every commit's availability,
+    // including the frozen retired ones — nothing sound can be concluded
+    // short of re-checking the retired region, which is gone.
+    ++Stats.WindowRetiredUnknowns;
+    Result.Outcome = Verdict::Unknown;
+    Result.Reason = WindowRetiredReason;
     Stats.record(Result.Outcome);
     return Result;
   }
@@ -693,8 +1248,10 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       SlinVerdict R;
       R.Outcome = Verdict::Yes;
       R.Exact = CachedVerdict.Exact;
-      if (SOpts.WantWitness)
+      if (SOpts.WantWitness) {
         R.Witnesses = CachedVerdict.Witnesses;
+        completeWitnesses(R.Witnesses);
+      }
       return R;
     }
   }
@@ -718,10 +1275,23 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       auto It = Frontiers.find(IH);
       if (It != Frontiers.end()) {
         F = &It->second;
+        F->LastTouch = ++TouchCounter;
       } else {
         F = &FreshFrontier;
         Fresh = true;
       }
+    }
+    if (WindowBase != 0 &&
+        (!F || Fresh || F->RetiredCommits.size() != WindowBase)) {
+      // An interpretation without a frontier at the session's retirement
+      // depth cannot validate the retired obligations at all (they were
+      // dropped from the window); nothing sound can be concluded for it.
+      ++Stats.WindowRetiredUnknowns;
+      Result.Outcome = Verdict::Unknown;
+      Result.Reason = WindowRetiredReason;
+      Result.Witnesses.clear();
+      Concluded = true;
+      break;
     }
     SlinCheckResult R;
     Verdict Raw = Verdict::Unknown;
@@ -759,12 +1329,37 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     } else {
       R = runUnder(Finit, SOpts, Salt, F, /*FromFrontier=*/false, nullptr);
     }
+    if (R.Outcome == Verdict::No && WindowBase != 0) {
+      // The live-window search is complete over completions of this
+      // interpretation's pinned retired chain only; a different
+      // linearization of the retired region might have worked.
+      ++Stats.WindowRetiredUnknowns;
+      R.Outcome = Verdict::Unknown;
+      R.Reason = WindowRetiredReason;
+      R.BudgetLimited = false;
+      R.Witness = SlinWitness();
+    }
     if (Fresh && !FreshFrontier.Master.empty()) {
-      // The run captured a frontier for a new interpretation: admit it,
-      // evicting one arbitrary entry at the bound (losing a frontier costs
-      // re-search, never soundness).
-      if (Frontiers.size() >= 64)
-        Frontiers.erase(Frontiers.begin());
+      // The run captured a frontier for a new interpretation: admit it. At
+      // the size bound, evict the least-recently-resumed entry — never one
+      // this verdict touched, and never the hash being admitted — so
+      // cycling one-shot interpretations (e.g. the consensus relation's
+      // extended extremes over a growing trace) cannot thrash the hot
+      // steady-state frontier. Losing a frontier costs re-search, never
+      // soundness.
+      FreshFrontier.LastTouch = ++TouchCounter;
+      if (Frontiers.size() >= 64) {
+        auto Victim = Frontiers.end();
+        for (auto It = Frontiers.begin(); It != Frontiers.end(); ++It) {
+          if (It->first == IH)
+            continue;
+          if (Victim == Frontiers.end() ||
+              It->second.LastTouch < Victim->second.LastTouch)
+            Victim = It;
+        }
+        if (Victim != Frontiers.end())
+          Frontiers.erase(Victim);
+      }
       Frontiers.emplace(IH, std::move(FreshFrontier));
     }
     Result.NodesExplored += R.NodesExplored;
@@ -797,13 +1392,35 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   LastFamilyHash = FH;
   if (Result.Outcome != Verdict::Unknown) {
     HaveResult = true;
-    CachedVerdict = Result;
+    CachedVerdict = Result; // Witnesses cached in windowed (live-only) form.
   } else {
     HaveResult = false;
   }
   if (!SOpts.WantWitness)
     Result.Witnesses.clear();
+  else
+    completeWitnesses(Result.Witnesses);
   return Result;
+}
+
+void IncrementalSlinSession::completeWitnesses(
+    std::vector<std::pair<InitInterpretation, SlinWitness>> &Ws) const {
+  if (WindowBase == 0)
+    return;
+  for (auto &[Finit, W] : Ws) {
+    auto It = Frontiers.find(interpretationHash(Finit));
+    if (It == Frontiers.end())
+      continue; // Defensive: every Yes interpretation holds its frontier.
+    const InterpFrontier &F = It->second;
+    History Full;
+    Full.reserve(F.RetiredMaster.size() + W.Master.size());
+    for (InputId Id : F.RetiredMaster)
+      Full.push_back(Interner.input(Id));
+    Full.insert(Full.end(), W.Master.begin(), W.Master.end());
+    W.Master = std::move(Full);
+    W.Commits.insert(W.Commits.begin(), F.RetiredCommits.begin(),
+                     F.RetiredCommits.end());
+  }
 }
 
 void IncrementalSlinSession::reset() {
@@ -822,6 +1439,9 @@ void IncrementalSlinSession::reset() {
   AnyVerdict = false;
   HaveResult = false;
   CachedVerdict = SlinVerdict();
+  WindowBase = 0;
+  Overflowed = false;
+  AbortAfterRetire = false;
   // Frontiers of an unrelated trace are meaningless (their commit tags
   // index the old trace): discard, don't just invalidate.
   Frontiers.clear();

@@ -13,7 +13,7 @@
 /// reachability reduction; Hamza's complexity analysis) that checking an
 /// extension of a history revisits the prefix's reachable states.
 ///
-/// Three mechanisms carry the incrementality:
+/// Four mechanisms carry the incrementality:
 ///
 ///   * **Per-event obligation deltas.** Appending an event updates the
 ///     obligation set in O(#obligations): an invocation bumps a running
@@ -41,6 +41,35 @@
 ///     that recurs resumes from its retained chain, and the accepting-leaf
 ///     predicate re-validates every abort constraint, so resumption stays
 ///     sound across non-monotone deltas.
+///
+///   * **Obligation retirement at quiescent cuts.** The engine's exact
+///     search carries at most 64 commit obligations, so an unbounded
+///     stream needs the session to *retire* settled history: when the live
+///     window is full and a new response arrives, the session looks for
+///     the latest *quiescence cut* — a trace position where every earlier
+///     invocation has responded (so real-time order forces every pre-cut
+///     commit before every later operation) — and folds the cached Yes
+///     chain's committed prefix up to that cut into a retired prefix
+///     (dense ids + commit rows + a retired-boundary FrontierState),
+///     drops the retired obligations from the live window, and remaps the
+///     remaining MustFollow masks to window-relative bit positions.
+///     Searches then run over the live window only, behind the engine's
+///     ChainProblem::SeedBase: the retired prefix is never re-materialized
+///     or re-replayed, so a steady-state verdict is O(window) — O(1) for a
+///     bounded-concurrency stream — no matter how long the trace grows.
+///     The soundness contract shifts asymmetrically: Yes still always
+///     carries a replayable witness (retired prefix ++ live chain), but a
+///     live-window No only rules out completions of the *pinned* retired
+///     chain — a different linearization of the retired region might have
+///     worked — so it is reported as Unknown with the stable
+///     WindowRetiredReason. Retirement is *lazy* (nothing is retired while
+///     the whole history fits the window), so verdicts on <= 64-obligation
+///     traces are bit-identical to the batch checker's. When the window is
+///     full and no retirable cut exists (no cached Yes, > 64 concurrent
+///     operations, or a slin stream with aborts), the append itself
+///     records the structural state (WindowOverflowReason +
+///     SessionStats::WindowOverflows) and verdicts return it immediately
+///     instead of paying a doomed problem build and search.
 ///
 ///   * **A lineage-salted memo chain.** All transposition entries of one
 ///     growing trace are recorded under a single *lineage salt*. A failed
@@ -84,6 +113,7 @@
 #include "engine/CheckSession.h"
 #include "trace/TraceBuilder.h"
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -91,6 +121,28 @@
 #include <vector>
 
 namespace slin {
+
+/// Stable reason string for the structural Unknown a windowed session
+/// reports once its live obligation window overflowed with no retirable
+/// quiescent prefix. Recorded at append time (SessionStats::WindowOverflows)
+/// and returned by every subsequent verdict without a search.
+inline constexpr char WindowOverflowReason[] =
+    "live obligation window exceeded 64 with no retirable quiescent prefix; "
+    "exact search not attempted";
+
+/// Stable reason string for the Unknown a windowed session reports when the
+/// live-window search concluded No but obligations were already retired: a
+/// conclusive No would require backtracking into the retired prefix, whose
+/// linearization is pinned. (Yes verdicts are unaffected — they carry a
+/// replayable witness of retired prefix ++ live chain.)
+inline constexpr char WindowRetiredReason[] =
+    "WindowRetired: no completion extends the retired prefix; a conclusive "
+    "No would require backtracking into retired obligations";
+
+/// The engine's exact search carries at most this many commit obligations
+/// per run (a 64-bit committed mask); both sessions keep their live window
+/// at or under it via retirement.
+inline constexpr std::size_t IncrementalWindowLimit = 64;
 
 /// Tuning knobs for the incremental sessions.
 struct IncrementalOptions {
@@ -167,10 +219,27 @@ public:
   /// is the state reached by replaying frontierHistory() from scratch.
   const FrontierState &frontierState() const { return Frontier; }
 
-  /// Materialized inputs of the retained success-frontier master (the
-  /// history frontierState() corresponds to; meaningful when
-  /// frontierState().Valid).
+  /// Materialized inputs of the retained success-frontier master — retired
+  /// prefix ++ live chain (the history frontierState() corresponds to;
+  /// meaningful when frontierState().Valid).
   History frontierHistory() const;
+
+  /// Number of obligations folded into the retired prefix so far.
+  std::size_t retiredObligations() const { return WindowBase; }
+
+  /// Current live obligation window size (completed-but-unretired
+  /// operations); bounded by 64.
+  std::size_t liveWindow() const { return Obligations.size(); }
+
+  /// True while the live window exceeds the engine's exact-search bound
+  /// (an *overflow excursion*: a straggling operation overlapped more than
+  /// 64 completions). Verdicts during an excursion are the structural
+  /// Unknown (WindowOverflowReason), surfaced without a search while the
+  /// straggler pins the cut; once it closes, verdict() drains the backlog
+  /// with prefix sub-searches and definitive verdicts resume.
+  bool overflowed() const {
+    return Obligations.size() > IncrementalWindowLimit;
+  }
 
 private:
   /// One commit obligation, maintained incrementally.
@@ -186,14 +255,14 @@ private:
     std::vector<std::int32_t> Avail;
   };
 
-  /// Everything a mark must be able to restore. Obligations are
-  /// append-only and immutable once appended (the Avail zero-extension in
-  /// buildProblem is idempotent), so the mark stores only their count and
-  /// a rewind truncates.
+  /// Everything a mark must be able to restore. Retirement mutates the
+  /// window in place (prefix erase + mask remap), so the mark deep-copies
+  /// the window and the retired-prefix state instead of relying on the
+  /// old append-only truncation model.
   struct MarkState {
     std::size_t Len = 0;
     TraceBuilder::Snapshot Ingest;
-    std::size_t NumObligations = 0;
+    std::vector<Obligation> Window;
     std::vector<std::int32_t> Invoked;
     std::vector<std::size_t> OpenInvoke;
     bool HaveResult = false;
@@ -203,9 +272,75 @@ private:
     std::vector<InputId> SuccessMaster;
     std::vector<std::pair<std::size_t, std::size_t>> SuccessCommits;
     FrontierState Frontier; ///< Deep snapshot of the retained replay state.
+    // Retirement / window state. The retired id/row vectors are
+    // append-only across folds, so the mark stores only their lengths and
+    // a rewind truncates; the boundary state (advanced by folds) is the
+    // one retirement artifact that needs a deep snapshot.
+    std::size_t WindowBase = 0;
+    std::size_t RetiredLen = 0;
+    std::size_t RetiredCommitsLen = 0;
+    FrontierState RetiredBoundary;
+    bool OverflowNoted = false;
+    /// Retirement disables the sealed-prefix probe (its entries' masks are
+    /// renumbered away); a rewind restores the mark-time seal.
+    std::uint64_t PrefixSalt = 0;
+    bool HavePrefixSalt = false;
   };
 
-  ChainProblem buildProblem();
+  static constexpr std::size_t WindowLimit = IncrementalWindowLimit;
+
+  /// Builds the engine problem over the window's first \p Count
+  /// obligations (all of them by default). \p RecomputeMasks derives the
+  /// MustFollow masks fresh over that sub-window — the overflow drain's
+  /// sub-problems need it because the stored masks are deferred/stale
+  /// during an excursion.
+  ChainProblem buildProblem(std::size_t Count = SIZE_MAX,
+                            bool RecomputeMasks = false);
+  /// The quiescent cut: the earliest currently-open invocation's trace
+  /// index (trace end when none is open). Every response before it
+  /// real-time-precedes everything still live or future.
+  std::size_t openCut() const;
+  /// Largest K such that \p Rows' first K entries commit exactly the first
+  /// K window obligations, all with tags before \p E (see the
+  /// implementation for why alignment on both axes is required).
+  std::size_t alignedRetireLen(
+      const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
+      std::size_t Limit, std::size_t E) const;
+  /// Folds \p Rows' first K commits (their chain held in \p Chain, live
+  /// ids) into the retired prefix: advances the boundary replay state,
+  /// moves the ids and rows, erases the window prefix, and salts the memo
+  /// lineage out (committed-mask bit positions shift).
+  void foldRetired(const std::vector<InputId> &Chain,
+                   const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
+                   std::size_t K);
+  /// Folds the cached Yes chain's committed prefix up to the latest
+  /// quiescent cut into the retired prefix and shrinks the live window
+  /// (no-op when nothing is retirable). Called when a response finds the
+  /// window full; search-free.
+  void retireQuiescentPrefix();
+  /// Recomputes every window-relative MustFollow mask (after an overflow
+  /// drain renumbered or deferred them).
+  void rebuildMasks();
+  /// What an overflow drain concluded beyond its folds.
+  struct DrainOutcome {
+    /// A sub-search concluded No against a retired prefix (the
+    /// WindowRetired case). A No with nothing retired is instead cached
+    /// as the absorbing session No.
+    bool RetiredNo = false;
+    /// The drain stopped on budget exhaustion (retryable, not structural).
+    bool BudgetStopped = false;
+    std::string BudgetReason; ///< Set when BudgetStopped.
+  };
+  /// Overflow recovery: retires via prefix sub-problem searches until the
+  /// window fits, the cut pins, the budget runs out, or a sub-search
+  /// concludes. All sub-searches share the verdict's budgets, measured
+  /// from \p DrainStart.
+  DrainOutcome drainOverflow(const LinCheckOptions &Limits,
+                             std::uint64_t &SpentNodes,
+                             std::chrono::steady_clock::time_point DrainStart);
+  /// Prepends the materialized retired prefix (ids + commit rows) to a
+  /// live-window witness.
+  void completeWitness(LinWitness &W) const;
   LinCheckResult runSearch(const LinCheckOptions &Opts, bool FromFrontier);
   LinCheckResult finish(LinCheckResult R);
   std::uint64_t nextLineageSalt();
@@ -222,11 +357,27 @@ private:
   SessionStats Stats;
 
   TraceBuilder Builder;
+  /// The *live* obligation window, in response (trace) order; bounded by
+  /// the engine's 64-obligation exact-search limit. MustFollow masks are
+  /// window-relative (bit q = Obligations[q]).
   std::vector<Obligation> Obligations;
   std::vector<std::int32_t> Invoked;     ///< Running invoked counts by id.
   std::vector<std::size_t> OpenInvoke;   ///< Per client: open invoke index.
   bool Doomed = false;
   std::string DoomReason;
+
+  // Retirement state. RetiredMaster/RetiredCommits are the committed
+  // prefix of the witness chain folded out of the live window at quiescent
+  // cuts (dense ids; absolute commit lengths); RetiredBoundary is the
+  // replay state exactly at RetiredMaster's end, advanced incrementally as
+  // segments retire (each retired input is applied once, ever) so the
+  // fallback full-root search adopts it instead of replaying the prefix.
+  std::size_t WindowBase = 0; ///< Obligations retired so far.
+  std::vector<InputId> RetiredMaster;
+  std::vector<std::pair<std::size_t, std::size_t>> RetiredCommits;
+  FrontierState RetiredBoundary;
+  /// The current overflow excursion was counted in Stats.WindowOverflows.
+  bool OverflowNoted = false;
 
   std::uint64_t SaltCounter = 0;
   std::uint64_t LineageSalt = 0;
@@ -300,6 +451,16 @@ public:
   /// (diagnostics/tests).
   std::size_t retainedFrontiers() const { return Frontiers.size(); }
 
+  /// Number of responses folded into the retired prefix so far.
+  std::size_t retiredObligations() const { return WindowBase; }
+
+  /// Current live response window size; bounded by 64.
+  std::size_t liveWindow() const { return Responses.size(); }
+
+  /// True once an append found the window full with no retirable quiescent
+  /// prefix (see IncrementalLinSession::overflowed).
+  bool overflowed() const { return Overflowed; }
+
 private:
   struct ResponseRec {
     std::size_t Tag = 0;
@@ -318,12 +479,24 @@ private:
   };
 
   /// One interpretation's retained success frontier: the witness chain in
-  /// dense ids plus the engine's replay cache. Kept across epochs (see the
-  /// class comment); dropped only by reset() or table pressure.
+  /// dense ids plus the engine's replay cache, and — once the session
+  /// retires — this interpretation's share of the retired prefix (each
+  /// interpretation linearizes the retired region its own way, so retired
+  /// ids, commit rows, and the boundary replay state are all per
+  /// interpretation; commit lengths are absolute). Kept across epochs (see
+  /// the class comment); dropped only by reset() or table pressure.
   struct InterpFrontier {
-    std::vector<InputId> Master;
+    std::vector<InputId> Master; ///< Live part of the chain (post-retired).
     std::vector<std::pair<std::size_t, std::size_t>> Commits; ///< (Tag, Len)
     FrontierState Replay;
+    std::vector<InputId> RetiredMaster;
+    std::vector<std::pair<std::size_t, std::size_t>> RetiredCommits;
+    FrontierState RetiredBoundary;
+    /// LRU stamp: bumped on every resume and on admission; the eviction at
+    /// the table bound removes the least-recently-resumed entry (and never
+    /// one touched by the in-flight verdict), so cycling one-shot
+    /// interpretations cannot thrash the hot steady-state frontier.
+    std::uint64_t LastTouch = 0;
   };
 
   SlinCheckResult runUnder(const InitInterpretation &Finit,
@@ -331,6 +504,16 @@ private:
                            InterpFrontier *Frontier, bool FromFrontier,
                            Verdict *RawOutcome);
   std::uint64_t familyHash(const InterpretationFamily &F) const;
+  /// Folds every retained frontier's chain prefix up to the latest
+  /// quiescent cut into its per-interpretation retired prefix and shrinks
+  /// the shared response window; requires an abort-free stream and a
+  /// covering frontier for every interpretation of the current family.
+  void retireQuiescentPrefix();
+  /// Prepends each interpretation's materialized retired prefix to its
+  /// live-window witness (witnesses are cached in windowed form so the
+  /// steady state never copies the retired region).
+  void completeWitnesses(
+      std::vector<std::pair<InitInterpretation, SlinWitness>> &Ws) const;
 
   const Adt &Type;
   PhaseSignature Sig;
@@ -349,6 +532,16 @@ private:
   Multiset<Input> Invoked; ///< All invoked inputs so far.
   bool Doomed = false;
   std::string DoomReason;
+
+  // Retirement state (see IncrementalLinSession). Retirement requires an
+  // abort-free stream: Abort Order caps *every* commit's availability by
+  // every abort's budget, so a frozen retired prefix could not be re-capped
+  // by a later abort — an abort arriving after retirement forces the
+  // WindowRetired Unknown for every non-doomed verdict from then on.
+  std::size_t WindowBase = 0; ///< Responses retired so far.
+  bool Overflowed = false;
+  bool AbortAfterRetire = false;
+  std::uint64_t TouchCounter = 0; ///< LRU clock for frontier eviction.
 
   /// Bumped whenever retained memo entries could be unsound for the
   /// current problem; folded into every per-interpretation salt.

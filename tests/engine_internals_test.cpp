@@ -775,3 +775,228 @@ TEST(IncrementalSessionTest, MarkRewindRestoresRetainedReplayState) {
         << "member " << Member << " replayed the marked prefix";
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Obligation retirement: the live window, the quiescent-cut fold, the
+// structural overflow, and the WindowRetired soundness contract.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A linearizable register stream of \p Ops sequential operations (each op
+/// completes before the next is invoked, so every position is a quiescence
+/// cut) with a verdict after every event. \p Model carries the
+/// linearization order across calls on one session (null: fresh stream).
+void streamSequentialRegisterOps(IncrementalLinSession &Inc, unsigned Ops,
+                                 const LinCheckOptions &Opts,
+                                 bool VerdictPerEvent,
+                                 AdtState *Model = nullptr) {
+  RegisterAdt Reg;
+  std::unique_ptr<AdtState> Fresh;
+  if (!Model) {
+    Fresh = Reg.makeState();
+    Model = Fresh.get();
+  }
+  AdtState *S = Model;
+  for (unsigned K = 0; K != Ops; ++K) {
+    Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
+                     : reg::read();
+    Output Out = S->apply(In);
+    ASSERT_TRUE(Inc.append(makeInvoke(K % 4, 1, In)));
+    if (VerdictPerEvent)
+      Inc.verdict(Opts);
+    ASSERT_TRUE(Inc.append(makeRespond(K % 4, 1, In, Out)));
+    if (VerdictPerEvent) {
+      LinCheckResult R = Inc.verdict(Opts);
+      if (!Inc.overflowed()) // Excursions (pinned cuts) answer Unknown.
+        ASSERT_EQ(R.Outcome, Verdict::Yes) << "op " << K;
+    }
+  }
+}
+
+} // namespace
+
+TEST(IncrementalSessionTest, RetirementLiftsTheObligationCeiling) {
+  // 200 operations — over three times the engine's 64-obligation bound —
+  // with definitive Yes verdicts at every event, zero seed replay in the
+  // steady state, a bounded live window, and a replay-valid witness at the
+  // end.
+  RegisterAdt Reg;
+  IncrementalLinSession Inc(Reg);
+  LinCheckOptions Opts;
+  Opts.WantWitness = false;
+  streamSequentialRegisterOps(Inc, 200, Opts, /*VerdictPerEvent=*/true);
+  EXPECT_GT(Inc.retiredObligations(), 100u);
+  EXPECT_LE(Inc.stats().LiveWindowHighWater, 64u);
+  EXPECT_EQ(Inc.stats().WindowOverflows, 0u);
+  EXPECT_FALSE(Inc.overflowed());
+  // The final witness (retired prefix ++ live chain) must replay-validate
+  // against the whole 400-event trace.
+  LinCheckResult Final = Inc.verdict();
+  ASSERT_EQ(Final.Outcome, Verdict::Yes);
+  WellFormedness V = verifyLinWitness(Inc.trace(), Reg, Final.Witness);
+  EXPECT_TRUE(bool(V)) << V.Reason;
+  EXPECT_EQ(Final.Witness.Commits.size(), 200u);
+}
+
+TEST(IncrementalSessionTest, OverflowDrainRecoversWithoutACachedChain) {
+  // A stream that outgrows the window with no verdict ever taken has no
+  // cached chain to retire against: the excursion is noted at the append
+  // (counter + overflowed()), and the next verdict *drains* it with
+  // prefix sub-searches — no cached Yes required — then answers
+  // definitively.
+  RegisterAdt Reg;
+  IncrementalLinSession Inc(Reg);
+  LinCheckOptions Opts;
+  streamSequentialRegisterOps(Inc, 70, Opts, /*VerdictPerEvent=*/false);
+  EXPECT_TRUE(Inc.overflowed());
+  EXPECT_EQ(Inc.stats().WindowOverflows, 1u);
+  LinCheckResult R = Inc.verdict();
+  EXPECT_EQ(R.Outcome, Verdict::Yes);
+  EXPECT_FALSE(Inc.overflowed());
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  EXPECT_LE(Inc.liveWindow(), 64u);
+}
+
+TEST(IncrementalSessionTest, StragglerPinsTheCutThenDrainRecovers) {
+  // A straggling operation that overlaps more than 64 completions pins
+  // the quiescent cut: verdicts during the excursion are the structural
+  // Unknown surfaced *without a search* (zero nodes while pinned), and
+  // once the straggler responds the drain retires the backlog and
+  // definitive verdicts resume.
+  RegisterAdt Reg;
+  IncrementalLinSession Inc(Reg);
+  LinCheckOptions Opts;
+  Opts.WantWitness = false;
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  // The straggler invokes first and stays open.
+  ASSERT_TRUE(Inc.append(makeInvoke(63, 1, reg::write(9))));
+  streamSequentialRegisterOps(Inc, 70, Opts, /*VerdictPerEvent=*/true,
+                              Model.get());
+  EXPECT_TRUE(Inc.overflowed());
+  EXPECT_EQ(Inc.stats().WindowOverflows, 1u);
+  LinCheckResult Pinned = Inc.verdict(Opts);
+  EXPECT_EQ(Pinned.Outcome, Verdict::Unknown);
+  EXPECT_EQ(Pinned.Reason, WindowOverflowReason);
+  EXPECT_EQ(Pinned.NodesExplored, 0u) << "a pinned excursion must not search";
+  // The straggler completes; its write lands here in the real-time order.
+  Output Out = Model->apply(reg::write(9));
+  ASSERT_TRUE(Inc.append(makeRespond(63, 1, reg::write(9), Out)));
+  LinCheckResult R = Inc.verdict(Opts);
+  EXPECT_EQ(R.Outcome, Verdict::Yes);
+  EXPECT_FALSE(Inc.overflowed());
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  // And the steady state continues definitively after the excursion.
+  streamSequentialRegisterOps(Inc, 5, Opts, /*VerdictPerEvent=*/true,
+                              Model.get());
+}
+
+TEST(IncrementalSessionTest, NoPastRetirementDegradesToWindowRetired) {
+  // After retirement a live-window No is not conclusive (a different
+  // linearization of the pinned retired prefix might have worked): the
+  // verdict must be the stable WindowRetired Unknown, never No — and a
+  // dooming (ill-formed) event must still conclude No.
+  RegisterAdt Reg;
+  IncrementalLinSession Inc(Reg);
+  LinCheckOptions Opts;
+  Opts.WantWitness = false;
+  streamSequentialRegisterOps(Inc, 100, Opts, /*VerdictPerEvent=*/true);
+  ASSERT_GT(Inc.retiredObligations(), 0u);
+  // Well-formed but inexplicable: the register never held 77.
+  ASSERT_TRUE(Inc.append(makeInvoke(9, 1, reg::read())));
+  ASSERT_TRUE(Inc.append(makeRespond(9, 1, reg::read(), Output{77})));
+  LinCheckResult R = Inc.verdict(Opts);
+  EXPECT_EQ(R.Outcome, Verdict::Unknown);
+  EXPECT_EQ(R.Reason, WindowRetiredReason);
+  EXPECT_GE(Inc.stats().WindowRetiredUnknowns, 1u);
+
+  // Dooming path on a fresh long stream: ill-formedness is No regardless
+  // of how much was retired ("batch on the suffix says No").
+  IncrementalLinSession Doomy(Reg);
+  streamSequentialRegisterOps(Doomy, 100, Opts, /*VerdictPerEvent=*/true);
+  ASSERT_GT(Doomy.retiredObligations(), 0u);
+  Action Dup = makeRespond(9, 1, reg::read(), Output{0});
+  Doomy.append(Dup); // No matching open invocation: ill-formed.
+  EXPECT_TRUE(Doomy.doomed());
+  EXPECT_EQ(Doomy.verdict(Opts).Outcome, Verdict::No);
+}
+
+TEST(IncrementalSessionTest, MarkRewindRestoresPreRetirementWindow) {
+  // SharePrefixes interplay: a mark taken before retirement must rewind
+  // the whole window state back — retired count, window contents, and
+  // exact (batch-equal) verdicts for a different suffix.
+  RegisterAdt Reg;
+  IncrementalLinSession Inc(Reg);
+  LinCheckOptions Opts;
+  Opts.WantWitness = false;
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  streamSequentialRegisterOps(Inc, 10, Opts, /*VerdictPerEvent=*/true,
+                              Model.get());
+  Inc.markPrefix();
+  ASSERT_EQ(Inc.retiredObligations(), 0u);
+  std::size_t MarkLen = Inc.size();
+
+  streamSequentialRegisterOps(Inc, 90, Opts, /*VerdictPerEvent=*/true,
+                              Model.get());
+  ASSERT_GT(Inc.retiredObligations(), 0u);
+
+  Inc.rewindToMark();
+  EXPECT_EQ(Inc.retiredObligations(), 0u);
+  EXPECT_EQ(Inc.size(), MarkLen);
+  EXPECT_EQ(Inc.liveWindow(), 10u);
+  // A contradicting response must now be an exact No again (nothing is
+  // retired in the rewound window).
+  ASSERT_TRUE(Inc.append(makeInvoke(9, 1, reg::read())));
+  ASSERT_TRUE(Inc.append(makeRespond(9, 1, reg::read(), Output{77})));
+  LinCheckResult R = Inc.verdict(Opts);
+  Trace Prefix = Inc.trace();
+  EXPECT_EQ(R.Outcome, Verdict::No);
+  EXPECT_EQ(checkLinearizable(Prefix, Reg).Outcome, Verdict::No);
+}
+
+TEST(IncrementalSessionTest, CyclingInterpretationsKeepTheHotFrontier) {
+  // Regression for the frontier-table eviction policy: a consensus stream
+  // whose proposals keep raising the trace maximum makes the relation's
+  // extended-extreme interpretations change hash at every verdict (two
+  // fresh admissions per verdict, >64 total), while the canonical
+  // interpretation recurs every time. Eviction must be
+  // least-recently-resumed and never the in-flight hash, so the hot
+  // canonical frontier keeps resuming — FrontierResumes keeps climbing —
+  // no matter how many one-shot interpretations cycle through.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(2, 3);
+  ConsensusInitRelation Rel;
+  IncrementalSlinSession Inc(Cons, Sig, Rel);
+  SlinCheckOptions O;
+  O.WantWitness = false;
+
+  // Both clients switch into the phase with value 5 and decide it (a
+  // backup-phase client must enter via an init action before it can
+  // invoke).
+  ASSERT_TRUE(
+      Inc.append(makeSwitch(1, 2, cons::proposeBy(5, 1), SwitchValue{5})));
+  ASSERT_TRUE(
+      Inc.append(makeRespond(1, 2, cons::proposeBy(5, 1), cons::decide(5))));
+  ASSERT_TRUE(
+      Inc.append(makeSwitch(2, 2, cons::proposeBy(5, 2), SwitchValue{5})));
+  ASSERT_TRUE(
+      Inc.append(makeRespond(2, 2, cons::proposeBy(5, 2), cons::decide(5))));
+  ASSERT_EQ(Inc.verdict(O).Outcome, Verdict::Yes);
+
+  const unsigned Rounds = 55; // Stays within the 64-response window.
+  for (unsigned K = 0; K != Rounds; ++K) {
+    Input In = cons::proposeBy(100 + static_cast<std::int64_t>(K), 2);
+    ASSERT_TRUE(Inc.append(makeInvoke(2, 2, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(2, 2, In, cons::decide(5))));
+    ASSERT_EQ(Inc.verdict(O).Outcome, Verdict::Yes) << "round " << K;
+  }
+  // Two fresh extended interpretations per verdict cycle through the
+  // 64-entry bound...
+  EXPECT_LE(Inc.retainedFrontiers(), 64u);
+  // ...but the canonical frontier must have kept resuming: one resume per
+  // verdict after the first capture (conservative floor: the admissions
+  // alone exceed the table bound, so an arbitrary-eviction policy would
+  // have dropped the canonical entry on some rounds).
+  EXPECT_GE(Inc.stats().FrontierResumes, static_cast<std::uint64_t>(Rounds))
+      << "cycling interpretations thrashed the hot frontier";
+}

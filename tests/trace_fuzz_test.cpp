@@ -46,7 +46,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 using namespace slin;
@@ -226,6 +228,200 @@ TEST(TraceFuzzTest, LinFuzz_Universal) {
 }
 
 //===----------------------------------------------------------------------===//
+// Windowed monitoring past the 64-obligation ceiling: obligation
+// retirement on >64-obligation streamed traces. Up to the window (first 64
+// responses) the windowed session must agree with batch exactly; past it —
+// where batch checking is structurally impossible — soundness is checked
+// directly: every Yes witness (retired prefix ++ live chain) must
+// replay-validate against the full trace, a non-doomed session must never
+// answer No once obligations were retired (only the stable WindowRetired /
+// overflow Unknowns), linearizable-by-construction streams must stay
+// definitively Yes at every prefix, and the live window high-water must
+// stay bounded.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A linearizable trace of \p Ops operations arranged in fully-quiescing
+/// rounds of 1..MaxConc concurrent operations: every round boundary is a
+/// quiescence cut, so the windowed session can keep retiring forever.
+/// Outputs come from applying the inputs in invocation order. MaxConc = 1
+/// for ADTs whose in-round ordering ambiguity can outlive the window
+/// (queue enqueue order is observed arbitrarily much later) — a pinned
+/// retired prefix would then degrade definitive Yes into the WindowRetired
+/// Unknown, which is sound but not what the clean family asserts.
+Trace quiescingTrace(const LinFixture &Fx, unsigned Ops, unsigned MaxConc,
+                     Rng &R) {
+  std::unique_ptr<AdtState> S = Fx.Type.makeState();
+  Trace T;
+  for (unsigned I = 0; I < Ops;) {
+    unsigned RoundOps = 1 + static_cast<unsigned>(R.next() % MaxConc);
+    RoundOps = std::min(RoundOps, Ops - I);
+    std::vector<Input> Ins;
+    for (unsigned C = 0; C != RoundOps; ++C) {
+      Ins.push_back(Fx.Alphabet[R.next() % Fx.Alphabet.size()]);
+      T.push_back(makeInvoke(C, 1, Ins.back()));
+    }
+    for (unsigned C = 0; C != RoundOps; ++C)
+      T.push_back(makeRespond(C, 1, Ins[C], S->apply(Ins[C])));
+    I += RoundOps;
+  }
+  return T;
+}
+
+/// Streams \p T through a windowed session, checking the windowed-vs-batch
+/// contract at every prefix. \p ExpectDefinitiveYes asserts the
+/// linearizable-by-construction property (no Unknown ever).
+void fuzzWindowedLinTrace(const LinFixture &Fx, const Trace &T,
+                          bool ExpectDefinitiveYes) {
+  IncrementalLinSession Inc(Fx.Type);
+  Trace Prefix;
+  std::size_t NumResponses = 0;
+  for (const Action &A : T) {
+    Inc.append(A);
+    Prefix.push_back(A);
+    if (isRespond(A))
+      ++NumResponses;
+    LinCheckResult R = Inc.verdict();
+    if (NumResponses <= 64 && Inc.retiredObligations() == 0) {
+      // Up to the window: bit-identical verdicts to batch checking.
+      LinCheckResult Batch = checkLinearizable(Prefix, Fx.Type);
+      ASSERT_EQ(R.Outcome, Batch.Outcome)
+          << Fx.Type.name() << ": windowed session disagrees with batch at "
+          << "prefix " << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    }
+    // Past the window, soundness is checked directly, not differentially.
+    if (R.Outcome == Verdict::Yes) {
+      WellFormedness V = verifyLinWitness(Prefix, Fx.Type, R.Witness);
+      ASSERT_TRUE(bool(V))
+          << Fx.Type.name() << ": Yes witness failed replay validation at "
+          << "prefix " << Prefix.size() << " (" << V.Reason
+          << "); retired=" << Inc.retiredObligations() << ":\n"
+          << formatTrace(Prefix);
+    } else if (R.Outcome == Verdict::No) {
+      ASSERT_TRUE(Inc.doomed() || Inc.retiredObligations() == 0)
+          << Fx.Type.name() << ": unsound No past retirement at prefix "
+          << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    } else {
+      ASSERT_TRUE(R.Reason == WindowRetiredReason ||
+                  R.Reason == WindowOverflowReason || R.BudgetLimited)
+          << "unexpected Unknown reason: " << R.Reason;
+    }
+    if (ExpectDefinitiveYes)
+      ASSERT_EQ(R.Outcome, Verdict::Yes)
+          << Fx.Type.name() << ": lost the definitive verdict at prefix "
+          << Prefix.size() << " (reason: " << R.Reason
+          << ", retired=" << Inc.retiredObligations()
+          << ", window=" << Inc.liveWindow() << ")";
+    ASSERT_LE(Inc.liveWindow(), 64u);
+  }
+  if (ExpectDefinitiveYes) {
+    ASSERT_GT(Inc.retiredObligations(), 0u)
+        << Fx.Type.name()
+        << ": a >64-obligation definitive run must have retired";
+    ASSERT_LE(Inc.stats().LiveWindowHighWater, 64u);
+    ASSERT_EQ(Inc.stats().WindowOverflows, 0u);
+  }
+}
+
+void runWindowedLinFuzz(const LinFixture &Fx, std::uint64_t FamilyTag,
+                        unsigned MaxConc) {
+  // Long traces are ~20x the cost of the short-family ones; derive the
+  // budget from the shared knob at that ratio so SLIN_FUZZ_TRACES scales
+  // this family *down* in sanitizer CI like the others.
+  unsigned N = std::max(4u, traceBudget(220) / 18);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed =
+        hashCombine(hashCombine(baseSeed(), FamilyTag), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    unsigned Ops = 70 + static_cast<unsigned>(R.next() % 40); // > 64 always.
+    Trace T = quiescingTrace(Fx, Ops, MaxConc, R);
+    switch (I % 3) {
+    case 0:
+      // Clean: stays definitively Yes past the ceiling.
+      fuzzWindowedLinTrace(Fx, T, /*ExpectDefinitiveYes=*/true);
+      break;
+    case 1: {
+      // Corrupted in the suffix (duplicate response — ill-formed): the
+      // doom path must still conclude No past retirement, never hide
+      // behind a WindowRetired Unknown ("batch on the retired-prefix-free
+      // suffix says No").
+      std::size_t From = T.size() * 3 / 4;
+      for (std::size_t J = From; J != T.size(); ++J)
+        if (isRespond(T[J])) {
+          T.insert(T.begin() + static_cast<std::ptrdiff_t>(J) + 1, T[J]);
+          break;
+        }
+      fuzzWindowedLinTrace(Fx, T, /*ExpectDefinitiveYes=*/false);
+      break;
+    }
+    default: {
+      // Mutated output deep in the suffix (well-formed but wrong): the
+      // session may answer No only before anything retired; afterwards
+      // the WindowRetired Unknown is the sound degradation.
+      for (std::size_t J = T.size(); J-- > T.size() * 3 / 4;)
+        if (isRespond(T[J])) {
+          T[J].Out = Output{T[J].Out.Val == NoValue ? 1 : T[J].Out.Val + 1};
+          break;
+        }
+      fuzzWindowedLinTrace(Fx, T, /*ExpectDefinitiveYes=*/false);
+      break;
+    }
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, WindowedLinFuzz_Register) {
+  RegisterAdt Reg;
+  runWindowedLinFuzz({Reg,
+                      {reg::read(), reg::write(1), reg::write(2)},
+                      {Output{1}, Output{2}, Output{NoValue}}},
+                     0x41, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, WindowedLinFuzz_KvStore) {
+  KvStoreAdt Kv;
+  runWindowedLinFuzz({Kv,
+                      {kv::put(1, 10), kv::put(1, 20), kv::get(1), kv::del(1)},
+                      {Output{10}, Output{20}, Output{NoValue}}},
+                     0x42, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, WindowedLinFuzz_Queue) {
+  QueueAdt Q;
+  // Sequential stream: concurrent enqueue order is observed arbitrarily
+  // far in the future, which a pinned retired prefix cannot stay
+  // definitive about.
+  runWindowedLinFuzz({Q,
+                      {queue::enq(1), queue::enq(2), queue::deq()},
+                      {Output{1}, Output{2}, Output{NoValue}}},
+                     0x43, /*MaxConc=*/1);
+}
+
+TEST(TraceFuzzTest, WindowedLinFuzz_Consensus) {
+  ConsensusAdt Cons;
+  runWindowedLinFuzz({Cons,
+                      {cons::propose(1), cons::propose(2), cons::propose(3)},
+                      {cons::decide(1), cons::decide(2), cons::decide(3)}},
+                     0x44, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, WindowedLinFuzz_Universal) {
+  UniversalAdt Uni;
+  runWindowedLinFuzz({Uni,
+                      {Input{1, 0, 1, 0}, Input{2, 0, 2, 0}},
+                      {Output{0}, Output{1}}},
+                     0x45, /*MaxConc=*/1);
+}
+
+//===----------------------------------------------------------------------===//
 // Speculative linearizability: both relations, both readings, injected
 // aborts and recoveries.
 //===----------------------------------------------------------------------===//
@@ -321,6 +517,55 @@ TEST(TraceFuzzTest, SlinFuzz_ConsensusRelation) {
     fuzzSlinTrace(Cons, Sig, ConsRel, T, O, /*AlsoNoResume=*/I % 5 == 0);
     if (::testing::Test::HasFatalFailure())
       return;
+  }
+}
+
+TEST(TraceFuzzTest, WindowedSlinFuzz_SwitchFreeConsensus) {
+  // The slin session past the 64-response ceiling: abort-free, switch-free
+  // consensus phase streams (the composed whole-object monitoring shape —
+  // a single stable interpretation) must agree with batch checkSlin while
+  // the whole history fits the window and stay definitively Yes past it,
+  // retiring continuously under both Definition 28 readings.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  unsigned N = std::max(2u, traceBudget(220) / 55);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x51), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    std::unique_ptr<AdtState> S = Cons.makeState();
+    IncrementalSlinSession Inc(Cons, Sig, Rel);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    Trace Prefix;
+    unsigned Ops = 70 + static_cast<unsigned>(R.next() % 30);
+    for (unsigned K = 0; K != Ops; ++K) {
+      Input In = cons::propose(1 + static_cast<std::int64_t>(R.next() % 3));
+      Output Out = S->apply(In);
+      ClientId C = K % 3;
+      for (const Action &A :
+           {makeInvoke(C, 1, In), makeRespond(C, 1, In, Out)}) {
+        Inc.append(A);
+        Prefix.push_back(A);
+        SlinVerdict V = Inc.verdict(O);
+        if (Inc.retiredObligations() == 0 && K < 64) {
+          SlinVerdict Batch = checkSlin(Prefix, Sig, Cons, Rel, O);
+          ASSERT_EQ(V.Outcome, Batch.Outcome)
+              << "windowed slin disagrees with batch at prefix "
+              << Prefix.size();
+        }
+        ASSERT_EQ(V.Outcome, Verdict::Yes)
+            << "slin lost the definitive verdict at prefix " << Prefix.size()
+            << " (reason: " << V.Reason
+            << ", retired=" << Inc.retiredObligations() << ")";
+        ASSERT_LE(Inc.liveWindow(), 64u);
+      }
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+    ASSERT_GT(Inc.retiredObligations(), 0u);
+    ASSERT_EQ(Inc.stats().WindowOverflows, 0u);
   }
 }
 

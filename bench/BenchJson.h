@@ -15,6 +15,25 @@
 /// Every bench_e*.cpp closes with SLIN_BENCH_JSON_MAIN() instead of
 /// BENCHMARK_MAIN().
 ///
+/// Timing methodology for manual-time rows. Google Benchmark's CPU column
+/// measures the whole `for (auto _ : State)` loop body — including any
+/// untimed per-iteration re-priming a manual-time benchmark excludes from
+/// its wall measurement via SetIterationTime — so a row whose iteration is
+/// dominated by setup reports cpu_ns_per_op several times its ns_per_op, a
+/// pure artifact. Such benchmarks therefore measure thread CPU across
+/// exactly the timed region themselves (threadCpuSeconds below) and report
+/// it as a user counter named "cpu_ns_per_op" with kAvgIterations; the
+/// reporter prefers that counter over GetAdjustedCPUTime for the built-in
+/// field (and does not emit it twice), so both per-op times always cover
+/// the same region.
+///
+/// Residual caveat: the CPU region necessarily brackets the wall region
+/// (clock reads nest), so cpu_ns_per_op carries the cost of one wall read
+/// plus one thread-CPU read (~a few hundred ns, the thread clock is a real
+/// syscall) — a constant additive overhead, visible on sub-microsecond
+/// rows, unlike the old multiplicative artifact. ns_per_op is the accurate
+/// figure; cpu_ns_per_op bounds it from above.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_BENCH_BENCHJSON_H
@@ -23,6 +42,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -45,6 +65,22 @@ template <typename R> bool runWasSkipped(const R &Run) {
     return Run.error_occurred;
   else
     return static_cast<bool>(Run.skipped);
+}
+
+/// CPU time consumed by the calling thread, in seconds — the clock a
+/// manual-time benchmark scopes to its timed region so cpu_ns_per_op and
+/// ns_per_op measure the same thing (see the file comment). Falls back to
+/// the process clock where no thread clock exists; all rows are
+/// single-threaded, so the two agree.
+inline double threadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec Ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
+  return static_cast<double>(Ts.tv_sec) +
+         static_cast<double>(Ts.tv_nsec) * 1e-9;
+#else
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+#endif
 }
 
 /// Minimal string escaping: benchmark names are identifier-like, but keep
@@ -72,14 +108,23 @@ public:
       std::string Params;
       if (std::size_t Slash = Name.find('/'); Slash != std::string::npos)
         Params = Name.substr(Slash + 1);
+      // A benchmark that scoped its own CPU measurement to the timed
+      // region (see the file comment) overrides the library's whole-loop
+      // CPU figure.
+      double CpuNs = R.GetAdjustedCPUTime();
+      if (auto It = R.counters.find("cpu_ns_per_op"); It != R.counters.end())
+        CpuNs = static_cast<double>(It->second);
       std::printf("{\"name\":\"%s\",\"params\":\"%s\",\"iterations\":%lld,"
                   "\"ns_per_op\":%.3f,\"cpu_ns_per_op\":%.3f",
                   escapeJson(Name).c_str(), escapeJson(Params).c_str(),
                   static_cast<long long>(R.iterations),
-                  R.GetAdjustedRealTime(), R.GetAdjustedCPUTime());
-      for (const auto &[Counter, Value] : R.counters)
+                  R.GetAdjustedRealTime(), CpuNs);
+      for (const auto &[Counter, Value] : R.counters) {
+        if (Counter == "cpu_ns_per_op")
+          continue; // Already emitted as the built-in field.
         std::printf(",\"%s\":%.3f", escapeJson(Counter).c_str(),
                     static_cast<double>(Value));
+      }
       std::printf("}\n");
       std::fflush(stdout);
     }

@@ -29,8 +29,10 @@
 //     AppendOne, but verdicts run witness-free (WantWitness off) and the
 //     row reports nodes_per_check AND seed_replay_per_check — with the
 //     retained replay state the latter must be 0.0 and the latency stays
-//     flat as the history grows. CI guards nodes_per_check regressions
-//     against the committed BENCH_e8.json.
+//     flat as the history grows. These rows also report per-event latency
+//     percentiles (p50_ns_per_event, p99_ns_per_event) over the timed
+//     region of every iteration. CI guards nodes_per_check regressions and
+//     >10% p50 regressions against the committed BENCH_e8.json.
 //
 //   * AppendOne_IncrementalSlin / AppendOne_BatchSlin: the slin monitor's
 //     inner loop (frontier resumption per interpretation), on switch-free
@@ -51,11 +53,78 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 using namespace slin;
 
 namespace {
+
+/// Wall plus thread-CPU timing of exactly the measured region of one
+/// manual-time iteration. Google Benchmark's own CPU column covers the
+/// whole iteration — re-priming included — which made manual-time rows
+/// report cpu_ns_per_op several times their wall time (see the methodology
+/// note in bench/BenchJson.h). stop() feeds the wall time to
+/// SetIterationTime and accumulates region CPU; report() publishes the
+/// region-scoped figure the JSON reporter prefers over the library's.
+class TimedRegion {
+public:
+  void start() {
+    CpuStart = benchjson::threadCpuSeconds();
+    WallStart = std::chrono::steady_clock::now();
+  }
+
+  /// Ends the region; returns its wall time in nanoseconds.
+  double stop(benchmark::State &State) {
+    auto Wall = std::chrono::steady_clock::now() - WallStart;
+    CpuTotalNs += (benchjson::threadCpuSeconds() - CpuStart) * 1e9;
+    double WallSec = std::chrono::duration<double>(Wall).count();
+    State.SetIterationTime(WallSec);
+    return WallSec * 1e9;
+  }
+
+  void report(benchmark::State &State) const {
+    State.counters["cpu_ns_per_op"] = benchmark::Counter(
+        CpuTotalNs, benchmark::Counter::kAvgIterations);
+  }
+
+private:
+  std::chrono::steady_clock::time_point WallStart;
+  double CpuStart = 0;
+  double CpuTotalNs = 0;
+};
+
+/// Per-event latency distribution for the steady-state rows: every timed
+/// region's wall nanoseconds, capped (the cap covers the longest run the
+/// harness schedules; beyond it the tail samples are dropped, which only
+/// biases the percentiles if a >1M-iteration run drifts late — it does
+/// not). Nearest-rank percentiles over the sorted samples.
+class LatencySamples {
+public:
+  LatencySamples() { Samples.reserve(Cap); }
+
+  void add(double Ns) {
+    if (Samples.size() < Cap)
+      Samples.push_back(Ns);
+  }
+
+  void report(benchmark::State &State) {
+    if (Samples.empty())
+      return;
+    std::sort(Samples.begin(), Samples.end());
+    auto Pct = [&](double P) {
+      return Samples[static_cast<std::size_t>(
+          P * static_cast<double>(Samples.size() - 1))];
+    };
+    State.counters["p50_ns_per_event"] = benchmark::Counter(Pct(0.50));
+    State.counters["p99_ns_per_event"] = benchmark::Counter(Pct(0.99));
+  }
+
+private:
+  static constexpr std::size_t Cap = 1u << 20;
+  std::vector<double> Samples;
+};
 
 /// A linearizable history of exactly N events (N/2 operations, none
 /// pending), over a register — reads and writes keep the chain search
@@ -137,6 +206,7 @@ static void BM_E8_AppendOne_Incremental_Register(benchmark::State &State) {
   Trace T = registerHistory(N, 0xE8);
   Trace Ext = extensionPair(Reg, T, reg::write(7));
   std::uint64_t Nodes = 0, Checks = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
     // Untimed: re-prime the session with the already-ingested history.
     IncrementalLinSession Inc(Reg);
@@ -144,17 +214,16 @@ static void BM_E8_AppendOne_Incremental_Register(benchmark::State &State) {
       Inc.append(A);
     benchmark::DoNotOptimize(Inc.verdict().Outcome);
     // Timed: one more operation arrives.
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     for (const Action &A : Ext)
       Inc.append(A);
     LinCheckResult R = Inc.verdict();
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
   State.counters["nodes_per_check"] = benchmark::Counter(
       static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
 }
@@ -171,16 +240,16 @@ static void BM_E8_AppendOne_Batch_Register(benchmark::State &State) {
   Extended.insert(Extended.end(), Ext.begin(), Ext.end());
   CheckSession Session(Reg); // Warm batch session: the fair baseline.
   std::uint64_t Nodes = 0, Checks = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     LinCheckResult R = Session.checkLin(Extended);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
   State.counters["nodes_per_check"] = benchmark::Counter(
       static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
 }
@@ -194,22 +263,22 @@ static void BM_E8_AppendOne_Incremental_Consensus(benchmark::State &State) {
   Trace T = consensusHistory(N, 0xE81);
   Trace Ext = extensionPair(Cons, T, cons::propose(2));
   std::uint64_t Nodes = 0, Checks = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
     IncrementalLinSession Inc(Cons);
     for (const Action &A : T)
       Inc.append(A);
     benchmark::DoNotOptimize(Inc.verdict().Outcome);
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     for (const Action &A : Ext)
       Inc.append(A);
     LinCheckResult R = Inc.verdict();
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
   State.counters["nodes_per_check"] = benchmark::Counter(
       static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
 }
@@ -226,16 +295,16 @@ static void BM_E8_AppendOne_Batch_Consensus(benchmark::State &State) {
   Extended.insert(Extended.end(), Ext.begin(), Ext.end());
   CheckSession Session(Cons);
   std::uint64_t Nodes = 0, Checks = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     LinCheckResult R = Session.checkLin(Extended);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
   State.counters["nodes_per_check"] = benchmark::Counter(
       static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
 }
@@ -307,6 +376,8 @@ static void BM_E8_SteadyState_Monitor_Register(benchmark::State &State) {
   Trace T = registerHistory(N, 0xE8);
   Trace Ext = extensionPair(Reg, T, reg::write(7));
   std::uint64_t Nodes = 0, Checks = 0, Replays = 0, Skips = 0;
+  TimedRegion Timer;
+  LatencySamples Latency;
   for (auto _ : State) {
     // Untimed: re-prime the session with the already-ingested history.
     IncrementalLinSession Inc(Reg);
@@ -317,21 +388,21 @@ static void BM_E8_SteadyState_Monitor_Register(benchmark::State &State) {
     std::uint64_t Skipped0 = Inc.stats().Search.SeedStepsSkipped;
     // Timed: one more operation arrives; the monitor consumes outcomes
     // only, so the verdict runs witness-free.
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     for (const Action &A : Ext)
       Inc.append(A);
     LinCheckOptions Opts;
     Opts.WantWitness = false;
     LinCheckResult R = Inc.verdict(Opts);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Latency.add(Timer.stop(State));
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     Replays += Inc.stats().Search.SeedStepsReplayed - Replayed0;
     Skips += Inc.stats().Search.SeedStepsSkipped - Skipped0;
     ++Checks;
   }
+  Timer.report(State);
+  Latency.report(State);
   double C = static_cast<double>(Checks ? Checks : 1);
   State.counters["nodes_per_check"] =
       benchmark::Counter(static_cast<double>(Nodes) / C);
@@ -376,22 +447,24 @@ static void BM_E8_SteadyState_Monitor_Long(benchmark::State &State) {
       Model->apply(A.In);
   std::uint64_t Nodes = 0, Checks = 0, K = 0;
   std::uint64_t Replays0 = Inc.stats().Search.SeedStepsReplayed;
+  TimedRegion Timer;
+  LatencySamples Latency;
   for (auto _ : State) {
     Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
                      : reg::read();
     ++K;
     Output Out = Model->apply(In);
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     Inc.append(makeInvoke(62, 1, In));
     Inc.append(makeRespond(62, 1, In, Out));
     LinCheckResult R = Inc.verdict(Opts);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Latency.add(Timer.stop(State));
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
+  Latency.report(State);
   double C = static_cast<double>(Checks ? Checks : 1);
   State.counters["nodes_per_check"] =
       benchmark::Counter(static_cast<double>(Nodes) / C);
@@ -420,26 +493,26 @@ static void BM_E8_AppendOne_IncrementalSlin(benchmark::State &State) {
   Trace T = consensusHistory(N, 0xE84);
   Trace Ext = extensionPair(Cons, T, cons::propose(2));
   std::uint64_t Nodes = 0, Checks = 0, Replays = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
     IncrementalSlinSession Inc(Cons, Sig, Rel);
     for (const Action &A : T)
       Inc.append(A);
     benchmark::DoNotOptimize(Inc.verdict().Outcome);
     std::uint64_t Replayed0 = Inc.stats().Search.SeedStepsReplayed;
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     for (const Action &A : Ext)
       Inc.append(A);
     SlinCheckOptions Opts;
     Opts.WantWitness = false;
     SlinVerdict R = Inc.verdict(Opts);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     Replays += Inc.stats().Search.SeedStepsReplayed - Replayed0;
     ++Checks;
   }
+  Timer.report(State);
   double C = static_cast<double>(Checks ? Checks : 1);
   State.counters["nodes_per_check"] =
       benchmark::Counter(static_cast<double>(Nodes) / C);
@@ -461,16 +534,16 @@ static void BM_E8_AppendOne_BatchSlin(benchmark::State &State) {
   Extended.insert(Extended.end(), Ext.begin(), Ext.end());
   CheckSession Session(Cons); // Warm batch session: the fair baseline.
   std::uint64_t Nodes = 0, Checks = 0;
+  TimedRegion Timer;
   for (auto _ : State) {
-    auto Start = std::chrono::steady_clock::now();
+    Timer.start();
     SlinVerdict R = Session.checkSlin(Extended, Sig, Rel);
-    auto Elapsed = std::chrono::steady_clock::now() - Start;
-    State.SetIterationTime(
-        std::chrono::duration<double>(Elapsed).count());
+    Timer.stop(State);
     benchmark::DoNotOptimize(R.Outcome);
     Nodes += R.NodesExplored;
     ++Checks;
   }
+  Timer.report(State);
   State.counters["nodes_per_check"] = benchmark::Counter(
       static_cast<double>(Nodes) / static_cast<double>(Checks ? Checks : 1));
 }

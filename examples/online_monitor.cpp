@@ -38,6 +38,7 @@
 #include "adt/KvStore.h"
 #include "engine/Incremental.h"
 #include "smr/Smr.h"
+#include "support/AllocGauge.h"
 #include "trace/TraceIo.h"
 
 #include <chrono>
@@ -45,7 +46,23 @@
 #include <cstring>
 #include <string>
 
+// Interpose the global operator new: the summary's allocs_per_event counts
+// heap allocations inside the monitored region (append + verdict) once the
+// session is past warm-up, and CI asserts it stays at zero (the
+// data-oriented hot path's allocation-free contract, docs/engine.md).
+SLIN_DEFINE_ALLOC_GAUGE()
+
 using namespace slin;
+
+namespace {
+
+/// Events before this index warm the monitor (interner, window slots,
+/// success chain, arena blocks all reach their steady capacity); heap
+/// allocations are counted from here on. Runs shorter than the warm-up
+/// report allocs_per_event = 0 over zero counted events.
+constexpr std::size_t SteadyFromEvent = 1024;
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   unsigned Clients = 3;
@@ -103,7 +120,10 @@ int main(int Argc, char **Argv) {
     std::int64_t Key = 1 + (I % 2);
     switch ((I / Clients) % 3) {
     case 0:
-      Harness.submitAt(At, C, kv::put(Key, 10 * (I + 1)));
+      // Values cycle through a bounded space: the monitor's input alphabet
+      // then stops growing after warm-up, which the allocation-free steady
+      // state depends on (a fresh input interns, and interning allocates).
+      Harness.submitAt(At, C, kv::put(Key, 10 * (1 + I % 64)));
       break;
     case 1:
       Harness.submitAt(At, C, kv::get(Key));
@@ -116,11 +136,19 @@ int main(int Argc, char **Argv) {
   if (CrashAt >= 0 && Servers > 2)
     Harness.crashServerAt(static_cast<SimTime>(CrashAt), 0);
 
-  IncrementalLinSession Monitor(Kv);
+  // Outcome-only monitor: no trace view, no retired-witness retention —
+  // the configuration under which steady-state events are allocation-free
+  // (the summary's allocs_per_event asserts it).
+  IncrementalOptions MonitorConfig;
+  MonitorConfig.RetainTrace = false;
+  MonitorConfig.RetainRetiredWitness = false;
+  IncrementalLinSession Monitor(Kv, MonitorConfig);
   std::size_t Fed = 0;
   std::uint64_t TotalNodes = 0;
   double TotalMs = 0;
   double MaxMs = 0;
+  std::uint64_t SteadyAllocs = 0;
+  std::size_t SteadyEvents = 0;
   Verdict Final = Verdict::Yes;
 
   // Streams every newly observed object-level event into the monitor and
@@ -129,6 +157,8 @@ int main(int Argc, char **Argv) {
     const Trace &T = Harness.objectTrace();
     for (; Fed != T.size(); ++Fed) {
       const Action &A = T[Fed];
+      bool Steady = Fed >= SteadyFromEvent;
+      std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
       auto Start = std::chrono::steady_clock::now();
       Monitor.append(A);
       LinCheckOptions MonitorOpts;
@@ -137,6 +167,10 @@ int main(int Argc, char **Argv) {
       double Ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
+      if (Steady) {
+        SteadyAllocs += AllocGauge::count() - Allocs0;
+        ++SteadyEvents;
+      }
       TotalNodes += R.NodesExplored;
       TotalMs += Ms;
       MaxMs = Ms > MaxMs ? Ms : MaxMs;
@@ -173,7 +207,9 @@ int main(int Argc, char **Argv) {
               "\"search_nodes_total\":%llu,\"frontier_resumes\":%llu,"
               "\"seed_steps_replayed\":%llu,\"seed_steps_skipped\":%llu,"
               "\"retired_obligations\":%llu,\"live_window\":%zu,"
-              "\"live_window_high_water\":%llu,\"window_overflows\":%llu}}\n",
+              "\"live_window_high_water\":%llu,\"window_overflows\":%llu,"
+              "\"steady_events\":%zu,\"allocs_per_event\":%.6f,"
+              "\"alloc_gauge_active\":%d}}\n",
               Fed,
               Final == Verdict::Yes   ? "yes"
               : Final == Verdict::No  ? "no"
@@ -192,6 +228,12 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(
                   Monitor.stats().LiveWindowHighWater),
               static_cast<unsigned long long>(
-                  Monitor.stats().WindowOverflows));
+                  Monitor.stats().WindowOverflows),
+              SteadyEvents,
+              SteadyEvents
+                  ? static_cast<double>(SteadyAllocs) /
+                        static_cast<double>(SteadyEvents)
+                  : 0.0,
+              AllocGauge::active() ? 1 : 0);
   return Final == Verdict::Yes ? 0 : 1;
 }

@@ -11,31 +11,15 @@
 
 using namespace slin;
 
+using detail::mix64;
+using detail::pairMix;
+
 namespace {
-
-/// Stafford/splitmix finalizer: the per-(id, count) mix folded into the
-/// incremental used-multiset hash.
-std::uint64_t mix64(std::uint64_t X) {
-  X += 0x9e3779b97f4a7c15ULL;
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
-  return X ^ (X >> 31);
-}
-
-/// XOR-combinable fingerprint of the pair (id, count). The used multiset is
-/// exactly the set of such pairs with count > 0, so XOR-ing fingerprints in
-/// and out as counts change maintains an order-independent multiset hash in
-/// O(1) per append/undo — where the seed checkers rehashed the whole
-/// multiset at every node.
-std::uint64_t pairMix(InputId Id, std::int32_t Count) {
-  return mix64((static_cast<std::uint64_t>(Id) << 32) |
-               static_cast<std::uint32_t>(Count));
-}
 
 /// One depth-first search run over a ChainProblem.
 class Runner {
 public:
-  Runner(const ChainProblem &P, const ChainLimits &Limits,
+  Runner(const ChainProblemView &P, const ChainLimits &Limits,
          const InputInterner &Interner, TranspositionTable &Memo,
          Arena &Scratch, std::uint64_t Salt)
       : P(P), Limits(Limits), Interner(Interner), Memo(Memo),
@@ -44,14 +28,14 @@ public:
 
   ChainResult run() {
     ChainResult Result;
-    std::size_t NumOb = P.Commits.size();
+    std::size_t NumOb = P.NumCommits;
     if (NumOb > 64) {
       Result.Outcome = Verdict::Unknown;
       Result.Reason = "more than 64 responses; exact search not attempted";
       return Result;
     }
     Base = P.SeedBase;
-    if (Base && (!P.RetiredPrefix || P.RetiredPrefix->size() != Base)) {
+    if (Base && (!P.RetiredPrefix || P.RetiredPrefixLen != Base)) {
       // A virtual seed without its retired ids cannot be replayed if
       // adoption fails; refuse up front rather than risk a wrong answer.
       Result.Outcome = Verdict::Unknown;
@@ -89,7 +73,7 @@ public:
     TrackIds = F != nullptr;
     bool Adopted = F && F->Valid && F->State && !P.ForceCloneStates &&
                    F->State->supportsUndo() &&
-                   F->Len == Base + P.Seed.size() && F->Len != 0 &&
+                   F->Len == Base + P.SeedLen && F->Len != 0 &&
                    F->Used.size() <= A;
     std::unique_ptr<AdtState> State =
         Adopted ? std::move(F->State) : P.Type->makeState();
@@ -100,7 +84,8 @@ public:
     // the run starts at the retained frontier. Deficit counters are
     // maintained only for the remaining (active) obligations.
     std::uint64_t PreCommitted = 0;
-    for (const auto &[Index, Len] : P.SeedCommits) {
+    for (std::size_t I = 0; I != P.NumSeedCommits; ++I) {
+      const auto &[Index, Len] = P.SeedCommits[I];
       PreCommitted |= 1ull << Index;
       Commits.push_back({P.Commits[Index].Tag, Len});
     }
@@ -112,11 +97,11 @@ public:
     if (Adopted) {
       std::copy(F->Used.begin(), F->Used.end(), Used);
       UsedHash = F->UsedHash;
-      Master.reserve(P.Seed.size());
-      MasterIds.reserve(P.Seed.size());
-      for (InputId Id : P.Seed) {
-        Master.push_back(Interner.input(Id));
-        MasterIds.push_back(Id);
+      Master.reserve(P.SeedLen);
+      MasterIds.reserve(P.SeedLen);
+      for (std::size_t I = 0; I != P.SeedLen; ++I) {
+        Master.push_back(Interner.input(P.Seed[I]));
+        MasterIds.push_back(P.Seed[I]);
       }
       if (P.SequenceSensitive) {
         std::uint64_t H = F->SeqHash;
@@ -124,11 +109,10 @@ public:
           // Captured before the problem became sequence-sensitive (first
           // abort): fold the seed's hash once, without touching the ADT.
           H = SeqHashes.back();
-          if (Base)
-            for (InputId Id : *P.RetiredPrefix)
-              H = hashCombine(H, IdHash[Id]);
-          for (InputId Id : P.Seed)
-            H = hashCombine(H, IdHash[Id]);
+          for (std::size_t I = 0; I != P.RetiredPrefixLen; ++I)
+            H = hashCombine(H, IdHash[P.RetiredPrefix[I]]);
+          for (std::size_t I = 0; I != P.SeedLen; ++I)
+            H = hashCombine(H, IdHash[P.Seed[I]]);
         }
         SeqHashes.push_back(H);
       }
@@ -140,22 +124,24 @@ public:
           if (Used[Id] > Avail[R][Id])
             ++Deficit[R];
       }
-      Stats.SeedStepsSkipped += Base + P.Seed.size();
+      Stats.SeedStepsSkipped += Base + P.SeedLen;
     } else {
       // The retired prefix (if any) is replayed for its state, counts, and
       // hashes but never materialized into the master: its inputs are part
       // of every commit history, yet only the caller that retired them can
       // name them in a witness.
       if (Base)
-        for (InputId Id : *P.RetiredPrefix) {
+        for (std::size_t I = 0; I != P.RetiredPrefixLen; ++I) {
+          InputId Id = P.RetiredPrefix[I];
           State->apply(Interner.input(Id));
           applyVirtual(Id);
         }
-      for (InputId Id : P.Seed) {
+      for (std::size_t I = 0; I != P.SeedLen; ++I) {
+        InputId Id = P.Seed[I];
         State->apply(Interner.input(Id));
         push(Id);
       }
-      Stats.SeedStepsReplayed += Base + P.Seed.size();
+      Stats.SeedStepsReplayed += Base + P.SeedLen;
     }
 
     bool Found = dfs(PreCommitted, *State);
@@ -252,14 +238,14 @@ private:
 
   bool atLeaf() {
     ++Stats.LeafChecks;
-    if (!P.AcceptLeaf)
+    if (!P.AcceptLeaf || !*P.AcceptLeaf)
       return true;
     std::size_t MaxCommitLen = 0;
     for (const auto &[Tag, Len] : Commits) {
       (void)Tag;
       MaxCommitLen = std::max(MaxCommitLen, Len);
     }
-    return P.AcceptLeaf(Master, MaxCommitLen);
+    return (*P.AcceptLeaf)(Master, MaxCommitLen);
   }
 
   bool dfs(std::uint64_t Committed, AdtState &State) {
@@ -293,7 +279,7 @@ private:
     // the way back; otherwise each child runs on a clone (the fallback for
     // ADTs without undo and for differential testing). Move order, stats,
     // and pruning are identical in both modes.
-    for (std::size_t R = 0, E = P.Commits.size(); R != E; ++R) {
+    for (std::size_t R = 0, E = P.NumCommits; R != E; ++R) {
       if (Committed & (1ull << R))
         continue;
       const CommitObligation &Ob = P.Commits[R];
@@ -341,7 +327,7 @@ private:
     std::size_t NumCandidates = 0;
     for (InputId Id = 0; Id != P.AlphabetSize; ++Id) {
       std::int32_t Min = INT32_MAX;
-      for (std::size_t R = 0, E = P.Commits.size(); R != E && Min > 0; ++R)
+      for (std::size_t R = 0, E = P.NumCommits; R != E && Min > 0; ++R)
         if (!(Committed & (1ull << R)))
           Min = std::min(Min, Avail[R][Id] - Used[Id]);
       if (Min > 0 && Min != INT32_MAX)
@@ -389,7 +375,7 @@ private:
     return Frames[Depth];
   }
 
-  const ChainProblem &P;
+  const ChainProblemView &P;
   const ChainLimits &Limits;
   const InputInterner &Interner;
   TranspositionTable &Memo;
@@ -445,6 +431,34 @@ void slin::advanceFrontierState(FrontierState &F, const InputInterner &Interner,
 }
 
 ChainResult ChainSearch::run(const ChainProblem &Problem,
+                             const ChainLimits &Limits, std::uint64_t Salt) {
+  // The owning form is a convenience wrapper: flatten it to a view and run
+  // the one search implementation, so batch and hot-path entries cannot
+  // diverge in verdicts or node counts.
+  ChainProblemView V;
+  V.Type = Problem.Type;
+  V.AlphabetSize = Problem.AlphabetSize;
+  V.Commits = Problem.Commits.data();
+  V.NumCommits = Problem.Commits.size();
+  V.Seed = Problem.Seed.data();
+  V.SeedLen = Problem.Seed.size();
+  V.SeedBase = Problem.SeedBase;
+  V.RetiredPrefix = Problem.RetiredPrefix ? Problem.RetiredPrefix->data()
+                                          : nullptr;
+  V.RetiredPrefixLen = Problem.RetiredPrefix ? Problem.RetiredPrefix->size()
+                                             : 0;
+  V.SeedCommits = Problem.SeedCommits.data();
+  V.NumSeedCommits = Problem.SeedCommits.size();
+  V.SequenceSensitive = Problem.SequenceSensitive;
+  V.ForceCloneStates = Problem.ForceCloneStates;
+  V.AcceptLeaf = Problem.AcceptLeaf ? &Problem.AcceptLeaf : nullptr;
+  V.Retained = Problem.Retained;
+  V.ProbeSalt = Problem.ProbeSalt;
+  V.HaveProbeSalt = Problem.HaveProbeSalt;
+  return run(V, Limits, Salt);
+}
+
+ChainResult ChainSearch::run(const ChainProblemView &Problem,
                              const ChainLimits &Limits, std::uint64_t Salt) {
   Runner R(Problem, Limits, Interner, Memo, Scratch, mix64(Salt));
   return R.run();

@@ -55,6 +55,32 @@
 
 namespace slin {
 
+namespace detail {
+
+/// Stafford/splitmix finalizer: the per-(id, count) mix folded into the
+/// incremental used-multiset hash, and the salt scrambler applied to
+/// ChainSearch::run's Salt. Shared (inline) between the engine and the
+/// resumable session's 1-node fast path so both compute bit-identical memo
+/// keys and hash folds from one definition.
+inline std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// XOR-combinable fingerprint of the pair (id, count). The used multiset is
+/// exactly the set of such pairs with count > 0, so XOR-ing fingerprints in
+/// and out as counts change maintains an order-independent multiset hash in
+/// O(1) per append/undo — where the seed checkers rehashed the whole
+/// multiset at every node.
+inline std::uint64_t pairMix(InputId Id, std::int32_t Count) {
+  return mix64((static_cast<std::uint64_t>(Id) << 32) |
+               static_cast<std::uint32_t>(Count));
+}
+
+} // namespace detail
+
 /// Three-valued checker outcome.
 enum class Verdict : std::uint8_t {
   Yes,     ///< Property holds; a witness is attached where applicable.
@@ -247,6 +273,49 @@ struct ChainProblem {
   bool HaveProbeSalt = false;
 };
 
+/// A non-owning view of a chain-search instance: the same fields as
+/// ChainProblem, flattened to raw pointer/length pairs over caller-retained
+/// storage. This is the data-oriented hot-path entry: a resumable session
+/// maintains its live obligation window as persistent parallel arrays
+/// (SoA) and hands the engine a view over them each event, instead of
+/// materializing a fresh ChainProblem (vector copies of commits, seed,
+/// and seed-commit rows) per verdict. ChainSearch::run(const ChainProblem&)
+/// wraps the owning form in a view and delegates, so both entries execute
+/// the identical search — verdicts and node counts cannot drift.
+///
+/// Lifetimes: every pointed-to range (Commits, their Available rows, Seed,
+/// RetiredPrefix, SeedCommits, AcceptLeaf) must outlive the run() call.
+struct ChainProblemView {
+  const Adt *Type = nullptr;
+  InputId AlphabetSize = 0;
+  /// Obligations in move-attempt order; at most 64. Available rows must
+  /// have AlphabetSize entries each.
+  const CommitObligation *Commits = nullptr;
+  std::size_t NumCommits = 0;
+  /// Pre-applied master prefix (dense ids).
+  const InputId *Seed = nullptr;
+  std::size_t SeedLen = 0;
+  /// Retired master inputs virtually preceding Seed (ChainProblem::SeedBase).
+  std::size_t SeedBase = 0;
+  /// Dense ids of the retired prefix; must have exactly SeedBase elements
+  /// whenever SeedBase != 0 (replay fallback + late sequence-hash folds).
+  const InputId *RetiredPrefix = nullptr;
+  std::size_t RetiredPrefixLen = 0;
+  /// (obligation index, absolute master length) pairs committed in the seed.
+  const std::pair<std::size_t, std::size_t> *SeedCommits = nullptr;
+  std::size_t NumSeedCommits = 0;
+  bool SequenceSensitive = false;
+  bool ForceCloneStates = false;
+  /// Borrowed leaf predicate; null (or pointing at an empty std::function)
+  /// accepts every leaf. A pointer rather than a copy: the view itself must
+  /// never allocate.
+  const std::function<bool(const History &Master, std::size_t MaxCommitLen)>
+      *AcceptLeaf = nullptr;
+  FrontierState *Retained = nullptr;
+  std::uint64_t ProbeSalt = 0;
+  bool HaveProbeSalt = false;
+};
+
 /// Outcome of one search run. On Yes, Master/Commits describe the witness
 /// chain: Commits maps each obligation's Tag to its commit history's length
 /// (a prefix of Master). Under ChainProblem::SeedBase, Master holds only
@@ -281,6 +350,12 @@ public:
       : Interner(Interner), Memo(Memo), Scratch(Scratch) {}
 
   ChainResult run(const ChainProblem &Problem, const ChainLimits &Limits,
+                  std::uint64_t Salt = 0);
+
+  /// Runs the identical search over a non-owning problem view (the
+  /// allocation-free steady-state entry). The owning overload above wraps
+  /// its problem in a view and calls this.
+  ChainResult run(const ChainProblemView &Problem, const ChainLimits &Limits,
                   std::uint64_t Salt = 0);
 
 private:

@@ -100,6 +100,13 @@ struct SessionStats {
   /// success frontier (engine/Incremental.h) rather than a full root
   /// search. Batch sessions never bump this.
   std::uint64_t FrontierResumes = 0;
+  /// Verdicts the data-oriented steady-state fast path served in-session —
+  /// one new obligation absorbed onto the retained frontier with branchless
+  /// mask/count checks, never materializing a problem or entering the
+  /// engine's DFS. A subset of FrontierResumes; bookkeeping (node counts,
+  /// frontier updates, memo stats) is bit-identical to the engine run it
+  /// replaces. Batch sessions never bump this.
+  std::uint64_t FastPathVerdicts = 0;
   /// Obligations a windowed session folded into its retired prefix at
   /// quiescent cuts (engine/Incremental.h); what keeps the live window —
   /// and therefore every steady-state verdict — bounded on unbounded
@@ -136,6 +143,7 @@ struct SessionStats {
     No += S.No;
     Unknown += S.Unknown;
     FrontierResumes += S.FrontierResumes;
+    FastPathVerdicts += S.FastPathVerdicts;
     RetiredObligations += S.RetiredObligations;
     WindowOverflows += S.WindowOverflows;
     WindowRetiredUnknowns += S.WindowRetiredUnknowns;

@@ -105,15 +105,20 @@ BudgetSplit splitBudget(std::uint64_t SpentNodes,
 /// (created fresh on first use) over the chain segment up to the K-th row's
 /// absolute length and splices ids/rows into the retired storage. The
 /// soundness-critical bookkeeping lives here exactly once.
+/// \p RetiredLenSoFar is the retired chain length before this fold (the lin
+/// session tracks it as a counter so the materialized ids can be optional);
+/// \p RetainWitness controls whether the ids and rows are spliced into the
+/// retired storage at all — the boundary replay state always advances, as
+/// it is what keeps post-retirement searches sound.
 void foldIntoRetired(
     const Adt &Type, const InputInterner &Interner, FrontierState &Boundary,
     std::vector<InputId> &RetiredMaster,
     std::vector<std::pair<std::size_t, std::size_t>> &RetiredCommits,
     const std::vector<InputId> &Chain,
     const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
-    std::size_t K) {
+    std::size_t K, std::size_t RetiredLenSoFar, bool RetainWitness) {
   std::size_t L = Rows[K - 1].second; // Absolute chain length at the cut.
-  std::size_t LiveTake = L - RetiredMaster.size();
+  std::size_t LiveTake = L - RetiredLenSoFar;
   if (!Boundary.Valid) {
     Boundary.State = Type.makeState();
     Boundary.Used.assign(Interner.size(), 0);
@@ -127,12 +132,118 @@ void foldIntoRetired(
   // advances incrementally, keeping the whole scheme O(1) amortized per
   // event.
   advanceFrontierState(Boundary, Interner, Chain.data(), LiveTake);
-  RetiredMaster.insert(RetiredMaster.end(), Chain.begin(),
-                       Chain.begin() + LiveTake);
-  RetiredCommits.insert(RetiredCommits.end(), Rows.begin(), Rows.begin() + K);
+  if (RetainWitness) {
+    RetiredMaster.insert(RetiredMaster.end(), Chain.begin(),
+                         Chain.begin() + LiveTake);
+    RetiredCommits.insert(RetiredCommits.end(), Rows.begin(),
+                          Rows.begin() + K);
+  }
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// IncrementalLinSession::LiveWindow
+//===----------------------------------------------------------------------===//
+
+void IncrementalLinSession::LiveWindow::ensureStride(
+    std::size_t AlphabetSize) {
+  if (Stride >= AlphabetSize)
+    return;
+  std::size_t NewStride = Stride ? Stride : 64;
+  while (NewStride < AlphabetSize)
+    NewStride *= 2;
+  // Re-lay the live rows out at the wider stride, compacting to the front
+  // (slots and invoke indices move with them to stay row-aligned). Rare:
+  // the alphabet grows past a power of two at most O(log |I|) times, ever.
+  std::vector<std::int32_t> NewStore(Slots.size() * NewStride, 0);
+  for (std::size_t Q = 0; Q != N; ++Q)
+    std::copy(AvailStore.begin() +
+                  static_cast<std::ptrdiff_t>((Base + Q) * Stride),
+              AvailStore.begin() +
+                  static_cast<std::ptrdiff_t>((Base + Q + 1) * Stride),
+              NewStore.begin() + static_cast<std::ptrdiff_t>(Q * NewStride));
+  AvailStore = std::move(NewStore);
+  if (Base != 0) {
+    std::move(Slots.begin() + static_cast<std::ptrdiff_t>(Base),
+              Slots.begin() + static_cast<std::ptrdiff_t>(Base + N),
+              Slots.begin());
+    std::move(Invokes.begin() + static_cast<std::ptrdiff_t>(Base),
+              Invokes.begin() + static_cast<std::ptrdiff_t>(Base + N),
+              Invokes.begin());
+    Base = 0;
+  }
+  Stride = NewStride;
+}
+
+void IncrementalLinSession::LiveWindow::pushResponse(
+    std::size_t Tag, InputId In, const Output &Out, std::size_t InvokeIdx,
+    std::uint64_t MustFollow, const std::vector<std::int32_t> &Invoked) {
+  ensureStride(Invoked.size());
+  if (Base + N == Slots.size()) {
+    if (Base != 0) {
+      // Reuse the front vacated by retirement: a steady-state append after
+      // a fold slides rows forward within existing storage — no heap
+      // traffic on the event path. (Source index always exceeds the
+      // destination, so the forward copies are overlap-safe.)
+      std::move(Slots.begin() + static_cast<std::ptrdiff_t>(Base),
+                Slots.begin() + static_cast<std::ptrdiff_t>(Base + N),
+                Slots.begin());
+      std::move(Invokes.begin() + static_cast<std::ptrdiff_t>(Base),
+                Invokes.begin() + static_cast<std::ptrdiff_t>(Base + N),
+                Invokes.begin());
+      for (std::size_t Q = 0; Q != N; ++Q)
+        std::copy(AvailStore.begin() +
+                      static_cast<std::ptrdiff_t>((Base + Q) * Stride),
+                  AvailStore.begin() +
+                      static_cast<std::ptrdiff_t>((Base + Q + 1) * Stride),
+                  AvailStore.begin() + static_cast<std::ptrdiff_t>(Q * Stride));
+      Base = 0;
+    } else {
+      std::size_t NewCap = std::max<std::size_t>(128, Slots.size() * 2);
+      Slots.resize(NewCap);
+      Invokes.resize(NewCap);
+      AvailStore.resize(NewCap * Stride, 0);
+    }
+  }
+  std::size_t Row = Base + N;
+  CommitObligation &C = Slots[Row];
+  C.Tag = Tag;
+  C.In = In;
+  C.Out = Out;
+  C.MustFollow = MustFollow;
+  C.Available = nullptr; // Published by finalize() before every run.
+  Invokes[Row] = InvokeIdx;
+  // Zero-extending the row to the stride at write time realizes the old
+  // lazy zero-extension contract: an input first interned after this
+  // response cannot have been invoked before it.
+  std::int32_t *Dst = AvailStore.data() + Row * Stride;
+  std::copy(Invoked.begin(), Invoked.end(), Dst);
+  std::fill(Dst + Invoked.size(), Dst + Stride, 0);
+  ++N;
+}
+
+std::size_t
+IncrementalLinSession::LiveWindow::lowerBoundTag(std::size_t T) const {
+  // Tags are strictly increasing in trace order.
+  std::size_t Lo = 0, Hi = N;
+  while (Lo != Hi) {
+    std::size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Slots[Base + Mid].Tag < T)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+const CommitObligation *
+IncrementalLinSession::LiveWindow::finalize(InputId AlphabetSize) {
+  ensureStride(AlphabetSize);
+  for (std::size_t Q = 0; Q != N; ++Q)
+    Slots[Base + Q].Available = AvailStore.data() + (Base + Q) * Stride;
+  return Slots.data() + Base;
+}
 
 //===----------------------------------------------------------------------===//
 // IncrementalLinSession
@@ -141,6 +252,8 @@ void foldIntoRetired(
 IncrementalLinSession::IncrementalLinSession(const Adt &Type,
                                              const IncrementalOptions &Opts)
     : Type(Type), Opts(Opts), Memo(Opts.TranspositionCapacity) {
+  if (!Opts.RetainTrace)
+    Builder.setRetainView(false);
   LineageSalt = nextLineageSalt();
 }
 
@@ -180,26 +293,27 @@ WellFormedness IncrementalLinSession::append(const Action &A) {
   // what retirement derives its quiescent cut from, so it must be exact).
   std::size_t InvokeIdx = OpenInvoke[A.Client];
   OpenInvoke[A.Client] = SIZE_MAX;
-  // One new obligation, derived in O(window).
-  Obligation Ob;
-  Ob.Tag = I;
-  Ob.In = Interner.intern(A.In);
-  Ob.Out = A.Out;
-  Ob.InvokeIdx = InvokeIdx;
-  Ob.Avail = Invoked; // elems(inputs(t, I)), Definition 9.
+  // One new obligation, derived in O(log window).
+  InputId In = Interner.intern(A.In);
   if (Obligations.size() == WindowLimit)
     retireQuiescentPrefix(); // The cheap cached-chain fold, search-free.
-  if (Obligations.size() < WindowLimit)
-    for (std::size_t Q = 0, E = Obligations.size(); Q != E; ++Q) {
-      if (Obligations[Q].Tag < Ob.InvokeIdx)
-        Ob.MustFollow |= 1ull << Q; // Real-time Order (window-relative bit).
-    }
+  std::uint64_t MustFollow = 0;
+  if (Obligations.size() < WindowLimit) {
+    // Real-time Order, window-relative bits. Obligation tags increase in
+    // trace order, so the predecessors — obligations whose response tag
+    // precedes this operation's invocation — are exactly a window prefix:
+    // one binary search and one shift instead of a per-slot scan.
+    std::size_t K = Obligations.lowerBoundTag(InvokeIdx);
+    MustFollow = (K == 0) ? 0 : (~0ull >> (64 - K));
+  }
   // else: the window is in an overflow excursion (a straggling operation
   // overlaps more completions than the engine's exact search can carry);
   // the mask cannot be represented and is rebuilt when drainOverflow()
   // brings the window back under the limit. Verdicts in between are the
   // structural Unknown, surfaced without a search.
-  Obligations.push_back(std::move(Ob));
+  // The availability row snapshots Invoked: elems(inputs(t, I)),
+  // Definition 9.
+  Obligations.pushResponse(I, In, A.Out, InvokeIdx, MustFollow, Invoked);
   if (Obligations.size() > Stats.LiveWindowHighWater)
     Stats.LiveWindowHighWater = Obligations.size();
   if (Obligations.size() > WindowLimit && !OverflowNoted) {
@@ -241,8 +355,8 @@ std::size_t IncrementalLinSession::alignedRetireLen(
     MaxTag = std::max(MaxTag, Rows[Q - 1].first);
     if (MaxTag >= E)
       break; // The running max only grows; later prefixes cannot qualify.
-    if (MaxTag == Obligations[Q - 1].Tag &&
-        Rows[Q - 1].second >= RetiredMaster.size())
+    if (MaxTag == Obligations.tag(Q - 1) &&
+        Rows[Q - 1].second >= RetiredMasterLen)
       K = Q;
   }
   return K;
@@ -253,8 +367,10 @@ void IncrementalLinSession::foldRetired(
     const std::vector<std::pair<std::size_t, std::size_t>> &Rows,
     std::size_t K) {
   foldIntoRetired(Type, Interner, RetiredBoundary, RetiredMaster,
-                  RetiredCommits, Chain, Rows, K);
-  Obligations.erase(Obligations.begin(), Obligations.begin() + K);
+                  RetiredCommits, Chain, Rows, K, RetiredMasterLen,
+                  Opts.RetainRetiredWitness);
+  RetiredMasterLen = Rows[K - 1].second;
+  Obligations.eraseFront(K);
   WindowBase += K;
   Stats.RetiredObligations += K;
   // Memo keys embed window-relative committed masks; the shift re-numbers
@@ -279,9 +395,9 @@ void IncrementalLinSession::retireQuiescentPrefix() {
   if (K == 0)
     return;
   std::size_t L = SuccessCommits[K - 1].second;
-  if (L - RetiredMaster.size() > SuccessMaster.size())
+  if (L - RetiredMasterLen > SuccessMaster.size())
     return; // Defensive: a malformed row must never pin a prefix.
-  std::size_t LiveTake = L - RetiredMaster.size();
+  std::size_t LiveTake = L - RetiredMasterLen;
   foldRetired(SuccessMaster, SuccessCommits, K);
   // The cached chain stays valid beyond the fold: trim its retired part
   // and shift the surviving masks to the shrunk window's bit positions
@@ -289,8 +405,7 @@ void IncrementalLinSession::retireQuiescentPrefix() {
   SuccessMaster.erase(SuccessMaster.begin(), SuccessMaster.begin() + LiveTake);
   SuccessCommits.erase(SuccessCommits.begin(), SuccessCommits.begin() + K);
   CheckedObligations -= K;
-  for (Obligation &Ob : Obligations)
-    Ob.MustFollow >>= K;
+  Obligations.shiftMasks(K);
 }
 
 void IncrementalLinSession::rebuildMasks() {
@@ -300,11 +415,12 @@ void IncrementalLinSession::rebuildMasks() {
   // obligations had no representable mask at all.
   for (std::size_t Q = 0, N = Obligations.size(); Q != N; ++Q) {
     std::uint64_t M = 0;
-    if (Q < WindowLimit)
-      for (std::size_t P = 0; P != Q; ++P)
-        if (Obligations[P].Tag < Obligations[Q].InvokeIdx)
-          M |= 1ull << P;
-    Obligations[Q].MustFollow = M;
+    if (Q < WindowLimit) {
+      std::size_t K = Obligations.lowerBoundTag(Obligations.invokeIdx(Q));
+      M = (K == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(K, 64)));
+      M &= (Q == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(Q, 64)));
+    }
+    Obligations.setMustFollow(Q, M);
   }
 }
 
@@ -325,7 +441,7 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
   bool FoldedAny = false;
   while (Obligations.size() > WindowLimit) {
     std::size_t E = openCut();
-    if (Obligations.front().Tag >= E)
+    if (Obligations.tag(0) >= E)
       break; // Pinned by an open straggler; O(clients) and no search.
     BudgetSplit Split = splitBudget(SpentNodes, DrainStart, Limits.NodeBudget,
                                     Limits.TimeBudgetMillis);
@@ -340,8 +456,8 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
     // window and with fresh masks (the stored ones are deferred/stale
     // during an excursion).
     ChainProblem P = buildProblem(WindowLimit, /*RecomputeMasks=*/true);
-    P.SeedBase = RetiredMaster.size();
-    if (P.SeedBase)
+    P.SeedBase = RetiredMasterLen;
+    if (P.SeedBase && Opts.RetainRetiredWitness)
       P.RetiredPrefix = &RetiredMaster;
     // Adopt a clone of the retired boundary (or run fresh when nothing is
     // retired yet); the scratch state doubles as the MasterIds request.
@@ -377,8 +493,8 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
       break;
     }
     std::size_t K = alignedRetireLen(R.Commits, WindowLimit, E);
-    if (K == 0 || R.Commits[K - 1].second - RetiredMaster.size() >
-                      R.MasterIds.size())
+    if (K == 0 ||
+        R.Commits[K - 1].second - RetiredMasterLen > R.MasterIds.size())
       break;
     foldRetired(R.MasterIds, R.Commits, K);
     FoldedAny = true;
@@ -401,7 +517,9 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
 }
 
 void IncrementalLinSession::completeWitness(LinWitness &W) const {
-  if (WindowBase == 0)
+  // With witness retention off the retired ids/rows were never stored;
+  // the witness stays in its live-window (post-retirement) form.
+  if (WindowBase == 0 || !Opts.RetainRetiredWitness)
     return;
   History Full;
   Full.reserve(RetiredMaster.size() + W.Master.size());
@@ -420,27 +538,20 @@ ChainProblem IncrementalLinSession::buildProblem(std::size_t Count,
   P.Type = &Type;
   P.AlphabetSize = Interner.size();
   P.ForceCloneStates = !Opts.UseUndoStates;
-  P.Commits.reserve(Count);
-  for (std::size_t Q = 0; Q != Count; ++Q) {
-    Obligation &Ob = Obligations[Q];
-    // Zero-extend lazily: an input interned after this response cannot
-    // have been invoked before it.
-    if (Ob.Avail.size() < P.AlphabetSize)
-      Ob.Avail.resize(P.AlphabetSize, 0);
-    CommitObligation C;
-    C.Tag = Ob.Tag;
-    C.In = Ob.In;
-    C.Out = Ob.Out;
-    C.MustFollow = Ob.MustFollow;
-    if (RecomputeMasks) {
-      C.MustFollow = 0;
+  // finalize() zero-extends the availability rows to the alphabet and
+  // publishes the Available pointers; the owning problem copies the
+  // engine-ready slots. (The copied pointers stay valid until the next
+  // window mutation — every caller runs the engine before that.)
+  const CommitObligation *Rows = Obligations.finalize(P.AlphabetSize);
+  P.Commits.assign(Rows, Rows + Count);
+  if (RecomputeMasks)
+    for (std::size_t Q = 0; Q != Count; ++Q) {
+      std::uint64_t M = 0;
       for (std::size_t R = 0; R != Q; ++R)
-        if (Obligations[R].Tag < Ob.InvokeIdx)
-          C.MustFollow |= 1ull << R;
+        if (Obligations.tag(R) < Obligations.invokeIdx(Q))
+          M |= 1ull << R;
+      P.Commits[Q].MustFollow = M;
     }
-    C.Available = Ob.Avail.data();
-    P.Commits.push_back(std::move(C));
-  }
   if (HavePrefixSalt) {
     P.ProbeSalt = PrefixSalt;
     P.HaveProbeSalt = true;
@@ -451,13 +562,6 @@ ChainProblem IncrementalLinSession::buildProblem(std::size_t Count,
 LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
                                                 bool FromFrontier) {
   Scratch.reset();
-  ChainProblem P = buildProblem();
-  // The retired prefix rides behind the engine's virtual seed: searches
-  // cover the live window only, and neither the frontier resumption nor
-  // the fallback ever re-materializes or re-replays the retired ids.
-  P.SeedBase = RetiredMaster.size();
-  if (P.SeedBase)
-    P.RetiredPrefix = &RetiredMaster;
   // The fallback full-root search under a retired prefix adopts a clone of
   // the retired-boundary replay state (the session frontier sits at the
   // chain's *end*, not the boundary); on Yes the advanced clone becomes
@@ -465,33 +569,68 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
   // survives untouched.
   FrontierState BoundaryScratch;
   bool CaptureFromBoundary = false;
-  if (FromFrontier) {
-    P.Seed = SuccessMaster;
-    P.SeedCommits.reserve(SuccessCommits.size());
-    for (const auto &[Tag, Len] : SuccessCommits) {
-      // Obligations are in trace order, so Tag resolves by binary search.
-      auto It = std::lower_bound(
-          Obligations.begin(), Obligations.end(), Tag,
-          [](const Obligation &Ob, std::size_t T) { return Ob.Tag < T; });
-      P.SeedCommits.push_back(
-          {static_cast<std::size_t>(It - Obligations.begin()), Len});
-    }
-  }
+  FrontierState *Retained = nullptr;
   // Hand the engine the retained replay state: a frontier-seeded run
   // adopts it (zero seed replay) and every accepting run — including the
   // completeness fallback — captures its leaf into it. Reference mode
   // retains nothing.
   if (!FromFrontier && this->Opts.Resume && WindowBase != 0) {
     BoundaryScratch = RetiredBoundary.snapshot();
-    P.Retained = &BoundaryScratch;
+    Retained = &BoundaryScratch;
     CaptureFromBoundary = true;
   } else {
-    P.Retained = this->Opts.Resume ? &Frontier : nullptr;
+    Retained = this->Opts.Resume ? &Frontier : nullptr;
   }
+  SeedCommitsScratch.clear();
+  if (FromFrontier)
+    for (const auto &[Tag, Len] : SuccessCommits)
+      // Obligations are in trace order, so Tag resolves by binary search.
+      SeedCommitsScratch.push_back({Obligations.lowerBoundTag(Tag), Len});
 
   ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
   ChainSearch Engine(Interner, Memo, Scratch);
-  ChainResult R = Engine.run(P, Limits, LineageSalt);
+  ChainResult R;
+  if (this->Opts.DataOriented) {
+    // Hot path: hand the engine a view over the window's persistent SoA
+    // storage — no per-verdict commit-row vector is materialized.
+    ChainProblemView V;
+    V.Type = &Type;
+    V.AlphabetSize = Interner.size();
+    V.Commits = Obligations.finalize(V.AlphabetSize);
+    V.NumCommits = Obligations.size();
+    V.ForceCloneStates = !this->Opts.UseUndoStates;
+    // The retired prefix rides behind the engine's virtual seed: searches
+    // cover the live window only, and neither the frontier resumption nor
+    // the fallback ever re-materializes or re-replays the retired ids.
+    V.SeedBase = RetiredMasterLen;
+    if (V.SeedBase && this->Opts.RetainRetiredWitness) {
+      V.RetiredPrefix = RetiredMaster.data();
+      V.RetiredPrefixLen = RetiredMaster.size();
+    }
+    if (FromFrontier) {
+      V.Seed = SuccessMaster.data();
+      V.SeedLen = SuccessMaster.size();
+      V.SeedCommits = SeedCommitsScratch.data();
+      V.NumSeedCommits = SeedCommitsScratch.size();
+    }
+    V.Retained = Retained;
+    if (HavePrefixSalt) {
+      V.ProbeSalt = PrefixSalt;
+      V.HaveProbeSalt = true;
+    }
+    R = Engine.run(V, Limits, LineageSalt);
+  } else {
+    ChainProblem P = buildProblem();
+    P.SeedBase = RetiredMasterLen;
+    if (P.SeedBase && this->Opts.RetainRetiredWitness)
+      P.RetiredPrefix = &RetiredMaster;
+    if (FromFrontier) {
+      P.Seed = SuccessMaster;
+      P.SeedCommits = SeedCommitsScratch;
+    }
+    P.Retained = Retained;
+    R = Engine.run(P, Limits, LineageSalt);
+  }
   Stats.Search.accumulate(R.Stats);
   if (R.Outcome == Verdict::Yes && CaptureFromBoundary)
     Frontier = std::move(BoundaryScratch);
@@ -510,6 +649,118 @@ LinCheckResult IncrementalLinSession::runSearch(const LinCheckOptions &Opts,
     Result.Reason = "no linearization function exists";
   }
   return Result;
+}
+
+bool IncrementalLinSession::tryFastResume(const LinCheckOptions &Limits,
+                                          LinCheckResult &Out) {
+  // The steady-state shape: a cached Yes, exactly one new obligation, and
+  // a retained frontier the engine would adopt verbatim. The engine's
+  // resumed run then degenerates to one node — adopt, probe the memo,
+  // check the new obligation's deficit and endpoint, apply one input,
+  // reach the all-committed leaf. This inlines that node over the window's
+  // SoA storage, with bit-identical verdicts and stats bookkeeping, and
+  // touches no heap. Any gate miss returns false with the session
+  // untouched and the regular runSearch() path takes over.
+  if (!Opts.DataOriented || !Opts.UseUndoStates || Limits.WantWitness)
+    return false;
+  const std::size_t N = Obligations.size();
+  if (N == 0 || N > 64)
+    return false;
+  if (CheckedObligations + 1 != N || SuccessCommits.size() + 1 != N)
+    return false;
+  // NodeBudget 0 would exhaust at the first node; let the engine report it.
+  if (Limits.NodeBudget < 1)
+    return false;
+  // Mirror the engine's frontier-adoption conditions exactly (a resumed
+  // run that cannot adopt replays the seed — not this path's business).
+  if (!Frontier.Valid || !Frontier.State || !Frontier.State->supportsUndo())
+    return false;
+  if (Frontier.Len != RetiredMasterLen + SuccessMaster.size() ||
+      Frontier.Len == 0)
+    return false;
+  if (Frontier.Used.size() > Interner.size() ||
+      Frontier.Used.size() > Obligations.stride())
+    return false;
+
+  // The uncommitted obligation is necessarily the newest: SuccessCommits
+  // holds the previous window's tags in order, and the window grew by one.
+  const std::size_t Q = N - 1;
+  const std::uint64_t FullMask = N == 64 ? ~0ull : (1ull << N) - 1;
+  const std::uint64_t Committed = FullMask & ~(1ull << Q);
+  if (Obligations.mustFollow(Q) & ~Committed)
+    return false; // Defensive; a prefix mask can never trip this.
+
+  Scratch.reset();
+  const std::uint64_t Digest = Frontier.State->digest();
+  const std::uint64_t UsedHash = Frontier.UsedHash;
+  auto KeyFor = [&](std::uint64_t S) {
+    return hashCombine(hashCombine(hashCombine(S, Committed), Digest),
+                       UsedHash);
+  };
+  const std::uint64_t Key = KeyFor(detail::mix64(LineageSalt));
+  const std::uint64_t ProbeKey =
+      HavePrefixSalt ? KeyFor(detail::mix64(PrefixSalt)) : 0;
+  Memo.prefetch(Key);
+  if (HavePrefixSalt)
+    Memo.prefetch(ProbeKey);
+
+  // Branchless window-relative deficit scan over the newest obligation's
+  // availability row (the engine computes Deficit[Q] on adoption; every
+  // already-committed obligation's deficit is moot). Used ids beyond the
+  // frontier's dense range are zero and cannot contribute.
+  const std::int32_t *Avail = Obligations.availRow(Q);
+  const std::int32_t *Used = Frontier.Used.data();
+  const std::size_t UsedLen = Frontier.Used.size();
+  bool Over = false;
+  for (std::size_t Id = 0; Id != UsedLen; ++Id)
+    Over |= Used[Id] > Avail[Id];
+  if (Over)
+    return false;
+  // Endpoint check: committing Q consumes one more of its input.
+  const InputId In = Obligations.in(Q);
+  const std::int32_t UsedIn = In < UsedLen ? Used[In] : 0;
+  if (UsedIn + 1 > Avail[In])
+    return false;
+  // Memo probe, short-circuit order as in the engine. A hit means the
+  // engine would fail this subtree and fall through to the full root
+  // search — let it run the whole thing for identical accounting.
+  if (Memo.contains(Key) || (HavePrefixSalt && Memo.contains(ProbeKey)))
+    return false;
+  UndoToken U;
+  if (Frontier.State->applyInput(Interner.input(In), U, Scratch) !=
+      Obligations.out(Q)) {
+    Frontier.State->undoInput(U);
+    return false;
+  }
+
+  // Committed. From here the run is a guaranteed Yes; advance the frontier
+  // in place exactly as the engine's leaf capture would.
+  const std::size_t A = Interner.size();
+  if (Frontier.Used.size() < A)
+    Frontier.Used.resize(A, 0); // Amortized: only when the alphabet grew.
+  const std::int32_t C = Frontier.Used[In]++;
+  if (C > 0)
+    Frontier.UsedHash ^= detail::pairMix(In, C);
+  Frontier.UsedHash ^= detail::pairMix(In, C + 1);
+  Frontier.HasSeqHash = false;
+  Frontier.SeqHash = 0;
+
+  ChainStats S;
+  S.Nodes = 1;
+  S.CommitMoves = 1;
+  S.LeafChecks = 1;
+  S.SeedStepsSkipped = RetiredMasterLen + SuccessMaster.size();
+  Stats.Search.accumulate(S);
+  ++Stats.FrontierResumes;
+  ++Stats.FastPathVerdicts;
+
+  ++Frontier.Len;
+  SuccessMaster.push_back(In);
+  SuccessCommits.push_back({Obligations.tag(Q), Frontier.Len});
+  CheckedObligations = N;
+  Out.Outcome = Verdict::Yes;
+  Out.NodesExplored = 1;
+  return true;
 }
 
 LinCheckResult IncrementalLinSession::finish(LinCheckResult R) {
@@ -600,6 +851,12 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
   std::uint64_t SpentNodes = DrainNodes;
   LinCheckOptions Rest = Avail;
   if (Opts.Resume && HaveResult && Cached == Verdict::Yes) {
+    // Steady state: exactly one new obligation since the Yes. The inlined
+    // resume below places it against the retained frontier directly —
+    // bit-identical stats to the engine run it replaces — without
+    // constructing a problem or touching the heap.
+    if (tryFastResume(Avail, R))
+      return finish(std::move(R));
     // Resume at the retained accepting leaf: only the new obligations
     // need placing. A conclusive No here only rules out that subtree, so
     // it falls through to the full root search (whose memo the subtree's
@@ -693,6 +950,7 @@ void IncrementalLinSession::reset() {
   WindowBase = 0;
   RetiredMaster.clear();
   RetiredCommits.clear();
+  RetiredMasterLen = 0;
   RetiredBoundary.invalidate();
   OverflowNoted = false;
   Mark.reset();
@@ -733,7 +991,7 @@ void IncrementalLinSession::markPrefix() {
   M.SuccessCommits = SuccessCommits;
   M.Frontier = Frontier.snapshot();
   M.WindowBase = WindowBase;
-  M.RetiredLen = RetiredMaster.size();
+  M.RetiredLen = RetiredMasterLen;
   M.RetiredCommitsLen = RetiredCommits.size();
   M.RetiredBoundary = RetiredBoundary.snapshot();
   M.OverflowNoted = OverflowNoted;
@@ -771,8 +1029,11 @@ void IncrementalLinSession::rewindToMark() {
   // mark must survive any number of member checks advancing the frontier).
   Frontier = M.Frontier.snapshot();
   WindowBase = M.WindowBase;
-  RetiredMaster.resize(M.RetiredLen);    // Append-only across folds:
-  RetiredCommits.resize(M.RetiredCommitsLen); // truncation suffices.
+  RetiredMasterLen = M.RetiredLen;
+  if (Opts.RetainRetiredWitness) {
+    RetiredMaster.resize(M.RetiredLen);    // Append-only across folds:
+    RetiredCommits.resize(M.RetiredCommitsLen); // truncation suffices.
+  }
   RetiredBoundary = M.RetiredBoundary.snapshot();
   OverflowNoted = M.OverflowNoted;
   // Restore the mark-time seal: a retirement after the mark disabled the
@@ -938,7 +1199,8 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   auto Fold = [&](InterpFrontier &F, std::size_t K) {
     std::size_t LiveTake = F.Commits[K - 1].second - F.RetiredMaster.size();
     foldIntoRetired(Type, Interner, F.RetiredBoundary, F.RetiredMaster,
-                    F.RetiredCommits, F.Master, F.Commits, K);
+                    F.RetiredCommits, F.Master, F.Commits, K,
+                    F.RetiredMaster.size(), /*RetainWitness=*/true);
     F.Master.erase(F.Master.begin(), F.Master.begin() + LiveTake);
     F.Commits.erase(F.Commits.begin(), F.Commits.begin() + K);
   };

@@ -155,6 +155,30 @@ struct IncrementalOptions {
   /// verdicts, no reuse; exists for differential testing and as the
   /// reference point the resumable path is benchmarked against.
   bool Resume = true;
+  /// Drive steady-state verdicts data-oriented: the lin session maintains
+  /// its live obligation window as persistent parallel arrays, hands the
+  /// engine a ChainProblemView over them (no per-verdict ChainProblem
+  /// materialization), and serves the 1-new-obligation resumed case from
+  /// an in-session fast path (branchless word-mask checks, no engine
+  /// entry). Verdicts, node counts, and every retained artifact are
+  /// bit-identical with this off; off exists for differential testing and
+  /// as the reference the fast path is locked against.
+  bool DataOriented = true;
+  /// Materialize the trace view (TraceBuilder retention). Off makes ingest
+  /// O(1)-space and allocation-free for unbounded outcome-only monitors;
+  /// trace() then returns an empty view (size() still counts), and
+  /// markPrefix/rewindToMark remain usable (they snapshot ingest state,
+  /// not the view). Lin session only.
+  bool RetainTrace = true;
+  /// Keep the materialized retired prefix (dense ids + commit rows) for
+  /// witness completion and the engine's replay fallback. Off makes the
+  /// retired prefix a pure counter — required for a zero-allocation
+  /// unbounded monitor (the prefix otherwise grows without bound) — at the
+  /// cost of witnesses and frontierHistory() omitting the retired region
+  /// and of the replay fallback degrading to a sound Unknown when the
+  /// retained boundary state cannot be adopted (non-undo ADTs, or
+  /// UseUndoStates off). Lin session only.
+  bool RetainRetiredWitness = true;
 };
 
 /// Streaming, resumable plain-linearizability checking (Definition 5) of
@@ -178,7 +202,8 @@ public:
   /// only the nodes this call spent (0 for the O(1) absorption paths).
   LinCheckResult verdict(const LinCheckOptions &Opts = {});
 
-  /// The materialized view of everything ingested.
+  /// The materialized view of everything ingested (empty when
+  /// IncrementalOptions::RetainTrace is off; size() still counts).
   const Trace &trace() const { return Builder.trace(); }
   std::size_t size() const { return Builder.size(); }
 
@@ -214,6 +239,11 @@ public:
 
   const SessionStats &stats() const { return Stats; }
 
+  /// The session's scratch arena (exposed for the allocation-audit tests:
+  /// a steady-state run must leave highWaterBytes()/reservedBytes() flat —
+  /// every event reuses the warmed blocks, none grows them).
+  const Arena &scratchArena() const { return Scratch; }
+
   /// The engine-retained replay state at the success frontier (exposed for
   /// the retained-replay property tests and diagnostics). When Valid, it
   /// is the state reached by replaying frontierHistory() from scratch.
@@ -221,7 +251,8 @@ public:
 
   /// Materialized inputs of the retained success-frontier master — retired
   /// prefix ++ live chain (the history frontierState() corresponds to;
-  /// meaningful when frontierState().Valid).
+  /// meaningful when frontierState().Valid). With RetainRetiredWitness off
+  /// the retired region is unavailable and only the live chain is returned.
   History frontierHistory() const;
 
   /// Number of obligations folded into the retired prefix so far.
@@ -242,17 +273,90 @@ public:
   }
 
 private:
-  /// One commit obligation, maintained incrementally.
-  struct Obligation {
-    std::size_t Tag = 0; ///< Trace index of the response.
-    InputId In = 0;
-    Output Out;
-    std::uint64_t MustFollow = 0;
-    std::size_t InvokeIdx = 0;
-    /// Dense availability snapshot; zero-extended to the alphabet lazily
-    /// at verdict time (an input first interned later cannot have been
-    /// invoked before this response).
-    std::vector<std::int32_t> Avail;
+  /// The live obligation window as a structure of arrays: engine-ready
+  /// CommitObligation slots (tag, input id, expected output, MustFollow
+  /// mask word), a parallel invoke-index array (for mask rebuilds), and one
+  /// flat availability store of power-of-two-stride rows. Maintained
+  /// incrementally — append writes one slot and one row, retirement slides
+  /// a base index, fold shifts the mask words — so verdict() hands the
+  /// engine a view over this persistent storage instead of materializing a
+  /// fresh problem. Rows are zero-extended to the stride at write time,
+  /// which realizes the old lazy zero-extension contract (an input first
+  /// interned after a response cannot have been invoked before it); when
+  /// the alphabet outgrows the stride, ensureStride() relays the live rows
+  /// out once at the next power of two. Trivially copyable (mark/rewind
+  /// deep-copies it wholesale); the slots' Available pointers are only
+  /// published by finalize() immediately before an engine run, so copies
+  /// never carry live internal pointers.
+  class LiveWindow {
+  public:
+    std::size_t size() const { return N; }
+    bool empty() const { return N == 0; }
+    std::size_t tag(std::size_t Q) const { return Slots[Base + Q].Tag; }
+    InputId in(std::size_t Q) const { return Slots[Base + Q].In; }
+    const Output &out(std::size_t Q) const { return Slots[Base + Q].Out; }
+    std::uint64_t mustFollow(std::size_t Q) const {
+      return Slots[Base + Q].MustFollow;
+    }
+    std::size_t invokeIdx(std::size_t Q) const { return Invokes[Base + Q]; }
+    const std::int32_t *availRow(std::size_t Q) const {
+      return AvailStore.data() + (Base + Q) * Stride;
+    }
+    std::size_t stride() const { return Stride; }
+
+    /// Appends one obligation: slot fields plus an availability row
+    /// snapshotting \p Invoked (zero-extended to the stride). Grows or
+    /// compacts storage only when the high end is reached — steady-state
+    /// appends after retirement reuse the vacated front, allocation-free.
+    void pushResponse(std::size_t Tag, InputId In, const Output &Out,
+                      std::size_t InvokeIdx, std::uint64_t MustFollow,
+                      const std::vector<std::int32_t> &Invoked);
+
+    /// Retires the first \p K live obligations (slides the base; storage
+    /// is reused by later appends).
+    void eraseFront(std::size_t K) {
+      Base += K;
+      N -= K;
+      if (N == 0)
+        Base = 0;
+    }
+
+    /// Shifts every live MustFollow mask right by \p K (window-relative
+    /// bit positions after retiring K obligations).
+    void shiftMasks(std::size_t K) {
+      for (std::size_t Q = 0; Q != N; ++Q)
+        Slots[Base + Q].MustFollow >>= K;
+    }
+
+    void setMustFollow(std::size_t Q, std::uint64_t M) {
+      Slots[Base + Q].MustFollow = M;
+    }
+
+    void clear() {
+      Base = 0;
+      N = 0;
+    }
+
+    /// First live index whose tag is >= \p T (tags are strictly increasing
+    /// in trace order).
+    std::size_t lowerBoundTag(std::size_t T) const;
+
+    /// Publishes the Available pointers (re-laying the rows out first if
+    /// the alphabet outgrew the stride) and returns the live slot range —
+    /// the engine-ready CommitObligation array for a ChainProblemView.
+    const CommitObligation *finalize(InputId AlphabetSize);
+
+  private:
+    /// Ensures Stride >= AlphabetSize (power of two, min 64), re-laying
+    /// live rows out and compacting to the front when it grows.
+    void ensureStride(std::size_t AlphabetSize);
+
+    std::vector<CommitObligation> Slots;
+    std::vector<std::size_t> Invokes; ///< Parallel: invocation trace index.
+    std::vector<std::int32_t> AvailStore; ///< Row-major, Stride per row.
+    std::size_t Stride = 0;
+    std::size_t Base = 0; ///< First live row.
+    std::size_t N = 0;    ///< Live rows.
   };
 
   /// Everything a mark must be able to restore. Retirement mutates the
@@ -262,7 +366,7 @@ private:
   struct MarkState {
     std::size_t Len = 0;
     TraceBuilder::Snapshot Ingest;
-    std::vector<Obligation> Window;
+    LiveWindow Window;
     std::vector<std::int32_t> Invoked;
     std::vector<std::size_t> OpenInvoke;
     bool HaveResult = false;
@@ -289,13 +393,26 @@ private:
 
   static constexpr std::size_t WindowLimit = IncrementalWindowLimit;
 
-  /// Builds the engine problem over the window's first \p Count
-  /// obligations (all of them by default). \p RecomputeMasks derives the
-  /// MustFollow masks fresh over that sub-window — the overflow drain's
-  /// sub-problems need it because the stored masks are deferred/stale
-  /// during an excursion.
+  /// Builds an owning engine problem over the window's first \p Count
+  /// obligations (all of them by default) — the reference path the
+  /// data-oriented view is differentially locked against, and the form the
+  /// overflow drain's sub-problems still take. \p RecomputeMasks derives
+  /// the MustFollow masks fresh over that sub-window — the drain needs it
+  /// because the stored masks are deferred/stale during an excursion.
   ChainProblem buildProblem(std::size_t Count = SIZE_MAX,
                             bool RecomputeMasks = false);
+  /// The data-oriented absorbed case: the cached Yes covers all but the
+  /// single newest obligation, the retained frontier is adoptable, and the
+  /// caller wants no witness — so the verdict is decided right here with
+  /// the same checks the engine's one commit move would make (branchless
+  /// word-mask/count scans over the SoA window, prefetched memo probes,
+  /// one applyInput), never materializing a problem or entering the DFS.
+  /// Returns false (leaving all state untouched beyond identical memo
+  /// stat drift) when any precondition fails; the general path then runs.
+  /// On true, \p Out plus every retained artifact (frontier, chain,
+  /// stats) are bit-identical to what runSearch(FromFrontier=true) would
+  /// have produced.
+  bool tryFastResume(const LinCheckOptions &Limits, LinCheckResult &Out);
   /// The quiescent cut: the earliest currently-open invocation's trace
   /// index (trace end when none is open). Every response before it
   /// real-time-precedes everything still live or future.
@@ -349,6 +466,10 @@ private:
   /// hand-off; avoids re-interning the witness per verdict).
   std::vector<InputId> LastMasterIds;
 
+  /// Persistent scratch for the per-run seed-commit rows (warm capacity;
+  /// refilled per search so the view path allocates nothing per verdict).
+  std::vector<std::pair<std::size_t, std::size_t>> SeedCommitsScratch;
+
   const Adt &Type;
   IncrementalOptions Opts;
   InputInterner Interner;
@@ -359,8 +480,8 @@ private:
   TraceBuilder Builder;
   /// The *live* obligation window, in response (trace) order; bounded by
   /// the engine's 64-obligation exact-search limit. MustFollow masks are
-  /// window-relative (bit q = Obligations[q]).
-  std::vector<Obligation> Obligations;
+  /// window-relative (bit q = obligation q).
+  LiveWindow Obligations;
   std::vector<std::int32_t> Invoked;     ///< Running invoked counts by id.
   std::vector<std::size_t> OpenInvoke;   ///< Per client: open invoke index.
   bool Doomed = false;
@@ -373,6 +494,12 @@ private:
   // segments retire (each retired input is applied once, ever) so the
   // fallback full-root search adopts it instead of replaying the prefix.
   std::size_t WindowBase = 0; ///< Obligations retired so far.
+  /// Length of the retired master chain. Tracked separately from
+  /// RetiredMaster so the materialized ids are optional
+  /// (Opts.RetainRetiredWitness): every structural use (SeedBase, cut
+  /// alignment, frontier lengths) reads the counter, and RetiredMaster ==
+  /// first RetiredMasterLen chain inputs only when retention is on.
+  std::size_t RetiredMasterLen = 0;
   std::vector<InputId> RetiredMaster;
   std::vector<std::pair<std::size_t, std::size_t>> RetiredCommits;
   FrontierState RetiredBoundary;

@@ -50,6 +50,18 @@ public:
   /// True iff \p Key is currently stored.
   bool contains(std::uint64_t Key);
 
+  /// Hints \p Key's home slot into cache. The steady-state fast path
+  /// issues this for both its lookup keys (lineage + sealed-prefix probe)
+  /// before the work that must precede the probes, so the probe window is
+  /// resident by the time contains() runs.
+  void prefetch(std::uint64_t Key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(Slots.data() + homeSlot(Key));
+#else
+    (void)Key;
+#endif
+  }
+
   /// Stores \p Key, evicting a colliding key when the table is at max
   /// capacity and the key's probe window is full.
   void insert(std::uint64_t Key);

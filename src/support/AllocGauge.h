@@ -1,0 +1,141 @@
+//===- support/AllocGauge.h - Global heap-allocation counter ----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in process-wide operator-new interposer used to *prove* the
+/// steady-state event path performs zero heap allocations, rather than
+/// merely profiling it. A binary that places SLIN_DEFINE_ALLOC_GAUGE() at
+/// global scope in exactly one translation unit replaces all global
+/// operator new/delete forms with counting wrappers over malloc/free;
+/// AllocGauge::count() then reads the running total, and a delta of zero
+/// across a region means no code path in the region — library internals
+/// included — touched the heap.
+///
+/// slin_core never instantiates the macro: libraries, fuzzers, and
+/// sanitizer-instrumented targets are unaffected. Only the steady-state
+/// allocation regression test and the online_monitor example define it.
+/// Sanitizer builds provide their own operator new, so the macro compiles
+/// to nothing under ASan and the gauge reads zero there — callers must
+/// treat a zero *baseline* (no allocations observed at all, ever) as
+/// "gauge inactive", not "zero-allocation program".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SUPPORT_ALLOCGAUGE_H
+#define SLIN_SUPPORT_ALLOCGAUGE_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace slin {
+
+/// Process-wide count of operator-new calls (all replaceable forms). Only
+/// meaningful in binaries that instantiate SLIN_DEFINE_ALLOC_GAUGE(); reads
+/// zero forever otherwise.
+struct AllocGauge {
+  static std::atomic<std::uint64_t> NewCalls;
+  static std::uint64_t count() {
+    return NewCalls.load(std::memory_order_relaxed);
+  }
+  /// True when the interposer is compiled in (i.e. a zero delta is
+  /// evidence, not absence of instrumentation).
+  static bool active();
+};
+
+} // namespace slin
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SLIN_ALLOC_GAUGE_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SLIN_ALLOC_GAUGE_DISABLED 1
+#endif
+#endif
+
+#ifndef SLIN_ALLOC_GAUGE_DISABLED
+
+/// Defines the gauge storage plus every replaceable global allocation
+/// function, each bumping AllocGauge::NewCalls before delegating to
+/// malloc/free. Place at global scope in exactly one .cpp of the binary.
+#define SLIN_DEFINE_ALLOC_GAUGE()                                             \
+  std::atomic<std::uint64_t> slin::AllocGauge::NewCalls{0};                   \
+  bool slin::AllocGauge::active() { return true; }                           \
+  namespace {                                                                 \
+  void *slinGaugeAlloc(std::size_t Sz, std::size_t Al) noexcept {             \
+    slin::AllocGauge::NewCalls.fetch_add(1, std::memory_order_relaxed);       \
+    if (Sz == 0)                                                              \
+      Sz = 1;                                                                 \
+    if (Al > alignof(std::max_align_t)) {                                     \
+      std::size_t Rounded = (Sz + Al - 1) / Al * Al;                          \
+      return std::aligned_alloc(Al, Rounded);                                 \
+    }                                                                         \
+    return std::malloc(Sz);                                                   \
+  }                                                                           \
+  void *slinGaugeAllocOrThrow(std::size_t Sz, std::size_t Al) {               \
+    void *P = slinGaugeAlloc(Sz, Al);                                         \
+    if (!P)                                                                   \
+      throw std::bad_alloc();                                                 \
+    return P;                                                                 \
+  }                                                                           \
+  } /* namespace */                                                           \
+  void *operator new(std::size_t Sz) {                                        \
+    return slinGaugeAllocOrThrow(Sz, 0);                                      \
+  }                                                                           \
+  void *operator new[](std::size_t Sz) {                                      \
+    return slinGaugeAllocOrThrow(Sz, 0);                                      \
+  }                                                                           \
+  void *operator new(std::size_t Sz, std::align_val_t Al) {                   \
+    return slinGaugeAllocOrThrow(Sz, static_cast<std::size_t>(Al));           \
+  }                                                                           \
+  void *operator new[](std::size_t Sz, std::align_val_t Al) {                 \
+    return slinGaugeAllocOrThrow(Sz, static_cast<std::size_t>(Al));           \
+  }                                                                           \
+  void *operator new(std::size_t Sz, const std::nothrow_t &) noexcept {       \
+    return slinGaugeAlloc(Sz, 0);                                             \
+  }                                                                           \
+  void *operator new[](std::size_t Sz, const std::nothrow_t &) noexcept {     \
+    return slinGaugeAlloc(Sz, 0);                                             \
+  }                                                                           \
+  void *operator new(std::size_t Sz, std::align_val_t Al,                     \
+                     const std::nothrow_t &) noexcept {                       \
+    return slinGaugeAlloc(Sz, static_cast<std::size_t>(Al));                  \
+  }                                                                           \
+  void *operator new[](std::size_t Sz, std::align_val_t Al,                   \
+                       const std::nothrow_t &) noexcept {                     \
+    return slinGaugeAlloc(Sz, static_cast<std::size_t>(Al));                  \
+  }                                                                           \
+  void operator delete(void *P) noexcept { std::free(P); }                    \
+  void operator delete[](void *P) noexcept { std::free(P); }                  \
+  void operator delete(void *P, std::size_t) noexcept { std::free(P); }       \
+  void operator delete[](void *P, std::size_t) noexcept { std::free(P); }     \
+  void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }  \
+  void operator delete[](void *P, std::align_val_t) noexcept {                \
+    std::free(P);                                                             \
+  }                                                                           \
+  void operator delete(void *P, std::size_t, std::align_val_t) noexcept {     \
+    std::free(P);                                                             \
+  }                                                                           \
+  void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {   \
+    std::free(P);                                                             \
+  }                                                                           \
+  void operator delete(void *P, const std::nothrow_t &) noexcept {            \
+    std::free(P);                                                             \
+  }                                                                           \
+  void operator delete[](void *P, const std::nothrow_t &) noexcept {          \
+    std::free(P);                                                             \
+  }
+
+#else // SLIN_ALLOC_GAUGE_DISABLED
+
+#define SLIN_DEFINE_ALLOC_GAUGE()                                             \
+  std::atomic<std::uint64_t> slin::AllocGauge::NewCalls{0};                   \
+  bool slin::AllocGauge::active() { return false; }
+
+#endif // SLIN_ALLOC_GAUGE_DISABLED
+
+#endif // SLIN_SUPPORT_ALLOCGAUGE_H

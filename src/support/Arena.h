@@ -46,6 +46,8 @@ public:
     std::uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
     Offset += (Aligned - P) + Bytes;
     Allocated += Bytes;
+    if (Allocated > HighWater)
+      HighWater = Allocated;
     return reinterpret_cast<void *>(Aligned);
   }
 
@@ -74,6 +76,19 @@ public:
   /// Bytes handed out since the last reset (excluding alignment padding).
   std::size_t bytesAllocated() const { return Allocated; }
 
+  /// Largest bytesAllocated() ever observed; survives reset(). The
+  /// steady-state allocation audit asserts this stops moving once a
+  /// monitor has reached its high-water scratch demand.
+  std::size_t highWaterBytes() const { return HighWater; }
+
+  /// Total bytes reserved from the heap across all retained blocks. Flat
+  /// in steady state: growth here is a real heap allocation on the event
+  /// path.
+  std::size_t reservedBytes() const { return Reserved; }
+
+  /// Number of retained blocks (each one heap allocation, ever).
+  std::size_t blockCount() const { return Blocks.size(); }
+
 private:
   /// Advances to the next retained block with at least \p AtLeast free
   /// bytes, appending a fresh block when none fits.
@@ -85,6 +100,7 @@ private:
       std::size_t Cap = std::max(BlockBytes, AtLeast);
       Blocks.push_back(std::make_unique<std::byte[]>(Cap));
       Capacities.push_back(Cap);
+      Reserved += Cap;
     }
     Current = Next;
     Offset = 0;
@@ -96,6 +112,8 @@ private:
   std::size_t Current = 0; ///< Index of the block being bumped.
   std::size_t Offset = 0;  ///< Bump offset within the current block.
   std::size_t Allocated = 0;
+  std::size_t HighWater = 0; ///< Max Allocated ever (survives reset()).
+  std::size_t Reserved = 0;  ///< Sum of retained block capacities.
 };
 
 } // namespace slin

@@ -111,13 +111,15 @@ WellFormedness TraceBuilder::append(const Action &A) {
   if (!W)
     return W;
   Clients[A.Client] = Next;
-  View.push_back(A);
+  if (RetainView)
+    View.push_back(A);
+  ++Count;
   return W;
 }
 
 TraceBuilder::Snapshot TraceBuilder::snapshot() const {
   Snapshot S;
-  S.Len = View.size();
+  S.Len = Count;
   S.States.reserve(Clients.size());
   S.Pending.reserve(Clients.size());
   for (const ClientSlot &C : Clients) {
@@ -128,7 +130,9 @@ TraceBuilder::Snapshot TraceBuilder::snapshot() const {
 }
 
 void TraceBuilder::restore(const Snapshot &S) {
-  View.resize(S.Len);
+  if (RetainView)
+    View.resize(S.Len);
+  Count = S.Len;
   Clients.resize(S.States.size());
   for (std::size_t I = 0; I != Clients.size(); ++I) {
     Clients[I].State = static_cast<ClientState>(S.States[I]);

@@ -59,17 +59,25 @@ public:
   WellFormedness append(const Action &A);
 
   /// The materialized view: everything accepted so far, a well-formed
-  /// trace at all times.
+  /// trace at all times. Empty when retention is off (setRetainView).
   const Trace &trace() const { return View; }
 
-  std::size_t size() const { return View.size(); }
+  std::size_t size() const { return Count; }
   bool isPhase() const { return Phase; }
   const PhaseSignature &signature() const { return Sig; }
 
-  /// Forgets everything; mode is retained.
+  /// Turns materialization of the accepted-action view on or off. With
+  /// retention off the builder still validates and counts every action —
+  /// only the O(n) View stops growing, which is what makes an unbounded
+  /// outcome-only monitor's ingest allocation-free. Must be toggled only
+  /// while empty: the view cannot be reconstructed after the fact.
+  void setRetainView(bool Retain) { RetainView = Retain; }
+
+  /// Forgets everything; mode and retention are kept.
   void clear() {
     View.clear();
     Clients.clear();
+    Count = 0;
   }
 
   /// The ingest state at one point: view length plus per-client automata.
@@ -105,7 +113,9 @@ private:
 
   PhaseSignature Sig;
   bool Phase = false;
+  bool RetainView = true;
   Trace View;
+  std::size_t Count = 0; ///< Accepted actions (== View.size() if retained).
   std::vector<ClientSlot> Clients;
 };
 

@@ -422,6 +422,146 @@ TEST(TraceFuzzTest, WindowedLinFuzz_Universal) {
 }
 
 //===----------------------------------------------------------------------===//
+// Data-oriented hot path: the SoA LiveWindow + in-session fast path must be
+// observationally identical to the reference buildProblem() path. Every
+// lin fuzz family streams through two sessions differing only in
+// IncrementalOptions::DataOriented; verdicts, reasons, node counts, and
+// witness shapes must match bit-for-bit at every prefix — both with
+// witness materialization (pure view-vs-copy differential) and without it
+// (the tryFastResume emulation differential), on short mixed traces and on
+// >64-obligation retiring streams alike.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-prefix differential between the SoA view path (DataOriented on,
+/// the default) and the reference materializing path (off).
+void fuzzDataOrientedTrace(const LinFixture &Fx, const Trace &T,
+                           bool WantWitness) {
+  IncrementalLinSession Soa(Fx.Type);
+  IncrementalOptions RefOpts;
+  RefOpts.DataOriented = false;
+  IncrementalLinSession Ref(Fx.Type, RefOpts);
+  LinCheckOptions Limits;
+  Limits.WantWitness = WantWitness;
+
+  std::size_t Prefix = 0;
+  for (const Action &A : T) {
+    Soa.append(A);
+    Ref.append(A);
+    ++Prefix;
+    LinCheckResult S = Soa.verdict(Limits);
+    LinCheckResult R = Ref.verdict(Limits);
+    ASSERT_EQ(S.Outcome, R.Outcome)
+        << Fx.Type.name() << ": SoA path verdict diverged from the "
+        << "reference path at prefix " << Prefix
+        << " (WantWitness=" << WantWitness << "):\n"
+        << formatTrace(T);
+    ASSERT_EQ(S.NodesExplored, R.NodesExplored)
+        << Fx.Type.name() << ": SoA path node count diverged at prefix "
+        << Prefix << " (WantWitness=" << WantWitness << ", outcome "
+        << int(S.Outcome) << "):\n"
+        << formatTrace(T);
+    ASSERT_EQ(S.Reason, R.Reason);
+    ASSERT_EQ(S.BudgetLimited, R.BudgetLimited);
+    if (WantWitness && S.Outcome == Verdict::Yes) {
+      ASSERT_EQ(S.Witness.Master.size(), R.Witness.Master.size());
+      ASSERT_EQ(S.Witness.Commits, R.Witness.Commits)
+          << Fx.Type.name() << ": witness commit map diverged at prefix "
+          << Prefix;
+    }
+  }
+}
+
+void runDataOrientedFuzz(const LinFixture &Fx, std::uint64_t FamilyTag,
+                         unsigned MaxConc) {
+  // Short mixed families (linearizable / mutated / arbitrary / corrupted).
+  unsigned N = traceBudget(160);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed =
+        hashCombine(hashCombine(baseSeed(), FamilyTag), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    Trace T = drawLinTrace(Fx, I, R);
+    fuzzDataOrientedTrace(Fx, T, /*WantWitness=*/I % 2 == 0);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  // Retiring streams: >64 obligations exercise fold/retire and the
+  // steady-state fast path in the SoA session. Witness-free runs must
+  // actually hit the fast path — otherwise this differential is vacuous.
+  unsigned Long = std::max(2u, traceBudget(160) / 40);
+  for (unsigned I = 0; I != Long; ++I) {
+    std::uint64_t TraceSeed =
+        hashCombine(hashCombine(baseSeed(), FamilyTag ^ 0x100), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    unsigned Ops = 70 + static_cast<unsigned>(R.next() % 30);
+    Trace T = quiescingTrace(Fx, Ops, MaxConc, R);
+    bool WantWitness = I % 2 == 1;
+    IncrementalLinSession Probe(Fx.Type);
+    fuzzDataOrientedTrace(Fx, T, WantWitness);
+    if (!WantWitness) {
+      // Re-stream through one SoA session to observe the fast-path
+      // counter (the differential's sessions are scoped to the helper).
+      LinCheckOptions Limits;
+      Limits.WantWitness = false;
+      for (const Action &A : T) {
+        Probe.append(A);
+        Probe.verdict(Limits);
+      }
+      EXPECT_GT(Probe.stats().FastPathVerdicts, 0u)
+          << Fx.Type.name()
+          << ": witness-free retiring stream never took the fast path";
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, DataOrientedDifferential_Register) {
+  RegisterAdt Reg;
+  runDataOrientedFuzz({Reg,
+                       {reg::read(), reg::write(1), reg::write(2)},
+                       {Output{1}, Output{2}, Output{NoValue}}},
+                      0x61, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, DataOrientedDifferential_Queue) {
+  QueueAdt Q;
+  runDataOrientedFuzz({Q,
+                       {queue::enq(1), queue::enq(2), queue::deq()},
+                       {Output{1}, Output{2}, Output{NoValue}}},
+                      0x62, /*MaxConc=*/1);
+}
+
+TEST(TraceFuzzTest, DataOrientedDifferential_KvStore) {
+  KvStoreAdt Kv;
+  runDataOrientedFuzz({Kv,
+                       {kv::put(1, 10), kv::put(1, 20), kv::get(1), kv::del(1)},
+                       {Output{10}, Output{20}, Output{NoValue}}},
+                      0x63, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, DataOrientedDifferential_Consensus) {
+  ConsensusAdt Cons;
+  runDataOrientedFuzz({Cons,
+                       {cons::propose(1), cons::propose(2), cons::propose(3)},
+                       {cons::decide(1), cons::decide(2), cons::decide(3)}},
+                      0x64, /*MaxConc=*/4);
+}
+
+TEST(TraceFuzzTest, DataOrientedDifferential_Universal) {
+  UniversalAdt Uni;
+  runDataOrientedFuzz({Uni,
+                       {Input{1, 0, 1, 0}, Input{2, 0, 2, 0}},
+                       {Output{0}, Output{1}}},
+                      0x65, /*MaxConc=*/1);
+}
+
+//===----------------------------------------------------------------------===//
 // Speculative linearizability: both relations, both readings, injected
 // aborts and recoveries.
 //===----------------------------------------------------------------------===//

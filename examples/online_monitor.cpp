@@ -24,8 +24,19 @@
 // bounded window (summary: retired_obligations / live_window_high_water)
 // and flat per-event cost. Try `online_monitor ops 4096`.
 //
+// With --slin the same object-level stream runs through the speculative
+// checker instead: an IncrementalSlinSession under the universal init
+// relation watches the trace as the (sole) phase of a speculative object.
+// A whole-object trace has no init or abort actions, so the interpretation
+// family is the singleton empty assignment and the slin verdicts coincide
+// with the lin ones — what changes is the machinery under test: every
+// steady response is served by the slin family fast path (the shared SoA
+// window + the interpretation's retained frontier; summary
+// fast_path_verdicts), and the same allocation-free contract holds
+// (allocs_per_event stays 0 past warm-up).
+//
 // Usage:
-//   online_monitor [clients <n>] [servers <n>] [ops <n>] [seed <n>]
+//   online_monitor [--slin] [clients <n>] [servers <n>] [ops <n>] [seed <n>]
 //                  [crash <server-at-time>]
 //
 // Emits one JSON line per observed event:
@@ -62,6 +73,14 @@ namespace {
 /// report allocs_per_event = 0 over zero counted events.
 constexpr std::size_t SteadyFromEvent = 1024;
 
+/// What one verdict call hands the event loop, independent of which
+/// session type produced it.
+struct VerdictLine {
+  slin::Verdict Outcome;
+  std::uint64_t Nodes;
+  std::string Reason;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -70,7 +89,18 @@ int main(int Argc, char **Argv) {
   unsigned Ops = 12;
   std::uint64_t Seed = 7;
   long CrashAt = -1;
-  for (int I = 1; I + 1 < Argc; I += 2) {
+  bool SlinMode = false;
+  int I = 1;
+  while (I < Argc) {
+    if (!std::strcmp(Argv[I], "--slin")) {
+      SlinMode = true;
+      ++I;
+      continue;
+    }
+    if (I + 1 >= Argc) {
+      I = -1;
+      break;
+    }
     if (!std::strcmp(Argv[I], "clients"))
       Clients = static_cast<unsigned>(std::atoi(Argv[I + 1]));
     else if (!std::strcmp(Argv[I], "servers"))
@@ -81,13 +111,18 @@ int main(int Argc, char **Argv) {
       Seed = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
     else if (!std::strcmp(Argv[I], "crash"))
       CrashAt = std::atol(Argv[I + 1]);
-    else {
-      std::fprintf(stderr,
-                   "usage: %s [clients <n>] [servers <n>] [ops <n>] "
-                   "[seed <n>] [crash <time>]\n",
-                   Argv[0]);
-      return 2;
-    }
+    else
+      I = -2;
+    if (I < 0)
+      break;
+    I += 2;
+  }
+  if (I < 0) {
+    std::fprintf(stderr,
+                 "usage: %s [--slin] [clients <n>] [servers <n>] [ops <n>] "
+                 "[seed <n>] [crash <time>]\n",
+                 Argv[0]);
+    return 2;
   }
   // Trace length is unbounded: the session retires committed obligations
   // at quiescent cuts, so the live window — not the history — is what the
@@ -142,98 +177,122 @@ int main(int Argc, char **Argv) {
   IncrementalOptions MonitorConfig;
   MonitorConfig.RetainTrace = false;
   MonitorConfig.RetainRetiredWitness = false;
-  IncrementalLinSession Monitor(Kv, MonitorConfig);
-  std::size_t Fed = 0;
-  std::uint64_t TotalNodes = 0;
-  double TotalMs = 0;
-  double MaxMs = 0;
-  std::uint64_t SteadyAllocs = 0;
-  std::size_t SteadyEvents = 0;
-  Verdict Final = Verdict::Yes;
 
-  // Streams every newly observed object-level event into the monitor and
-  // emits one verdict line per event.
-  auto Drain = [&](SimTime Now) {
-    const Trace &T = Harness.objectTrace();
-    for (; Fed != T.size(); ++Fed) {
-      const Action &A = T[Fed];
-      bool Steady = Fed >= SteadyFromEvent;
-      std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
-      auto Start = std::chrono::steady_clock::now();
-      Monitor.append(A);
-      LinCheckOptions MonitorOpts;
-      MonitorOpts.WantWitness = false; // Outcome-only: keep verdicts O(1).
-      LinCheckResult R = Monitor.verdict(MonitorOpts);
-      double Ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count();
-      if (Steady) {
-        SteadyAllocs += AllocGauge::count() - Allocs0;
-        ++SteadyEvents;
+  // The whole event loop + summary, generic over the session type; \p
+  // TakeVerdict adapts the per-session verdict call to a VerdictLine.
+  auto RunMonitor = [&](auto &Monitor, auto TakeVerdict) -> int {
+    std::size_t Fed = 0;
+    std::uint64_t TotalNodes = 0;
+    double TotalMs = 0;
+    double MaxMs = 0;
+    std::uint64_t SteadyAllocs = 0;
+    std::size_t SteadyEvents = 0;
+    Verdict Final = Verdict::Yes;
+
+    // Streams every newly observed object-level event into the monitor and
+    // emits one verdict line per event.
+    auto Drain = [&](SimTime Now) {
+      const Trace &T = Harness.objectTrace();
+      for (; Fed != T.size(); ++Fed) {
+        const Action &A = T[Fed];
+        bool Steady = Fed >= SteadyFromEvent;
+        std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
+        auto Start = std::chrono::steady_clock::now();
+        Monitor.append(A);
+        VerdictLine R = TakeVerdict(Monitor);
+        double Ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        if (Steady) {
+          SteadyAllocs += AllocGauge::count() - Allocs0;
+          ++SteadyEvents;
+        }
+        TotalNodes += R.Nodes;
+        TotalMs += Ms;
+        MaxMs = Ms > MaxMs ? Ms : MaxMs;
+        Final = R.Outcome;
+        const char *V = R.Outcome == Verdict::Yes   ? "yes"
+                        : R.Outcome == Verdict::No  ? "no"
+                                                    : "unknown";
+        std::printf("{\"t\":%lld,\"event\":\"%s\",\"verdict\":\"%s\","
+                    "\"nodes\":%llu,\"ms\":%.3f%s%s%s}\n",
+                    static_cast<long long>(Now), formatAction(A).c_str(), V,
+                    static_cast<unsigned long long>(R.Nodes), Ms,
+                    R.Reason.empty() ? "" : ",\"reason\":\"",
+                    R.Reason.c_str(), R.Reason.empty() ? "" : "\"");
       }
-      TotalNodes += R.NodesExplored;
-      TotalMs += Ms;
-      MaxMs = Ms > MaxMs ? Ms : MaxMs;
-      Final = R.Outcome;
-      const char *V = R.Outcome == Verdict::Yes   ? "yes"
-                      : R.Outcome == Verdict::No  ? "no"
-                                                  : "unknown";
-      std::printf("{\"t\":%lld,\"event\":\"%s\",\"verdict\":\"%s\","
-                  "\"nodes\":%llu,\"ms\":%.3f%s%s%s}\n",
-                  static_cast<long long>(Now), formatAction(A).c_str(), V,
-                  static_cast<unsigned long long>(R.NodesExplored), Ms,
-                  R.Reason.empty() ? "" : ",\"reason\":\"",
-                  R.Reason.c_str(), R.Reason.empty() ? "" : "\"");
+    };
+
+    // Run the simulation in time slices so the monitor keeps pace with the
+    // system instead of waiting for a batch at the end.
+    auto AllDone = [&] {
+      for (const SmrOpRecord &Op : Harness.smrOps())
+        if (!Op.Completed)
+          return false;
+      return !Harness.smrOps().empty();
+    };
+    for (SimTime Slice = 50; Slice <= 1u << 20 && !AllDone(); Slice += 50) {
+      Harness.run(Slice);
+      Drain(Slice);
     }
+    Harness.run(); // Quiesce whatever is left (crashed-minority stragglers).
+    Drain(-1);
+
+    std::printf(
+        "{\"summary\":{\"mode\":\"%s\",\"events\":%zu,\"verdict\":\"%s\","
+        "\"total_nodes\":%llu,\"monitor_ms\":%.3f,\"max_event_ms\":%.3f,"
+        "\"search_nodes_total\":%llu,\"frontier_resumes\":%llu,"
+        "\"fast_path_verdicts\":%llu,"
+        "\"seed_steps_replayed\":%llu,\"seed_steps_skipped\":%llu,"
+        "\"retired_obligations\":%llu,\"live_window\":%zu,"
+        "\"live_window_high_water\":%llu,\"window_overflows\":%llu,"
+        "\"steady_events\":%zu,\"allocs_per_event\":%.6f,"
+        "\"alloc_gauge_active\":%d}}\n",
+        SlinMode ? "slin" : "lin", Fed,
+        Final == Verdict::Yes   ? "yes"
+        : Final == Verdict::No  ? "no"
+                                : "unknown",
+        static_cast<unsigned long long>(TotalNodes), TotalMs, MaxMs,
+        static_cast<unsigned long long>(Monitor.stats().Search.Nodes),
+        static_cast<unsigned long long>(Monitor.stats().FrontierResumes),
+        static_cast<unsigned long long>(Monitor.stats().FastPathVerdicts),
+        static_cast<unsigned long long>(
+            Monitor.stats().Search.SeedStepsReplayed),
+        static_cast<unsigned long long>(
+            Monitor.stats().Search.SeedStepsSkipped),
+        static_cast<unsigned long long>(Monitor.stats().RetiredObligations),
+        Monitor.liveWindow(),
+        static_cast<unsigned long long>(Monitor.stats().LiveWindowHighWater),
+        static_cast<unsigned long long>(Monitor.stats().WindowOverflows),
+        SteadyEvents,
+        SteadyEvents ? static_cast<double>(SteadyAllocs) /
+                           static_cast<double>(SteadyEvents)
+                     : 0.0,
+        AllocGauge::active() ? 1 : 0);
+    return Final == Verdict::Yes ? 0 : 1;
   };
 
-  // Run the simulation in time slices so the monitor keeps pace with the
-  // system instead of waiting for a batch at the end.
-  auto AllDone = [&] {
-    for (const SmrOpRecord &Op : Harness.smrOps())
-      if (!Op.Completed)
-        return false;
-    return !Harness.smrOps().empty();
-  };
-  for (SimTime Slice = 50; Slice <= 1u << 20 && !AllDone(); Slice += 50) {
-    Harness.run(Slice);
-    Drain(Slice);
+  if (SlinMode) {
+    // The whole object as the sole phase of a speculative object: phase-1
+    // events only, no init or abort actions, so the universal relation's
+    // interpretation family is the singleton empty assignment and the
+    // verdicts coincide with the lin monitor's — served by the slin family
+    // fast path over the shared SoA window.
+    PhaseSignature Sig(1, 2);
+    UniversalInitRelation Rel;
+    IncrementalSlinSession Monitor(Kv, Sig, Rel, MonitorConfig);
+    return RunMonitor(Monitor, [](IncrementalSlinSession &M) {
+      SlinCheckOptions MonitorOpts;
+      MonitorOpts.WantWitness = false; // Outcome-only: keep verdicts O(1).
+      SlinVerdict R = M.verdict(MonitorOpts);
+      return VerdictLine{R.Outcome, R.NodesExplored, std::move(R.Reason)};
+    });
   }
-  Harness.run(); // Quiesce whatever is left (crashed-minority stragglers).
-  Drain(-1);
-
-  std::printf("{\"summary\":{\"events\":%zu,\"verdict\":\"%s\","
-              "\"total_nodes\":%llu,\"monitor_ms\":%.3f,\"max_event_ms\":%.3f,"
-              "\"search_nodes_total\":%llu,\"frontier_resumes\":%llu,"
-              "\"seed_steps_replayed\":%llu,\"seed_steps_skipped\":%llu,"
-              "\"retired_obligations\":%llu,\"live_window\":%zu,"
-              "\"live_window_high_water\":%llu,\"window_overflows\":%llu,"
-              "\"steady_events\":%zu,\"allocs_per_event\":%.6f,"
-              "\"alloc_gauge_active\":%d}}\n",
-              Fed,
-              Final == Verdict::Yes   ? "yes"
-              : Final == Verdict::No  ? "no"
-                                      : "unknown",
-              static_cast<unsigned long long>(TotalNodes), TotalMs, MaxMs,
-              static_cast<unsigned long long>(Monitor.stats().Search.Nodes),
-              static_cast<unsigned long long>(
-                  Monitor.stats().FrontierResumes),
-              static_cast<unsigned long long>(
-                  Monitor.stats().Search.SeedStepsReplayed),
-              static_cast<unsigned long long>(
-                  Monitor.stats().Search.SeedStepsSkipped),
-              static_cast<unsigned long long>(
-                  Monitor.stats().RetiredObligations),
-              Monitor.liveWindow(),
-              static_cast<unsigned long long>(
-                  Monitor.stats().LiveWindowHighWater),
-              static_cast<unsigned long long>(
-                  Monitor.stats().WindowOverflows),
-              SteadyEvents,
-              SteadyEvents
-                  ? static_cast<double>(SteadyAllocs) /
-                        static_cast<double>(SteadyEvents)
-                  : 0.0,
-              AllocGauge::active() ? 1 : 0);
-  return Final == Verdict::Yes ? 0 : 1;
+  IncrementalLinSession Monitor(Kv, MonitorConfig);
+  return RunMonitor(Monitor, [](IncrementalLinSession &M) {
+    LinCheckOptions MonitorOpts;
+    MonitorOpts.WantWitness = false; // Outcome-only: keep verdicts O(1).
+    LinCheckResult R = M.verdict(MonitorOpts);
+    return VerdictLine{R.Outcome, R.NodesExplored, std::move(R.Reason)};
+  });
 }

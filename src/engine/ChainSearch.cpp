@@ -48,7 +48,7 @@ public:
     Used = Scratch.allocZeroed<std::int32_t>(A);
     Avail = Scratch.allocArray<const std::int32_t *>(NumOb);
     for (std::size_t R = 0; R != NumOb; ++R)
-      Avail[R] = P.Commits[R].Available;
+      Avail[R] = P.AvailOverride ? P.AvailOverride[R] : P.Commits[R].Available;
     Deficit = Scratch.allocZeroed<std::int32_t>(NumOb);
     if (P.SequenceSensitive) {
       IdHash = Scratch.allocArray<std::uint64_t>(A);

@@ -292,6 +292,15 @@ struct ChainProblemView {
   /// have AlphabetSize entries each.
   const CommitObligation *Commits = nullptr;
   std::size_t NumCommits = 0;
+  /// Optional per-obligation availability override: when non-null, an array
+  /// of NumCommits row pointers (AlphabetSize entries each) used in place of
+  /// Commits[R].Available. This is how a slin session shares one SoA window
+  /// across its whole interpretation family — the shared Commits rows carry
+  /// tags/inputs/outputs/masks while each interpretation overlays only its
+  /// own availability rows (the one ingredient Definition 26 makes
+  /// interpretation-dependent), instead of materializing a full per-
+  /// interpretation ChainProblem per verdict.
+  const std::int32_t *const *AvailOverride = nullptr;
   /// Pre-applied master prefix (dense ids).
   const InputId *Seed = nullptr;
   std::size_t SeedLen = 0;

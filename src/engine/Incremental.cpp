@@ -143,10 +143,10 @@ void foldIntoRetired(
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// IncrementalLinSession::LiveWindow
+// LiveWindow (shared by both sessions)
 //===----------------------------------------------------------------------===//
 
-void IncrementalLinSession::LiveWindow::ensureStride(
+void LiveWindow::ensureStride(
     std::size_t AlphabetSize) {
   if (Stride >= AlphabetSize)
     return;
@@ -176,7 +176,7 @@ void IncrementalLinSession::LiveWindow::ensureStride(
   Stride = NewStride;
 }
 
-void IncrementalLinSession::LiveWindow::pushResponse(
+void LiveWindow::pushResponse(
     std::size_t Tag, InputId In, const Output &Out, std::size_t InvokeIdx,
     std::uint64_t MustFollow, const std::vector<std::int32_t> &Invoked) {
   ensureStride(Invoked.size());
@@ -224,7 +224,7 @@ void IncrementalLinSession::LiveWindow::pushResponse(
 }
 
 std::size_t
-IncrementalLinSession::LiveWindow::lowerBoundTag(std::size_t T) const {
+LiveWindow::lowerBoundTag(std::size_t T) const {
   // Tags are strictly increasing in trace order.
   std::size_t Lo = 0, Hi = N;
   while (Lo != Hi) {
@@ -238,7 +238,7 @@ IncrementalLinSession::LiveWindow::lowerBoundTag(std::size_t T) const {
 }
 
 const CommitObligation *
-IncrementalLinSession::LiveWindow::finalize(InputId AlphabetSize) {
+LiveWindow::finalize(InputId AlphabetSize) {
   ensureStride(AlphabetSize);
   for (std::size_t Q = 0; Q != N; ++Q)
     Slots[Base + Q].Available = AvailStore.data() + (Base + Q) * Stride;
@@ -1056,7 +1056,10 @@ IncrementalSlinSession::IncrementalSlinSession(const Adt &Type,
                                                const IncrementalOptions &Opts)
     : Type(Type), Sig(Sig), Rel(Rel), Opts(Opts),
       Memo(Opts.TranspositionCapacity), Builder(Sig),
-      SessionSalt(SlinSaltDomain) {}
+      SessionSalt(SlinSaltDomain) {
+  if (!Opts.RetainTrace)
+    Builder.setRetainView(false);
+}
 
 WellFormedness IncrementalSlinSession::append(const Action &A) {
   if (Doomed)
@@ -1071,17 +1074,28 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
   std::size_t I = Builder.size() - 1;
   if (A.Client >= OpenStart.size())
     OpenStart.resize(A.Client + 1, SIZE_MAX);
-  Interner.intern(A.In);
-  switch (classifySlinDelta(A, Sig)) {
+  InputId InId = Interner.intern(A.In);
+  // FreshBound for interpretationsFromInits tracks exactly what the
+  // relations' trace walks compute: the max over every ingested action.
+  const std::int64_t ActMax = std::max(A.In.A, A.Sv.Val);
+  const bool FreshRaised = ActMax > MaxSeenVal;
+  if (FreshRaised)
+    MaxSeenVal = ActMax;
+  SlinDeltaKind Kind = classifySlinDelta(A, Sig);
+  switch (Kind) {
   case SlinDeltaKind::Invoke:
     OpenStart[A.Client] = I;
     Invoked.add(A.In);
+    if (static_cast<std::size_t>(InId) >= InvokedDense.size())
+      InvokedDense.resize(InId + 1, 0);
+    ++InvokedDense[InId];
     SawInvokeSinceVerdict = true;
     break;
   case SlinDeltaKind::Init:
     OpenStart[A.Client] = I;
-    InitIdx.push_back(I);
+    InitActions.push_back({I, A});
     SawInitSinceVerdict = true;
+    FamilyDirty = true;
     break;
   case SlinDeltaKind::Obligation:
     if (isRespond(A)) {
@@ -1095,26 +1109,24 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
         SawResponseSinceVerdict = true;
         break;
       }
-      ResponseRec R;
-      R.Tag = I;
-      R.In = A.In;
-      R.Out = A.Out;
-      R.StartIdx = StartIdx;
-      R.InvokedBefore = Invoked;
-      if (Responses.size() == IncrementalWindowLimit)
+      if (Obligations.size() == IncrementalWindowLimit)
         retireQuiescentPrefix();
-      if (Responses.size() == IncrementalWindowLimit) {
+      if (Obligations.size() == IncrementalWindowLimit) {
         Overflowed = true;
         ++Stats.WindowOverflows;
         SawResponseSinceVerdict = true;
         break;
       }
-      for (std::size_t Q = 0, E = Responses.size(); Q != E; ++Q)
-        if (Responses[Q].Tag < R.StartIdx)
-          R.MustFollow |= 1ull << Q; // Window-relative bit positions.
-      Responses.push_back(std::move(R));
-      if (Responses.size() > Stats.LiveWindowHighWater)
-        Stats.LiveWindowHighWater = Responses.size();
+      // Predecessors are exactly the responses whose tags precede this
+      // operation's invocation — a window prefix, since tags strictly
+      // increase.
+      std::size_t K = Obligations.lowerBoundTag(StartIdx);
+      std::uint64_t MustFollow = K == 0 ? 0 : (~0ull >> (64 - K));
+      Obligations.pushResponse(I, InId, A.Out, StartIdx, MustFollow,
+                               InvokedDense);
+      ++NewObligations;
+      if (Obligations.size() > Stats.LiveWindowHighWater)
+        Stats.LiveWindowHighWater = Obligations.size();
     } else {
       // An abort only tightens the problem (budget caps, leaf predicate):
       // retained failures stay failures, but a cached Yes is stale. An
@@ -1134,6 +1146,13 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
     // Interior switches of a composed phase carry no obligation.
     break;
   }
+  // A non-init append can still perturb the family by raising the
+  // fresh-value bound (consensus' extended extremes consume values one
+  // past the trace maximum); the relation says when that matters.
+  if (Kind != SlinDeltaKind::Init && !FamilyDirty &&
+      !Rel.interpretationsStableUnderAppend(!InitActions.empty(),
+                                            FreshRaised))
+    FamilyDirty = true;
   return W;
 }
 
@@ -1143,6 +1162,23 @@ IncrementalSlinSession::familyHash(const InterpretationFamily &F) const {
   for (const InitInterpretation &Finit : F.Assignments)
     H = hashCombine(H, interpretationHash(Finit));
   return H;
+}
+
+void IncrementalSlinSession::refreshFamily() {
+  if (HaveCachedFamily && !FamilyDirty)
+    return;
+  // Built from the retained init actions and the running fresh-value bound
+  // — never from the materialized trace, so outcome-only monitors can run
+  // with RetainTrace off. The contract on interpretationsFromInits makes
+  // this identical to interpretations(trace(), Sig).
+  CachedFamily = Rel.interpretationsFromInits(InitActions, MaxSeenVal);
+  CachedInterpHashes.clear();
+  CachedInterpHashes.reserve(CachedFamily.Assignments.size());
+  for (const InitInterpretation &Finit : CachedFamily.Assignments)
+    CachedInterpHashes.push_back(interpretationHash(Finit));
+  CachedFamilyHash = familyHash(CachedFamily);
+  HaveCachedFamily = true;
+  FamilyDirty = false;
 }
 
 void IncrementalSlinSession::retireQuiescentPrefix() {
@@ -1162,11 +1198,11 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   for (std::size_t Idx : OpenStart)
     if (Idx < E)
       E = Idx;
-  // Cheap O(clients) early-out before the O(trace) family walk below: a
-  // pinned cut (straggler open since before the oldest window response)
-  // can never fold anything, and it is exactly the case where this runs
-  // on every append while the window stays full.
-  if (Responses.empty() || Responses.front().Tag >= E)
+  // Cheap O(clients) early-out before the family walk below: a pinned cut
+  // (straggler open since before the oldest window response) can never
+  // fold anything, and it is exactly the case where this runs on every
+  // append while the window stays full.
+  if (Obligations.empty() || Obligations.tag(0) >= E)
     return;
 
   // Per-frontier foldable prefix lengths, as a bitmask over k-1 (window
@@ -1176,11 +1212,11 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   // way, but the *set* of retired responses must be uniform, so the
   // session folds at the largest k valid for the whole family.
   auto FoldMask = [&](const InterpFrontier &F) -> std::uint64_t {
-    if (F.RetiredCommits.size() != WindowBase)
+    if (F.RetiredRows != WindowBase)
       return 0; // Stale retirement depth: cannot participate.
     std::uint64_t Mask = 0;
     std::size_t MaxTag = 0;
-    std::size_t Limit = std::min(F.Commits.size(), Responses.size());
+    std::size_t Limit = std::min(F.Commits.size(), Obligations.size());
     static_assert(IncrementalWindowLimit <= 64,
                   "fold masks are 64-bit over window positions");
     for (std::size_t Q = 1; Q <= Limit; ++Q) {
@@ -1188,19 +1224,21 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
       if (MaxTag >= E)
         break;
       std::size_t L = F.Commits[Q - 1].second;
-      if (L < F.RetiredMaster.size() ||
-          L - F.RetiredMaster.size() > F.Master.size())
+      if (L < F.RetiredLen || L - F.RetiredLen > F.Master.size())
         break;
-      if (MaxTag == Responses[Q - 1].Tag)
+      if (MaxTag == Obligations.tag(Q - 1))
         Mask |= 1ull << (Q - 1);
     }
     return Mask;
   };
   auto Fold = [&](InterpFrontier &F, std::size_t K) {
-    std::size_t LiveTake = F.Commits[K - 1].second - F.RetiredMaster.size();
+    std::size_t NewLen = F.Commits[K - 1].second;
+    std::size_t LiveTake = NewLen - F.RetiredLen;
     foldIntoRetired(Type, Interner, F.RetiredBoundary, F.RetiredMaster,
-                    F.RetiredCommits, F.Master, F.Commits, K,
-                    F.RetiredMaster.size(), /*RetainWitness=*/true);
+                    F.RetiredCommits, F.Master, F.Commits, K, F.RetiredLen,
+                    Opts.RetainRetiredWitness);
+    F.RetiredLen = NewLen;
+    F.RetiredRows += K;
     F.Master.erase(F.Master.begin(), F.Master.begin() + LiveTake);
     F.Commits.erase(F.Commits.begin(), F.Commits.begin() + K);
   };
@@ -1210,12 +1248,12 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   // largest prefix every family member can fold. An empty family would
   // vacuously validate everything — refuse instead of retiring a window
   // nothing can ever re-validate.
-  InterpretationFamily Family = Rel.interpretations(Builder.trace(), Sig);
-  if (Family.Assignments.empty())
+  refreshFamily();
+  if (CachedFamily.Assignments.empty())
     return;
   std::uint64_t Common = ~0ull;
-  for (const InitInterpretation &Finit : Family.Assignments) {
-    auto It = Frontiers.find(interpretationHash(Finit));
+  for (std::uint64_t IH : CachedInterpHashes) {
+    auto It = Frontiers.find(IH);
     if (It == Frontiers.end())
       return;
     Common &= FoldMask(It->second);
@@ -1235,9 +1273,8 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
       It = Frontiers.erase(It);
     }
   }
-  Responses.erase(Responses.begin(), Responses.begin() + K);
-  for (ResponseRec &R : Responses)
-    R.MustFollow >>= K;
+  Obligations.eraseFront(K);
+  Obligations.shiftMasks(K);
   WindowBase += K;
   Stats.RetiredObligations += K;
   // Memo keys embed window-relative committed masks; the shift re-numbers
@@ -1266,78 +1303,126 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
   History Lcp = longestCommonPrefix(InitHistories);
   bool HaveInits = !InitHistories.empty();
 
+  const InputId A = Interner.size();
+  const std::size_t NumOb = Obligations.size();
+  const CommitObligation *Rows = Obligations.finalize(A);
+
   // One sweep in trace-index order maintains the running max-union of
-  // init contributions, giving each response and abort its
-  // initiallyValidInputs in O(#inits + #responses) multiset unions —
-  // instead of recomputing the whole-trace validInputs per index.
-  std::vector<Multiset<Input>> CommitAvail(Responses.size());
+  // init contributions as a dense row over the alphabet, giving each
+  // response and abort its initiallyValidInputs in O(#inits · alphabet +
+  // #responses) — instead of recomputing the whole-trace validInputs per
+  // index. Each response's availability is the shared window row (its
+  // invoked-counts snapshot) plus that running init row, so obligations no
+  // init action precedes share the window row outright (no copy at all)
+  // and the rest get an arena overlay copy. Aborts force copies for every
+  // row — their budgets cap availability in place below — and keep a
+  // multiset mirror of the running union alive for the budget bookkeeping
+  // (findAbortHistory consumes multisets).
   std::vector<detail::PendingAbort> Budgeted;
   Budgeted.reserve(Aborts.size());
-  {
-    const Trace &T = Builder.trace();
-    Multiset<Input> RunningInit;
-    std::size_t NextInit = 0;
-    auto AdvanceTo = [&](std::size_t Index) {
-      while (NextInit != InitIdx.size() && InitIdx[NextInit] < Index) {
-        std::size_t J = InitIdx[NextInit++];
+  OverlayPtrs.resize(NumOb);
+  const bool MustCopyAll = !Aborts.empty();
+  const bool NeedInitMultiset = !Aborts.empty();
+  Multiset<Input> RunningInitM;
+  bool AnyInit = false;
+  bool AnyOverlay = false;
+  std::size_t NextInit = 0;
+  auto AdvanceTo = [&](std::size_t Index) {
+    while (NextInit != InitActions.size() &&
+           InitActions[NextInit].first < Index) {
+      const auto &[J, Act] = InitActions[NextInit];
+      ++NextInit;
+      if (!AnyInit) {
+        RunningInitScratch.assign(A, 0);
+        AnyInit = true;
+      }
+      // max(elems(f_init(j)), {in_j}) folded pointwise into the running
+      // row: Definition 25's max-union, densified. Every input here was
+      // interned above (ghosts) or at append (trace inputs), so the
+      // intern calls are lookups and the bound guards are defensive.
+      ContribScratch.assign(A, 0);
+      if (auto It = Finit.find(J); It != Finit.end())
+        for (const Input &In : It->second) {
+          InputId Id = Interner.intern(In);
+          if (Id < A)
+            ++ContribScratch[Id];
+        }
+      if (InputId Id = Interner.intern(Act.In);
+          Id < A && ContribScratch[Id] < 1)
+        ContribScratch[Id] = 1;
+      for (InputId Id = 0; Id != A; ++Id)
+        RunningInitScratch[Id] =
+            std::max(RunningInitScratch[Id], ContribScratch[Id]);
+      if (NeedInitMultiset) {
         Multiset<Input> Contribution;
-        Contribution.add(T[J].In);
+        Contribution.add(Act.In);
         if (auto It = Finit.find(J); It != Finit.end())
           Contribution.unionMaxInPlace(Multiset<Input>::fromRange(It->second));
-        RunningInit.unionMaxInPlace(Contribution);
+        RunningInitM.unionMaxInPlace(Contribution);
       }
-    };
-    std::size_t R = 0, A = 0;
-    while (R != Responses.size() || A != Aborts.size()) {
+    }
+  };
+  {
+    std::size_t R = 0, Ab = 0;
+    while (R != NumOb || Ab != Aborts.size()) {
       bool TakeResponse =
-          A == Aborts.size() ||
-          (R != Responses.size() && Responses[R].Tag < Aborts[A].TraceIndex);
+          Ab == Aborts.size() ||
+          (R != NumOb && Obligations.tag(R) < Aborts[Ab].TraceIndex);
       if (TakeResponse) {
-        AdvanceTo(Responses[R].Tag);
-        CommitAvail[R] = RunningInit.unionSum(Responses[R].InvokedBefore);
+        AdvanceTo(Obligations.tag(R));
+        const std::int32_t *Row = Rows[R].Available;
+        if (AnyInit || MustCopyAll) {
+          std::int32_t *Copy = Scratch.allocArray<std::int32_t>(A);
+          if (AnyInit)
+            for (InputId Id = 0; Id != A; ++Id)
+              Copy[Id] = Row[Id] + RunningInitScratch[Id];
+          else
+            std::copy(Row, Row + A, Copy);
+          OverlayPtrs[R] = Copy;
+          AnyOverlay = true;
+        } else {
+          OverlayPtrs[R] = Row;
+        }
         ++R;
       } else if (SOpts.AbortValidityAtEnd) {
         // Relaxed reading: budget measured at the trace's end; fill in
         // after the sweep.
-        Budgeted.push_back({Aborts[A].TraceIndex, Aborts[A].In, Aborts[A].Sv,
-                            Multiset<Input>()});
-        ++A;
+        Budgeted.push_back({Aborts[Ab].TraceIndex, Aborts[Ab].In,
+                            Aborts[Ab].Sv, Multiset<Input>()});
+        ++Ab;
       } else {
-        AdvanceTo(Aborts[A].TraceIndex);
-        Budgeted.push_back({Aborts[A].TraceIndex, Aborts[A].In, Aborts[A].Sv,
-                            RunningInit.unionSum(Aborts[A].InvokedBefore)});
-        ++A;
+        AdvanceTo(Aborts[Ab].TraceIndex);
+        Budgeted.push_back({Aborts[Ab].TraceIndex, Aborts[Ab].In,
+                            Aborts[Ab].Sv,
+                            RunningInitM.unionSum(Aborts[Ab].InvokedBefore)});
+        ++Ab;
       }
     }
     if (SOpts.AbortValidityAtEnd && !Budgeted.empty()) {
-      AdvanceTo(T.size());
-      Multiset<Input> AtEnd = RunningInit.unionSum(Invoked);
-      for (detail::PendingAbort &Ab : Budgeted)
-        Ab.Budget = AtEnd;
+      AdvanceTo(Builder.size());
+      Multiset<Input> AtEnd = RunningInitM.unionSum(Invoked);
+      for (detail::PendingAbort &Pa : Budgeted)
+        Pa.Budget = AtEnd;
     }
   }
 
-  detail::capByAbortBudgets(CommitAvail, Budgeted);
-
-  ChainProblem Problem;
-  Problem.Type = &Type;
-  Problem.AlphabetSize = Interner.size();
-  Problem.ForceCloneStates = !Opts.UseUndoStates;
-  for (std::size_t R = 0; R != Responses.size(); ++R) {
-    CommitObligation Ob;
-    Ob.Tag = Responses[R].Tag;
-    Ob.In = Interner.intern(Responses[R].In);
-    Ob.Out = Responses[R].Out;
-    Ob.MustFollow = Responses[R].MustFollow;
-    std::int32_t *Counts =
-        Scratch.allocZeroed<std::int32_t>(Problem.AlphabetSize);
-    for (const auto &[In, Count] : CommitAvail[R].entries()) {
+  // Abort Order + Definition 28: cap every commit's availability by every
+  // abort's budget — the same pointwise min capByAbortBudgets applies to
+  // multisets, done dense (absent counts are zero on both sides, so the
+  // two commute with densification). Mutating in place is sound: aborts
+  // forced every row to be an arena copy above.
+  for (const detail::PendingAbort &Pa : Budgeted) {
+    std::int32_t *BudgetRow = Scratch.allocZeroed<std::int32_t>(A);
+    for (const auto &[In, Count] : Pa.Budget.entries()) {
       InputId Id = Interner.intern(In);
-      if (Id < Problem.AlphabetSize)
-        Counts[Id] = static_cast<std::int32_t>(Count);
+      if (Id < A)
+        BudgetRow[Id] = static_cast<std::int32_t>(Count);
     }
-    Ob.Available = Counts;
-    Problem.Commits.push_back(Ob);
+    for (std::size_t R = 0; R != NumOb; ++R) {
+      std::int32_t *Row = const_cast<std::int32_t *>(OverlayPtrs[R]);
+      for (InputId Id = 0; Id != A; ++Id)
+        Row[Id] = std::min(Row[Id], BudgetRow[Id]);
+    }
   }
 
   // When the session has retired, every run for this interpretation rides
@@ -1356,12 +1441,17 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
     return R;
   };
   bool HaveRetired =
-      Frontier && WindowBase != 0 &&
-      Frontier->RetiredCommits.size() == WindowBase;
+      Frontier && WindowBase != 0 && Frontier->RetiredRows == WindowBase;
   if (WindowBase != 0 && !HaveRetired)
     return WindowRetiredResult();
   FrontierState BoundaryScratch;
   bool CaptureFromBoundary = false;
+  const InputId *SeedPtr = nullptr;
+  std::size_t SeedLen = 0;
+  std::size_t SeedBase = 0;
+  FrontierState *Retained = nullptr;
+  SeedScratch.clear();
+  SeedCommitsScratch.clear();
   if (FromFrontier && Frontier) {
     // Resume from this interpretation's retained witness chain: the master
     // (which starts with the init LCP — same interpretation, same LCP —
@@ -1371,72 +1461,133 @@ IncrementalSlinSession::runUnder(const InitInterpretation &Finit,
     // the accepting-leaf predicate re-validates every abort constraint
     // under the *current* budgets, which is what keeps this sound across
     // non-monotone deltas (see the class comment).
-    Problem.SeedBase = Frontier->RetiredMaster.size();
-    if (Problem.SeedBase)
-      Problem.RetiredPrefix = &Frontier->RetiredMaster;
-    Problem.Seed = Frontier->Master;
-    Problem.SeedCommits.reserve(Frontier->Commits.size());
+    SeedBase = Frontier->RetiredLen;
+    SeedPtr = Frontier->Master.data();
+    SeedLen = Frontier->Master.size();
+    bool Mismatch = false;
     for (const auto &[Tag, Len] : Frontier->Commits) {
-      // Responses are in trace order, so Tag resolves by binary search. A
-      // tag that fails to resolve would silently pre-commit the wrong
-      // obligation, so it aborts the resumption instead (cannot happen
-      // while the reset()-clears-frontiers invariant holds; this is
-      // defense in depth for a soundness-critical mapping).
-      auto It = std::lower_bound(
-          Responses.begin(), Responses.end(), Tag,
-          [](const ResponseRec &Rec, std::size_t T) { return Rec.Tag < T; });
-      if (It == Responses.end() || It->Tag != Tag) {
+      // Window tags are strictly increasing in trace order, so Tag
+      // resolves by binary search. A tag that fails to resolve would
+      // silently pre-commit the wrong obligation, so it aborts the
+      // resumption instead (cannot happen while the reset()-clears-
+      // frontiers invariant holds; this is defense in depth for a
+      // soundness-critical mapping).
+      std::size_t Idx = Obligations.lowerBoundTag(Tag);
+      if (Idx == NumOb || Obligations.tag(Idx) != Tag) {
         if (WindowBase != 0)
           return WindowRetiredResult();
-        Problem.Seed.clear();
-        Problem.SeedCommits.clear();
-        if (HaveInits)
-          for (const Input &In : Lcp)
-            Problem.Seed.push_back(Interner.intern(In));
+        Mismatch = true;
         break;
       }
-      Problem.SeedCommits.push_back(
-          {static_cast<std::size_t>(It - Responses.begin()), Len});
+      SeedCommitsScratch.push_back({Idx, Len});
     }
-    Problem.Retained = &Frontier->Replay;
+    if (Mismatch) {
+      SeedCommitsScratch.clear();
+      if (HaveInits)
+        for (const Input &In : Lcp)
+          SeedScratch.push_back(Interner.intern(In));
+      SeedPtr = SeedScratch.data();
+      SeedLen = SeedScratch.size();
+    }
+    Retained = &Frontier->Replay;
   } else if (HaveRetired) {
     // Full root search over the live window behind the retired prefix: the
     // engine adopts a clone of the retired-boundary replay state (the
     // frontier's own Replay sits at the chain's end, not the boundary); on
     // Yes the advanced clone becomes the interpretation's new frontier
     // state, on failure it is discarded and the boundary survives.
-    Problem.SeedBase = Frontier->RetiredMaster.size();
-    Problem.RetiredPrefix = &Frontier->RetiredMaster;
+    SeedBase = Frontier->RetiredLen;
     BoundaryScratch = Frontier->RetiredBoundary.snapshot();
-    Problem.Retained = &BoundaryScratch;
+    Retained = &BoundaryScratch;
     CaptureFromBoundary = true;
   } else {
     if (HaveInits)
       for (const Input &In : Lcp)
-        Problem.Seed.push_back(Interner.intern(In));
+        SeedScratch.push_back(Interner.intern(In));
+    SeedPtr = SeedScratch.data();
+    SeedLen = SeedScratch.size();
     if (Frontier)
-      Problem.Retained = &Frontier->Replay;
+      Retained = &Frontier->Replay;
   }
 
   std::vector<std::pair<std::size_t, History>> FoundAborts;
-  Problem.SequenceSensitive = !Budgeted.empty();
-  Problem.AcceptLeaf =
-      detail::makeAbortSynthesisLeaf(Rel, Budgeted, Lcp, FoundAborts);
-
   ChainLimits Limits{SOpts.Search.NodeBudget, SOpts.Search.TimeBudgetMillis};
   ChainSearch Engine(Interner, Memo, Scratch);
-  ChainResult R = Engine.run(Problem, Limits, Salt);
+  ChainResult R;
+  if (Opts.DataOriented && Budgeted.empty()) {
+    // The data-oriented entry: a non-owning view over the shared SoA
+    // window plus this interpretation's overlay rows — no per-verdict
+    // materialization. Abort-free runs only: the empty-budget synthesis
+    // leaf accepts every leaf and the engine counts LeafChecks before
+    // consulting the predicate, so a null predicate is bit-identical;
+    // budgeted runs take the owning path below.
+    ChainProblemView V;
+    V.Type = &Type;
+    V.AlphabetSize = A;
+    V.Commits = Rows;
+    V.NumCommits = NumOb;
+    if (AnyOverlay)
+      V.AvailOverride = OverlayPtrs.data();
+    V.Seed = SeedPtr;
+    V.SeedLen = SeedLen;
+    V.SeedBase = SeedBase;
+    if (SeedBase && Opts.RetainRetiredWitness && Frontier) {
+      V.RetiredPrefix = Frontier->RetiredMaster.data();
+      V.RetiredPrefixLen = Frontier->RetiredMaster.size();
+    }
+    V.SeedCommits = SeedCommitsScratch.data();
+    V.NumSeedCommits = SeedCommitsScratch.size();
+    V.SequenceSensitive = false;
+    V.ForceCloneStates = !Opts.UseUndoStates;
+    V.Retained = Retained;
+    R = Engine.run(V, Limits, Salt);
+  } else {
+    // Reference path (and every run with aborts): materialize the owning
+    // ChainProblem from the same resolved pieces — the DataOriented
+    // on/off differential checks the shared-window/overlay/view assembly
+    // against this independent copy.
+    ChainProblem Problem;
+    Problem.Type = &Type;
+    Problem.AlphabetSize = A;
+    Problem.ForceCloneStates = !Opts.UseUndoStates;
+    Problem.Commits.reserve(NumOb);
+    for (std::size_t Q = 0; Q != NumOb; ++Q) {
+      CommitObligation Ob = Rows[Q];
+      Ob.Available = OverlayPtrs[Q];
+      Problem.Commits.push_back(Ob);
+    }
+    Problem.Seed.assign(SeedPtr, SeedPtr + SeedLen);
+    Problem.SeedBase = SeedBase;
+    if (SeedBase && Opts.RetainRetiredWitness && Frontier)
+      Problem.RetiredPrefix = &Frontier->RetiredMaster;
+    Problem.SeedCommits.assign(SeedCommitsScratch.begin(),
+                               SeedCommitsScratch.end());
+    Problem.SequenceSensitive = !Budgeted.empty();
+    Problem.AcceptLeaf =
+        detail::makeAbortSynthesisLeaf(Rel, Budgeted, Lcp, FoundAborts);
+    Problem.Retained = Retained;
+    R = Engine.run(Problem, Limits, Salt);
+  }
   Stats.Search.accumulate(R.Stats);
   if (RawOutcome)
     *RawOutcome = R.Outcome;
   if (R.Outcome == Verdict::Yes && Frontier) {
     // Retain the accepting chain as this interpretation's next frontier
     // (the engine already captured the replay state at the leaf — into the
-    // boundary clone for the post-retirement full root search).
+    // boundary clone for the post-retirement full root search), plus the
+    // dense init overlay the fast path re-applies without re-sweeping the
+    // init actions.
     if (CaptureFromBoundary)
       Frontier->Replay = std::move(BoundaryScratch);
     Frontier->Master = std::move(R.MasterIds);
     Frontier->Commits = R.Commits;
+    AdvanceTo(Builder.size());
+    if (AnyInit)
+      Frontier->InitDense.assign(RunningInitScratch.begin(),
+                                 RunningInitScratch.end());
+    else
+      Frontier->InitDense.clear();
+    Frontier->InitUpTo = InitActions.size();
   }
   return detail::shapeSlinResult(std::move(R), Rel, !Budgeted.empty(),
                                  std::move(FoundAborts));
@@ -1469,8 +1620,12 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     return Result;
   }
 
-  InterpretationFamily Family = Rel.interpretations(Builder.trace(), Sig);
-  std::uint64_t FH = familyHash(Family);
+  // The interpretation family is cached and rebuilt only when an append
+  // dirtied it (a new init action, or a relation-specific instability such
+  // as a raised fresh-value bound) — the steady state recomputes nothing
+  // and allocates nothing.
+  refreshFamily();
+  const std::uint64_t FH = CachedFamilyHash;
   bool OptsChanged =
       AnyVerdict && SOpts.AbortValidityAtEnd != LastAbortValidityAtEnd;
   bool FamilyChanged = !AnyVerdict || FH != LastFamilyHash;
@@ -1511,6 +1666,8 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       R.Outcome = Verdict::Yes;
       R.Exact = CachedVerdict.Exact;
       if (SOpts.WantWitness) {
+        if (CachedWitnessesStale)
+          refreshCachedWitnesses();
         R.Witnesses = CachedVerdict.Witnesses;
         completeWitnesses(R.Witnesses);
       }
@@ -1518,11 +1675,19 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     }
   }
 
-  Result.Exact = Family.Exact && Rel.abortSearchExact();
+  // The steady-state case a monitor lives in — cached Yes plus exactly one
+  // new witness-free obligation — is decided without materializing a
+  // problem or entering the DFS: one speculative commit move per family
+  // member over the shared window (see tryFastResume).
+  if (tryFastResume(SOpts, Result))
+    return Result;
+
+  Result.Exact = CachedFamily.Exact && Rel.abortSearchExact();
   bool AnyBudgetLimited = false;
   bool Concluded = false;
-  for (InitInterpretation &Finit : Family.Assignments) {
-    std::uint64_t IH = interpretationHash(Finit);
+  for (std::size_t FI = 0; FI != CachedFamily.Assignments.size(); ++FI) {
+    const InitInterpretation &Finit = CachedFamily.Assignments[FI];
+    std::uint64_t IH = CachedInterpHashes[FI];
     std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch), IH);
     // Only interpretations that actually captured a frontier live in the
     // table (a stream of never-recurring interpretations — e.g. the
@@ -1543,8 +1708,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
         Fresh = true;
       }
     }
-    if (WindowBase != 0 &&
-        (!F || Fresh || F->RetiredCommits.size() != WindowBase)) {
+    if (WindowBase != 0 && (!F || Fresh || F->RetiredRows != WindowBase)) {
       // An interpretation without a frontier at the session's retirement
       // depth cannot validate the retired obligations at all (they were
       // dropped from the window); nothing sound can be concluded for it.
@@ -1619,15 +1783,28 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
               It->second.LastTouch < Victim->second.LastTouch)
             Victim = It;
         }
-        if (Victim != Frontiers.end())
-          Frontiers.erase(Victim);
+        if (Victim != Frontiers.end()) {
+          // Recycle the victim's node in place of erase+emplace: the map
+          // node (and the frontier's vector capacities, which the move
+          // assignment below hands over) are reused, keeping steady-state
+          // admission churn off the allocator.
+          auto Node = Frontiers.extract(Victim);
+          Node.key() = IH;
+          Node.mapped() = std::move(FreshFrontier);
+          Frontiers.insert(std::move(Node));
+        } else {
+          Frontiers.emplace(IH, std::move(FreshFrontier));
+        }
+      } else {
+        Frontiers.emplace(IH, std::move(FreshFrontier));
       }
-      Frontiers.emplace(IH, std::move(FreshFrontier));
     }
     Result.NodesExplored += R.NodesExplored;
     AnyBudgetLimited |= R.BudgetLimited;
     if (R.Outcome == Verdict::Yes) {
-      Result.Witnesses.push_back({std::move(Finit), std::move(R.Witness)});
+      // The family is cached across verdicts, so the interpretation is
+      // copied (not moved) into the witness list.
+      Result.Witnesses.push_back({Finit, std::move(R.Witness)});
       continue;
     }
     Result.Outcome = R.Outcome;
@@ -1649,12 +1826,14 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   SawInvokeSinceVerdict = false;
   SawResponseSinceVerdict = false;
   SawInitSinceVerdict = false;
+  NewObligations = 0;
   AnyVerdict = true;
   LastAbortValidityAtEnd = SOpts.AbortValidityAtEnd;
   LastFamilyHash = FH;
   if (Result.Outcome != Verdict::Unknown) {
     HaveResult = true;
     CachedVerdict = Result; // Witnesses cached in windowed (live-only) form.
+    CachedWitnessesStale = false;
   } else {
     HaveResult = false;
   }
@@ -1663,6 +1842,199 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   else
     completeWitnesses(Result.Witnesses);
   return Result;
+}
+
+bool IncrementalSlinSession::tryFastResume(const SlinCheckOptions &SOpts,
+                                           SlinVerdict &Out) {
+  // The steady-state shape, family-wide: a cached Yes, exactly one new
+  // witness-free abort-free obligation, and per-interpretation frontiers
+  // the engine would adopt verbatim. Each interpretation's resumed run
+  // would degenerate to one node — adopt, probe the memo, check the
+  // newest obligation's deficit (the shared window row plus the
+  // interpretation's dense init overlay) and endpoint, apply one input,
+  // reach the all-committed leaf. This inlines that node per family
+  // member over the shared SoA storage, with bit-identical verdicts and
+  // stats bookkeeping, and touches no heap. Any gate miss for any member
+  // undoes the already-applied inputs and returns false with the session
+  // untouched (beyond memo prefetches); the family loop takes over.
+  if (!Opts.DataOriented || !Opts.UseUndoStates || !Opts.Resume)
+    return false;
+  if (SOpts.WantWitness || SOpts.Search.NodeBudget < 1)
+    return false;
+  if (!Aborts.empty())
+    return false;
+  if (!HaveResult || CachedVerdict.Outcome != Verdict::Yes)
+    return false;
+  if (NewObligations != 1 || SawInitSinceVerdict)
+    return false;
+  const std::size_t N = Obligations.size();
+  if (N == 0 || N > 64)
+    return false;
+  if (CachedFamily.Assignments.empty())
+    return false; // Defensive; a cached verdict implies a built family.
+
+  // The uncommitted obligation is necessarily the newest: every frontier
+  // holds the previous window's commits in order, and the window grew by
+  // one.
+  const std::size_t Q = N - 1;
+  const std::uint64_t FullMask = N == 64 ? ~0ull : (1ull << N) - 1;
+  const std::uint64_t Committed = FullMask & ~(1ull << Q);
+  if (Obligations.mustFollow(Q) & ~Committed)
+    return false; // Defensive; a prefix mask can never trip this.
+
+  Scratch.reset();
+  const InputId In = Obligations.in(Q);
+  const InputId A = Interner.size();
+  const std::int32_t *Row = Obligations.availRow(Q);
+  FastUndoScratch.clear();
+  auto Rollback = [&] {
+    for (auto &[FP, U] : FastUndoScratch)
+      FP->Replay.State->undoInput(U);
+    return false;
+  };
+  for (std::size_t FI = 0; FI != CachedFamily.Assignments.size(); ++FI) {
+    auto It = Frontiers.find(CachedInterpHashes[FI]);
+    if (It == Frontiers.end())
+      return Rollback();
+    InterpFrontier &F = It->second;
+    if (WindowBase != 0 && F.RetiredRows != WindowBase)
+      return Rollback();
+    if (F.Commits.size() + 1 != N)
+      return Rollback();
+    // Mirror the engine's frontier-adoption conditions exactly (a resumed
+    // run that cannot adopt replays the seed — not this path's business).
+    FrontierState &Replay = F.Replay;
+    if (!Replay.Valid || !Replay.State || !Replay.State->supportsUndo())
+      return Rollback();
+    if (Replay.Len != F.RetiredLen + F.Master.size() || Replay.Len == 0)
+      return Rollback();
+    if (Replay.Used.size() > A || Replay.Used.size() > Obligations.stride())
+      return Rollback();
+    // The interpretation's init contribution, snapshotted by its last full
+    // run; a frontier that has not seen every init action falls back to
+    // the full sweep.
+    const std::int32_t *InitAdd = nullptr;
+    std::size_t InitLen = 0;
+    if (!InitActions.empty()) {
+      if (F.InitUpTo != InitActions.size())
+        return Rollback();
+      InitAdd = F.InitDense.data();
+      InitLen = F.InitDense.size();
+    }
+
+    const std::uint64_t Salt =
+        hashCombine(hashCombine(SessionSalt, Epoch), CachedInterpHashes[FI]);
+    const std::uint64_t Key = hashCombine(
+        hashCombine(hashCombine(detail::mix64(Salt), Committed),
+                    Replay.State->digest()),
+        Replay.UsedHash);
+    Memo.prefetch(Key);
+
+    // Branchless window-relative deficit scan over the newest obligation's
+    // availability (shared invoked-counts row plus the init overlay; ids
+    // beyond the overlay's dense range have no init contribution, ids
+    // beyond the frontier's dense range are unused).
+    const std::int32_t *Used = Replay.Used.data();
+    const std::size_t UsedLen = Replay.Used.size();
+    bool Over = false;
+    for (std::size_t Id = 0; Id != UsedLen; ++Id) {
+      const std::int32_t Add =
+          Id < InitLen ? InitAdd[Id] : 0;
+      Over |= Used[Id] > Row[Id] + Add;
+    }
+    if (Over)
+      return Rollback();
+    // Endpoint check: committing Q consumes one more of its input.
+    const std::int32_t UsedIn = In < UsedLen ? Used[In] : 0;
+    const std::int32_t AddIn =
+        static_cast<std::size_t>(In) < InitLen ? InitAdd[In] : 0;
+    if (UsedIn + 1 > Row[In] + AddIn)
+      return Rollback();
+    // Memo probe, short-circuit order as in the engine. A hit means the
+    // engine would fail this subtree and fall through to the full root
+    // search — let it run the whole thing for identical accounting.
+    if (Memo.contains(Key))
+      return Rollback();
+    UndoToken U;
+    if (Replay.State->applyInput(Interner.input(In), U, Scratch) !=
+        Obligations.out(Q)) {
+      Replay.State->undoInput(U);
+      return Rollback();
+    }
+    FastUndoScratch.push_back({&F, U});
+  }
+
+  // Every member committed. From here the verdict is a guaranteed
+  // family-wide Yes; advance each frontier in place exactly as the
+  // engine's leaf capture would.
+  for (auto &[FP, U] : FastUndoScratch) {
+    (void)U;
+    InterpFrontier &F = *FP;
+    F.LastTouch = ++TouchCounter;
+    if (F.Replay.Used.size() < static_cast<std::size_t>(A))
+      F.Replay.Used.resize(A, 0); // Amortized: only when the alphabet grew.
+    const std::int32_t C = F.Replay.Used[In]++;
+    if (C > 0)
+      F.Replay.UsedHash ^= detail::pairMix(In, C);
+    F.Replay.UsedHash ^= detail::pairMix(In, C + 1);
+    F.Replay.HasSeqHash = false;
+    F.Replay.SeqHash = 0;
+
+    ChainStats S;
+    S.Nodes = 1;
+    S.CommitMoves = 1;
+    S.LeafChecks = 1;
+    S.SeedStepsSkipped = F.RetiredLen + F.Master.size();
+    Stats.Search.accumulate(S);
+    ++Stats.FrontierResumes;
+
+    ++F.Replay.Len;
+    F.Master.push_back(In);
+    F.Commits.push_back({Obligations.tag(Q), F.Replay.Len});
+  }
+  ++Stats.FastPathVerdicts;
+  Stats.record(Verdict::Yes);
+  Out.Outcome = Verdict::Yes;
+  Out.Exact = CachedFamily.Exact && Rel.abortSearchExact();
+  Out.NodesExplored = FastUndoScratch.size();
+  // This path replaces the family loop wholesale, so it retires the
+  // since-verdict flags exactly as the loop's epilogue would. The cached
+  // witnesses now lag the advanced frontiers; they are rebuilt on demand
+  // (refreshCachedWitnesses) if a later witness consumer shows up.
+  SawInvokeSinceVerdict = false;
+  SawResponseSinceVerdict = false;
+  SawInitSinceVerdict = false;
+  NewObligations = 0;
+  AnyVerdict = true;
+  LastAbortValidityAtEnd = SOpts.AbortValidityAtEnd;
+  LastFamilyHash = CachedFamilyHash;
+  HaveResult = true;
+  CachedVerdict.Outcome = Verdict::Yes;
+  CachedVerdict.Exact = Out.Exact;
+  CachedVerdict.Reason.clear();
+  CachedVerdict.BudgetLimited = false;
+  CachedWitnessesStale = true;
+  return true;
+}
+
+void IncrementalSlinSession::refreshCachedWitnesses() {
+  CachedVerdict.Witnesses.clear();
+  for (std::size_t FI = 0; FI != CachedFamily.Assignments.size(); ++FI) {
+    auto It = Frontiers.find(CachedInterpHashes[FI]);
+    if (It == Frontiers.end())
+      continue; // Defensive: every fast-path Yes member holds a frontier.
+    const InterpFrontier &F = It->second;
+    SlinWitness W;
+    W.Master.reserve(F.Master.size());
+    for (InputId Id : F.Master)
+      W.Master.push_back(Interner.input(Id));
+    W.Commits = F.Commits;
+    // The fast path only serves abort-free deltas, so f_abort stays empty
+    // — exactly what the engine's straight-line resume would have shaped.
+    CachedVerdict.Witnesses.push_back(
+        {CachedFamily.Assignments[FI], std::move(W)});
+  }
+  CachedWitnessesStale = false;
 }
 
 void IncrementalSlinSession::completeWitnesses(
@@ -1687,11 +2059,19 @@ void IncrementalSlinSession::completeWitnesses(
 
 void IncrementalSlinSession::reset() {
   Builder.clear();
-  Responses.clear();
+  Obligations.clear();
   Aborts.clear();
-  InitIdx.clear();
+  InitActions.clear();
   OpenStart.clear();
   Invoked = Multiset<Input>();
+  InvokedDense.clear();
+  MaxSeenVal = 0;
+  NewObligations = 0;
+  HaveCachedFamily = false;
+  FamilyDirty = false;
+  CachedFamily = InterpretationFamily();
+  CachedInterpHashes.clear();
+  CachedWitnessesStale = false;
   Doomed = false;
   DoomReason.clear();
   ++Epoch;

@@ -168,17 +168,109 @@ struct IncrementalOptions {
   /// O(1)-space and allocation-free for unbounded outcome-only monitors;
   /// trace() then returns an empty view (size() still counts), and
   /// markPrefix/rewindToMark remain usable (they snapshot ingest state,
-  /// not the view). Lin session only.
+  /// not the view). The slin session builds its interpretation family from
+  /// the retained init actions alone
+  /// (InitRelation::interpretationsFromInits), so it honors this too.
   bool RetainTrace = true;
   /// Keep the materialized retired prefix (dense ids + commit rows) for
   /// witness completion and the engine's replay fallback. Off makes the
   /// retired prefix a pure counter — required for a zero-allocation
   /// unbounded monitor (the prefix otherwise grows without bound) — at the
-  /// cost of witnesses and frontierHistory() omitting the retired region
-  /// and of the replay fallback degrading to a sound Unknown when the
-  /// retained boundary state cannot be adopted (non-undo ADTs, or
-  /// UseUndoStates off). Lin session only.
+  /// cost of witnesses (and, lin, frontierHistory()) omitting the retired
+  /// region and of the replay fallback degrading to a sound Unknown when
+  /// the retained boundary state cannot be adopted (non-undo ADTs, or
+  /// UseUndoStates off). In the slin session the per-interpretation
+  /// retired chains obey the same switch.
   bool RetainRetiredWitness = true;
+};
+
+/// The live obligation window as a structure of arrays: engine-ready
+/// CommitObligation slots (tag, input id, expected output, MustFollow
+/// mask word), a parallel invoke-index array (for mask rebuilds), and one
+/// flat availability store of power-of-two-stride rows. Maintained
+/// incrementally — append writes one slot and one row, retirement slides
+/// a base index, fold shifts the mask words — so verdict() hands the
+/// engine a view over this persistent storage instead of materializing a
+/// fresh problem. Rows are zero-extended to the stride at write time,
+/// which realizes the old lazy zero-extension contract (an input first
+/// interned after a response cannot have been invoked before it); when
+/// the alphabet outgrows the stride, ensureStride() relays the live rows
+/// out once at the next power of two. Trivially copyable (mark/rewind
+/// deep-copies it wholesale); the slots' Available pointers are only
+/// published by finalize() immediately before an engine run, so copies
+/// never carry live internal pointers. Shared by both sessions: the slin
+/// session's responses are obligations of exactly this shape, common to
+/// every interpretation (per-interpretation availability differences ride
+/// on ChainProblemView::AvailOverride overlay rows instead).
+class LiveWindow {
+public:
+  std::size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  std::size_t tag(std::size_t Q) const { return Slots[Base + Q].Tag; }
+  InputId in(std::size_t Q) const { return Slots[Base + Q].In; }
+  const Output &out(std::size_t Q) const { return Slots[Base + Q].Out; }
+  std::uint64_t mustFollow(std::size_t Q) const {
+    return Slots[Base + Q].MustFollow;
+  }
+  std::size_t invokeIdx(std::size_t Q) const { return Invokes[Base + Q]; }
+  const std::int32_t *availRow(std::size_t Q) const {
+    return AvailStore.data() + (Base + Q) * Stride;
+  }
+  std::size_t stride() const { return Stride; }
+
+  /// Appends one obligation: slot fields plus an availability row
+  /// snapshotting \p Invoked (zero-extended to the stride). Grows or
+  /// compacts storage only when the high end is reached — steady-state
+  /// appends after retirement reuse the vacated front, allocation-free.
+  void pushResponse(std::size_t Tag, InputId In, const Output &Out,
+                    std::size_t InvokeIdx, std::uint64_t MustFollow,
+                    const std::vector<std::int32_t> &Invoked);
+
+  /// Retires the first \p K live obligations (slides the base; storage
+  /// is reused by later appends).
+  void eraseFront(std::size_t K) {
+    Base += K;
+    N -= K;
+    if (N == 0)
+      Base = 0;
+  }
+
+  /// Shifts every live MustFollow mask right by \p K (window-relative
+  /// bit positions after retiring K obligations).
+  void shiftMasks(std::size_t K) {
+    for (std::size_t Q = 0; Q != N; ++Q)
+      Slots[Base + Q].MustFollow >>= K;
+  }
+
+  void setMustFollow(std::size_t Q, std::uint64_t M) {
+    Slots[Base + Q].MustFollow = M;
+  }
+
+  void clear() {
+    Base = 0;
+    N = 0;
+  }
+
+  /// First live index whose tag is >= \p T (tags are strictly increasing
+  /// in trace order).
+  std::size_t lowerBoundTag(std::size_t T) const;
+
+  /// Publishes the Available pointers (re-laying the rows out first if
+  /// the alphabet outgrew the stride) and returns the live slot range —
+  /// the engine-ready CommitObligation array for a ChainProblemView.
+  const CommitObligation *finalize(InputId AlphabetSize);
+
+private:
+  /// Ensures Stride >= AlphabetSize (power of two, min 64), re-laying
+  /// live rows out and compacting to the front when it grows.
+  void ensureStride(std::size_t AlphabetSize);
+
+  std::vector<CommitObligation> Slots;
+  std::vector<std::size_t> Invokes; ///< Parallel: invocation trace index.
+  std::vector<std::int32_t> AvailStore; ///< Row-major, Stride per row.
+  std::size_t Stride = 0;
+  std::size_t Base = 0; ///< First live row.
+  std::size_t N = 0;    ///< Live rows.
 };
 
 /// Streaming, resumable plain-linearizability checking (Definition 5) of
@@ -273,92 +365,6 @@ public:
   }
 
 private:
-  /// The live obligation window as a structure of arrays: engine-ready
-  /// CommitObligation slots (tag, input id, expected output, MustFollow
-  /// mask word), a parallel invoke-index array (for mask rebuilds), and one
-  /// flat availability store of power-of-two-stride rows. Maintained
-  /// incrementally — append writes one slot and one row, retirement slides
-  /// a base index, fold shifts the mask words — so verdict() hands the
-  /// engine a view over this persistent storage instead of materializing a
-  /// fresh problem. Rows are zero-extended to the stride at write time,
-  /// which realizes the old lazy zero-extension contract (an input first
-  /// interned after a response cannot have been invoked before it); when
-  /// the alphabet outgrows the stride, ensureStride() relays the live rows
-  /// out once at the next power of two. Trivially copyable (mark/rewind
-  /// deep-copies it wholesale); the slots' Available pointers are only
-  /// published by finalize() immediately before an engine run, so copies
-  /// never carry live internal pointers.
-  class LiveWindow {
-  public:
-    std::size_t size() const { return N; }
-    bool empty() const { return N == 0; }
-    std::size_t tag(std::size_t Q) const { return Slots[Base + Q].Tag; }
-    InputId in(std::size_t Q) const { return Slots[Base + Q].In; }
-    const Output &out(std::size_t Q) const { return Slots[Base + Q].Out; }
-    std::uint64_t mustFollow(std::size_t Q) const {
-      return Slots[Base + Q].MustFollow;
-    }
-    std::size_t invokeIdx(std::size_t Q) const { return Invokes[Base + Q]; }
-    const std::int32_t *availRow(std::size_t Q) const {
-      return AvailStore.data() + (Base + Q) * Stride;
-    }
-    std::size_t stride() const { return Stride; }
-
-    /// Appends one obligation: slot fields plus an availability row
-    /// snapshotting \p Invoked (zero-extended to the stride). Grows or
-    /// compacts storage only when the high end is reached — steady-state
-    /// appends after retirement reuse the vacated front, allocation-free.
-    void pushResponse(std::size_t Tag, InputId In, const Output &Out,
-                      std::size_t InvokeIdx, std::uint64_t MustFollow,
-                      const std::vector<std::int32_t> &Invoked);
-
-    /// Retires the first \p K live obligations (slides the base; storage
-    /// is reused by later appends).
-    void eraseFront(std::size_t K) {
-      Base += K;
-      N -= K;
-      if (N == 0)
-        Base = 0;
-    }
-
-    /// Shifts every live MustFollow mask right by \p K (window-relative
-    /// bit positions after retiring K obligations).
-    void shiftMasks(std::size_t K) {
-      for (std::size_t Q = 0; Q != N; ++Q)
-        Slots[Base + Q].MustFollow >>= K;
-    }
-
-    void setMustFollow(std::size_t Q, std::uint64_t M) {
-      Slots[Base + Q].MustFollow = M;
-    }
-
-    void clear() {
-      Base = 0;
-      N = 0;
-    }
-
-    /// First live index whose tag is >= \p T (tags are strictly increasing
-    /// in trace order).
-    std::size_t lowerBoundTag(std::size_t T) const;
-
-    /// Publishes the Available pointers (re-laying the rows out first if
-    /// the alphabet outgrew the stride) and returns the live slot range —
-    /// the engine-ready CommitObligation array for a ChainProblemView.
-    const CommitObligation *finalize(InputId AlphabetSize);
-
-  private:
-    /// Ensures Stride >= AlphabetSize (power of two, min 64), re-laying
-    /// live rows out and compacting to the front when it grows.
-    void ensureStride(std::size_t AlphabetSize);
-
-    std::vector<CommitObligation> Slots;
-    std::vector<std::size_t> Invokes; ///< Parallel: invocation trace index.
-    std::vector<std::int32_t> AvailStore; ///< Row-major, Stride per row.
-    std::size_t Stride = 0;
-    std::size_t Base = 0; ///< First live row.
-    std::size_t N = 0;    ///< Live rows.
-  };
-
   /// Everything a mark must be able to restore. Retirement mutates the
   /// window in place (prefix erase + mask remap), so the mark deep-copies
   /// the window and the retired-prefix state instead of relying on the
@@ -582,22 +588,17 @@ public:
   std::size_t retiredObligations() const { return WindowBase; }
 
   /// Current live response window size; bounded by 64.
-  std::size_t liveWindow() const { return Responses.size(); }
+  std::size_t liveWindow() const { return Obligations.size(); }
 
   /// True once an append found the window full with no retirable quiescent
   /// prefix (see IncrementalLinSession::overflowed).
   bool overflowed() const { return Overflowed; }
 
+  /// The session's scratch arena (exposed for the allocation-audit tests,
+  /// as in IncrementalLinSession).
+  const Arena &scratchArena() const { return Scratch; }
+
 private:
-  struct ResponseRec {
-    std::size_t Tag = 0;
-    Input In;
-    Output Out;
-    std::size_t StartIdx = 0;
-    std::uint64_t MustFollow = 0;
-    /// elems(inputs(t, Tag)): invoked inputs strictly before the response.
-    Multiset<Input> InvokedBefore;
-  };
   struct AbortRec {
     std::size_t TraceIndex = 0;
     Input In;
@@ -616,9 +617,26 @@ private:
     std::vector<InputId> Master; ///< Live part of the chain (post-retired).
     std::vector<std::pair<std::size_t, std::size_t>> Commits; ///< (Tag, Len)
     FrontierState Replay;
+    /// Length of this interpretation's retired chain and the number of
+    /// responses folded into it. Tracked as counters (mirroring the lin
+    /// session's RetiredMasterLen) so the materialized RetiredMaster /
+    /// RetiredCommits below are optional (Opts.RetainRetiredWitness):
+    /// every structural use — SeedBase, frontier-length checks, fold
+    /// alignment — reads the counters.
+    std::size_t RetiredLen = 0;
+    std::size_t RetiredRows = 0;
     std::vector<InputId> RetiredMaster;
     std::vector<std::pair<std::size_t, std::size_t>> RetiredCommits;
     FrontierState RetiredBoundary;
+    /// This interpretation's dense init-availability contribution (the
+    /// pointwise-max union of every init action's {switch input} ∪
+    /// interpretation history, Definition 26), snapshotted at the end of
+    /// the last full run that captured this frontier and valid while
+    /// InitUpTo still equals the session's init count. The fast path adds
+    /// it on top of the shared window rows instead of re-sweeping the init
+    /// actions; empty means no contribution (no init actions).
+    std::vector<std::int32_t> InitDense;
+    std::size_t InitUpTo = 0;
     /// LRU stamp: bumped on every resume and on admission; the eviction at
     /// the table bound removes the least-recently-resumed entry (and never
     /// one touched by the in-flight verdict), so cycling one-shot
@@ -631,6 +649,35 @@ private:
                            InterpFrontier *Frontier, bool FromFrontier,
                            Verdict *RawOutcome);
   std::uint64_t familyHash(const InterpretationFamily &F) const;
+  /// Rebuilds the cached interpretation family (assignments, hashes,
+  /// family hash) from the retained init actions when an append dirtied
+  /// it; no-op — and allocation-free — while the family is append-stable
+  /// (InitRelation::interpretationsStableUnderAppend), which is the
+  /// steady state.
+  void refreshFamily();
+  /// The slin data-oriented absorbed case, mirroring the lin session's
+  /// tryFastResume across the whole interpretation family: the cached Yes
+  /// covers all but the single newest obligation, every family member
+  /// holds an adoptable retained frontier with a fresh init overlay, and
+  /// the caller wants no witness — so the verdict is decided here with
+  /// the same checks the engine's one commit move would make per
+  /// interpretation (word-mask/count scans over the shared SoA window
+  /// plus the per-interpretation InitDense overlay, prefetched memo
+  /// probes, one applyInput each), never materializing a problem or
+  /// entering the DFS. Returns false — undoing any partially applied
+  /// inputs, leaving all state untouched beyond identical memo stat
+  /// drift — when any precondition fails for any member; the family loop
+  /// then runs. On true, \p Out plus every retained artifact are
+  /// bit-identical to what the per-interpretation engine resumes would
+  /// have produced, except that CachedVerdict's witnesses go stale (they
+  /// are rebuilt from the frontiers on demand; see
+  /// refreshCachedWitnesses).
+  bool tryFastResume(const SlinCheckOptions &SOpts, SlinVerdict &Out);
+  /// Rebuilds CachedVerdict.Witnesses from the retained frontiers (each
+  /// frontier's live chain is exactly the witness the engine would have
+  /// materialized). Called lazily when an absorbed verdict needs the
+  /// witnesses after fast-path verdicts let them go stale.
+  void refreshCachedWitnesses();
   /// Folds every retained frontier's chain prefix up to the latest
   /// quiescent cut into its per-interpretation retired prefix and shrinks
   /// the shared response window; requires an abort-free stream and a
@@ -652,11 +699,20 @@ private:
   SessionStats Stats;
 
   TraceBuilder Builder;
-  std::vector<ResponseRec> Responses;
+  /// The *live* response window, shared by every interpretation (slot
+  /// fields and pre-init availability snapshots are interpretation-
+  /// independent); MustFollow masks are window-relative.
+  LiveWindow Obligations;
   std::vector<AbortRec> Aborts;
-  std::vector<std::size_t> InitIdx; ///< Trace indices of init actions.
+  /// Init actions with their trace indices — everything the relation needs
+  /// to rebuild the interpretation family without the materialized trace.
+  std::vector<std::pair<std::size_t, Action>> InitActions;
   std::vector<std::size_t> OpenStart;
   Multiset<Input> Invoked; ///< All invoked inputs so far.
+  std::vector<std::int32_t> InvokedDense; ///< Running invoked counts by id.
+  /// Running max over every ingested action of max(In.A, Sv.Val) — the
+  /// FreshBound fed to interpretationsFromInits.
+  std::int64_t MaxSeenVal = 0;
   bool Doomed = false;
   std::string DoomReason;
 
@@ -679,17 +735,39 @@ private:
   bool SawInvokeSinceVerdict = false;
   bool SawResponseSinceVerdict = false;
   bool SawInitSinceVerdict = false;
+  std::size_t NewObligations = 0; ///< Responses since the last verdict.
   bool AnyVerdict = false;
   bool LastAbortValidityAtEnd = false;
   std::uint64_t LastFamilyHash = 0;
 
   bool HaveResult = false;
   SlinVerdict CachedVerdict;
+  /// Fast-path verdicts advance the frontiers without re-materializing
+  /// witnesses; set until refreshCachedWitnesses() rebuilds them.
+  bool CachedWitnessesStale = false;
+
+  // Cached interpretation family (refreshFamily). Valid while no append
+  // dirtied it; hashes are parallel to CachedFamily.Assignments.
+  InterpretationFamily CachedFamily;
+  std::vector<std::uint64_t> CachedInterpHashes;
+  std::uint64_t CachedFamilyHash = 0;
+  bool HaveCachedFamily = false;
+  bool FamilyDirty = false;
+
+  // Persistent per-verdict scratch (warm capacity; refilled per run so the
+  // data-oriented path allocates nothing per steady event).
+  std::vector<InputId> SeedScratch;
+  std::vector<std::pair<std::size_t, std::size_t>> SeedCommitsScratch;
+  std::vector<const std::int32_t *> OverlayPtrs;
+  std::vector<std::int32_t> RunningInitScratch;
+  std::vector<std::int32_t> ContribScratch;
+  std::vector<std::pair<InterpFrontier *, UndoToken>> FastUndoScratch;
 
   /// Per-interpretation success frontiers, keyed by interpretation hash.
   /// Only interpretations that captured a frontier are admitted, and at
-  /// the size bound one arbitrary entry is evicted per admission —
-  /// frontier loss costs re-search, never soundness.
+  /// the size bound the least-recently-touched entry is recycled (node
+  /// extraction, no rehash/reallocation) per admission — frontier loss
+  /// costs re-search, never soundness.
   std::map<std::uint64_t, InterpFrontier> Frontiers;
 };
 

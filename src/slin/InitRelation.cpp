@@ -27,6 +27,25 @@ InitRelation::interpretations(const Trace &T, const PhaseSignature &Sig) const {
   return Family;
 }
 
+InterpretationFamily InitRelation::interpretationsFromInits(
+    const std::vector<std::pair<std::size_t, Action>> &Inits,
+    std::int64_t FreshBound) const {
+  (void)FreshBound;
+  InterpretationFamily Family;
+  InitInterpretation Canonical;
+  for (const auto &[Index, A] : Inits)
+    Canonical[Index] = canonical(A.Sv);
+  Family.Assignments.push_back(std::move(Canonical));
+  Family.Exact = false;
+  return Family;
+}
+
+bool InitRelation::interpretationsStableUnderAppend(
+    bool TraceHasInits, bool FreshBoundRaised) const {
+  (void)FreshBoundRaised;
+  return !TraceHasInits;
+}
+
 bool InitRelation::abortCandidateOk(const SwitchValue &V, const History &A,
                                     const History &LongestCommit,
                                     const History &InitLcp,
@@ -137,6 +156,49 @@ ConsensusInitRelation::interpretations(const Trace &T,
   return Family;
 }
 
+InterpretationFamily ConsensusInitRelation::interpretationsFromInits(
+    const std::vector<std::pair<std::size_t, Action>> &Inits,
+    std::int64_t FreshBound) const {
+  InterpretationFamily Family;
+  Family.Exact = true;
+
+  InitInterpretation Canonical;
+  for (const auto &[Index, A] : Inits)
+    Canonical[Index] = canonical(A.Sv);
+  Family.Assignments.push_back(Canonical);
+  if (Inits.empty())
+    return Family;
+
+  bool AllEqual = true;
+  for (const auto &[Index, A] : Inits)
+    AllEqual = AllEqual && A.Sv == Inits.front().second.Sv;
+  if (!AllEqual)
+    return Family; // LCP is empty under every interpretation.
+
+  // FreshBound stands in for the trace maximum of interpretations(); the
+  // first value absent from the trace is therefore FreshBound + 1.
+  const std::int64_t Fresh = FreshBound + 1;
+  for (unsigned Extra : {1u, 2u}) {
+    InitInterpretation Extended;
+    History H = canonical(Inits.front().second.Sv);
+    for (unsigned K = 0; K < Extra; ++K)
+      H.push_back(cons::ghostPropose(Fresh + K));
+    for (const auto &[Index, A] : Inits)
+      Extended[Index] = H;
+    Family.Assignments.push_back(std::move(Extended));
+  }
+  return Family;
+}
+
+bool ConsensusInitRelation::interpretationsStableUnderAppend(
+    bool TraceHasInits, bool FreshBoundRaised) const {
+  // The extended assignments consume only the canonical heads (functions of
+  // the switch values) and fresh values one past the trace maximum: an
+  // appended non-init action perturbs the family only by raising that
+  // maximum.
+  return !TraceHasInits || !FreshBoundRaised;
+}
+
 std::optional<History> ConsensusInitRelation::findAbortHistory(
     const SwitchValue &V, const History &LongestCommit, const History &InitLcp,
     const Input &PendingIn, const Multiset<Input> &Budget) const {
@@ -243,6 +305,24 @@ UniversalInitRelation::interpretations(const Trace &T,
   InterpretationFamily Family = InitRelation::interpretations(T, Sig);
   Family.Exact = true;
   return Family;
+}
+
+InterpretationFamily UniversalInitRelation::interpretationsFromInits(
+    const std::vector<std::pair<std::size_t, Action>> &Inits,
+    std::int64_t FreshBound) const {
+  InterpretationFamily Family =
+      InitRelation::interpretationsFromInits(Inits, FreshBound);
+  Family.Exact = true;
+  return Family;
+}
+
+bool UniversalInitRelation::interpretationsStableUnderAppend(
+    bool TraceHasInits, bool FreshBoundRaised) const {
+  // Interpretations are forced by the switch values; no other trace content
+  // participates.
+  (void)TraceHasInits;
+  (void)FreshBoundRaised;
+  return true;
 }
 
 std::optional<History> UniversalInitRelation::findAbortHistory(

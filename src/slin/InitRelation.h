@@ -71,6 +71,29 @@ public:
   virtual InterpretationFamily
   interpretations(const Trace &T, const PhaseSignature &Sig) const;
 
+  /// interpretations() from the init actions alone: \p Inits holds each
+  /// init action with its trace index (trace order), and \p FreshBound is
+  /// max over every trace action of max(In.A, Sv.Val) — the only other
+  /// trace-derived quantity any bundled relation consumes. Must agree with
+  /// interpretations(T, Sig) on the same trace; exists so a streaming
+  /// session can (re)build the family without retaining — or re-walking —
+  /// the materialized trace. The default mirrors interpretations()'s
+  /// default (all-canonical, inexact).
+  virtual InterpretationFamily interpretationsFromInits(
+      const std::vector<std::pair<std::size_t, Action>> &Inits,
+      std::int64_t FreshBound) const;
+
+  /// True iff appending one more non-init action cannot change
+  /// interpretationsFromInits' result: \p TraceHasInits says whether any
+  /// init action has been ingested, and \p FreshBoundRaised whether the
+  /// appended action raised the FreshBound maximum. A streaming session
+  /// uses this to keep its family cached across steady-state appends
+  /// (false negatives cost a recompute, never soundness). The conservative
+  /// default: stable only while the trace has no init actions at all (every
+  /// bundled relation's family is then the empty-assignment singleton).
+  virtual bool interpretationsStableUnderAppend(bool TraceHasInits,
+                                                bool FreshBoundRaised) const;
+
   /// Searches for an abort history A for switch value \p V subject to the
   /// constraints the definitions impose on f_abort values:
   ///   A ∈ r_init(V);  LongestCommit is a prefix of A (Abort Order);
@@ -105,6 +128,11 @@ public:
   History canonical(const SwitchValue &V) const override;
   InterpretationFamily
   interpretations(const Trace &T, const PhaseSignature &Sig) const override;
+  InterpretationFamily interpretationsFromInits(
+      const std::vector<std::pair<std::size_t, Action>> &Inits,
+      std::int64_t FreshBound) const override;
+  bool interpretationsStableUnderAppend(bool TraceHasInits,
+                                        bool FreshBoundRaised) const override;
   std::optional<History>
   findAbortHistory(const SwitchValue &V, const History &LongestCommit,
                    const History &InitLcp, const Input &PendingIn,
@@ -128,6 +156,11 @@ public:
   History canonical(const SwitchValue &V) const override;
   InterpretationFamily
   interpretations(const Trace &T, const PhaseSignature &Sig) const override;
+  InterpretationFamily interpretationsFromInits(
+      const std::vector<std::pair<std::size_t, Action>> &Inits,
+      std::int64_t FreshBound) const override;
+  bool interpretationsStableUnderAppend(bool TraceHasInits,
+                                        bool FreshBoundRaised) const override;
   std::optional<History>
   findAbortHistory(const SwitchValue &V, const History &LongestCommit,
                    const History &InitLcp, const Input &PendingIn,

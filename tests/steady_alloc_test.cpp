@@ -26,6 +26,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "adt/Consensus.h"
 #include "adt/Register.h"
 #include "engine/Incremental.h"
 #include "support/AllocGauge.h"
@@ -133,6 +134,72 @@ TEST(SteadyAlloc, SteadyStateEventsAreAllocationFree) {
   if (AllocGauge::active())
     EXPECT_EQ(AllocGauge::count() - Allocs0, 0u)
         << "steady-state events must not touch the heap";
+}
+
+// The same contract for the slin session: an outcome-only speculative
+// monitor on a switch-free consensus stream (the whole-object monitoring
+// shape — a singleton interpretation family) must be heap-silent per steady
+// event, with every verdict served by the slin family fast path over the
+// shared SoA window and the window bounded by retirement throughout.
+TEST(SteadyAlloc, SlinSteadyStateEventsAreAllocationFree) {
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  IncrementalOptions Opts;
+  Opts.RetainTrace = false;          // Outcome-only: no O(n) trace view.
+  Opts.RetainRetiredWitness = false; // Retired prefixes as pure counters.
+  IncrementalSlinSession Inc(Cons, Sig, Rel, Opts);
+  SlinCheckOptions Limits;
+  Limits.WantWitness = false;
+
+  // Replica of the single-client linearization order; supplies the stream's
+  // outputs. Single-client operation means every response is a quiescent
+  // cut, so retirement runs continuously.
+  std::unique_ptr<AdtState> Model = Cons.makeState();
+  std::uint64_t K = 0;
+  auto OneEvent = [&] {
+    Input In = cons::propose(static_cast<std::int64_t>(1 + K % 3));
+    ++K;
+    Output Out = Model->apply(In);
+    Inc.append(makeInvoke(0, 1, In));
+    Inc.append(makeRespond(0, 1, In, Out));
+    return Inc.verdict(Limits);
+  };
+
+  // Prime + warm-up: several hundred steady operations settle every
+  // capacity (interner, window slots, frontier chain, arena blocks).
+  for (std::uint64_t I = 0; I != 512; ++I)
+    ASSERT_EQ(OneEvent().Outcome, Verdict::Yes);
+
+  // Measured region: 1k steady operations, zero heap allocations. Plain
+  // counters inside the loop — gtest machinery stays outside it.
+  const std::uint64_t Allocs0 = AllocGauge::count();
+  const std::size_t High0 = Inc.scratchArena().highWaterBytes();
+  const std::size_t Reserved0 = Inc.scratchArena().reservedBytes();
+  const std::uint64_t Fast0 = Inc.stats().FastPathVerdicts;
+  std::uint64_t NonYes = 0, Nodes = 0;
+  constexpr std::uint64_t Events = 1000;
+  for (std::uint64_t I = 0; I != Events; ++I) {
+    SlinVerdict R = OneEvent();
+    NonYes += R.Outcome != Verdict::Yes;
+    Nodes += R.NodesExplored;
+  }
+
+  EXPECT_EQ(NonYes, 0u);
+  EXPECT_EQ(Nodes, Events)
+      << "steady slin verdicts must cost 1 node each (singleton family)";
+  EXPECT_EQ(Inc.stats().FastPathVerdicts - Fast0, Events)
+      << "every steady slin verdict must be served by the fast path";
+  EXPECT_EQ(Inc.scratchArena().highWaterBytes(), High0)
+      << "scratch arena grew during slin steady state";
+  EXPECT_EQ(Inc.scratchArena().reservedBytes(), Reserved0)
+      << "scratch arena reserved new blocks during slin steady state";
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  EXPECT_LE(Inc.stats().LiveWindowHighWater, 64u);
+  EXPECT_EQ(Inc.stats().WindowOverflows, 0u);
+  if (AllocGauge::active())
+    EXPECT_EQ(AllocGauge::count() - Allocs0, 0u)
+        << "steady slin events must not touch the heap";
 }
 
 // The interposer itself must be observable: this binary defines the gauge,

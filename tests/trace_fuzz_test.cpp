@@ -710,6 +710,222 @@ TEST(TraceFuzzTest, WindowedSlinFuzz_SwitchFreeConsensus) {
 }
 
 //===----------------------------------------------------------------------===//
+// Slin data-oriented hot path: the shared SoA window + per-interpretation
+// overlay rows + family fast path (DataOriented on, the default) must be
+// observationally identical to the reference owning-problem path (off) —
+// verdicts, exactness, reasons, node counts, and full per-interpretation
+// witnesses, at every prefix, across both relations and both Definition 28
+// readings. Long abort-free streams additionally pin that the slin fast
+// path actually fires (FastPathVerdicts advances) — otherwise the
+// differential would be vacuous on the steady state it exists to protect.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// How the per-prefix verdicts of the slin differential ask for witnesses.
+enum class WitnessMode { Always, Never, Mixed };
+
+/// Per-prefix differential between the slin SoA/fast-path session and the
+/// reference materializing path. Mixed mode alternates witness-free and
+/// witness-carrying verdicts in one session, which drives the fast path's
+/// deferred witness refresh: a witness-carrying absorption after fast-path
+/// verdicts must rebuild exactly the witnesses the reference path carried
+/// all along.
+void fuzzSlinDataOrientedTrace(const Adt &Type, const PhaseSignature &Sig,
+                               const InitRelation &Rel, const Trace &T,
+                               SlinCheckOptions O, WitnessMode Mode) {
+  IncrementalSlinSession Soa(Type, Sig, Rel);
+  IncrementalOptions RefOpts;
+  RefOpts.DataOriented = false;
+  IncrementalSlinSession Ref(Type, Sig, Rel, RefOpts);
+  std::size_t Prefix = 0;
+  for (const Action &A : T) {
+    Soa.append(A);
+    Ref.append(A);
+    ++Prefix;
+    O.WantWitness = Mode == WitnessMode::Always ||
+                    (Mode == WitnessMode::Mixed && Prefix % 8 == 0);
+    SlinVerdict S = Soa.verdict(O);
+    SlinVerdict R = Ref.verdict(O);
+    ASSERT_EQ(S.Outcome, R.Outcome)
+        << "slin SoA verdict diverged from the reference path at prefix "
+        << Prefix << " (atEnd=" << O.AbortValidityAtEnd
+        << ", wantWitness=" << O.WantWitness << "):\n"
+        << formatTrace(T);
+    ASSERT_EQ(S.Exact, R.Exact)
+        << "slin exactness diverged at prefix " << Prefix;
+    ASSERT_EQ(S.NodesExplored, R.NodesExplored)
+        << "slin SoA node count diverged at prefix " << Prefix
+        << " (outcome " << int(S.Outcome) << "):\n"
+        << formatTrace(T);
+    ASSERT_EQ(S.Reason, R.Reason)
+        << "slin reason diverged at prefix " << Prefix;
+    ASSERT_EQ(S.BudgetLimited, R.BudgetLimited);
+    ASSERT_EQ(S.Witnesses.size(), R.Witnesses.size())
+        << "witness count diverged at prefix " << Prefix;
+    for (std::size_t W = 0; W != S.Witnesses.size(); ++W) {
+      ASSERT_EQ(S.Witnesses[W].first, R.Witnesses[W].first)
+          << "interpretation assignment diverged at prefix " << Prefix;
+      ASSERT_EQ(S.Witnesses[W].second.Master, R.Witnesses[W].second.Master)
+          << "witness master diverged at prefix " << Prefix << ":\n"
+          << formatTrace(T);
+      ASSERT_EQ(S.Witnesses[W].second.Commits,
+                R.Witnesses[W].second.Commits)
+          << "witness commit map diverged at prefix " << Prefix;
+      ASSERT_EQ(S.Witnesses[W].second.Aborts, R.Witnesses[W].second.Aborts)
+          << "witness abort assignment diverged at prefix " << Prefix;
+    }
+  }
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, SlinDataOrientedDifferential_UniversalRelation) {
+  ConsensusAdt Cons;
+  unsigned N = traceBudget(200);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x71), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    PhaseId M = 1 + (I % 2);
+    PhaseSignature Sig(M, M + 1);
+    UniversalInitRelation Rel;
+    Trace T = drawSlinWalk(Sig, Rel, R);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = (I / 2) % 2 == 1; // Both readings over the run.
+    fuzzSlinDataOrientedTrace(Cons, Sig, Rel, T, O,
+                              static_cast<WitnessMode>(I % 3));
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TEST(TraceFuzzTest, SlinDataOrientedDifferential_ConsensusRelation) {
+  // Walk traces re-targeted at the consensus relation (switch values
+  // remapped into small proposals), as in SlinFuzz_ConsensusRelation:
+  // mixed-verdict phase traces with aborts and recoveries, on/off
+  // identical at every prefix under both readings.
+  ConsensusAdt Cons;
+  ConsensusInitRelation ConsRel;
+  unsigned N = traceBudget(160);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x72), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    PhaseId M = 1 + (I % 2);
+    PhaseSignature Sig(M, M + 1);
+    UniversalInitRelation WalkRel;
+    Trace T = drawSlinWalk(Sig, WalkRel, R);
+    for (Action &Act : T)
+      if (isSwitch(Act))
+        Act.Sv.Val = 1 + (Act.Sv.Val & 1);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    fuzzSlinDataOrientedTrace(Cons, Sig, ConsRel, T, O,
+                              static_cast<WitnessMode>(I % 3));
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+TEST(TraceFuzzTest, SlinDataOrientedDifferential_SteadyStreams) {
+  // Long abort-free switch-free consensus streams past the retirement
+  // threshold: the singleton-interpretation steady state. The on/off
+  // differential must hold through continuous retirement, and the SoA
+  // session must serve witness-free steady verdicts from the fast path.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  unsigned N = std::max(2u, traceBudget(200) / 50);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x73), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    std::unique_ptr<AdtState> S = Cons.makeState();
+    Trace T;
+    unsigned Ops = 70 + static_cast<unsigned>(R.next() % 30);
+    for (unsigned K = 0; K != Ops; ++K) {
+      Input In = cons::propose(1 + static_cast<std::int64_t>(R.next() % 3));
+      Output Out = S->apply(In);
+      ClientId C = K % 3;
+      T.push_back(makeInvoke(C, 1, In));
+      T.push_back(makeRespond(C, 1, In, Out));
+    }
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    WitnessMode Mode = I % 2 ? WitnessMode::Mixed : WitnessMode::Never;
+    fuzzSlinDataOrientedTrace(Cons, Sig, Rel, T, O, Mode);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    // Re-stream through one SoA session to observe the fast-path counter
+    // (the differential's sessions are scoped to the helper).
+    IncrementalSlinSession Probe(Cons, Sig, Rel);
+    SlinCheckOptions Free = O;
+    Free.WantWitness = false;
+    for (const Action &A : T) {
+      Probe.append(A);
+      Probe.verdict(Free);
+    }
+    EXPECT_GT(Probe.stats().FastPathVerdicts, 0u)
+        << "witness-free abort-free slin stream never took the fast path";
+    EXPECT_GT(Probe.retiredObligations(), 0u);
+  }
+}
+
+TEST(TraceFuzzTest, SlinDataOrientedDifferential_InitFamilySteadyStreams) {
+  // The multi-interpretation steady state: a non-first phase opened by an
+  // init switch, so the consensus relation's family has three members
+  // (canonical + two fresh-extended) and every fast-path verdict sweeps
+  // three retained frontiers. On/off identical throughout; the fast path
+  // must fire across the whole family.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(2, 3);
+  ConsensusInitRelation Rel;
+  unsigned N = std::max(2u, traceBudget(200) / 50);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x74), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    // One client takes over phase 2 with switch value v: its ghost history
+    // starts with p(v), and every later proposal decides v.
+    std::int64_t V = 1 + static_cast<std::int64_t>(R.next() % 2);
+    std::unique_ptr<AdtState> S = Cons.makeState();
+    (void)S->apply(cons::propose(V));
+    Trace T;
+    T.push_back(makeSwitch(0, 2, cons::propose(V), SwitchValue{V}));
+    T.push_back(makeRespond(0, 2, cons::propose(V), S->apply(cons::propose(V))));
+    unsigned Ops = 60 + static_cast<unsigned>(R.next() % 30);
+    for (unsigned K = 0; K != Ops; ++K) {
+      // Proposal values stay <= the switch value: a larger value would
+      // raise the relation's fresh-value bound, recompute the family, and
+      // re-key the retained frontiers — correct, but not the steady state
+      // this family exists to pin.
+      Input In = cons::propose(
+          1 + static_cast<std::int64_t>(R.next() % static_cast<unsigned>(V)));
+      Output Out = S->apply(In);
+      T.push_back(makeInvoke(0, 2, In));
+      T.push_back(makeRespond(0, 2, In, Out));
+    }
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    WitnessMode Mode = I % 2 ? WitnessMode::Mixed : WitnessMode::Never;
+    fuzzSlinDataOrientedTrace(Cons, Sig, Rel, T, O, Mode);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    IncrementalSlinSession Probe(Cons, Sig, Rel);
+    SlinCheckOptions Free = O;
+    Free.WantWitness = false;
+    for (const Action &A : T) {
+      Probe.append(A);
+      Probe.verdict(Free);
+    }
+    EXPECT_GT(Probe.stats().FastPathVerdicts, 0u)
+        << "init-family slin stream never took the fast path";
+    EXPECT_GT(Probe.retiredObligations(), 0u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Retained replay state: bit-equivalence with a fresh seed replay under
 // arbitrary append / rewindToMark / reset interleavings.
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,104 @@
+//===- examples/SimDriver.cpp ---------------------------------------------==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SimDriver.h"
+
+#include "adt/KvStore.h"
+
+using namespace slin;
+using namespace slin::simdrv;
+
+void slin::simdrv::submitKvWorkload(SmrHarness &H, unsigned Clients,
+                                    const KvWorkloadShape &Shape) {
+  for (unsigned I = 0; I != Shape.Ops; ++I) {
+    ClientId C = I % Clients;
+    SimTime At = Shape.RoundPace * (I / Clients) + C * Shape.ClientStagger;
+    std::int64_t Key = 1 + (I % Shape.KeyPeriod);
+    switch ((I / Clients) % 3) {
+    case 0:
+      H.submitAt(At, C, kv::put(Key, 10 * (1 + I % Shape.ValuePeriod)));
+      break;
+    case 1:
+      H.submitAt(At, C, kv::get(Key));
+      break;
+    default:
+      H.submitAt(At, C, kv::del(Key));
+      break;
+    }
+  }
+}
+
+/// Delivers every event past \p Fed to \p OnEvent and advances the cursor.
+static void drainNew(SmrHarness &H, std::size_t &Fed, SimTime Now,
+                     const std::function<void(SimTime, const Action &)>
+                         &OnEvent) {
+  const Trace &T = H.objectTrace();
+  for (; Fed != T.size(); ++Fed)
+    OnEvent(Now, T[Fed]);
+}
+
+static bool allDone(const SmrHarness &H) {
+  for (const SmrOpRecord &Op : H.smrOps())
+    if (!Op.Completed)
+      return false;
+  return !H.smrOps().empty();
+}
+
+std::size_t slin::simdrv::runSliced(
+    SmrHarness &H,
+    const std::function<void(SimTime, const Action &)> &OnEvent) {
+  std::size_t Fed = 0;
+  for (SimTime Slice = 50; Slice <= 1u << 20 && !allDone(H); Slice += 50) {
+    H.run(Slice);
+    drainNew(H, Fed, Slice, OnEvent);
+  }
+  H.run(); // Quiesce whatever is left (crashed-minority stragglers).
+  drainNew(H, Fed, -1, OnEvent);
+  return Fed;
+}
+
+MultiObjectSim::MultiObjectSim(const Adt &Type, std::size_t Objects,
+                               const StackConfig &Base) {
+  Harnesses.reserve(Objects);
+  Fed.resize(Objects, 0);
+  for (std::size_t K = 0; K != Objects; ++K) {
+    StackConfig Config = Base;
+    Config.Seed = Base.Seed + K;
+    Harnesses.push_back(std::make_unique<SmrHarness>(Config, Type));
+  }
+}
+
+MultiObjectSim::~MultiObjectSim() = default;
+
+std::size_t MultiObjectSim::run(
+    const std::function<void(std::uint32_t, SimTime, const Action &)>
+        &OnEvent) {
+  std::size_t Delivered = 0;
+  auto DrainAll = [&](SimTime Now) {
+    for (std::size_t K = 0; K != Harnesses.size(); ++K) {
+      const Trace &T = Harnesses[K]->objectTrace();
+      for (; Fed[K] != T.size(); ++Fed[K]) {
+        OnEvent(static_cast<std::uint32_t>(K), Now, T[Fed[K]]);
+        ++Delivered;
+      }
+    }
+  };
+  auto AllDone = [&] {
+    for (const auto &H : Harnesses)
+      if (!allDone(*H))
+        return false;
+    return true;
+  };
+  for (SimTime Slice = 50; Slice <= 1u << 20 && !AllDone(); Slice += 50) {
+    for (const auto &H : Harnesses)
+      H->run(Slice);
+    DrainAll(Slice);
+  }
+  for (const auto &H : Harnesses)
+    H->run(); // Quiesce stragglers per object.
+  DrainAll(-1);
+  return Delivered;
+}

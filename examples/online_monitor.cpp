@@ -46,6 +46,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "SimDriver.h"
 #include "adt/KvStore.h"
 #include "engine/Incremental.h"
 #include "smr/Smr.h"
@@ -142,32 +143,15 @@ int main(int Argc, char **Argv) {
   Config.Seed = Seed;
   SmrHarness Harness(Config, Kv);
 
-  // A deterministic open-loop workload: each client hammers a small key
-  // space with put/get/del. Rounds are paced at 100 ticks — above the
-  // Paxos retry timeout, so rounds rarely collide into dueling-proposer
-  // backoff storms. (When one happens anyway, the monitor rides it out:
-  // the straggler pins the retirement cut, verdicts degrade to the
-  // structural Unknown without searching, and the drain recovers the
-  // definitive steady state once the straggler completes.)
-  for (unsigned I = 0; I != Ops; ++I) {
-    ClientId C = I % Clients;
-    SimTime At = 100 * (I / Clients);
-    std::int64_t Key = 1 + (I % 2);
-    switch ((I / Clients) % 3) {
-    case 0:
-      // Values cycle through a bounded space: the monitor's input alphabet
-      // then stops growing after warm-up, which the allocation-free steady
-      // state depends on (a fresh input interns, and interning allocates).
-      Harness.submitAt(At, C, kv::put(Key, 10 * (1 + I % 64)));
-      break;
-    case 1:
-      Harness.submitAt(At, C, kv::get(Key));
-      break;
-    default:
-      Harness.submitAt(At, C, kv::del(Key));
-      break;
-    }
-  }
+  // The canonical open-loop workload (examples/SimDriver.h): each client
+  // hammers a small key space with put/get/del, rounds paced above the
+  // Paxos retry timeout. (When a backoff storm happens anyway, the monitor
+  // rides it out: the straggler pins the retirement cut, verdicts degrade
+  // to the structural Unknown without searching, and the drain recovers
+  // the definitive steady state once the straggler completes.)
+  simdrv::KvWorkloadShape Shape;
+  Shape.Ops = Ops;
+  simdrv::submitKvWorkload(Harness, Clients, Shape);
   if (CrashAt >= 0 && Servers > 2)
     Harness.crashServerAt(static_cast<SimTime>(CrashAt), 0);
 
@@ -190,53 +174,38 @@ int main(int Argc, char **Argv) {
     Verdict Final = Verdict::Yes;
 
     // Streams every newly observed object-level event into the monitor and
-    // emits one verdict line per event.
-    auto Drain = [&](SimTime Now) {
-      const Trace &T = Harness.objectTrace();
-      for (; Fed != T.size(); ++Fed) {
-        const Action &A = T[Fed];
-        bool Steady = Fed >= SteadyFromEvent;
-        std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
-        auto Start = std::chrono::steady_clock::now();
-        Monitor.append(A);
-        VerdictLine R = TakeVerdict(Monitor);
-        double Ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
-        if (Steady) {
-          SteadyAllocs += AllocGauge::count() - Allocs0;
-          ++SteadyEvents;
-        }
-        TotalNodes += R.Nodes;
-        TotalMs += Ms;
-        MaxMs = Ms > MaxMs ? Ms : MaxMs;
-        Final = R.Outcome;
-        const char *V = R.Outcome == Verdict::Yes   ? "yes"
-                        : R.Outcome == Verdict::No  ? "no"
-                                                    : "unknown";
-        std::printf("{\"t\":%lld,\"event\":\"%s\",\"verdict\":\"%s\","
-                    "\"nodes\":%llu,\"ms\":%.3f%s%s%s}\n",
-                    static_cast<long long>(Now), formatAction(A).c_str(), V,
-                    static_cast<unsigned long long>(R.Nodes), Ms,
-                    R.Reason.empty() ? "" : ",\"reason\":\"",
-                    R.Reason.c_str(), R.Reason.empty() ? "" : "\"");
+    // emits one verdict line per event; the sliced run loop lives in
+    // examples/SimDriver.h so the monitor keeps pace with the system
+    // instead of waiting for a batch at the end.
+    auto OnEvent = [&](SimTime Now, const Action &A) {
+      bool Steady = Fed >= SteadyFromEvent;
+      std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
+      auto Start = std::chrono::steady_clock::now();
+      Monitor.append(A);
+      VerdictLine R = TakeVerdict(Monitor);
+      double Ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+      ++Fed;
+      if (Steady) {
+        SteadyAllocs += AllocGauge::count() - Allocs0;
+        ++SteadyEvents;
       }
+      TotalNodes += R.Nodes;
+      TotalMs += Ms;
+      MaxMs = Ms > MaxMs ? Ms : MaxMs;
+      Final = R.Outcome;
+      const char *V = R.Outcome == Verdict::Yes   ? "yes"
+                      : R.Outcome == Verdict::No  ? "no"
+                                                  : "unknown";
+      std::printf("{\"t\":%lld,\"event\":\"%s\",\"verdict\":\"%s\","
+                  "\"nodes\":%llu,\"ms\":%.3f%s%s%s}\n",
+                  static_cast<long long>(Now), formatAction(A).c_str(), V,
+                  static_cast<unsigned long long>(R.Nodes), Ms,
+                  R.Reason.empty() ? "" : ",\"reason\":\"",
+                  R.Reason.c_str(), R.Reason.empty() ? "" : "\"");
     };
-
-    // Run the simulation in time slices so the monitor keeps pace with the
-    // system instead of waiting for a batch at the end.
-    auto AllDone = [&] {
-      for (const SmrOpRecord &Op : Harness.smrOps())
-        if (!Op.Completed)
-          return false;
-      return !Harness.smrOps().empty();
-    };
-    for (SimTime Slice = 50; Slice <= 1u << 20 && !AllDone(); Slice += 50) {
-      Harness.run(Slice);
-      Drain(Slice);
-    }
-    Harness.run(); // Quiesce whatever is left (crashed-minority stragglers).
-    Drain(-1);
+    simdrv::runSliced(Harness, OnEvent);
 
     std::printf(
         "{\"summary\":{\"mode\":\"%s\",\"events\":%zu,\"verdict\":\"%s\","

@@ -960,6 +960,24 @@ void IncrementalLinSession::reset() {
   Scratch.reset();
 }
 
+std::size_t IncrementalLinSession::memoryFootprintBytes() const {
+  auto Rows = [](const std::vector<std::pair<std::size_t, std::size_t>> &V) {
+    return V.capacity() * sizeof(std::pair<std::size_t, std::size_t>);
+  };
+  return Memo.memoryBytes() + Scratch.reservedBytes() +
+         Interner.memoryBytes() + Obligations.memoryBytes() +
+         Invoked.capacity() * sizeof(std::int32_t) +
+         OpenInvoke.capacity() * sizeof(std::size_t) +
+         (SuccessMaster.capacity() + RetiredMaster.capacity() +
+          LastMasterIds.capacity()) *
+             sizeof(InputId) +
+         Rows(SuccessCommits) + Rows(RetiredCommits) +
+         Rows(SeedCommitsScratch) +
+         (Frontier.Used.capacity() + RetiredBoundary.Used.capacity()) *
+             sizeof(std::int32_t) +
+         Builder.trace().capacity() * sizeof(Action);
+}
+
 History IncrementalLinSession::frontierHistory() const {
   History H;
   H.reserve(RetiredMaster.size() + SuccessMaster.size());
@@ -2055,6 +2073,30 @@ void IncrementalSlinSession::completeWitnesses(
     W.Commits.insert(W.Commits.begin(), F.RetiredCommits.begin(),
                      F.RetiredCommits.end());
   }
+}
+
+std::size_t IncrementalSlinSession::memoryFootprintBytes() const {
+  auto Rows = [](const std::vector<std::pair<std::size_t, std::size_t>> &V) {
+    return V.capacity() * sizeof(std::pair<std::size_t, std::size_t>);
+  };
+  std::size_t FrontierBytes = 0;
+  for (const auto &[Hash, F] : Frontiers) {
+    FrontierBytes +=
+        sizeof(Hash) + sizeof(InterpFrontier) + 3 * sizeof(void *) +
+        (F.Master.capacity() + F.RetiredMaster.capacity()) * sizeof(InputId) +
+        Rows(F.Commits) + Rows(F.RetiredCommits) +
+        (F.Replay.Used.capacity() + F.RetiredBoundary.Used.capacity() +
+         F.InitDense.capacity()) *
+            sizeof(std::int32_t);
+  }
+  return Memo.memoryBytes() + Scratch.reservedBytes() +
+         Interner.memoryBytes() + Obligations.memoryBytes() + FrontierBytes +
+         Aborts.capacity() * sizeof(AbortRec) +
+         InitActions.capacity() * sizeof(std::pair<std::size_t, Action>) +
+         OpenStart.capacity() * sizeof(std::size_t) +
+         InvokedDense.capacity() * sizeof(std::int32_t) +
+         SeedScratch.capacity() * sizeof(InputId) + Rows(SeedCommitsScratch) +
+         Builder.trace().capacity() * sizeof(Action);
 }
 
 void IncrementalSlinSession::reset() {

@@ -255,6 +255,14 @@ public:
   /// in trace order).
   std::size_t lowerBoundTag(std::size_t T) const;
 
+  /// Bytes reserved by the window's persistent storage (slots, invoke
+  /// indices, availability rows).
+  std::size_t memoryBytes() const {
+    return Slots.capacity() * sizeof(CommitObligation) +
+           Invokes.capacity() * sizeof(std::size_t) +
+           AvailStore.capacity() * sizeof(std::int32_t);
+  }
+
   /// Publishes the Available pointers (re-laying the rows out first if
   /// the alphabet outgrew the stride) and returns the live slot range —
   /// the engine-ready CommitObligation array for a ChainProblemView.
@@ -335,6 +343,14 @@ public:
   /// a steady-state run must leave highWaterBytes()/reservedBytes() flat —
   /// every event reuses the warmed blocks, none grows them).
   const Arena &scratchArena() const { return Scratch; }
+
+  /// Estimated bytes this session holds across its long-lived structures
+  /// (memo table, scratch arena, interner, live window, dense per-client
+  /// tables, retained chains). The dominant terms of a shard's footprint
+  /// in the multi-object monitoring service — an accounting estimate
+  /// (FrontierState ADT states and string reasons are excluded), not an
+  /// allocator audit; the AllocGauge machinery covers exactness.
+  std::size_t memoryFootprintBytes() const;
 
   /// The engine-retained replay state at the success frontier (exposed for
   /// the retained-replay property tests and diagnostics). When Valid, it
@@ -597,6 +613,11 @@ public:
   /// The session's scratch arena (exposed for the allocation-audit tests,
   /// as in IncrementalLinSession).
   const Arena &scratchArena() const { return Scratch; }
+
+  /// Estimated bytes held across the session's long-lived structures,
+  /// including every retained per-interpretation frontier (see
+  /// IncrementalLinSession::memoryFootprintBytes for the contract).
+  std::size_t memoryFootprintBytes() const;
 
 private:
   struct AbortRec {

@@ -46,6 +46,17 @@ public:
   /// Number of distinct inputs interned so far (== smallest unassigned id).
   InputId size() const { return static_cast<InputId>(Inputs.size()); }
 
+  /// Estimated bytes held: the dense table plus the hash index's nodes and
+  /// bucket array (node-based unordered_map, so per-entry header + bucket
+  /// pointer approximated at three words). Used by the sharded service's
+  /// per-shard memory accounting; an estimate, not an exact audit.
+  std::size_t memoryBytes() const {
+    return Inputs.capacity() * sizeof(Input) +
+           Index.size() * (sizeof(Input) + sizeof(InputId) +
+                           3 * sizeof(void *)) +
+           Index.bucket_count() * sizeof(void *);
+  }
+
   /// Forgets every interned input. Ids restart from 0, so a reused session
   /// regains a fresh session's dense-id order (and with it the fresh
   /// session's move exploration order — the one-shot semantics batch

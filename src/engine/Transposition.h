@@ -77,6 +77,12 @@ public:
 
   std::size_t capacity() const { return Slots.size(); }
   std::size_t liveKeys() const { return Live; }
+  /// Bytes currently reserved by the slot array — the table's whole
+  /// footprint up to the fixed-size header. The sharded monitoring
+  /// service sums this per shard for its bounded-memory accounting.
+  std::size_t memoryBytes() const {
+    return Slots.capacity() * sizeof(std::uint64_t);
+  }
   const TranspositionStats &stats() const { return Stats; }
 
 private:

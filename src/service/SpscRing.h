@@ -1,0 +1,93 @@
+//===- service/SpscRing.h - Fixed-capacity SPSC ring buffer -----*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-producer/single-consumer ring buffer with fixed power-of-two
+/// capacity, the per-shard ingest queue of the monitoring service. The
+/// storage is allocated once at construction and never again: a full ring
+/// reports backpressure (push returns false) instead of growing or
+/// dropping, which is the service's no-loss ingest contract — the caller
+/// drains the shard inline and retries, so overflow is a stall, never a
+/// missing event.
+///
+/// Producer and consumer may be distinct threads: the indices are seqcst-
+/// free acquire/release atomics in the classic Lamport layout, with cached
+/// counterpart indices so the steady-state push/pop each touch one shared
+/// cacheline. The service today runs both sides on one thread (ingest
+/// drains inline); the ring keeps the two-thread contract anyway so shards
+/// can move onto worker threads without an ingest redesign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_SERVICE_SPSCRING_H
+#define SLIN_SERVICE_SPSCRING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace slin {
+
+template <class T> class SpscRing {
+public:
+  /// \p Capacity must be a power of two (asserted); it is the exact number
+  /// of elements the ring holds when full.
+  explicit SpscRing(std::size_t Capacity)
+      : Slots(Capacity), Mask(Capacity - 1) {
+    assert(Capacity != 0 && (Capacity & (Capacity - 1)) == 0 &&
+           "ring capacity must be a power of two");
+  }
+
+  /// Producer side. Returns false when full — the caller must drain and
+  /// retry (backpressure), not discard.
+  bool push(const T &Value) {
+    std::size_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 - CachedHead == Slots.size()) {
+      CachedHead = Head.load(std::memory_order_acquire);
+      if (T0 - CachedHead == Slots.size())
+        return false;
+    }
+    Slots[T0 & Mask] = Value;
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T &Out) {
+    std::size_t H0 = Head.load(std::memory_order_relaxed);
+    if (H0 == CachedTail) {
+      CachedTail = Tail.load(std::memory_order_acquire);
+      if (H0 == CachedTail)
+        return false;
+    }
+    Out = Slots[H0 & Mask];
+    Head.store(H0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return Slots.size(); }
+  /// Consumer-side size estimate (exact on a single thread).
+  std::size_t size() const {
+    return Tail.load(std::memory_order_acquire) -
+           Head.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+  std::size_t memoryBytes() const { return Slots.capacity() * sizeof(T); }
+
+private:
+  std::vector<T> Slots;
+  std::size_t Mask;
+  alignas(64) std::atomic<std::size_t> Head{0}; ///< Consumer cursor.
+  alignas(64) std::atomic<std::size_t> Tail{0}; ///< Producer cursor.
+  alignas(64) std::size_t CachedHead = 0; ///< Producer's view of Head.
+  alignas(64) std::size_t CachedTail = 0; ///< Consumer's view of Tail.
+};
+
+} // namespace slin
+
+#endif // SLIN_SERVICE_SPSCRING_H

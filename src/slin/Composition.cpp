@@ -134,3 +134,58 @@ MergeResult slin::mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
   Result.Ok = true;
   return Result;
 }
+
+//===----------------------------------------------------------------------===//
+// ComposedVerdictTracker: inter-object verdict composition.
+//===----------------------------------------------------------------------===//
+
+void slin::ComposedVerdictTracker::update(std::uint32_t Shard, Verdict V,
+                                          const std::string &Reason) {
+  if (Shard >= Verdicts.size())
+    Verdicts.resize(Shard + 1, Unreported);
+  std::uint8_t &Slot = Verdicts[Shard];
+  std::uint8_t New = static_cast<std::uint8_t>(V);
+  if (Slot == New)
+    return; // Steady state: the shard re-reported its standing verdict.
+  Verdict Old = Slot == Unreported ? Verdict::Yes : static_cast<Verdict>(Slot);
+  if (Slot == Unreported)
+    ++Reported;
+
+  // Retire the old verdict's bookkeeping. A shard No is absorbing at the
+  // session level (No is final under extension), so Old == No never
+  // transitions away in practice; handle it anyway so the tracker has no
+  // hidden coupling to session behavior.
+  if (Slot != Unreported) {
+    if (Old == Verdict::No)
+      NoShards.erase(Shard);
+    else if (Old == Verdict::Unknown)
+      UnknownShards.erase(Shard);
+    if (Old != Verdict::Yes)
+      Reasons.erase(Shard);
+  }
+
+  Slot = New;
+  if (V == Verdict::No) {
+    NoShards.insert(Shard);
+    Reasons[Shard] = Reason;
+  } else if (V == Verdict::Unknown) {
+    UnknownShards.insert(Shard);
+    Reasons[Shard] = Reason;
+  }
+}
+
+const std::string &slin::ComposedVerdictTracker::reason() const {
+  static const std::string Empty;
+  if (verdict() == Verdict::Yes)
+    return Empty;
+  auto It = Reasons.find(culpritShard());
+  return It == Reasons.end() ? Empty : It->second;
+}
+
+void slin::ComposedVerdictTracker::clear() {
+  Verdicts.clear();
+  Reasons.clear();
+  NoShards.clear();
+  UnknownShards.clear();
+  Reported = 0;
+}

@@ -31,13 +31,18 @@
 #ifndef SLIN_SLIN_COMPOSITION_H
 #define SLIN_SLIN_COMPOSITION_H
 
+#include "engine/ChainSearch.h"
 #include "slin/SlinWitness.h"
 #include "support/Rng.h"
 #include "trace/Signature.h"
 #include "trace/Trace.h"
 
+#include <cstdint>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace slin {
 
@@ -78,6 +83,73 @@ struct MergeResult {
 MergeResult mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
                            const PhaseSignature &SigNo,
                            const SlinWitness &Wmn, const SlinWitness &Wno);
+
+/// Incremental whole-system verdict over per-object monitor verdicts — the
+/// *inter*-object side of compositionality the sharded monitoring service
+/// (service/Service.h) scales out on: a multi-object history satisfies
+/// (speculative) linearizability iff every per-object projection does, so
+/// the composed verdict is derived from the shard verdicts alone:
+///
+///   * any shard No     =>  composed No (absorbing — a per-object
+///                          counterexample is a whole-system one, and shard
+///                          No is final under extension);
+///   * any shard Unknown => composed Unknown unless some shard is No,
+///                          carrying the originating shard and its reason
+///                          (window overflow, retirement, budget — the
+///                          shard's answer, verbatim);
+///   * all shards Yes   =>  composed Yes (each projection's witness is a
+///                          per-object linearization; their union is a
+///                          whole-system one because operations of
+///                          different objects commute).
+///
+/// update() is O(1) and allocation-free while the shard re-reports the
+/// verdict it already had — the steady state of monitoring a correct
+/// system (all Yes, every update a no-op); verdict transitions pay
+/// O(log #non-Yes shards) to maintain the culprit bookkeeping. Shards are
+/// identified by the caller's dense indices and never leave; an unreported
+/// shard does not block Yes (the empty projection is trivially
+/// linearizable).
+class ComposedVerdictTracker {
+public:
+  /// Records shard \p Shard's current verdict. \p Reason is retained only
+  /// for non-Yes verdicts (copied; the tracker outlives the caller's
+  /// buffers).
+  void update(std::uint32_t Shard, Verdict V, const std::string &Reason);
+
+  /// The composed whole-system verdict under the rules above.
+  Verdict verdict() const {
+    if (!NoShards.empty())
+      return Verdict::No;
+    return UnknownShards.empty() ? Verdict::Yes : Verdict::Unknown;
+  }
+
+  /// The shard a composed No/Unknown originates from (the lowest-indexed
+  /// No shard; the lowest-indexed currently-Unknown shard otherwise).
+  /// Only meaningful when verdict() != Yes.
+  std::uint32_t culpritShard() const {
+    return !NoShards.empty() ? *NoShards.begin() : *UnknownShards.begin();
+  }
+
+  /// The originating shard's reason, verbatim. Empty when verdict() == Yes.
+  const std::string &reason() const;
+
+  std::size_t shardsReported() const { return Reported; }
+  std::size_t noShards() const { return NoShards.size(); }
+  std::size_t unknownShards() const { return UnknownShards.size(); }
+
+  void clear();
+
+private:
+  /// Last verdict per shard, dense by shard index; Unreported marks slots
+  /// for shards that have not reported yet (the vector grows to the
+  /// highest shard index seen — warm-up only).
+  static constexpr std::uint8_t Unreported = 0xFF;
+  std::vector<std::uint8_t> Verdicts;
+  std::map<std::uint32_t, std::string> Reasons; ///< Non-Yes shards only.
+  std::set<std::uint32_t> NoShards;
+  std::set<std::uint32_t> UnknownShards;
+  std::size_t Reported = 0;
+};
 
 } // namespace slin
 

@@ -9,8 +9,6 @@
 #include "trace/TraceBuilder.h"
 
 #include <cstdio>
-#include <sstream>
-#include <vector>
 
 using namespace slin;
 
@@ -49,20 +47,24 @@ std::string slin::formatTrace(const Trace &T) {
   return Result;
 }
 
-static bool parseFields(const std::string &Line,
-                        std::vector<std::string> &Fields) {
-  Fields.clear();
-  std::istringstream Stream(Line);
-  std::string Field;
-  while (Stream >> Field)
-    Fields.push_back(Field);
-  return !Fields.empty();
+std::string_view slin::nextTraceField(std::string_view &Rest) {
+  std::size_t Begin = Rest.find_first_not_of(" \t\r\f\v");
+  if (Begin == std::string_view::npos) {
+    Rest = {};
+    return {};
+  }
+  std::size_t End = Rest.find_first_of(" \t\r\f\v", Begin);
+  std::string_view Field = Rest.substr(
+      Begin, End == std::string_view::npos ? std::string_view::npos
+                                           : End - Begin);
+  Rest = End == std::string_view::npos ? std::string_view{} : Rest.substr(End);
+  return Field;
 }
 
-/// Overflow-checked signed-decimal parse. Never throws: a value outside
-/// int64 range is a parse failure, not an exception — untrusted trace
-/// files must not be able to terminate the process.
-static bool parseI64(const std::string &S, std::int64_t &Out) {
+/// Overflow-checked signed-decimal parse. Never throws or allocates: a
+/// value outside int64 range is a parse failure, not an exception —
+/// untrusted trace files must not be able to terminate the process.
+static bool parseI64(std::string_view S, std::int64_t &Out) {
   if (S.empty())
     return false;
   bool Negative = S[0] == '-';
@@ -86,7 +88,7 @@ static bool parseI64(const std::string &S, std::int64_t &Out) {
   return true;
 }
 
-static bool parseU32(const std::string &S, std::uint32_t &Out) {
+bool slin::parseTraceFieldU32(std::string_view S, std::uint32_t &Out) {
   std::int64_t V;
   if (!parseI64(S, V) || V < 0 || V > UINT32_MAX)
     return false;
@@ -101,12 +103,17 @@ static bool parseU32(const std::string &S, std::uint32_t &Out) {
 /// memory. The builder's bound is authoritative so they cannot drift.
 static constexpr std::uint32_t MaxDenseId = TraceBuilder::MaxClients;
 
-LineKind slin::parseActionLine(const std::string &Line, Action &A,
+LineKind slin::parseActionLine(std::string_view Line, Action &A,
                                std::string &Error) {
   if (Line.empty() || Line[0] == '#')
     return LineKind::Blank;
-  std::vector<std::string> Fields;
-  if (!parseFields(Line, Fields))
+
+  // Tokenize in place: the record shapes are fixed at 7 or 8 fields, so
+  // the fields are consumed as they are split off — no field vector, no
+  // per-field strings, no allocation on the accepted path.
+  std::string_view Rest = Line;
+  std::string_view Kind = nextTraceField(Rest);
+  if (Kind.empty())
     return LineKind::Blank;
 
   auto Fail = [&](std::string Why) {
@@ -114,28 +121,40 @@ LineKind slin::parseActionLine(const std::string &Line, Action &A,
     return LineKind::Bad;
   };
 
-  const std::string &Kind = Fields[0];
   bool HasExtra = Kind == "res" || Kind == "swi";
   std::size_t Expected = HasExtra ? 8 : 7;
   if (Kind != "inv" && Kind != "res" && Kind != "swi")
-    return Fail("unknown action kind '" + Kind + "'");
-  if (Fields.size() != Expected)
+    return Fail("unknown action kind '" + std::string(Kind) + "'");
+
+  std::string_view Fields[7];
+  std::size_t Got = 0;
+  for (; Got != Expected - 1; ++Got) {
+    Fields[Got] = nextTraceField(Rest);
+    if (Fields[Got].empty())
+      break;
+  }
+  std::size_t Found = 1 + Got;
+  while (!nextTraceField(Rest).empty())
+    ++Found; // Trailing extra fields still yield an exact count.
+  if (Found != Expected)
     return Fail("expected " + std::to_string(Expected) + " fields, found " +
-                std::to_string(Fields.size()));
+                std::to_string(Found));
 
   A = Action();
   std::int64_t Extra = 0;
-  if (!parseU32(Fields[1], A.Client) || !parseU32(Fields[2], A.Phase) ||
-      !parseU32(Fields[3], A.In.Op) || !parseU32(Fields[4], A.In.Tag) ||
-      !parseI64(Fields[5], A.In.A) || !parseI64(Fields[6], A.In.B) ||
-      (HasExtra && !parseI64(Fields[7], Extra)))
+  if (!parseTraceFieldU32(Fields[0], A.Client) ||
+      !parseTraceFieldU32(Fields[1], A.Phase) ||
+      !parseTraceFieldU32(Fields[2], A.In.Op) ||
+      !parseTraceFieldU32(Fields[3], A.In.Tag) ||
+      !parseI64(Fields[4], A.In.A) || !parseI64(Fields[5], A.In.B) ||
+      (HasExtra && !parseI64(Fields[6], Extra)))
     return Fail("malformed numeric field");
   if (A.Phase == 0)
     return Fail("phase numbering starts at 1");
   if (A.Client >= MaxDenseId)
-    return Fail("client id " + Fields[1] + " out of range");
+    return Fail("client id " + std::string(Fields[0]) + " out of range");
   if (A.Phase >= MaxDenseId)
-    return Fail("phase id " + Fields[2] + " out of range");
+    return Fail("phase id " + std::string(Fields[1]) + " out of range");
 
   if (Kind == "inv") {
     A.Kind = ActionKind::Invoke;
@@ -149,13 +168,16 @@ LineKind slin::parseActionLine(const std::string &Line, Action &A,
   return LineKind::Record;
 }
 
-TraceParseResult slin::parseTrace(const std::string &Text) {
+TraceParseResult slin::parseTrace(std::string_view Text) {
   TraceParseResult Result;
-  std::istringstream Stream(Text);
-  std::string Line;
   unsigned LineNo = 0;
 
-  while (std::getline(Stream, Line)) {
+  while (!Text.empty()) {
+    std::size_t Eol = Text.find('\n');
+    std::string_view Line =
+        Text.substr(0, Eol == std::string_view::npos ? Text.size() : Eol);
+    Text = Eol == std::string_view::npos ? std::string_view{}
+                                         : Text.substr(Eol + 1);
     ++LineNo;
     Action A;
     std::string Error;

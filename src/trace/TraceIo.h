@@ -20,6 +20,13 @@
 /// (every per-client structure downstream is densely indexed, so a 2^32
 /// client id would be a memory bomb, not a trace).
 ///
+/// The line parser is also the per-event unit of the monitoring service's
+/// wire protocol (service/Wire.h), which makes it a steady-state hot path:
+/// parseActionLine takes a std::string_view, tokenizes in place, and
+/// performs no heap allocation on any accepted record (error diagnostics,
+/// which are off that path, still build a std::string). The zero-allocation
+/// contract is enforced by the AllocGauge coverage in tests/trace_io_test.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLIN_TRACE_TRACEIO_H
@@ -28,8 +35,20 @@
 #include "trace/Action.h"
 
 #include <string>
+#include <string_view>
 
 namespace slin {
+
+/// Splits the next whitespace-delimited field off the front of \p Rest;
+/// returns the empty view when none remain. The line format's tokenizer,
+/// exported so wire-format extensions (service/Wire.h prefixes an
+/// object-id field) consume their leading fields with the same rules and
+/// hand the remainder to parseActionLine.
+std::string_view nextTraceField(std::string_view &Rest);
+
+/// Overflow-checked unsigned-decimal parse of one field; never throws or
+/// allocates. Shared with the service wire parser for its object-id field.
+bool parseTraceFieldU32(std::string_view Field, std::uint32_t &Out);
 
 /// Renders one action in the textual format (no trailing newline).
 std::string formatAction(const Action &A);
@@ -46,8 +65,10 @@ enum class LineKind : std::uint8_t {
 
 /// Parses a single line — the streaming unit of the format. Returns
 /// LineKind::Record and fills \p A on success; LineKind::Bad and fills
-/// \p Error (without line-number prefix) on a malformed record.
-LineKind parseActionLine(const std::string &Line, Action &A,
+/// \p Error (without line-number prefix) on a malformed record. Never
+/// allocates on the Record or Blank outcomes: the fields are tokenized in
+/// place over the view.
+LineKind parseActionLine(std::string_view Line, Action &A,
                          std::string &Error);
 
 /// Result of parsing a textual trace.
@@ -59,7 +80,7 @@ struct TraceParseResult {
 
 /// Parses the textual format, one parseActionLine per line. Returns
 /// Ok=false with a diagnostic on the first malformed line.
-TraceParseResult parseTrace(const std::string &Text);
+TraceParseResult parseTrace(std::string_view Text);
 
 } // namespace slin
 

@@ -15,6 +15,7 @@
 
 #include "trace/TraceIo.h"
 
+#include "support/AllocGauge.h"
 #include "support/Rng.h"
 #include "trace/TraceBuilder.h"
 #include "trace/WellFormed.h"
@@ -22,6 +23,15 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
+
+// Interpose the global operator new: the zero-copy parse hot path
+// (parseActionLine over a string_view) must not allocate on any accepted
+// record — the monitoring service parses one line per ingested event, so a
+// per-line allocation would break the service's steady-state
+// allocation-free contract. Under ASan the interposer is compiled out and
+// the heap assertions become vacuous (AllocGauge::active() reports it).
+SLIN_DEFINE_ALLOC_GAUGE()
 
 using namespace slin;
 
@@ -149,6 +159,71 @@ TEST(TraceIoHardeningTest, BlankAndCommentLinesStream) {
   EXPECT_EQ(parseActionLine("res 1 1 0 0 0 0 0", A, Error),
             LineKind::Record);
   EXPECT_TRUE(isRespond(A));
+}
+
+//===----------------------------------------------------------------------===//
+// The zero-copy parse hot path.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoHardeningTest, ParseLoopIsAllocationFree) {
+  // Pre-render a batch of records once, then parse them in a loop over
+  // string_views into the shared buffer: past the first iteration (which
+  // may still warm allocator caches), the parse loop must perform zero
+  // heap allocations — tokenization is in place and accepted records
+  // build no strings.
+  Trace T = sampleTrace();
+  for (int I = 0; I != 16; ++I)
+    T.push_back(makeRespond(2, 1, Input{1, static_cast<std::uint32_t>(I),
+                                        I * 3, -I},
+                            Output{I}));
+  const std::string Text = formatTrace(T);
+
+  auto ParseAll = [&] {
+    std::string_view Rest = Text;
+    std::size_t Records = 0;
+    std::string Error;
+    while (!Rest.empty()) {
+      std::size_t Eol = Rest.find('\n');
+      std::string_view Line = Rest.substr(0, Eol);
+      Rest = Eol == std::string_view::npos ? std::string_view{}
+                                           : Rest.substr(Eol + 1);
+      Action A;
+      ASSERT_EQ(parseActionLine(Line, A, Error), LineKind::Record);
+      ++Records;
+    }
+    ASSERT_EQ(Records, T.size());
+  };
+
+  ParseAll(); // Warm-up.
+  std::uint64_t Before = AllocGauge::count();
+  for (int Round = 0; Round != 8; ++Round)
+    ParseAll();
+  std::uint64_t Delta = AllocGauge::count() - Before;
+  if (AllocGauge::active())
+    EXPECT_EQ(Delta, 0u) << "zero-copy parse loop touched the heap";
+}
+
+TEST(TraceIoHardeningTest, StringViewParseMatchesStringParse) {
+  // The string_view entry point is the primary one; a std::string caller
+  // converts implicitly and must see identical results, including on
+  // malformed input.
+  const char *Lines[] = {
+      "res 1 2 3 4 5 6 7",  "inv 0 1 0 0 -5 9",   "swi 3 2 1 1 0 0 -9",
+      "  res 1 2 3 4 5 6 7 ", "res 1 2 3 4 5 6",  "inv 1 0 0 0 0 0",
+      "bogus 1 2 3",          "res 1 2 3 4 5 6 7 8",
+  };
+  for (const char *L : Lines) {
+    Action FromView, FromString;
+    std::string ErrView, ErrString;
+    LineKind KView = parseActionLine(std::string_view(L), FromView, ErrView);
+    LineKind KString =
+        parseActionLine(std::string(L), FromString, ErrString);
+    EXPECT_EQ(KView, KString) << L;
+    if (KView == LineKind::Record && KString == LineKind::Record)
+      EXPECT_EQ(FromView, FromString) << L;
+    if (KView == LineKind::Bad && KString == LineKind::Bad)
+      EXPECT_EQ(ErrView, ErrString) << L;
+  }
 }
 
 //===----------------------------------------------------------------------===//

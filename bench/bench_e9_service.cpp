@@ -396,6 +396,80 @@ static void BM_E9_Service_PerEvent(benchmark::State &State) {
 BENCHMARK(BM_E9_Service_PerEvent)->Arg(256)->UseManualTime();
 
 //===----------------------------------------------------------------------===//
+// Overflow excursion and recovery: the graded-degradation lifecycle.
+//===----------------------------------------------------------------------===//
+
+static void BM_E9_Service_OverflowRecovery(benchmark::State &State) {
+  // One shard through a full straggler cycle per iteration: an operation
+  // invokes and stays open while 70 completions overflow the 64-slot
+  // window (every verdict past the overflow is the cached BoundedYes
+  // fallback), then the straggler responds, the session drains the
+  // backlog through capped prefix sub-searches, and the shard — and the
+  // composed verdict — recovers to Yes. Times the whole cycle (142 wire
+  // events); the counters pin the lifecycle: exactly one window overflow
+  // per cycle, a recovered composed Yes at every cycle's end, and the
+  // bounded-fallback cadence during the excursion.
+  RegisterAdt Reg;
+  MonitorService Service(Reg);
+  RegisterAdt Model;
+  std::unique_ptr<AdtState> S = Model.makeState();
+  std::string Buf;
+  // Steady warm-up: 512 single-client ops settle the shard's capacities
+  // (the drain reuses the same engine scratch and memo).
+  for (unsigned K = 0; K != 512; ++K) {
+    Buf.clear();
+    Input In = reg::write(static_cast<std::int64_t>(K % 5));
+    appendServiceLine(Buf, 0, makeInvoke(1, 1, In));
+    appendServiceLine(Buf, 0, makeRespond(1, 1, In, S->apply(In)));
+    if (!Service.ingestText(Buf))
+      std::abort();
+    Service.poll();
+  }
+
+  constexpr std::size_t CycleEvents = 2 + 2 * 70;
+  std::uint64_t Overflows0 = Service.aggregateSessionStats().WindowOverflows;
+  std::uint64_t Bounded0 = Service.aggregateSessionStats().BoundedYesVerdicts;
+  std::uint64_t Cycles = 0;
+  std::uint64_t RecoveredYes = 0;
+  TimedRegion Timer;
+  for (auto _ : State) {
+    Buf.clear();
+    Input Pinned = reg::write(9);
+    appendServiceLine(Buf, 0, makeInvoke(0, 1, Pinned));
+    for (unsigned K = 0; K != 70; ++K) {
+      Input In = reg::read();
+      appendServiceLine(Buf, 0, makeInvoke(1, 1, In));
+      appendServiceLine(Buf, 0, makeRespond(1, 1, In, S->apply(In)));
+    }
+    appendServiceLine(Buf, 0, makeRespond(0, 1, Pinned, S->apply(Pinned)));
+    Timer.start();
+    bool Ok = Service.ingestText(Buf);
+    Service.poll();
+    Timer.stop(State);
+    benchmark::DoNotOptimize(Ok);
+    RecoveredYes += Service.composedVerdict() == Verdict::Yes &&
+                    Service.composedGrade() == VerdictGrade::Yes;
+    ++Cycles;
+  }
+  Timer.report(State);
+
+  SessionStats Sessions = Service.aggregateSessionStats();
+  double C = static_cast<double>(Cycles ? Cycles : 1);
+  State.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(CycleEvents),
+      benchmark::Counter::kIsIterationInvariantRate);
+  State.counters["recovered_yes_per_cycle"] =
+      benchmark::Counter(static_cast<double>(RecoveredYes) / C);
+  State.counters["overflows_per_cycle"] = benchmark::Counter(
+      static_cast<double>(Sessions.WindowOverflows - Overflows0) / C);
+  State.counters["bounded_yes_per_cycle"] = benchmark::Counter(
+      static_cast<double>(Sessions.BoundedYesVerdicts - Bounded0) / C);
+  State.counters["live_window_high_water"] =
+      benchmark::Counter(static_cast<double>(Sessions.LiveWindowHighWater));
+}
+BENCHMARK(BM_E9_Service_OverflowRecovery)->UseManualTime();
+
+//===----------------------------------------------------------------------===//
 // The parse stage alone: zero-copy wire decode, no service behind it.
 //===----------------------------------------------------------------------===//
 

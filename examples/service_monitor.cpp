@@ -27,12 +27,23 @@
 // produces), demonstrating fault localization: that shard's session turns
 // No, the composed verdict turns No, and the summary names the object.
 //
+// --straggler demonstrates graded degradation and recovery: after the sim
+// stream, one extra shard receives an operation that invokes and stays
+// open while 70 completions pile up behind it. The pinned shard's window
+// overflows, its verdict degrades to a BoundedYes-graded Unknown (the
+// first 64 live obligations linearized; only the bounded out-of-window
+// tail is unchecked), and the composed verdict names it. When the
+// straggler finally responds the shard drains, recovers to Yes, and
+// un-pins the composition — the summary records both phases.
+//
 // Usage:
-//   service_monitor [--slin] [--violate] [objects <n>] [clients <n>]
-//                   [ops <n>] [seed <n>] [batch <n>] [ring <n>]
+//   service_monitor [--slin] [--violate | --straggler] [objects <n>]
+//                   [clients <n>] [ops <n>] [seed <n>] [batch <n>]
+//                   [ring <n>]
 //
 // Emits one JSON summary line. Exit status 1 if the final composed
-// verdict is not Yes (0 with --violate, where No is the expected answer).
+// verdict is not Yes (0 with --violate, where No is the expected answer;
+// with --straggler the run must also pass through the degraded phase).
 //
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +70,7 @@ int main(int Argc, char **Argv) {
   std::size_t Ring = 256;
   bool SlinMode = false;
   bool Violate = false;
+  bool Straggler = false;
   int I = 1;
   while (I < Argc) {
     if (!std::strcmp(Argv[I], "--slin")) {
@@ -68,6 +80,11 @@ int main(int Argc, char **Argv) {
     }
     if (!std::strcmp(Argv[I], "--violate")) {
       Violate = true;
+      ++I;
+      continue;
+    }
+    if (!std::strcmp(Argv[I], "--straggler")) {
+      Straggler = true;
       ++I;
       continue;
     }
@@ -95,11 +112,11 @@ int main(int Argc, char **Argv) {
   }
   if (I < 0 || Objects < 1 || Objects > (1u << 16) || Clients < 1 ||
       Clients > 63 || Ops < 1 || Ops > (1u << 16) || Batch < 1 ||
-      Ring < 2 || (Ring & (Ring - 1)) != 0) {
+      Ring < 2 || (Ring & (Ring - 1)) != 0 || (Violate && Straggler)) {
     std::fprintf(stderr,
-                 "usage: %s [--slin] [--violate] [objects <n<=65536>] "
-                 "[clients <n<=63>] [ops <n<=65536>] [seed <n>] "
-                 "[batch <n>] [ring <pow2>]\n",
+                 "usage: %s [--slin] [--violate | --straggler] "
+                 "[objects <n<=65536>] [clients <n<=63>] [ops <n<=65536>] "
+                 "[seed <n>] [batch <n>] [ring <pow2>]\n",
                  Argv[0]);
     return 2;
   }
@@ -191,6 +208,45 @@ int main(int Argc, char **Argv) {
   });
   Service.flush();
 
+  // --straggler: one extra shard (id Objects, never used by the sim)
+  // demonstrates the graded-degradation lifecycle over the same wire
+  // path. An open invoke pins the shard's retirement cut while 70
+  // completions overflow its 64-slot window; the backlog past the window
+  // stays under the interference bound, so the shard degrades to a
+  // BoundedYes-graded Unknown instead of a flat one. The late response
+  // then drains the excursion and the composition recovers to Yes.
+  bool StragglerDegraded = false;
+  bool StragglerRecovered = false;
+  std::size_t BoundedShardsPeak = 0;
+  if (Straggler) {
+    const std::uint32_t Obj = static_cast<std::uint32_t>(Objects);
+    const std::uint32_t Pinner = static_cast<std::uint32_t>(Objects * Clients);
+    std::unique_ptr<AdtState> Model = Kv.makeState();
+    auto Feed = [&](const Action &A) {
+      Buf.clear();
+      appendServiceLine(Buf, Obj, A);
+      if (!Service.ingestText(Buf))
+        Ok = false;
+      Service.poll();
+    };
+    Input Pinned = kv::put(1, 7);
+    Feed(makeInvoke(Pinner, 1, Pinned));
+    for (unsigned K = 0; K != 70; ++K) {
+      Input In = kv::get(1);
+      Feed(makeInvoke(Pinner + 1, 1, In));
+      Feed(makeRespond(Pinner + 1, 1, In, Model->apply(In)));
+    }
+    Service.flush();
+    StragglerDegraded = Service.composedVerdict() == Verdict::Unknown &&
+                        Service.composedGrade() == VerdictGrade::BoundedYes &&
+                        Service.culpritObject() == Obj;
+    BoundedShardsPeak = Service.tracker().boundedShards();
+    Feed(makeRespond(Pinner, 1, Pinned, Model->apply(Pinned)));
+    Service.flush();
+    StragglerRecovered = Service.shardVerdict(Obj) == Verdict::Yes &&
+                         Service.composedGrade() == VerdictGrade::Yes;
+  }
+
   if (!Ok)
     std::fprintf(stderr, "wire error: %s\n", Service.lastError().c_str());
 
@@ -202,10 +258,19 @@ int main(int Argc, char **Argv) {
   const char *V = Final == Verdict::Yes   ? "yes"
                   : Final == Verdict::No  ? "no"
                                           : "unknown";
+  VerdictGrade Grade = Service.composedGrade();
+  const char *G = Grade == VerdictGrade::Yes          ? "yes"
+                  : Grade == VerdictGrade::BoundedYes ? "bounded-yes"
+                  : Grade == VerdictGrade::No         ? "no"
+                                                      : "unknown";
   std::printf(
       "{\"summary\":{\"mode\":\"%s\",\"objects\":%zu,\"clients_total\":%zu,"
-      "\"events\":%zu,\"verdict\":\"%s\",\"culprit_object\":%lld,"
+      "\"events\":%zu,\"verdict\":\"%s\",\"composed_grade\":\"%s\","
+      "\"culprit_object\":%lld,"
       "\"reason\":\"%s\","
+      "\"bounded_yes_verdicts\":%llu,\"bounded_shards\":%zu,"
+      "\"straggler_degraded\":%d,\"straggler_recovered\":%d,"
+      "\"bounded_shards_peak\":%zu,"
       "\"shard_verdicts\":%llu,\"backpressure_stalls\":%llu,"
       "\"ring_overflows\":%llu,\"parse_errors\":%llu,"
       "\"fast_path_verdicts\":%llu,\"retired_obligations\":%llu,"
@@ -215,10 +280,13 @@ int main(int Argc, char **Argv) {
       "\"shard_memory_avg_bytes\":%zu,\"shard_memory_max_bytes\":%zu,"
       "\"service_seconds\":%.3f,\"events_per_sec\":%.0f}}\n",
       SlinMode ? "slin" : "lin", Objects,
-      static_cast<std::size_t>(Objects) * Clients, Delivered, V,
+      static_cast<std::size_t>(Objects) * Clients, Delivered, V, G,
       Final == Verdict::Yes ? -1LL
                             : static_cast<long long>(Service.culpritObject()),
       Service.composedReason().c_str(),
+      static_cast<unsigned long long>(Sessions.BoundedYesVerdicts),
+      Service.tracker().boundedShards(), StragglerDegraded ? 1 : 0,
+      StragglerRecovered ? 1 : 0, BoundedShardsPeak,
       static_cast<unsigned long long>(S.ShardVerdicts),
       static_cast<unsigned long long>(S.BackpressureStalls),
       static_cast<unsigned long long>(S.RingOverflows),
@@ -240,5 +308,9 @@ int main(int Argc, char **Argv) {
     return 2;
   if (Violate)
     return Final == Verdict::No ? 0 : 1;
+  if (Straggler)
+    return StragglerDegraded && StragglerRecovered && Final == Verdict::Yes
+               ? 0
+               : 1;
   return Final == Verdict::Yes ? 0 : 1;
 }

@@ -35,16 +35,32 @@ public:
       return Result;
     }
     Base = P.SeedBase;
-    if (Base && (!P.RetiredPrefix || P.RetiredPrefixLen != Base)) {
-      // A virtual seed without its retired ids cannot be replayed if
-      // adoption fails; refuse up front rather than risk a wrong answer.
+    InputId A = P.AlphabetSize;
+    // Whether the caller's retained FrontierState can stand in for the
+    // whole seed prefix — decided up front, before any state is touched,
+    // so the virtual-seed refusal below can be exact: a run that adopts
+    // never re-applies a seed input, so it does not need the retired ids
+    // at all (except to fold a sequence hash the frontier predates). An
+    // outcome-only monitor (retired prefixes as pure counters) lives off
+    // this: its post-drain root searches carry a valid boundary clone and
+    // nothing replayable.
+    FrontierState *F = P.Retained;
+    bool Adopted = F && F->Valid && F->State && !P.ForceCloneStates &&
+                   F->State->supportsUndo() &&
+                   F->Len == Base + P.SeedLen && F->Len != 0 &&
+                   F->Used.size() <= A;
+    bool NeedPrefixIds =
+        !Adopted || (P.SequenceSensitive && !F->HasSeqHash);
+    if (Base && NeedPrefixIds &&
+        (!P.RetiredPrefix || P.RetiredPrefixLen != Base)) {
+      // A virtual seed whose retired ids are gone can neither be replayed
+      // (no adoptable state) nor hashed; refuse up front rather than risk
+      // a wrong answer.
       Result.Outcome = Verdict::Unknown;
       Result.Reason = "retired seed prefix unavailable for replay";
       return Result;
     }
     FullMask = NumOb == 64 ? ~0ull : ((1ull << NumOb) - 1);
-
-    InputId A = P.AlphabetSize;
     Used = Scratch.allocZeroed<std::int32_t>(A);
     Avail = Scratch.allocArray<const std::int32_t *>(NumOb);
     for (std::size_t R = 0; R != NumOb; ++R)
@@ -69,12 +85,7 @@ public:
     // replay the seed into a fresh state. Both paths leave identical
     // (Used, UsedHash, Deficit, Master, SeqHash) search state, so verdicts
     // AND node counts are independent of which one ran.
-    FrontierState *F = P.Retained;
     TrackIds = F != nullptr;
-    bool Adopted = F && F->Valid && F->State && !P.ForceCloneStates &&
-                   F->State->supportsUndo() &&
-                   F->Len == Base + P.SeedLen && F->Len != 0 &&
-                   F->Used.size() <= A;
     std::unique_ptr<AdtState> State =
         Adopted ? std::move(F->State) : P.Type->makeState();
     UseUndo = State->supportsUndo() && !P.ForceCloneStates;

@@ -88,6 +88,30 @@ enum class Verdict : std::uint8_t {
   Unknown, ///< Search budget exhausted before a conclusion.
 };
 
+/// Graded refinement of Verdict, ordered by severity (Yes < BoundedYes <
+/// Unknown < No). Grades coincide with the outcome except for BoundedYes:
+/// the windowed sessions' pinned-excursion fallback (engine/Incremental.h)
+/// reports Outcome == Unknown with Grade == BoundedYes when the first 64
+/// live obligations linearize exactly and only a bounded amount of
+/// out-of-window interference (at most the configured InterferenceBound)
+/// remains unchecked — a strictly stronger statement than a flat Unknown,
+/// but never a claim about the full trace. The numeric values are the
+/// severity order the composed service verdict folds over.
+enum class VerdictGrade : std::uint8_t {
+  Yes = 0,
+  BoundedYes = 1,
+  Unknown = 2,
+  No = 3,
+};
+
+/// The grade every path except the bounded-interference fallback reports:
+/// the outcome's own severity level.
+constexpr VerdictGrade gradeFor(Verdict V) {
+  return V == Verdict::Yes  ? VerdictGrade::Yes
+         : V == Verdict::No ? VerdictGrade::No
+                            : VerdictGrade::Unknown;
+}
+
 /// Resource bounds for one search run.
 struct ChainLimits {
   /// Maximum number of search nodes before giving up with Unknown.

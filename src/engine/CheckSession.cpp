@@ -141,6 +141,7 @@ LinCheckResult CheckSession::checkLin(const Trace &T,
     }
   }
   Result = runLin(T, Opts);
+  Result.Grade = gradeFor(Result.Outcome);
   Stats.record(Result.Outcome);
   return Result;
 }
@@ -359,10 +360,12 @@ SlinVerdict CheckSession::checkSlin(const Trace &T, const PhaseSignature &Sig,
     Result.Reason = R.Reason;
     Result.BudgetLimited = R.BudgetLimited;
     Result.Witnesses.clear();
+    Result.Grade = gradeFor(Result.Outcome);
     Stats.record(Result.Outcome);
     return Result;
   }
   Result.Outcome = Verdict::Yes;
+  Result.Grade = gradeFor(Result.Outcome);
   Stats.record(Result.Outcome);
   return Result;
 }

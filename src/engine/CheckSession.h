@@ -121,6 +121,13 @@ struct SessionStats {
   /// WindowRetired reason (a conclusive No would require backtracking into
   /// retired obligations).
   std::uint64_t WindowRetiredUnknowns = 0;
+  /// Verdicts a windowed session answered with the graded BoundedYes
+  /// fallback: the cut was pinned past the 64-slot window, the first 64
+  /// live obligations linearized exactly, and the out-of-window
+  /// interference stayed within the configured InterferenceBound. Counted
+  /// per served verdict (the cached re-serves included); batch sessions
+  /// never bump this.
+  std::uint64_t BoundedYesVerdicts = 0;
   /// High-water mark of the live obligation window (accumulates by max).
   std::uint64_t LiveWindowHighWater = 0;
   ChainStats Search; ///< Summed over all engine runs.
@@ -147,6 +154,7 @@ struct SessionStats {
     RetiredObligations += S.RetiredObligations;
     WindowOverflows += S.WindowOverflows;
     WindowRetiredUnknowns += S.WindowRetiredUnknowns;
+    BoundedYesVerdicts += S.BoundedYesVerdicts;
     LiveWindowHighWater = LiveWindowHighWater > S.LiveWindowHighWater
                               ? LiveWindowHighWater
                               : S.LiveWindowHighWater;

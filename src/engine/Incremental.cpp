@@ -245,6 +245,18 @@ LiveWindow::finalize(InputId AlphabetSize) {
   return Slots.data() + Base;
 }
 
+void LiveWindow::rebuildMasks() {
+  for (std::size_t Q = 0; Q != N; ++Q) {
+    std::uint64_t M = 0;
+    if (Q < IncrementalWindowLimit) {
+      std::size_t K = lowerBoundTag(Invokes[Base + Q]);
+      M = (K == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(K, 64)));
+      M &= (Q == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(Q, 64)));
+    }
+    Slots[Base + Q].MustFollow = M;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // IncrementalLinSession
 //===----------------------------------------------------------------------===//
@@ -380,6 +392,9 @@ void IncrementalLinSession::foldRetired(
   LineageSalt = nextLineageSalt();
   HavePrefixSalt = false;
   Polluted = false;
+  // The bounded-fallback cache keys on (WindowBase, front tag); a fold
+  // changes both the base and the first-64 sub-problem.
+  HaveBoundedYes = false;
 }
 
 void IncrementalLinSession::retireQuiescentPrefix() {
@@ -406,22 +421,6 @@ void IncrementalLinSession::retireQuiescentPrefix() {
   SuccessCommits.erase(SuccessCommits.begin(), SuccessCommits.begin() + K);
   CheckedObligations -= K;
   Obligations.shiftMasks(K);
-}
-
-void IncrementalLinSession::rebuildMasks() {
-  // Recompute every window-relative MustFollow mask from first principles
-  // (tags and invocation indices are retained). Needed after an overflow
-  // drain: folds shifted bit positions while excursion-appended
-  // obligations had no representable mask at all.
-  for (std::size_t Q = 0, N = Obligations.size(); Q != N; ++Q) {
-    std::uint64_t M = 0;
-    if (Q < WindowLimit) {
-      std::size_t K = Obligations.lowerBoundTag(Obligations.invokeIdx(Q));
-      M = (K == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(K, 64)));
-      M &= (Q == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(Q, 64)));
-    }
-    Obligations.setMustFollow(Q, M);
-  }
 }
 
 IncrementalLinSession::DrainOutcome
@@ -500,7 +499,7 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
     FoldedAny = true;
   }
   if (FoldedAny) {
-    rebuildMasks();
+    Obligations.rebuildMasks();
     // The old cached chain and frontier predate the drain's folds; they no
     // longer extend the retired base. (A cached No survives — it is
     // absorbing regardless of windowing.)
@@ -514,6 +513,93 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
   if (Obligations.size() <= WindowLimit)
     OverflowNoted = false; // The excursion ended; count the next one anew.
   return Out;
+}
+
+bool IncrementalLinSession::boundedFallback(
+    const LinCheckOptions &Limits, std::uint64_t &SpentNodes,
+    std::chrono::steady_clock::time_point DrainStart, LinCheckResult &R) {
+  // Pinned excursion: the cut cannot retire anything, but the first
+  // WindowLimit obligations still form an exact restriction of the full
+  // problem — deleting the out-of-window completions' commits from any
+  // full witness leaves a witness for the prefix (their responses lie
+  // after every in-window response, so nothing in-window must-follow
+  // them, and availability snapshots are functions of the prefix alone).
+  // Searching that restriction grades the structural Unknown: a sub-Yes
+  // with the out-of-window tail within Opts.InterferenceBound is
+  // BoundedYes(tail); a sub-No with nothing retired is conclusive for the
+  // whole stream; a sub-No behind a retired prefix is the WindowRetired
+  // Unknown.
+  const std::size_t Tail = Obligations.size() - WindowLimit;
+  if (!Opts.Resume || Opts.InterferenceBound == 0 ||
+      Tail > Opts.InterferenceBound)
+    return false;
+  const std::size_t FrontTag = Obligations.tag(0);
+  if (HaveBoundedYes &&
+      (BoundedWindowBase != WindowBase || BoundedFrontTag != FrontTag))
+    HaveBoundedYes = false; // A different excursion; re-search.
+  if (!HaveBoundedYes) {
+    BudgetSplit Split = splitBudget(SpentNodes, DrainStart, Limits.NodeBudget,
+                                    Limits.TimeBudgetMillis);
+    if (Split.Exhausted) {
+      Polluted = true;
+      R.Reason = Split.Reason;
+      R.BudgetLimited = true;
+      return true;
+    }
+    Scratch.reset();
+    // Same sub-problem mapping as the drain's: capped at the engine's
+    // window, fresh masks, behind the retired prefix.
+    ChainProblem P = buildProblem(WindowLimit, /*RecomputeMasks=*/true);
+    P.SeedBase = RetiredMasterLen;
+    if (P.SeedBase && Opts.RetainRetiredWitness)
+      P.RetiredPrefix = &RetiredMaster;
+    FrontierState BoundaryScratch;
+    if (WindowBase != 0)
+      BoundaryScratch = RetiredBoundary.snapshot();
+    P.Retained = &BoundaryScratch;
+    ChainLimits CL{Split.RestNodes, Split.RestMillis};
+    ChainSearch Engine(Interner, Memo, Scratch);
+    ChainResult Sub = Engine.run(P, CL, LineageSalt);
+    Stats.Search.accumulate(Sub.Stats);
+    SpentNodes += Sub.Stats.Nodes;
+    if (Sub.Outcome == Verdict::Unknown) {
+      if (!Sub.BudgetLimited)
+        return false; // Structural sub-Unknown: the flat reason stands.
+      Polluted = true;
+      R.Reason = std::move(Sub.Reason);
+      R.BudgetLimited = true;
+      return true;
+    }
+    if (Sub.Outcome == Verdict::No) {
+      if (WindowBase == 0) {
+        // Conclusive for the whole stream: the restriction of any full
+        // witness would have satisfied this sub-problem.
+        HaveResult = true;
+        Cached = Verdict::No;
+        CachedReason = "no linearization function exists";
+        R.Outcome = Verdict::No;
+        R.Reason = CachedReason;
+      } else {
+        ++Stats.WindowRetiredUnknowns;
+        R.Reason = WindowRetiredReason;
+      }
+      return true;
+    }
+    // Sub-Yes. The captured boundary leaf is discarded — the session
+    // cache's contract (a cached Yes covers the whole window) does not
+    // hold for a restriction — but the sub-verdict itself stays valid
+    // while the excursion persists: nothing folds while pinned, and new
+    // completions only append past the first 64.
+    HaveBoundedYes = true;
+    BoundedWindowBase = WindowBase;
+    BoundedFrontTag = FrontTag;
+  }
+  R.Outcome = Verdict::Unknown;
+  R.Grade = VerdictGrade::BoundedYes;
+  R.Interference = Tail;
+  R.Reason = WindowBoundedReason;
+  ++Stats.BoundedYesVerdicts;
+  return true;
 }
 
 void IncrementalLinSession::completeWitness(LinWitness &W) const {
@@ -765,6 +851,10 @@ bool IncrementalLinSession::tryFastResume(const LinCheckOptions &Limits,
 
 LinCheckResult IncrementalLinSession::finish(LinCheckResult R) {
   Stats.record(R.Outcome);
+  // Seal the grade: gradeFor(Outcome) everywhere except the bounded
+  // fallback, which graded its Unknown itself.
+  if (R.Grade != VerdictGrade::BoundedYes)
+    R.Grade = gradeFor(R.Outcome);
   return R;
 }
 
@@ -808,8 +898,13 @@ LinCheckResult IncrementalLinSession::verdict(const LinCheckOptions &Limits) {
         // budget the drain can finish.
         R.Reason = D.BudgetReason;
         R.BudgetLimited = true;
-      } else {
-        R.Reason = D.RetiredNo ? WindowRetiredReason : WindowOverflowReason;
+      } else if (D.RetiredNo) {
+        R.Reason = WindowRetiredReason;
+      } else if (!boundedFallback(Limits, DrainNodes, DrainStart, R)) {
+        // The graded fallback shaped R (BoundedYes, a conclusive No, the
+        // WindowRetired Unknown, or a budget stop) — or did not apply,
+        // leaving the flat structural Unknown.
+        R.Reason = WindowOverflowReason;
       }
       R.NodesExplored = DrainNodes;
       return finish(std::move(R));
@@ -953,6 +1048,7 @@ void IncrementalLinSession::reset() {
   RetiredMasterLen = 0;
   RetiredBoundary.invalidate();
   OverflowNoted = false;
+  HaveBoundedYes = false;
   Mark.reset();
   HavePrefixSalt = false;
   LineageSalt = nextLineageSalt();
@@ -1054,6 +1150,10 @@ void IncrementalLinSession::rewindToMark() {
   }
   RetiredBoundary = M.RetiredBoundary.snapshot();
   OverflowNoted = M.OverflowNoted;
+  // The bounded-fallback cache may describe a post-mark suffix whose
+  // rewound sibling diverges at the same indices; dropping it only costs
+  // one re-search.
+  HaveBoundedYes = false;
   // Restore the mark-time seal: a retirement after the mark disabled the
   // probe (renumbered masks), but the rewound window matches it again.
   PrefixSalt = M.PrefixSalt;
@@ -1121,30 +1221,30 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
       // is what retirement derives its quiescent cut from.
       std::size_t StartIdx = OpenStart[A.Client];
       OpenStart[A.Client] = SIZE_MAX;
-      if (Overflowed) {
-        // Responses past the overflow are not tracked (see the lin
-        // session); the structural Unknown stands until reset().
-        SawResponseSinceVerdict = true;
-        break;
-      }
       if (Obligations.size() == IncrementalWindowLimit)
         retireQuiescentPrefix();
-      if (Obligations.size() == IncrementalWindowLimit) {
-        Overflowed = true;
-        ++Stats.WindowOverflows;
-        SawResponseSinceVerdict = true;
-        break;
+      std::uint64_t MustFollow = 0;
+      if (Obligations.size() < IncrementalWindowLimit) {
+        // Predecessors are exactly the responses whose tags precede this
+        // operation's invocation — a window prefix, since tags strictly
+        // increase.
+        std::size_t K = Obligations.lowerBoundTag(StartIdx);
+        MustFollow = K == 0 ? 0 : (~0ull >> (64 - K));
       }
-      // Predecessors are exactly the responses whose tags precede this
-      // operation's invocation — a window prefix, since tags strictly
-      // increase.
-      std::size_t K = Obligations.lowerBoundTag(StartIdx);
-      std::uint64_t MustFollow = K == 0 ? 0 : (~0ull >> (64 - K));
+      // else: overflow excursion — the mask is not representable and is
+      // rebuilt when verdict()'s drain brings the window back under the
+      // limit (see the lin session). The response is tracked either way:
+      // the drain's capped sub-searches and the graded fallback both need
+      // the full backlog.
       Obligations.pushResponse(I, InId, A.Out, StartIdx, MustFollow,
                                InvokedDense);
       ++NewObligations;
       if (Obligations.size() > Stats.LiveWindowHighWater)
         Stats.LiveWindowHighWater = Obligations.size();
+      if (Obligations.size() > IncrementalWindowLimit && !OverflowNoted) {
+        OverflowNoted = true; // One overflow excursion, counted once.
+        ++Stats.WindowOverflows;
+      }
     } else {
       // An abort only tightens the problem (budget caps, leaf predicate):
       // retained failures stay failures, but a cached Yes is stale. An
@@ -1298,6 +1398,376 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   // Memo keys embed window-relative committed masks; the shift re-numbers
   // every bit, so every retained entry is salted out via the epoch.
   ++Epoch;
+}
+
+ChainResult IncrementalSlinSession::runCapped(const InitInterpretation &Finit,
+                                              std::size_t Cap,
+                                              const ChainLimits &CL,
+                                              std::uint64_t Salt,
+                                              const InterpFrontier *F,
+                                              FrontierState &Boundary) {
+  Scratch.reset();
+  // Ghost inputs join the alphabet before any dense array is sized.
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    for (const Input &In : H)
+      Interner.intern(In);
+  }
+  std::vector<History> InitHistories;
+  for (const auto &[Index, H] : Finit) {
+    (void)Index;
+    InitHistories.push_back(H);
+  }
+  History Lcp = longestCommonPrefix(InitHistories);
+  bool HaveInits = !InitHistories.empty();
+
+  const InputId A = Interner.size();
+  const std::size_t NumOb = std::min(Cap, Obligations.size());
+  const CommitObligation *Rows = Obligations.finalize(A);
+
+  // Per-response availability: the shared window row plus the running
+  // max-union of init contributions, exactly as in runUnder — minus the
+  // abort machinery (capped runs serve abort-free streams only, so no
+  // multiset mirror and no budget caps).
+  OverlayPtrs.resize(NumOb);
+  bool AnyInit = false;
+  std::size_t NextInit = 0;
+  auto AdvanceTo = [&](std::size_t Index) {
+    while (NextInit != InitActions.size() &&
+           InitActions[NextInit].first < Index) {
+      const auto &[J, Act] = InitActions[NextInit];
+      ++NextInit;
+      if (!AnyInit) {
+        RunningInitScratch.assign(A, 0);
+        AnyInit = true;
+      }
+      ContribScratch.assign(A, 0);
+      if (auto It = Finit.find(J); It != Finit.end())
+        for (const Input &In : It->second) {
+          InputId Id = Interner.intern(In);
+          if (Id < A)
+            ++ContribScratch[Id];
+        }
+      if (InputId Id = Interner.intern(Act.In);
+          Id < A && ContribScratch[Id] < 1)
+        ContribScratch[Id] = 1;
+      for (InputId Id = 0; Id != A; ++Id)
+        RunningInitScratch[Id] =
+            std::max(RunningInitScratch[Id], ContribScratch[Id]);
+    }
+  };
+  for (std::size_t R = 0; R != NumOb; ++R) {
+    AdvanceTo(Obligations.tag(R));
+    const std::int32_t *Row = Rows[R].Available;
+    if (AnyInit) {
+      std::int32_t *Copy = Scratch.allocArray<std::int32_t>(A);
+      for (InputId Id = 0; Id != A; ++Id)
+        Copy[Id] = Row[Id] + RunningInitScratch[Id];
+      OverlayPtrs[R] = Copy;
+    } else {
+      OverlayPtrs[R] = Row;
+    }
+  }
+
+  ChainProblem P;
+  P.Type = &Type;
+  P.AlphabetSize = A;
+  P.ForceCloneStates = !Opts.UseUndoStates;
+  P.Commits.reserve(NumOb);
+  for (std::size_t Q = 0; Q != NumOb; ++Q) {
+    CommitObligation Ob = Rows[Q];
+    Ob.Available = OverlayPtrs[Q];
+    // Fresh masks over the capped sub-window: the stored ones are
+    // deferred/stale during an excursion.
+    std::uint64_t M = 0;
+    for (std::size_t R2 = 0; R2 != Q; ++R2)
+      if (Obligations.tag(R2) < Obligations.invokeIdx(Q))
+        M |= 1ull << R2;
+    Ob.MustFollow = M;
+    P.Commits.push_back(Ob);
+  }
+  if (F && WindowBase != 0 && F->RetiredRows == WindowBase) {
+    // Behind this interpretation's retired prefix, adopting a clone of
+    // its boundary replay state.
+    P.SeedBase = F->RetiredLen;
+    if (Opts.RetainRetiredWitness)
+      P.RetiredPrefix = &F->RetiredMaster;
+    Boundary = F->RetiredBoundary.snapshot();
+  } else if (HaveInits) {
+    for (const Input &In : Lcp)
+      P.Seed.push_back(Interner.intern(In));
+  }
+  P.Retained = &Boundary; // Doubles as the MasterIds request.
+  ChainSearch Engine(Interner, Memo, Scratch);
+  ChainResult R = Engine.run(P, CL, Salt);
+  Stats.Search.accumulate(R.Stats);
+  return R;
+}
+
+IncrementalSlinSession::DrainOutcome IncrementalSlinSession::drainOverflow(
+    const SlinCheckOptions &SOpts, std::uint64_t &SpentNodes,
+    std::chrono::steady_clock::time_point DrainStart) {
+  // The lin session's overflow recovery, ported per interpretation. The
+  // first-WindowLimit restriction is exact for every family member
+  // (deleting the out-of-window completions' commits from any full
+  // witness leaves a witness for the restriction), so a capped sub-chain's
+  // aligned prefix is a sound retired prefix for that member — but the
+  // *set* of retired responses must stay uniform across the family, so
+  // each round folds at the largest prefix every member's chain aligns
+  // on (the common-fold alignment retireQuiescentPrefix uses). Abort-free
+  // streams only (Abort Order would cap retired availabilities), and
+  // families no larger than the window limit (the frontier table must
+  // hold one fold target per member).
+  DrainOutcome Out;
+  if (!Aborts.empty())
+    return Out;
+  refreshFamily();
+  const std::size_t Members = CachedFamily.Assignments.size();
+  if (Members == 0 || Members > IncrementalWindowLimit)
+    return Out;
+  bool FoldedAny = false;
+  std::vector<ChainResult> Round(Members);
+  while (Obligations.size() > IncrementalWindowLimit) {
+    std::size_t E = Builder.size();
+    for (std::size_t Idx : OpenStart)
+      if (Idx < E)
+        E = Idx;
+    if (Obligations.tag(0) >= E)
+      break; // Pinned by an open straggler; O(clients) and no search.
+    bool Stop = false;
+    std::uint64_t Common = ~0ull;
+    for (std::size_t FI = 0; FI != Members; ++FI) {
+      BudgetSplit Split =
+          splitBudget(SpentNodes, DrainStart, SOpts.Search.NodeBudget,
+                      SOpts.Search.TimeBudgetMillis);
+      if (Split.Exhausted) {
+        Out.BudgetStopped = true;
+        Out.BudgetReason = Split.Reason;
+        ++Epoch; // Polluted lineage: re-salt before the next search.
+        Stop = true;
+        break;
+      }
+      const std::uint64_t IH = CachedInterpHashes[FI];
+      auto It = Frontiers.find(IH);
+      InterpFrontier *F = It != Frontiers.end() ? &It->second : nullptr;
+      if (WindowBase != 0 && (!F || F->RetiredRows != WindowBase)) {
+        // No frontier at the session's retirement depth: this member
+        // cannot validate the retired responses, so nothing further can
+        // retire either.
+        Out.RetiredNo = true;
+        ++Stats.WindowRetiredUnknowns;
+        Stop = true;
+        break;
+      }
+      std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch), IH);
+      ChainLimits CL{Split.RestNodes, Split.RestMillis};
+      FrontierState Boundary;
+      ChainResult R = runCapped(CachedFamily.Assignments[FI],
+                                IncrementalWindowLimit, CL, Salt, F, Boundary);
+      SpentNodes += R.Stats.Nodes;
+      if (R.Outcome == Verdict::Unknown) {
+        if (R.BudgetLimited) {
+          Out.BudgetStopped = true;
+          Out.BudgetReason = std::move(R.Reason);
+          ++Epoch;
+        }
+        Stop = true;
+        break;
+      }
+      if (R.Outcome == Verdict::No) {
+        // With no aborts the capped search decides the restriction, and
+        // the restriction argument holds per interpretation: one
+        // member's sub-No kills the ∀ over the whole family.
+        if (WindowBase == 0) {
+          Out.ConclusiveNo = true;
+          HaveResult = true;
+          CachedVerdict = SlinVerdict();
+          CachedVerdict.Outcome = Verdict::No;
+          CachedVerdict.Reason =
+              "no speculative linearization function exists";
+          CachedVerdict.Exact = CachedFamily.Exact && Rel.abortSearchExact();
+          CachedWitnessesStale = false;
+        } else {
+          Out.RetiredNo = true;
+          ++Stats.WindowRetiredUnknowns;
+        }
+        Stop = true;
+        break;
+      }
+      // This member's fold mask: chain rows aligned on both axes (commit-
+      // length order and response-tag order), at in-bounds chain lengths —
+      // the same alignment alignedRetireLen/retireQuiescentPrefix use.
+      std::uint64_t Mask = 0;
+      std::size_t MaxTag = 0;
+      const std::size_t RLen = F ? F->RetiredLen : 0;
+      std::size_t Limit = std::min(R.Commits.size(), IncrementalWindowLimit);
+      for (std::size_t Q = 1; Q <= Limit; ++Q) {
+        MaxTag = std::max(MaxTag, R.Commits[Q - 1].first);
+        if (MaxTag >= E)
+          break;
+        std::size_t L = R.Commits[Q - 1].second;
+        if (L < RLen || L - RLen > R.MasterIds.size())
+          break;
+        if (MaxTag == Obligations.tag(Q - 1))
+          Mask |= 1ull << (Q - 1);
+      }
+      Common &= Mask;
+      if (!Common) {
+        // Every member so far linearized, but no common foldable prefix
+        // exists this round; the flat structural Unknown stands.
+        Stop = true;
+        break;
+      }
+      Round[FI] = std::move(R);
+    }
+    if (Stop)
+      break;
+    std::size_t K = 64 - static_cast<std::size_t>(__builtin_clzll(Common));
+    // Fold each member's share. Members without a frontier yet (nothing
+    // was retired before, so their capped run started fresh) are admitted
+    // now: the fold target must exist for the member to keep covering the
+    // retired region. Duplicate hashes fold once.
+    for (std::size_t FI = 0; FI != Members; ++FI) {
+      const std::uint64_t IH = CachedInterpHashes[FI];
+      auto It = Frontiers.find(IH);
+      if (It == Frontiers.end())
+        It = Frontiers.emplace(IH, InterpFrontier()).first;
+      InterpFrontier &F = It->second;
+      if (F.RetiredRows != WindowBase)
+        continue; // Already folded under this hash.
+      F.LastTouch = ++TouchCounter;
+      const ChainResult &R = Round[FI];
+      foldIntoRetired(Type, Interner, F.RetiredBoundary, F.RetiredMaster,
+                      F.RetiredCommits, R.MasterIds, R.Commits, K,
+                      F.RetiredLen, Opts.RetainRetiredWitness);
+      F.RetiredLen = R.Commits[K - 1].second;
+      F.RetiredRows += K;
+      // The capped chain's remainder is not retained as a live frontier:
+      // it covers the restriction, not the whole window. The next
+      // verdict's full root search behind the boundary rebuilds it.
+      F.Master.clear();
+      F.Commits.clear();
+      F.Replay.invalidate();
+    }
+    // Frontiers that fell behind the new retirement depth (non-family
+    // entries) could never fold or resume again; discard them.
+    for (auto It = Frontiers.begin(); It != Frontiers.end();) {
+      if (It->second.RetiredRows == WindowBase + K)
+        ++It;
+      else
+        It = Frontiers.erase(It);
+    }
+    Obligations.eraseFront(K);
+    WindowBase += K;
+    Stats.RetiredObligations += K;
+    // Memo keys embed window-relative committed masks; the shift
+    // re-numbers every bit, so every retained entry is salted out.
+    ++Epoch;
+    FoldedAny = true;
+  }
+  if (FoldedAny) {
+    Obligations.rebuildMasks();
+    // The cached family Yes and the bounded-fallback cache predate the
+    // folds. (A cached No survives — it is absorbing regardless.)
+    if (HaveResult && CachedVerdict.Outcome == Verdict::Yes)
+      HaveResult = false;
+    HaveBoundedYes = false;
+  }
+  if (Obligations.size() <= IncrementalWindowLimit)
+    OverflowNoted = false; // The excursion ended; count the next one anew.
+  return Out;
+}
+
+bool IncrementalSlinSession::boundedFallback(
+    const SlinCheckOptions &SOpts, std::uint64_t &SpentNodes,
+    std::chrono::steady_clock::time_point DrainStart, SlinVerdict &R) {
+  // The lin session's pinned-excursion graded fallback, family-wide: the
+  // first-WindowLimit restriction is exact under every interpretation
+  // (init actions only ever precede their phase's responses, and the
+  // out-of-window completions' availability snapshots cover strictly
+  // later indices), so BoundedYes requires every member to linearize it,
+  // and a single member's sub-No with nothing retired is a conclusive
+  // family No.
+  const std::size_t Tail = Obligations.size() - IncrementalWindowLimit;
+  if (!Opts.Resume || Opts.InterferenceBound == 0 ||
+      Tail > Opts.InterferenceBound || !Aborts.empty())
+    return false;
+  refreshFamily();
+  if (CachedFamily.Assignments.empty())
+    return false;
+  const std::size_t FrontTag = Obligations.tag(0);
+  if (HaveBoundedYes &&
+      (BoundedWindowBase != WindowBase || BoundedFrontTag != FrontTag ||
+       BoundedFamilyHash != CachedFamilyHash))
+    HaveBoundedYes = false; // A different excursion or family; re-search.
+  if (!HaveBoundedYes) {
+    for (std::size_t FI = 0; FI != CachedFamily.Assignments.size(); ++FI) {
+      BudgetSplit Split =
+          splitBudget(SpentNodes, DrainStart, SOpts.Search.NodeBudget,
+                      SOpts.Search.TimeBudgetMillis);
+      if (Split.Exhausted) {
+        ++Epoch;
+        R.Reason = Split.Reason;
+        R.BudgetLimited = true;
+        return true;
+      }
+      const std::uint64_t IH = CachedInterpHashes[FI];
+      auto It = Frontiers.find(IH);
+      const InterpFrontier *F = It != Frontiers.end() ? &It->second : nullptr;
+      if (WindowBase != 0 && (!F || F->RetiredRows != WindowBase)) {
+        ++Stats.WindowRetiredUnknowns;
+        R.Reason = WindowRetiredReason;
+        return true;
+      }
+      std::uint64_t Salt = hashCombine(hashCombine(SessionSalt, Epoch), IH);
+      ChainLimits CL{Split.RestNodes, Split.RestMillis};
+      FrontierState Boundary;
+      ChainResult Sub = runCapped(CachedFamily.Assignments[FI],
+                                  IncrementalWindowLimit, CL, Salt, F,
+                                  Boundary);
+      SpentNodes += Sub.Stats.Nodes;
+      if (Sub.Outcome == Verdict::Unknown) {
+        if (!Sub.BudgetLimited)
+          return false; // Structural sub-Unknown: the flat reason stands.
+        ++Epoch;
+        R.Reason = std::move(Sub.Reason);
+        R.BudgetLimited = true;
+        return true;
+      }
+      if (Sub.Outcome == Verdict::No) {
+        if (WindowBase == 0) {
+          // Conclusive for the whole stream: one interpretation's
+          // restriction admits no speculative linearization.
+          HaveResult = true;
+          CachedVerdict = SlinVerdict();
+          CachedVerdict.Outcome = Verdict::No;
+          CachedVerdict.Reason =
+              "no speculative linearization function exists";
+          CachedVerdict.Exact = CachedFamily.Exact && Rel.abortSearchExact();
+          CachedWitnessesStale = false;
+          R.Outcome = Verdict::No;
+          R.Reason = CachedVerdict.Reason;
+          R.Exact = CachedVerdict.Exact;
+        } else {
+          ++Stats.WindowRetiredUnknowns;
+          R.Reason = WindowRetiredReason;
+        }
+        return true;
+      }
+      // Sub-Yes for this member; the captured boundary leaf is discarded
+      // (a restriction's chain is not a whole-window frontier).
+    }
+    HaveBoundedYes = true;
+    BoundedWindowBase = WindowBase;
+    BoundedFrontTag = FrontTag;
+    BoundedFamilyHash = CachedFamilyHash;
+  }
+  R.Outcome = Verdict::Unknown;
+  R.Grade = VerdictGrade::BoundedYes;
+  R.Interference = Tail;
+  R.Reason = WindowBoundedReason;
+  ++Stats.BoundedYesVerdicts;
+  return true;
 }
 
 SlinCheckResult
@@ -1617,15 +2087,65 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     Result.Outcome = Verdict::No;
     Result.Reason = DoomReason;
     Result.Exact = true;
+    Result.Grade = gradeFor(Result.Outcome);
     Stats.record(Result.Outcome);
     return Result;
   }
-  if (Overflowed) {
-    // Recorded by the overflowing append: no problem build, no search.
-    Result.Outcome = Verdict::Unknown;
-    Result.Reason = WindowOverflowReason;
-    Stats.record(Result.Outcome);
-    return Result;
+  std::uint64_t DrainNodes = 0;
+  SlinCheckOptions Avail = SOpts;
+  if (Obligations.size() > IncrementalWindowLimit) {
+    // Overflow excursion: try to retire a common aligned prefix per
+    // interpretation via capped prefix sub-searches (drainOverflow). If a
+    // straggler pins the cut, fall back to the graded bounded-interference
+    // check instead of a flat Unknown.
+    auto DrainStart = std::chrono::steady_clock::now();
+    DrainOutcome D;
+    if (Opts.Resume && Aborts.empty())
+      D = drainOverflow(SOpts, DrainNodes, DrainStart);
+    if (D.ConclusiveNo ||
+        (Opts.Resume && HaveResult && CachedVerdict.Outcome == Verdict::No)) {
+      Result.Outcome = Verdict::No;
+      Result.Reason = CachedVerdict.Reason;
+      Result.Exact = CachedVerdict.Exact;
+      Result.NodesExplored = DrainNodes;
+      Result.Grade = gradeFor(Result.Outcome);
+      Stats.record(Result.Outcome);
+      return Result;
+    }
+    if (Obligations.size() > IncrementalWindowLimit) {
+      Result.Outcome = Verdict::Unknown;
+      if (D.BudgetStopped) {
+        Result.Reason = std::move(D.BudgetReason);
+        Result.BudgetLimited = true;
+      } else if (D.RetiredNo) {
+        Result.Reason = WindowRetiredReason;
+      } else if (!boundedFallback(SOpts, DrainNodes, DrainStart, Result)) {
+        Result.Reason = WindowOverflowReason;
+      }
+      Result.NodesExplored = DrainNodes;
+      if (Result.Grade != VerdictGrade::BoundedYes)
+        Result.Grade = gradeFor(Result.Outcome);
+      Stats.record(Result.Outcome);
+      return Result;
+    }
+    // Fully drained: the regular family verdict below runs on whatever
+    // budget the drain left (one verdict never exceeds the configured
+    // budgets).
+    BudgetSplit Split =
+        splitBudget(DrainNodes, DrainStart, SOpts.Search.NodeBudget,
+                    SOpts.Search.TimeBudgetMillis);
+    if (Split.Exhausted) {
+      ++Epoch; // Polluted lineage: re-salt before the next search.
+      Result.Outcome = Verdict::Unknown;
+      Result.Reason = Split.Reason;
+      Result.BudgetLimited = true;
+      Result.NodesExplored = DrainNodes;
+      Result.Grade = gradeFor(Result.Outcome);
+      Stats.record(Result.Outcome);
+      return Result;
+    }
+    Avail.Search.NodeBudget = Split.RestNodes;
+    Avail.Search.TimeBudgetMillis = Split.RestMillis;
   }
   if (AbortAfterRetire) {
     // An abort after retirement caps every commit's availability,
@@ -1634,6 +2154,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
     ++Stats.WindowRetiredUnknowns;
     Result.Outcome = Verdict::Unknown;
     Result.Reason = WindowRetiredReason;
+    Result.Grade = gradeFor(Result.Outcome);
     Stats.record(Result.Outcome);
     return Result;
   }
@@ -1673,6 +2194,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       R.Outcome = Verdict::No;
       R.Reason = CachedVerdict.Reason;
       R.Exact = CachedVerdict.Exact;
+      R.Grade = gradeFor(R.Outcome);
       return R;
     }
     if (CachedVerdict.Outcome == Verdict::Yes && DeltaOnlyInvokes) {
@@ -1683,6 +2205,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       SlinVerdict R;
       R.Outcome = Verdict::Yes;
       R.Exact = CachedVerdict.Exact;
+      R.Grade = gradeFor(R.Outcome);
       if (SOpts.WantWitness) {
         if (CachedWitnessesStale)
           refreshCachedWitnesses();
@@ -1697,10 +2220,11 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   // new witness-free obligation — is decided without materializing a
   // problem or entering the DFS: one speculative commit move per family
   // member over the shared window (see tryFastResume).
-  if (tryFastResume(SOpts, Result))
+  if (tryFastResume(Avail, Result))
     return Result;
 
   Result.Exact = CachedFamily.Exact && Rel.abortSearchExact();
+  Result.NodesExplored = DrainNodes; // The family loop accumulates on top.
   bool AnyBudgetLimited = false;
   bool Concluded = false;
   for (std::size_t FI = 0; FI != CachedFamily.Assignments.size(); ++FI) {
@@ -1747,11 +2271,11 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       // exceeds the configured budgets).
       ++Stats.FrontierResumes;
       auto Start = std::chrono::steady_clock::now();
-      R = runUnder(Finit, SOpts, Salt, F, /*FromFrontier=*/true, &Raw);
+      R = runUnder(Finit, Avail, Salt, F, /*FromFrontier=*/true, &Raw);
       if (Raw == Verdict::No) {
         BudgetSplit Split =
-            splitBudget(R.NodesExplored, Start, SOpts.Search.NodeBudget,
-                        SOpts.Search.TimeBudgetMillis);
+            splitBudget(R.NodesExplored, Start, Avail.Search.NodeBudget,
+                        Avail.Search.TimeBudgetMillis);
         if (Split.Exhausted) {
           std::uint64_t Spent = R.NodesExplored;
           R = SlinCheckResult();
@@ -1761,7 +2285,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
           R.NodesExplored = Spent;
         } else {
           std::uint64_t Spent = R.NodesExplored;
-          SlinCheckOptions Rest = SOpts;
+          SlinCheckOptions Rest = Avail;
           Rest.Search.NodeBudget = Split.RestNodes;
           Rest.Search.TimeBudgetMillis = Split.RestMillis;
           SlinCheckResult Full =
@@ -1771,7 +2295,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
         }
       }
     } else {
-      R = runUnder(Finit, SOpts, Salt, F, /*FromFrontier=*/false, nullptr);
+      R = runUnder(Finit, Avail, Salt, F, /*FromFrontier=*/false, nullptr);
     }
     if (R.Outcome == Verdict::No && WindowBase != 0) {
       // The live-window search is complete over completions of this
@@ -1834,6 +2358,7 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
   }
   if (!Concluded)
     Result.Outcome = Verdict::Yes;
+  Result.Grade = gradeFor(Result.Outcome);
   Stats.record(Result.Outcome);
 
   // A budget-limited run polluted its interpretation's lineage; move the
@@ -2013,6 +2538,7 @@ bool IncrementalSlinSession::tryFastResume(const SlinCheckOptions &SOpts,
   ++Stats.FastPathVerdicts;
   Stats.record(Verdict::Yes);
   Out.Outcome = Verdict::Yes;
+  Out.Grade = VerdictGrade::Yes;
   Out.Exact = CachedFamily.Exact && Rel.abortSearchExact();
   Out.NodesExplored = FastUndoScratch.size();
   // This path replaces the family loop wholesale, so it retires the
@@ -2096,6 +2622,12 @@ std::size_t IncrementalSlinSession::memoryFootprintBytes() const {
          OpenStart.capacity() * sizeof(std::size_t) +
          InvokedDense.capacity() * sizeof(std::int32_t) +
          SeedScratch.capacity() * sizeof(InputId) + Rows(SeedCommitsScratch) +
+         OverlayPtrs.capacity() * sizeof(const std::int32_t *) +
+         (RunningInitScratch.capacity() + ContribScratch.capacity()) *
+             sizeof(std::int32_t) +
+         FastUndoScratch.capacity() *
+             sizeof(std::pair<InterpFrontier *, UndoToken>) +
+         CachedInterpHashes.capacity() * sizeof(std::uint64_t) +
          Builder.trace().capacity() * sizeof(Action);
 }
 
@@ -2124,7 +2656,8 @@ void IncrementalSlinSession::reset() {
   HaveResult = false;
   CachedVerdict = SlinVerdict();
   WindowBase = 0;
-  Overflowed = false;
+  OverflowNoted = false;
+  HaveBoundedYes = false;
   AbortAfterRetire = false;
   // Frontiers of an unrelated trace are meaningless (their commit tags
   // index the old trace): discard, don't just invalidate.

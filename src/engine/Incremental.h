@@ -139,6 +139,16 @@ inline constexpr char WindowRetiredReason[] =
     "WindowRetired: no completion extends the retired prefix; a conclusive "
     "No would require backtracking into retired obligations";
 
+/// Stable reason string for the graded Unknown (VerdictGrade::BoundedYes) a
+/// windowed session reports while a straggler pins the cut past the 64-slot
+/// window: the exact first-64 sub-problem linearized, and the out-of-window
+/// interference stayed within IncrementalOptions::InterferenceBound. See
+/// the Grade/Interference fields of LinCheckResult and SlinVerdict.
+inline constexpr char WindowBoundedReason[] =
+    "BoundedYes: straggler pins the cut past the 64-slot window; the first "
+    "64 live obligations linearized and only bounded out-of-window "
+    "interference remains unchecked";
+
 /// The engine's exact search carries at most this many commit obligations
 /// per run (a 64-bit committed mask); both sessions keep their live window
 /// at or under it via retirement.
@@ -182,6 +192,14 @@ struct IncrementalOptions {
   /// UseUndoStates off). In the slin session the per-interpretation
   /// retired chains obey the same switch.
   bool RetainRetiredWitness = true;
+  /// Graded-fallback bound for pinned overflow excursions: while a
+  /// straggler pins the cut past the 64-slot window, a verdict searches
+  /// the exact first-64 sub-problem (a sound restriction of the full
+  /// problem) and reports Grade == VerdictGrade::BoundedYes when it
+  /// linearizes with at most this many out-of-window completions left
+  /// unchecked (the verdict's Interference). 0 disables the fallback —
+  /// every pinned verdict is then the flat WindowOverflowReason Unknown.
+  std::size_t InterferenceBound = 16;
 };
 
 /// The live obligation window as a structure of arrays: engine-ready
@@ -245,6 +263,15 @@ public:
   void setMustFollow(std::size_t Q, std::uint64_t M) {
     Slots[Base + Q].MustFollow = M;
   }
+
+  /// Recomputes every window-relative MustFollow mask from first
+  /// principles (tags and invocation indices are retained). Needed after
+  /// an overflow drain: folds shifted bit positions while
+  /// excursion-appended obligations had no representable mask at all.
+  /// Obligations past the engine's 64-bit mask range get mask 0 (they are
+  /// never handed to the engine while out of range). Shared by both
+  /// sessions so the drain's mask discipline cannot drift between them.
+  void rebuildMasks();
 
   void clear() {
     Base = 0;
@@ -457,9 +484,6 @@ private:
   /// (no-op when nothing is retirable). Called when a response finds the
   /// window full; search-free.
   void retireQuiescentPrefix();
-  /// Recomputes every window-relative MustFollow mask (after an overflow
-  /// drain renumbered or deferred them).
-  void rebuildMasks();
   /// What an overflow drain concluded beyond its folds.
   struct DrainOutcome {
     /// A sub-search concluded No against a retired prefix (the
@@ -477,6 +501,20 @@ private:
   DrainOutcome drainOverflow(const LinCheckOptions &Limits,
                              std::uint64_t &SpentNodes,
                              std::chrono::steady_clock::time_point DrainStart);
+  /// The graded fallback for a pinned excursion (the drain retired
+  /// nothing and the window still exceeds the limit): searches the exact
+  /// first-WindowLimit sub-problem and shapes \p R — BoundedYes when it
+  /// linearizes within Opts.InterferenceBound, a conclusive No when it
+  /// fails with nothing retired, the WindowRetired Unknown otherwise.
+  /// The sub-Yes is cached keyed by (WindowBase, front tag), so
+  /// re-serves while the same excursion persists are search-free.
+  /// Returns false when the fallback does not apply (disabled, the tail
+  /// exceeds the bound, or a structural sub-Unknown); the caller then
+  /// reports the flat WindowOverflowReason.
+  bool boundedFallback(const LinCheckOptions &Limits,
+                       std::uint64_t &SpentNodes,
+                       std::chrono::steady_clock::time_point DrainStart,
+                       LinCheckResult &R);
   /// Prepends the materialized retired prefix (ids + commit rows) to a
   /// live-window witness.
   void completeWitness(LinWitness &W) const;
@@ -527,6 +565,13 @@ private:
   FrontierState RetiredBoundary;
   /// The current overflow excursion was counted in Stats.WindowOverflows.
   bool OverflowNoted = false;
+  /// Cached pinned-excursion sub-Yes (boundedFallback): valid while the
+  /// window base and the front obligation are unchanged — nothing folds
+  /// during a pinned excursion, so re-serves are search-free. Cleared by
+  /// folds, reset, and rewind.
+  bool HaveBoundedYes = false;
+  std::size_t BoundedWindowBase = 0;
+  std::size_t BoundedFrontTag = 0;
 
   std::uint64_t SaltCounter = 0;
   std::uint64_t LineageSalt = 0;
@@ -606,9 +651,14 @@ public:
   /// Current live response window size; bounded by 64.
   std::size_t liveWindow() const { return Obligations.size(); }
 
-  /// True once an append found the window full with no retirable quiescent
-  /// prefix (see IncrementalLinSession::overflowed).
-  bool overflowed() const { return Overflowed; }
+  /// True while the live window exceeds the engine's exact-search bound —
+  /// an overflow excursion, transient exactly as in
+  /// IncrementalLinSession::overflowed: counted once per excursion in
+  /// SessionStats::WindowOverflows and cleared when verdict()'s drain
+  /// brings the window back under the limit.
+  bool overflowed() const {
+    return Obligations.size() > IncrementalWindowLimit;
+  }
 
   /// The session's scratch arena (exposed for the allocation-audit tests,
   /// as in IncrementalLinSession).
@@ -704,6 +754,43 @@ private:
   /// the shared response window; requires an abort-free stream and a
   /// covering frontier for every interpretation of the current family.
   void retireQuiescentPrefix();
+  /// One interpretation's owning sub-problem over the window's first
+  /// \p Cap obligations, with masks recomputed over that sub-window (the
+  /// stored ones are deferred/stale during an excursion). Abort-free
+  /// streams only. \p F carries the seeding: behind its retired prefix
+  /// when it covers the session's retirement depth, from the init LCP
+  /// otherwise. \p Boundary doubles as the engine's MasterIds request and
+  /// receives the accepting-leaf replay state.
+  ChainResult runCapped(const InitInterpretation &Finit, std::size_t Cap,
+                        const ChainLimits &CL, std::uint64_t Salt,
+                        const InterpFrontier *F, FrontierState &Boundary);
+  /// What an overflow drain concluded beyond its folds (see
+  /// IncrementalLinSession::DrainOutcome). ConclusiveNo is the slin
+  /// addition: one interpretation's sub-problem concluded No with nothing
+  /// retired, which is conclusive for the whole family (the ∀ fails).
+  struct DrainOutcome {
+    bool RetiredNo = false;
+    bool ConclusiveNo = false;
+    bool BudgetStopped = false;
+    std::string BudgetReason; ///< Set when BudgetStopped.
+  };
+  /// Overflow recovery, ported from the lin session per interpretation:
+  /// while the window exceeds the limit and the cut is not pinned, run
+  /// one capped sub-search per family member, align their chains at a
+  /// common fold prefix, and fold each member's share into its retired
+  /// prefix. Requires an abort-free stream and a family no larger than
+  /// the window limit; all sub-searches share the one verdict's budgets.
+  DrainOutcome drainOverflow(const SlinCheckOptions &SOpts,
+                             std::uint64_t &SpentNodes,
+                             std::chrono::steady_clock::time_point DrainStart);
+  /// The family-wide graded fallback for a pinned excursion (see
+  /// IncrementalLinSession::boundedFallback): every member must linearize
+  /// the exact first-64 sub-problem for the BoundedYes grade; one
+  /// member's sub-No with nothing retired is a conclusive family No.
+  bool boundedFallback(const SlinCheckOptions &SOpts,
+                       std::uint64_t &SpentNodes,
+                       std::chrono::steady_clock::time_point DrainStart,
+                       SlinVerdict &R);
   /// Prepends each interpretation's materialized retired prefix to its
   /// live-window witness (witnesses are cached in windowed form so the
   /// steady state never copies the retired region).
@@ -743,8 +830,16 @@ private:
   // by a later abort — an abort arriving after retirement forces the
   // WindowRetired Unknown for every non-doomed verdict from then on.
   std::size_t WindowBase = 0; ///< Responses retired so far.
-  bool Overflowed = false;
+  /// The current overflow excursion was counted in Stats.WindowOverflows.
+  bool OverflowNoted = false;
   bool AbortAfterRetire = false;
+  /// Cached pinned-excursion family-wide sub-Yes (boundedFallback): valid
+  /// while the window base, the front obligation, and the interpretation
+  /// family are unchanged. Cleared by folds and reset.
+  bool HaveBoundedYes = false;
+  std::size_t BoundedWindowBase = 0;
+  std::size_t BoundedFrontTag = 0;
+  std::uint64_t BoundedFamilyHash = 0;
   std::uint64_t TouchCounter = 0; ///< LRU clock for frontier eviction.
 
   /// Bumped whenever retained memo entries could be unsound for the

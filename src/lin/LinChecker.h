@@ -53,6 +53,15 @@ struct LinCheckResult {
   /// traces than one-shot checking, batch callers use this to retry the
   /// trace with a fresh session (see engine/CorpusDriver.h).
   bool BudgetLimited = false;
+  /// Graded refinement of Outcome: gradeFor(Outcome) everywhere except the
+  /// windowed session's pinned-excursion fallback, which reports Outcome ==
+  /// Unknown with Grade == VerdictGrade::BoundedYes (the first 64 live
+  /// obligations linearized; only Interference out-of-window completions
+  /// remain unchecked). Batch checkers never report BoundedYes.
+  VerdictGrade Grade = VerdictGrade::No;
+  /// Out-of-window live obligations left unchecked by a BoundedYes verdict
+  /// (<= the session's configured InterferenceBound); 0 otherwise.
+  std::size_t Interference = 0;
 
   explicit operator bool() const { return Outcome == Verdict::Yes; }
 };

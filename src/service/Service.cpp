@@ -33,6 +33,7 @@ struct MonitorService::Shard {
   bool InDirty = false;
   bool Doomed = false;            ///< Session rejected an event (final No).
   Verdict Last = Verdict::Yes;
+  VerdictGrade LastGrade = VerdictGrade::Yes;
   bool HasVerdict = false;
   std::string LastReason;
 
@@ -67,6 +68,7 @@ static IncrementalOptions shardOptions(const ServiceConfig &Config) {
   // and O(live window) in space.
   Opts.RetainTrace = false;
   Opts.RetainRetiredWitness = false;
+  Opts.InterferenceBound = Config.InterferenceBound;
   return Opts;
 }
 
@@ -199,12 +201,14 @@ void MonitorService::applyToShard(Shard &S, const Action &A) {
 
 void MonitorService::takeVerdict(Shard &S) {
   Verdict V;
+  VerdictGrade G;
   if (S.Lin) {
     LinCheckOptions Opts;
     Opts.NodeBudget = Config.NodeBudget;
     Opts.WantWitness = false;
     LinCheckResult R = S.Lin->verdict(Opts);
     V = R.Outcome;
+    G = R.Grade;
     if (V != Verdict::Yes && S.LastReason != R.Reason)
       S.LastReason = R.Reason;
   } else {
@@ -214,18 +218,21 @@ void MonitorService::takeVerdict(Shard &S) {
     Opts.WantWitness = false;
     SlinVerdict R = S.Slin->verdict(Opts);
     V = R.Outcome;
+    G = R.Grade;
     if (V != Verdict::Yes && S.LastReason != R.Reason)
       S.LastReason = R.Reason;
   }
   S.Last = V;
+  S.LastGrade = G;
 }
 
 void MonitorService::publishShard(Shard &S) {
   S.SinceVerdict = 0;
   S.HasVerdict = true;
   ++Stats.ShardVerdicts;
-  Tracker.update(S.Index, S.Last,
-                 S.Last == Verdict::Yes ? EmptyReason : S.LastReason);
+  Tracker.update(S.Index, S.Last, S.LastGrade,
+                 S.LastGrade == VerdictGrade::Yes ? EmptyReason
+                                                  : S.LastReason);
 }
 
 void MonitorService::poll() {
@@ -265,6 +272,11 @@ MonitorService::slinShard(ObjectId Object) const {
 Verdict MonitorService::shardVerdict(ObjectId Object) const {
   const Shard *S = findShard(Object);
   return S && S->HasVerdict ? S->Last : Verdict::Yes;
+}
+
+VerdictGrade MonitorService::shardGrade(ObjectId Object) const {
+  const Shard *S = findShard(Object);
+  return S && S->HasVerdict ? S->LastGrade : VerdictGrade::Yes;
 }
 
 const std::string &MonitorService::shardReason(ObjectId Object) const {

@@ -87,6 +87,11 @@ struct ServiceConfig {
   std::size_t MaxShards = MaxObjectId;
   /// Node budget per shard verdict.
   std::uint64_t NodeBudget = 1u << 22;
+  /// Out-of-window interference a pinned shard may leave unchecked and
+  /// still report a graded BoundedYes instead of a flat window-overflow
+  /// Unknown (IncrementalOptions::InterferenceBound; 0 disables the
+  /// fallback and restores flat Unknowns).
+  std::size_t InterferenceBound = 16;
 };
 
 /// Monotonic service counters.
@@ -143,6 +148,14 @@ public:
   /// (any shard No => No; else any shard Unknown => Unknown; else Yes).
   Verdict composedVerdict() const { return Tracker.verdict(); }
 
+  /// The worst grade any shard currently holds (Yes < BoundedYes <
+  /// Unknown < No): a composed-Unknown system whose grade is BoundedYes
+  /// has every shard either fully linearized or riding a pinned-window
+  /// excursion with only bounded unchecked interference. Improves back
+  /// toward Yes when shards recover (straggler completes, session
+  /// drains).
+  VerdictGrade composedGrade() const { return Tracker.composedGrade(); }
+
   /// The originating shard's reason, verbatim (empty on Yes).
   const std::string &composedReason() const { return Tracker.reason(); }
 
@@ -161,6 +174,7 @@ public:
   const IncrementalLinSession *linShard(ObjectId Object) const;
   const IncrementalSlinSession *slinShard(ObjectId Object) const;
   Verdict shardVerdict(ObjectId Object) const;
+  VerdictGrade shardGrade(ObjectId Object) const;
   const std::string &shardReason(ObjectId Object) const;
   std::uint64_t shardEvents(ObjectId Object) const;
 

@@ -140,52 +140,74 @@ MergeResult slin::mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
 //===----------------------------------------------------------------------===//
 
 void slin::ComposedVerdictTracker::update(std::uint32_t Shard, Verdict V,
+                                          VerdictGrade G,
                                           const std::string &Reason) {
-  if (Shard >= Verdicts.size())
-    Verdicts.resize(Shard + 1, Unreported);
-  std::uint8_t &Slot = Verdicts[Shard];
-  std::uint8_t New = static_cast<std::uint8_t>(V);
+  (void)V; // The grade refines the verdict; composition keys off grades.
+  if (Shard >= Grades.size())
+    Grades.resize(Shard + 1, Unreported);
+  std::uint8_t &Slot = Grades[Shard];
+  const std::uint8_t New = static_cast<std::uint8_t>(G);
   if (Slot == New)
-    return; // Steady state: the shard re-reported its standing verdict.
-  Verdict Old = Slot == Unreported ? Verdict::Yes : static_cast<Verdict>(Slot);
-  if (Slot == Unreported)
+    return; // Steady state: the shard re-reported its standing grade.
+  const bool First = Slot == Unreported;
+  // An unreported shard composes as Yes (the empty projection is trivially
+  // linearizable), so a first report is a worsening unless it is Yes.
+  const std::uint8_t Old =
+      First ? static_cast<std::uint8_t>(VerdictGrade::Yes) : Slot;
+  if (First)
     ++Reported;
-
-  // Retire the old verdict's bookkeeping. A shard No is absorbing at the
-  // session level (No is final under extension), so Old == No never
-  // transitions away in practice; handle it anyway so the tracker has no
-  // hidden coupling to session behavior.
-  if (Slot != Unreported) {
-    if (Old == Verdict::No)
-      NoShards.erase(Shard);
-    else if (Old == Verdict::Unknown)
-      UnknownShards.erase(Shard);
-    if (Old != Verdict::Yes)
-      Reasons.erase(Shard);
-  }
-
+  else
+    --Counts[Slot];
   Slot = New;
-  if (V == Verdict::No) {
-    NoShards.insert(Shard);
+  ++Counts[New];
+  if (G == VerdictGrade::Yes)
+    Reasons.erase(Shard);
+  else
     Reasons[Shard] = Reason;
-  } else if (V == Verdict::Unknown) {
-    UnknownShards.insert(Shard);
-    Reasons[Shard] = Reason;
+
+  const VerdictGrade M = composedGrade();
+  if (M == VerdictGrade::Yes)
+    return; // All-Yes composition carries no culprit.
+  const std::uint8_t Top = static_cast<std::uint8_t>(M);
+  if (New > Old) {
+    // New or worsening report: the composed grade can only rise, so the
+    // cached culprit stays the lowest at the (unchanged) top level unless
+    // this shard created a new top level or undercuts it. O(1).
+    if (New == Top &&
+        (Counts[Top] == 1 || Grades[Culprit] != Top || Shard < Culprit))
+      Culprit = Shard;
+    return;
   }
+  // Improvement — a shard recovered (Unknown -> Yes after its session
+  // drained, BoundedYes -> Yes after its straggler completed, ...). The
+  // cached culprit survives only if it was a *different* shard and the top
+  // level did not move (only this shard changed, and by the invariant no
+  // lower-indexed shard sat at the top). Otherwise pay the recount.
+  if (Culprit == Shard || Old == Top || Grades[Culprit] != Top)
+    recountCulprit();
+}
+
+void slin::ComposedVerdictTracker::recountCulprit() {
+  const std::uint8_t Top = static_cast<std::uint8_t>(composedGrade());
+  for (std::uint32_t S = 0; S != Grades.size(); ++S)
+    if (Grades[S] == Top) {
+      Culprit = S;
+      return;
+    }
 }
 
 const std::string &slin::ComposedVerdictTracker::reason() const {
   static const std::string Empty;
-  if (verdict() == Verdict::Yes)
+  if (composedGrade() == VerdictGrade::Yes)
     return Empty;
   auto It = Reasons.find(culpritShard());
   return It == Reasons.end() ? Empty : It->second;
 }
 
 void slin::ComposedVerdictTracker::clear() {
-  Verdicts.clear();
+  Grades.clear();
+  Counts = {};
   Reasons.clear();
-  NoShards.clear();
-  UnknownShards.clear();
+  Culprit = 0;
   Reported = 0;
 }

@@ -37,6 +37,7 @@
 #include "trace/Signature.h"
 #include "trace/Trace.h"
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -102,52 +103,97 @@ MergeResult mergeWitnesses(const Trace &T, const PhaseSignature &SigMn,
 ///                          whole-system one because operations of
 ///                          different objects commute).
 ///
+/// Verdicts compose at VerdictGrade granularity, ordered by severity
+/// Yes < BoundedYes < Unknown < No: the composed grade is the worst grade
+/// any shard currently holds, so a shard whose straggler pins its window
+/// degrades the composition only to BoundedYes (all of its in-window
+/// obligations linearized) rather than a flat Unknown. Shard verdicts are
+/// NOT monotone — a shard that overflowed recovers to Yes once its
+/// straggler completes and the session drains (see engine/Incremental.h) —
+/// so the tracker supports improvement as a first-class transition.
+///
 /// update() is O(1) and allocation-free while the shard re-reports the
-/// verdict it already had — the steady state of monitoring a correct
-/// system (all Yes, every update a no-op); verdict transitions pay
-/// O(log #non-Yes shards) to maintain the culprit bookkeeping. Shards are
+/// grade it already had — the steady state of monitoring a correct system
+/// (all Yes, every update a no-op). New/worsening reports stay O(1); an
+/// improving report pays an O(#shards) severity recount only when it
+/// vacates the worst level or dethrones the cached culprit. Shards are
 /// identified by the caller's dense indices and never leave; an unreported
 /// shard does not block Yes (the empty projection is trivially
 /// linearizable).
 class ComposedVerdictTracker {
 public:
-  /// Records shard \p Shard's current verdict. \p Reason is retained only
-  /// for non-Yes verdicts (copied; the tracker outlives the caller's
-  /// buffers).
-  void update(std::uint32_t Shard, Verdict V, const std::string &Reason);
+  /// Records shard \p Shard's current verdict at grade gradeFor(V).
+  /// \p Reason is retained only for non-Yes grades (copied; the tracker
+  /// outlives the caller's buffers).
+  void update(std::uint32_t Shard, Verdict V, const std::string &Reason) {
+    update(Shard, V, gradeFor(V), Reason);
+  }
 
-  /// The composed whole-system verdict under the rules above.
+  /// Grade-aware overload: \p G refines \p V (equal to gradeFor(V) except
+  /// for a windowed session's BoundedYes-graded Unknown).
+  void update(std::uint32_t Shard, Verdict V, VerdictGrade G,
+              const std::string &Reason);
+
+  /// The composed whole-system verdict under the rules above. BoundedYes
+  /// is still an Unknown outcome (the out-of-window interference went
+  /// unchecked); the refinement is only visible through composedGrade().
   Verdict verdict() const {
-    if (!NoShards.empty())
+    VerdictGrade G = composedGrade();
+    if (G == VerdictGrade::No)
       return Verdict::No;
-    return UnknownShards.empty() ? Verdict::Yes : Verdict::Unknown;
+    return G == VerdictGrade::Yes ? Verdict::Yes : Verdict::Unknown;
   }
 
-  /// The shard a composed No/Unknown originates from (the lowest-indexed
-  /// No shard; the lowest-indexed currently-Unknown shard otherwise).
-  /// Only meaningful when verdict() != Yes.
-  std::uint32_t culpritShard() const {
-    return !NoShards.empty() ? *NoShards.begin() : *UnknownShards.begin();
+  /// The worst grade any reported shard currently holds (Yes when no shard
+  /// reported anything worse, including when none reported at all).
+  VerdictGrade composedGrade() const {
+    if (Counts[static_cast<std::size_t>(VerdictGrade::No)])
+      return VerdictGrade::No;
+    if (Counts[static_cast<std::size_t>(VerdictGrade::Unknown)])
+      return VerdictGrade::Unknown;
+    if (Counts[static_cast<std::size_t>(VerdictGrade::BoundedYes)])
+      return VerdictGrade::BoundedYes;
+    return VerdictGrade::Yes;
   }
+
+  /// The shard a composed No/Unknown originates from: the lowest-indexed
+  /// shard at the composed (worst) grade. Only meaningful when
+  /// verdict() != Yes.
+  std::uint32_t culpritShard() const { return Culprit; }
 
   /// The originating shard's reason, verbatim. Empty when verdict() == Yes.
   const std::string &reason() const;
 
   std::size_t shardsReported() const { return Reported; }
-  std::size_t noShards() const { return NoShards.size(); }
-  std::size_t unknownShards() const { return UnknownShards.size(); }
+  std::size_t noShards() const {
+    return Counts[static_cast<std::size_t>(VerdictGrade::No)];
+  }
+  std::size_t unknownShards() const {
+    return Counts[static_cast<std::size_t>(VerdictGrade::Unknown)];
+  }
+  /// Shards currently riding a pinned-window excursion at BoundedYes.
+  std::size_t boundedShards() const {
+    return Counts[static_cast<std::size_t>(VerdictGrade::BoundedYes)];
+  }
 
   void clear();
 
 private:
-  /// Last verdict per shard, dense by shard index; Unreported marks slots
+  /// O(#shards) fallback: re-derive the lowest-indexed shard at the
+  /// composed grade after an improvement invalidated the cached culprit.
+  void recountCulprit();
+
+  /// Last grade per shard, dense by shard index; Unreported marks slots
   /// for shards that have not reported yet (the vector grows to the
   /// highest shard index seen — warm-up only).
   static constexpr std::uint8_t Unreported = 0xFF;
-  std::vector<std::uint8_t> Verdicts;
+  std::vector<std::uint8_t> Grades;
+  /// Shards currently at each grade, indexed by VerdictGrade.
+  std::array<std::size_t, 4> Counts{};
   std::map<std::uint32_t, std::string> Reasons; ///< Non-Yes shards only.
-  std::set<std::uint32_t> NoShards;
-  std::set<std::uint32_t> UnknownShards;
+  /// Lowest-indexed shard at the composed grade; valid iff
+  /// composedGrade() != Yes.
+  std::uint32_t Culprit = 0;
   std::size_t Reported = 0;
 };
 

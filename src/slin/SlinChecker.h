@@ -146,6 +146,16 @@ struct SlinVerdict {
   bool BudgetLimited = false;
   /// Search nodes summed over every interpretation checked.
   std::uint64_t NodesExplored = 0;
+  /// Graded refinement of Outcome: gradeFor(Outcome) everywhere except the
+  /// windowed session's pinned-excursion fallback, which reports Outcome ==
+  /// Unknown with Grade == VerdictGrade::BoundedYes (every family member
+  /// linearized the first 64 live obligations exactly; only Interference
+  /// out-of-window completions remain unchecked). Batch checkers never
+  /// report BoundedYes.
+  VerdictGrade Grade = VerdictGrade::No;
+  /// Out-of-window live obligations left unchecked by a BoundedYes verdict
+  /// (<= the session's configured InterferenceBound); 0 otherwise.
+  std::size_t Interference = 0;
   /// Witnesses per interpretation (aligned with the family), populated on
   /// overall Yes.
   std::vector<std::pair<InitInterpretation, SlinWitness>> Witnesses;

@@ -860,10 +860,12 @@ TEST(IncrementalSessionTest, OverflowDrainRecoversWithoutACachedChain) {
 
 TEST(IncrementalSessionTest, StragglerPinsTheCutThenDrainRecovers) {
   // A straggling operation that overlaps more than 64 completions pins
-  // the quiescent cut: verdicts during the excursion are the structural
-  // Unknown surfaced *without a search* (zero nodes while pinned), and
-  // once the straggler responds the drain retires the backlog and
-  // definitive verdicts resume.
+  // the quiescent cut. Verdicts during the excursion are *graded*: the
+  // first pinned verdict runs one capped sub-search over the first 64
+  // live obligations and reports BoundedYes (Outcome Unknown, the
+  // out-of-window tail as Interference); later pinned verdicts serve the
+  // cached sub-Yes with zero nodes. Once the straggler responds the
+  // drain retires the backlog and definitive verdicts resume.
   RegisterAdt Reg;
   IncrementalLinSession Inc(Reg);
   LinCheckOptions Opts;
@@ -875,15 +877,20 @@ TEST(IncrementalSessionTest, StragglerPinsTheCutThenDrainRecovers) {
                               Model.get());
   EXPECT_TRUE(Inc.overflowed());
   EXPECT_EQ(Inc.stats().WindowOverflows, 1u);
+  EXPECT_GE(Inc.stats().BoundedYesVerdicts, 1u);
   LinCheckResult Pinned = Inc.verdict(Opts);
   EXPECT_EQ(Pinned.Outcome, Verdict::Unknown);
-  EXPECT_EQ(Pinned.Reason, WindowOverflowReason);
-  EXPECT_EQ(Pinned.NodesExplored, 0u) << "a pinned excursion must not search";
+  EXPECT_EQ(Pinned.Reason, WindowBoundedReason);
+  EXPECT_EQ(Pinned.Grade, VerdictGrade::BoundedYes);
+  EXPECT_EQ(Pinned.Interference, 6u);
+  EXPECT_EQ(Pinned.NodesExplored, 0u)
+      << "a pinned excursion searches its restriction once, then caches";
   // The straggler completes; its write lands here in the real-time order.
   Output Out = Model->apply(reg::write(9));
   ASSERT_TRUE(Inc.append(makeRespond(63, 1, reg::write(9), Out)));
   LinCheckResult R = Inc.verdict(Opts);
   EXPECT_EQ(R.Outcome, Verdict::Yes);
+  EXPECT_EQ(R.Grade, VerdictGrade::Yes);
   EXPECT_FALSE(Inc.overflowed());
   EXPECT_GT(Inc.retiredObligations(), 0u);
   // And the steady state continues definitively after the excursion.
@@ -999,4 +1006,137 @@ TEST(IncrementalSessionTest, CyclingInterpretationsKeepTheHotFrontier) {
   // have dropped the canonical entry on some rounds).
   EXPECT_GE(Inc.stats().FrontierResumes, static_cast<std::uint64_t>(Rounds))
       << "cycling interpretations thrashed the hot frontier";
+}
+
+TEST(IncrementalSessionTest, SlinOverflowDrainRecoversWithoutACachedChain) {
+  // The slin analogue of OverflowDrainRecoversWithoutACachedChain: 100
+  // completions with no verdict in between overflow the window silently;
+  // the next verdict drains it — capped prefix sub-searches per
+  // interpretation, folded at the family's common alignment — and answers
+  // definitively.
+  RegisterAdt Reg;
+  PhaseSignature Sig(1, 2);
+  UniversalInitRelation Rel;
+  IncrementalSlinSession Inc(Reg, Sig, Rel);
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  for (unsigned K = 0; K != 100; ++K) {
+    Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
+                     : reg::read();
+    Output Out = Model->apply(In);
+    ASSERT_TRUE(Inc.append(makeInvoke(K % 4, 1, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(K % 4, 1, In, Out)));
+  }
+  EXPECT_TRUE(Inc.overflowed());
+  EXPECT_EQ(Inc.stats().WindowOverflows, 1u);
+  SlinCheckOptions O;
+  O.WantWitness = false;
+  SlinVerdict R = Inc.verdict(O);
+  EXPECT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_EQ(R.Grade, VerdictGrade::Yes);
+  EXPECT_FALSE(Inc.overflowed());
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  EXPECT_LE(Inc.liveWindow(), 64u);
+}
+
+TEST(IncrementalSessionTest, SlinStragglerPinsTheCutThenDrainRecovers) {
+  // The slin analogue of StragglerPinsTheCutThenDrainRecovers: while a
+  // straggling invocation pins the quiescent cut past the window, pinned
+  // verdicts report the graded BoundedYes (every family member linearized
+  // the first 64 live obligations; only the out-of-window tail is
+  // unchecked), served from cache after the first capped sub-search. Once
+  // the straggler responds, the drain retires the backlog and definitive
+  // verdicts resume — the excursion was transient and counted once.
+  RegisterAdt Reg;
+  PhaseSignature Sig(1, 2);
+  UniversalInitRelation Rel;
+  IncrementalSlinSession Inc(Reg, Sig, Rel);
+  SlinCheckOptions O;
+  O.WantWitness = false;
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  // The straggler invokes first and stays open.
+  ASSERT_TRUE(Inc.append(makeInvoke(63, 1, reg::write(9))));
+  for (unsigned K = 0; K != 70; ++K) {
+    Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
+                     : reg::read();
+    Output Out = Model->apply(In);
+    ASSERT_TRUE(Inc.append(makeInvoke(K % 4, 1, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(K % 4, 1, In, Out)));
+    SlinVerdict V = Inc.verdict(O);
+    if (!Inc.overflowed())
+      ASSERT_EQ(V.Outcome, Verdict::Yes) << "op " << K;
+    else
+      ASSERT_EQ(V.Grade, VerdictGrade::BoundedYes)
+          << "op " << K << " (reason: " << V.Reason << ")";
+  }
+  EXPECT_TRUE(Inc.overflowed());
+  EXPECT_EQ(Inc.stats().WindowOverflows, 1u);
+  EXPECT_GE(Inc.stats().BoundedYesVerdicts, 1u);
+  SlinVerdict Pinned = Inc.verdict(O);
+  EXPECT_EQ(Pinned.Outcome, Verdict::Unknown);
+  EXPECT_EQ(Pinned.Reason, WindowBoundedReason);
+  EXPECT_EQ(Pinned.Grade, VerdictGrade::BoundedYes);
+  EXPECT_EQ(Pinned.Interference, 6u);
+  EXPECT_EQ(Pinned.NodesExplored, 0u)
+      << "a pinned excursion searches its restriction once, then caches";
+  // The straggler completes; its write lands here in the real-time order.
+  Output Out = Model->apply(reg::write(9));
+  ASSERT_TRUE(Inc.append(makeRespond(63, 1, reg::write(9), Out)));
+  SlinVerdict R = Inc.verdict(O);
+  EXPECT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_EQ(R.Grade, VerdictGrade::Yes);
+  EXPECT_FALSE(Inc.overflowed());
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  // And the steady state continues definitively after the excursion.
+  for (unsigned K = 0; K != 5; ++K) {
+    Input In = reg::write(static_cast<std::int64_t>(K));
+    Output Out2 = Model->apply(In);
+    ASSERT_TRUE(Inc.append(makeInvoke(K % 4, 1, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(K % 4, 1, In, Out2)));
+    ASSERT_EQ(Inc.verdict(O).Outcome, Verdict::Yes) << "post-drain op " << K;
+  }
+}
+
+TEST(IncrementalSessionTest, SlinOverflowDrainWithInitActionsSeedsTheLcp) {
+  // Overflow + drain on a trace whose interpretation family is nontrivial:
+  // each member's capped sub-search seeds that member's init LCP, and the
+  // family folds at the common alignment — frontiers for every member are
+  // created at the fold, so post-drain verdicts ride behind per-member
+  // retired boundaries.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(2, 3);
+  ConsensusInitRelation Rel;
+  IncrementalSlinSession Inc(Cons, Sig, Rel);
+  SlinCheckOptions O;
+  O.WantWitness = false;
+  ASSERT_TRUE(
+      Inc.append(makeSwitch(1, 2, cons::proposeBy(5, 1), SwitchValue{5})));
+  ASSERT_TRUE(
+      Inc.append(makeRespond(1, 2, cons::proposeBy(5, 1), cons::decide(5))));
+  ASSERT_TRUE(
+      Inc.append(makeSwitch(2, 2, cons::proposeBy(5, 2), SwitchValue{5})));
+  ASSERT_TRUE(
+      Inc.append(makeRespond(2, 2, cons::proposeBy(5, 2), cons::decide(5))));
+  // 80 further decides with no verdict in between: the window overflows.
+  for (unsigned K = 0; K != 80; ++K) {
+    Input In = cons::proposeBy(100 + static_cast<std::int64_t>(K), 2);
+    ASSERT_TRUE(Inc.append(makeInvoke(2, 2, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(2, 2, In, cons::decide(5))));
+  }
+  EXPECT_TRUE(Inc.overflowed());
+  SlinVerdict R = Inc.verdict(O);
+  EXPECT_EQ(R.Outcome, Verdict::Yes) << R.Reason;
+  EXPECT_FALSE(Inc.overflowed());
+  EXPECT_GT(Inc.retiredObligations(), 0u);
+  EXPECT_LE(Inc.liveWindow(), 64u);
+  // Definitive verdicts continue on the retired session — for appends that
+  // keep the family stable (re-proposing a seen value). A *fresh* value
+  // would mint extended interpretations with no frontier at the session's
+  // retirement depth, which is a sound WindowRetired Unknown by design.
+  for (unsigned K = 0; K != 3; ++K) {
+    Input In = cons::proposeBy(5, 2);
+    ASSERT_TRUE(Inc.append(makeInvoke(2, 2, In)));
+    ASSERT_TRUE(Inc.append(makeRespond(2, 2, In, cons::decide(5))));
+    ASSERT_EQ(Inc.verdict(O).Outcome, Verdict::Yes) << "post-drain round "
+                                                    << K;
+  }
 }

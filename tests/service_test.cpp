@@ -527,3 +527,163 @@ TEST(ComposedVerdictTracker, ClearResets) {
   EXPECT_EQ(T.shardsReported(), 0u);
   EXPECT_TRUE(T.reason().empty());
 }
+
+TEST(ComposedVerdictTracker, BoundedYesSitsBetweenYesAndUnknown) {
+  // The severity order Yes < BoundedYes < Unknown < No, walked both ways:
+  // a BoundedYes-graded Unknown (a pinned shard vouching for its in-window
+  // restriction) degrades the composed grade less than a flat Unknown, and
+  // recoveries peel the levels off in reverse.
+  ComposedVerdictTracker T;
+  T.update(0, Verdict::Yes, "");
+  T.update(1, Verdict::Unknown, VerdictGrade::BoundedYes, "pinned window");
+  EXPECT_EQ(T.verdict(), Verdict::Unknown);
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::BoundedYes);
+  EXPECT_EQ(T.culpritShard(), 1u);
+  EXPECT_EQ(T.reason(), "pinned window");
+  EXPECT_EQ(T.boundedShards(), 1u);
+
+  T.update(2, Verdict::Unknown, "budget");
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::Unknown);
+  EXPECT_EQ(T.culpritShard(), 2u);
+  EXPECT_EQ(T.reason(), "budget");
+
+  // The flat Unknown recovers: the composition falls back to BoundedYes.
+  T.update(2, Verdict::Yes, "");
+  EXPECT_EQ(T.verdict(), Verdict::Unknown);
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::BoundedYes);
+  EXPECT_EQ(T.culpritShard(), 1u);
+  EXPECT_EQ(T.reason(), "pinned window");
+
+  // The pinned shard's straggler completes: all the way back to Yes.
+  T.update(1, Verdict::Yes, "");
+  EXPECT_EQ(T.verdict(), Verdict::Yes);
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::Yes);
+  EXPECT_EQ(T.boundedShards(), 0u);
+  EXPECT_TRUE(T.reason().empty());
+}
+
+TEST(ComposedVerdictTracker, ImprovementRecountsWhenTheTopLevelMoves) {
+  // The O(1)-culprit cache's hard case: the worst shard improves *onto*
+  // the level a lower-indexed shard already occupies. The recount must
+  // re-derive the lowest index at the new top level, not keep the stale
+  // culprit (nor miss the improving shard's own new level).
+  ComposedVerdictTracker T;
+  T.update(1, Verdict::Unknown, VerdictGrade::BoundedYes, "pinned");
+  T.update(5, Verdict::Unknown, "budget");
+  ASSERT_EQ(T.culpritShard(), 5u);
+  T.update(5, Verdict::Unknown, VerdictGrade::BoundedYes, "pinned too");
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::BoundedYes);
+  EXPECT_EQ(T.culpritShard(), 1u) << "lowest index at the new top level";
+  EXPECT_EQ(T.reason(), "pinned");
+  EXPECT_EQ(T.boundedShards(), 2u);
+  T.update(5, Verdict::Yes, "");
+  EXPECT_EQ(T.culpritShard(), 1u);
+  T.update(1, Verdict::Yes, "");
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::Yes);
+}
+
+TEST(ComposedVerdictTracker, WorseningUndercutsTheCachedCulprit) {
+  // A lower-indexed shard joining the standing top level must take over
+  // the culprit slot (the rule is lowest index at the worst grade), and a
+  // non-monotone shard bouncing back off the top level must hand it back.
+  ComposedVerdictTracker T;
+  T.update(3, Verdict::Unknown, "slow");
+  T.update(5, Verdict::Unknown, "slower");
+  ASSERT_EQ(T.culpritShard(), 3u);
+  T.update(2, Verdict::Unknown, "pinned");
+  EXPECT_EQ(T.culpritShard(), 2u);
+  EXPECT_EQ(T.reason(), "pinned");
+  T.update(2, Verdict::Yes, "");
+  EXPECT_EQ(T.composedGrade(), VerdictGrade::Unknown);
+  EXPECT_EQ(T.culpritShard(), 3u);
+  EXPECT_EQ(T.reason(), "slow");
+}
+
+//===----------------------------------------------------------------------===//
+// Graded shard verdicts: pinned-window excursions compose as BoundedYes
+// and un-pin when the shard recovers.
+//===----------------------------------------------------------------------===//
+
+TEST(Service, StragglerShardDegradesToBoundedYesAndRecovers) {
+  RegisterAdt Reg;
+  MonitorService Service(Reg);
+  MultiObjectStream Stream(3, 2, 0x597);
+  std::string Buf;
+  for (unsigned Round = 0; Round != 10; ++Round) {
+    Buf.clear();
+    Stream.appendRound(Buf);
+    ASSERT_TRUE(Service.ingestText(Buf));
+    Service.poll();
+  }
+  ASSERT_EQ(Service.composedVerdict(), Verdict::Yes);
+  ASSERT_EQ(Service.composedGrade(), VerdictGrade::Yes);
+
+  // Object 9 (a fresh shard): a straggler invokes and stays open while 70
+  // completions pile up behind it — the shard's window overflows with the
+  // cut pinned, but the backlog past the window stays under the
+  // interference bound, so the shard (and the composition) degrades only
+  // to a BoundedYes-graded Unknown, naming the pinned object.
+  Service.ingest(9, makeInvoke(900, 1, reg::write(9)));
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  for (unsigned I = 0; I != 70; ++I) {
+    Input In = reg::read();
+    Service.ingest(9, makeInvoke(901, 1, In));
+    Service.ingest(9, makeRespond(901, 1, In, Model->apply(In)));
+  }
+  Service.poll();
+  EXPECT_EQ(Service.composedVerdict(), Verdict::Unknown);
+  EXPECT_EQ(Service.composedGrade(), VerdictGrade::BoundedYes);
+  EXPECT_EQ(Service.culpritObject(), 9u);
+  EXPECT_EQ(Service.shardGrade(9), VerdictGrade::BoundedYes);
+  EXPECT_EQ(Service.composedReason(), Service.shardReason(9));
+  EXPECT_EQ(Service.tracker().boundedShards(), 1u);
+  EXPECT_GT(Service.aggregateSessionStats().BoundedYesVerdicts, 0u);
+  // The untouched shards still stand at Yes.
+  EXPECT_EQ(Service.shardGrade(0), VerdictGrade::Yes);
+  EXPECT_EQ(Service.shardGrade(2), VerdictGrade::Yes);
+
+  // The straggler completes: the shard's session drains its backlog, the
+  // shard verdict recovers to a definitive Yes, and the recovery un-pins
+  // the composed verdict — grade and culprit included.
+  Service.ingest(9, makeRespond(900, 1, reg::write(9), Model->apply(reg::write(9))));
+  Service.poll();
+  EXPECT_EQ(Service.shardVerdict(9), Verdict::Yes);
+  EXPECT_EQ(Service.shardGrade(9), VerdictGrade::Yes);
+  EXPECT_EQ(Service.composedVerdict(), Verdict::Yes);
+  EXPECT_EQ(Service.composedGrade(), VerdictGrade::Yes);
+  EXPECT_EQ(Service.tracker().boundedShards(), 0u);
+  SessionStats Sessions = Service.aggregateSessionStats();
+  EXPECT_EQ(Sessions.WindowOverflows, 1u)
+      << "one excursion, counted once across the fleet";
+  EXPECT_GT(Sessions.RetiredObligations, 0u);
+
+  // And the whole service keeps running definitively afterwards.
+  for (unsigned Round = 0; Round != 5; ++Round) {
+    Buf.clear();
+    Stream.appendRound(Buf);
+    ASSERT_TRUE(Service.ingestText(Buf));
+    Service.poll();
+  }
+  EXPECT_EQ(Service.composedVerdict(), Verdict::Yes);
+  EXPECT_EQ(Service.composedGrade(), VerdictGrade::Yes);
+}
+
+TEST(Service, InterferenceBoundZeroRestoresFlatUnknowns) {
+  RegisterAdt Reg;
+  ServiceConfig Config;
+  Config.InterferenceBound = 0; // Opt out of the graded fallback.
+  MonitorService Service(Reg, Config);
+  Service.ingest(0, makeInvoke(0, 1, reg::write(1)));
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+  for (unsigned I = 0; I != 70; ++I) {
+    Input In = reg::read();
+    Service.ingest(0, makeInvoke(1, 1, In));
+    Service.ingest(0, makeRespond(1, 1, In, Model->apply(In)));
+  }
+  Service.poll();
+  EXPECT_EQ(Service.composedVerdict(), Verdict::Unknown);
+  EXPECT_EQ(Service.composedGrade(), VerdictGrade::Unknown)
+      << "a disabled fallback must not grade the pinned shard";
+  EXPECT_EQ(Service.shardGrade(0), VerdictGrade::Unknown);
+  EXPECT_EQ(Service.aggregateSessionStats().BoundedYesVerdicts, 0u);
+}

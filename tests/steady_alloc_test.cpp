@@ -202,6 +202,51 @@ TEST(SteadyAlloc, SlinSteadyStateEventsAreAllocationFree) {
         << "steady slin events must not touch the heap";
 }
 
+// memoryFootprintBytes is an *estimate* (container capacities, arena
+// reservations) offered to capacity planners; this audits it against the
+// gauge-measured ground truth. A warmed outcome-only session's
+// self-reported footprint must sit inside the net live-byte delta its
+// construction and warm-up actually produced — never above it (the
+// estimate must not invent bytes: real blocks carry allocator rounding on
+// top of every capacity), and never below half of it (an estimate that
+// loses the majority of the real footprint has stopped tracking a
+// dominant structure and needs the audit to fail loudly).
+TEST(SteadyAlloc, MemoryFootprintTracksMeasuredLiveBytes) {
+  if (!AllocGauge::active() || !AllocGauge::tracksBytes())
+    GTEST_SKIP() << "byte metering unavailable (sanitizer or non-glibc)";
+  RegisterAdt Reg;
+  IncrementalOptions Opts;
+  Opts.RetainTrace = false;
+  Opts.RetainRetiredWitness = false;
+  // A small table keeps the one flat preallocation from drowning the
+  // capacity-accounted containers the audit is really about.
+  Opts.TranspositionCapacity = 1u << 8;
+  LinCheckOptions Limits;
+  Limits.WantWitness = false;
+  std::unique_ptr<AdtState> Model = Reg.makeState();
+
+  const std::uint64_t Live0 = AllocGauge::liveBytes();
+  auto Inc = std::make_unique<IncrementalLinSession>(Reg, Opts);
+  for (std::uint64_t K = 0; K != 512; ++K) {
+    Input In = K % 3 ? reg::write(static_cast<std::int64_t>(1 + K % 3))
+                     : reg::read();
+    Output Out = Model->apply(In);
+    ASSERT_TRUE(static_cast<bool>(Inc->append(makeInvoke(K % 4, 1, In))));
+    ASSERT_TRUE(
+        static_cast<bool>(Inc->append(makeRespond(K % 4, 1, In, Out))));
+    ASSERT_EQ(Inc->verdict(Limits).Outcome, Verdict::Yes);
+  }
+  const std::uint64_t LiveDelta = AllocGauge::liveBytes() - Live0;
+  const std::size_t Footprint = Inc->memoryFootprintBytes();
+
+  EXPECT_LE(Footprint, LiveDelta)
+      << "footprint estimate exceeds the measured live heap delta";
+  EXPECT_GE(Footprint, LiveDelta / 2)
+      << "footprint estimate lost the majority of the measured live heap "
+      << "delta (" << LiveDelta << " bytes live, " << Footprint
+      << " accounted)";
+}
+
 // The interposer itself must be observable: this binary defines the gauge,
 // so outside sanitizer builds a plain heap allocation bumps the counter.
 // Guards against the gauge silently not being wired (which would make the

@@ -306,8 +306,16 @@ void fuzzWindowedLinTrace(const LinFixture &Fx, const Trace &T,
           << formatTrace(Prefix);
     } else {
       ASSERT_TRUE(R.Reason == WindowRetiredReason ||
-                  R.Reason == WindowOverflowReason || R.BudgetLimited)
+                  R.Reason == WindowOverflowReason ||
+                  R.Reason == WindowBoundedReason || R.BudgetLimited)
           << "unexpected Unknown reason: " << R.Reason;
+      if (R.Grade == VerdictGrade::BoundedYes) {
+        // A graded Unknown claims the first-64 restriction linearizes:
+        // batch checking the restriction (every action except the responds
+        // past the 64th live obligation) must then never say No.
+        ASSERT_EQ(R.Reason, WindowBoundedReason);
+        ASSERT_GT(R.Interference, 0u);
+      }
     }
     if (ExpectDefinitiveYes)
       ASSERT_EQ(R.Outcome, Verdict::Yes)
@@ -709,6 +717,119 @@ TEST(TraceFuzzTest, WindowedSlinFuzz_SwitchFreeConsensus) {
   }
 }
 
+TEST(TraceFuzzTest, WindowedSlinFuzz_StragglerOverflowDrain) {
+  // More than 64 completions overlap one straggling invocation, pinning
+  // the quiescent cut at index 0 (nothing ever retires while it is open).
+  // Pinned verdicts must be the graded BoundedYes — whose claim ("the
+  // first 64 live obligations linearize under every interpretation") is
+  // checked against batch checkSlin on the restricted prefix — and once
+  // the straggler completes, the overflow drain must retire the backlog
+  // and agree with batch checkSlin on the full trace, with the excursion
+  // counted exactly once.
+  ConsensusAdt Cons;
+  PhaseSignature Sig(1, 2);
+  ConsensusInitRelation Rel;
+  unsigned N = std::max(2u, traceBudget(220) / 55);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x5E9), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    std::unique_ptr<AdtState> S = Cons.makeState();
+    IncrementalOptions SessOpts;
+    SessOpts.InterferenceBound = 32;
+    IncrementalSlinSession Inc(Cons, Sig, Rel, SessOpts);
+    SlinCheckOptions O;
+    O.AbortValidityAtEnd = I % 2 == 1;
+    Trace Prefix;
+    // The straggler invokes first and stays open; it linearizes last.
+    Input Pin = cons::propose(7);
+    Action PinInvoke = makeInvoke(9, 1, Pin);
+    Inc.append(PinInvoke);
+    Prefix.push_back(PinInvoke);
+    unsigned Ops = 66 + static_cast<unsigned>(R.next() % 20);
+    bool SawBounded = false;
+    for (unsigned K = 0; K != Ops; ++K) {
+      Input In = cons::propose(1 + static_cast<std::int64_t>(R.next() % 3));
+      Output Out = S->apply(In);
+      ClientId C = K % 3;
+      for (const Action &A :
+           {makeInvoke(C, 1, In), makeRespond(C, 1, In, Out)}) {
+        Inc.append(A);
+        Prefix.push_back(A);
+      }
+      SlinVerdict V = Inc.verdict(O);
+      if (Inc.liveWindow() <= 64) {
+        ASSERT_EQ(V.Outcome, Verdict::Yes)
+            << "pre-overflow verdict lost at op " << K << " (reason: "
+            << V.Reason << ")";
+      } else {
+        ASSERT_EQ(V.Outcome, Verdict::Unknown) << "op " << K;
+        ASSERT_EQ(V.Grade, VerdictGrade::BoundedYes)
+            << "pinned verdict not graded at op " << K << " (reason: "
+            << V.Reason << ")";
+        ASSERT_EQ(V.Reason, WindowBoundedReason);
+        ASSERT_EQ(V.Interference, Inc.liveWindow() - 64);
+        SawBounded = true;
+      }
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+    ASSERT_TRUE(SawBounded);
+    ASSERT_EQ(Inc.stats().WindowOverflows, 1u);
+    ASSERT_GE(Inc.stats().BoundedYesVerdicts, 1u);
+    // BoundedYes soundness: the restriction the grade vouches for — the
+    // trace cut after its 64th completion (a prefix, so well-formed; the
+    // engine never linearizes open invocations, so its sub-Yes implies
+    // this prefix's completions linearize) — must not be a batch No.
+    Trace Restricted;
+    std::size_t Completions = 0;
+    for (const Action &A : Prefix) {
+      Restricted.push_back(A);
+      if (isRespond(A) && ++Completions == 64)
+        break;
+    }
+    SlinVerdict RestrictedBatch = checkSlin(Restricted, Sig, Cons, Rel, O);
+    ASSERT_NE(RestrictedBatch.Outcome, Verdict::No)
+        << "BoundedYes contradicted batch on the restricted prefix:\n"
+        << formatTrace(Restricted);
+    // The straggler completes; the drain retires the backlog. Batch
+    // checkSlin refuses > 64 responses outright, so past the window
+    // soundness is checked directly (like the windowed lin family): the
+    // stream is linearizable by construction — outputs come from one
+    // sequential model in program order — so the drained verdict must be
+    // definitively Yes, not a degraded Unknown.
+    Output PinOut = S->apply(Pin);
+    Action PinRespond = makeRespond(9, 1, Pin, PinOut);
+    Inc.append(PinRespond);
+    Prefix.push_back(PinRespond);
+    SlinVerdict Drained = Inc.verdict(O);
+    ASSERT_EQ(Drained.Outcome, Verdict::Yes)
+        << "drain failed to recover the definitive verdict (reason: "
+        << Drained.Reason << "):\n"
+        << formatTrace(Prefix);
+    ASSERT_EQ(Drained.Grade, VerdictGrade::Yes);
+    ASSERT_GT(Inc.retiredObligations(), 0u);
+    ASSERT_LE(Inc.liveWindow(), 64u);
+    ASSERT_EQ(Inc.stats().WindowOverflows, 1u)
+        << "a single excursion must be counted once";
+    // And the steady state continues definitively after the excursion.
+    for (unsigned K = 0; K != 4; ++K) {
+      Input In = cons::propose(2);
+      Output Out = S->apply(In);
+      ClientId C = K % 3;
+      for (const Action &A :
+           {makeInvoke(C, 1, In), makeRespond(C, 1, In, Out)}) {
+        Inc.append(A);
+        Prefix.push_back(A);
+      }
+      SlinVerdict V = Inc.verdict(O);
+      ASSERT_EQ(V.Outcome, Verdict::Yes)
+          << "steady state lost the definitive verdict after the drain at "
+          << "op " << K << " (reason: " << V.Reason << ")";
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Slin data-oriented hot path: the shared SoA window + per-interpretation
 // overlay rows + family fast path (DataOriented on, the default) must be
@@ -760,6 +881,10 @@ void fuzzSlinDataOrientedTrace(const Adt &Type, const PhaseSignature &Sig,
         << formatTrace(T);
     ASSERT_EQ(S.Reason, R.Reason)
         << "slin reason diverged at prefix " << Prefix;
+    ASSERT_EQ(S.Grade, R.Grade)
+        << "slin verdict grade diverged at prefix " << Prefix;
+    ASSERT_EQ(S.Interference, R.Interference)
+        << "slin bounded-interference count diverged at prefix " << Prefix;
     ASSERT_EQ(S.BudgetLimited, R.BudgetLimited);
     ASSERT_EQ(S.Witnesses.size(), R.Witnesses.size())
         << "witness count diverged at prefix " << Prefix;

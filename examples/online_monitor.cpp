@@ -36,8 +36,15 @@
 // (allocs_per_event stays 0 past warm-up).
 //
 // Usage:
-//   online_monitor [--slin] [clients <n>] [servers <n>] [ops <n>] [seed <n>]
-//                  [crash <server-at-time>]
+//   online_monitor [--slin] [--order <strict|tso>] [clients <n>]
+//                  [servers <n>] [ops <n>] [seed <n>] [crash <server-at-time>]
+//
+// --order selects the happens-before relation MustFollow masks derive
+// under (engine/OrderRelation.h). The SMR harness marks its responses
+// flushed — they are post-consensus, hence globally visible — so tso runs
+// the weaker relation's mask and retirement machinery against a stream
+// where it must reproduce the Strict verdicts and the same steady-state
+// contract (allocs_per_event 0, fast_path_per_check 1).
 //
 // Emits one JSON line per observed event:
 //   {"t":<sim-time>, "event":"...", "verdict":"yes|no|unknown",
@@ -91,6 +98,7 @@ int main(int Argc, char **Argv) {
   std::uint64_t Seed = 7;
   long CrashAt = -1;
   bool SlinMode = false;
+  OrderRelationKind Order = OrderRelationKind::Strict;
   int I = 1;
   while (I < Argc) {
     if (!std::strcmp(Argv[I], "--slin")) {
@@ -112,7 +120,10 @@ int main(int Argc, char **Argv) {
       Seed = static_cast<std::uint64_t>(std::atoll(Argv[I + 1]));
     else if (!std::strcmp(Argv[I], "crash"))
       CrashAt = std::atol(Argv[I + 1]);
-    else
+    else if (!std::strcmp(Argv[I], "--order")) {
+      if (!parseOrderRelation(Argv[I + 1], Order))
+        I = -2;
+    } else
       I = -2;
     if (I < 0)
       break;
@@ -120,8 +131,8 @@ int main(int Argc, char **Argv) {
   }
   if (I < 0) {
     std::fprintf(stderr,
-                 "usage: %s [--slin] [clients <n>] [servers <n>] [ops <n>] "
-                 "[seed <n>] [crash <time>]\n",
+                 "usage: %s [--slin] [--order <strict|tso>] [clients <n>] "
+                 "[servers <n>] [ops <n>] [seed <n>] [crash <time>]\n",
                  Argv[0]);
     return 2;
   }
@@ -161,6 +172,12 @@ int main(int Argc, char **Argv) {
   IncrementalOptions MonitorConfig;
   MonitorConfig.RetainTrace = false;
   MonitorConfig.RetainRetiredWitness = false;
+  // Happens-before relation for every MustFollow derivation. The SMR
+  // harness marks its responses flushed (post-consensus visibility), so
+  // --order tso exercises the TsoHb mask/retirement machinery while
+  // keeping the same steady-state contract (allocation-free, fast-path
+  // verdicts) the Strict monitor asserts.
+  MonitorConfig.Order = Order;
 
   // The whole event loop + summary, generic over the session type; \p
   // TakeVerdict adapts the per-session verdict call to a VerdictLine.
@@ -171,6 +188,8 @@ int main(int Argc, char **Argv) {
     double MaxMs = 0;
     std::uint64_t SteadyAllocs = 0;
     std::size_t SteadyEvents = 0;
+    std::uint64_t SteadyFastPath0 = 0;
+    std::size_t SteadyChecks = 0;
     Verdict Final = Verdict::Yes;
 
     // Streams every newly observed object-level event into the monitor and
@@ -179,6 +198,13 @@ int main(int Argc, char **Argv) {
     // instead of waiting for a batch at the end.
     auto OnEvent = [&](SimTime Now, const Action &A) {
       bool Steady = Fed >= SteadyFromEvent;
+      if (Fed == SteadyFromEvent)
+        SteadyFastPath0 = Monitor.stats().FastPathVerdicts;
+      // Each steady response is one new obligation checked; invocations
+      // are absorbed against the cached verdict without a fresh check, so
+      // the fast-path ratio is per response, not per event.
+      if (Steady && A.Kind == ActionKind::Respond)
+        ++SteadyChecks;
       std::uint64_t Allocs0 = Steady ? AllocGauge::count() : 0;
       auto Start = std::chrono::steady_clock::now();
       Monitor.append(A);
@@ -208,7 +234,8 @@ int main(int Argc, char **Argv) {
     simdrv::runSliced(Harness, OnEvent);
 
     std::printf(
-        "{\"summary\":{\"mode\":\"%s\",\"events\":%zu,\"verdict\":\"%s\","
+        "{\"summary\":{\"mode\":\"%s\",\"order\":\"%s\",\"events\":%zu,"
+        "\"verdict\":\"%s\","
         "\"total_nodes\":%llu,\"monitor_ms\":%.3f,\"max_event_ms\":%.3f,"
         "\"search_nodes_total\":%llu,\"frontier_resumes\":%llu,"
         "\"fast_path_verdicts\":%llu,"
@@ -216,8 +243,9 @@ int main(int Argc, char **Argv) {
         "\"retired_obligations\":%llu,\"live_window\":%zu,"
         "\"live_window_high_water\":%llu,\"window_overflows\":%llu,"
         "\"steady_events\":%zu,\"allocs_per_event\":%.6f,"
+        "\"steady_checks\":%zu,\"fast_path_per_check\":%.6f,"
         "\"alloc_gauge_active\":%d}}\n",
-        SlinMode ? "slin" : "lin", Fed,
+        SlinMode ? "slin" : "lin", orderRelationName(Order), Fed,
         Final == Verdict::Yes   ? "yes"
         : Final == Verdict::No  ? "no"
                                 : "unknown",
@@ -237,6 +265,12 @@ int main(int Argc, char **Argv) {
         SteadyEvents ? static_cast<double>(SteadyAllocs) /
                            static_cast<double>(SteadyEvents)
                      : 0.0,
+        SteadyChecks,
+        SteadyChecks
+            ? static_cast<double>(Monitor.stats().FastPathVerdicts -
+                                  SteadyFastPath0) /
+                  static_cast<double>(SteadyChecks)
+            : 1.0,
         AllocGauge::active() ? 1 : 0);
     return Final == Verdict::Yes ? 0 : 1;
   };

@@ -37,9 +37,9 @@
 // un-pins the composition — the summary records both phases.
 //
 // Usage:
-//   service_monitor [--slin] [--violate | --straggler] [objects <n>]
-//                   [clients <n>] [ops <n>] [seed <n>] [batch <n>]
-//                   [ring <n>]
+//   service_monitor [--slin] [--violate | --straggler]
+//                   [--order <strict|tso>] [objects <n>] [clients <n>]
+//                   [ops <n>] [seed <n>] [batch <n>] [ring <n>]
 //
 // Emits one JSON summary line. Exit status 1 if the final composed
 // verdict is not Yes (0 with --violate, where No is the expected answer;
@@ -71,6 +71,7 @@ int main(int Argc, char **Argv) {
   bool SlinMode = false;
   bool Violate = false;
   bool Straggler = false;
+  OrderRelationKind Order = OrderRelationKind::Strict;
   int I = 1;
   while (I < Argc) {
     if (!std::strcmp(Argv[I], "--slin")) {
@@ -104,7 +105,10 @@ int main(int Argc, char **Argv) {
       Batch = static_cast<std::size_t>(std::atoll(Argv[I + 1]));
     else if (!std::strcmp(Argv[I], "ring"))
       Ring = static_cast<std::size_t>(std::atoll(Argv[I + 1]));
-    else
+    else if (!std::strcmp(Argv[I], "--order")) {
+      if (!parseOrderRelation(Argv[I + 1], Order))
+        I = -2;
+    } else
       I = -2;
     if (I < 0)
       break;
@@ -115,6 +119,7 @@ int main(int Argc, char **Argv) {
       Ring < 2 || (Ring & (Ring - 1)) != 0 || (Violate && Straggler)) {
     std::fprintf(stderr,
                  "usage: %s [--slin] [--violate | --straggler] "
+                 "[--order <strict|tso>] "
                  "[objects <n<=65536>] [clients <n<=63>] [ops <n<=65536>] "
                  "[seed <n>] [batch <n>] [ring <pow2>]\n",
                  Argv[0]);
@@ -145,6 +150,11 @@ int main(int Argc, char **Argv) {
   Config.Mode = SlinMode ? ServiceMode::Slin : ServiceMode::Lin;
   Config.BatchWindow = Batch;
   Config.RingCapacity = Ring;
+  // Every shard session derives MustFollow under this relation. The SMR
+  // harness marks its responses flushed (post-consensus visibility), so
+  // --order tso must reproduce the strict verdicts and steady-state
+  // contract across the whole fleet.
+  Config.Order = Order;
 
   // Slin mode: each object is the sole phase of a speculative object (no
   // init/abort actions on a whole-object trace, so the universal family
@@ -264,7 +274,8 @@ int main(int Argc, char **Argv) {
                   : Grade == VerdictGrade::No         ? "no"
                                                       : "unknown";
   std::printf(
-      "{\"summary\":{\"mode\":\"%s\",\"objects\":%zu,\"clients_total\":%zu,"
+      "{\"summary\":{\"mode\":\"%s\",\"order\":\"%s\",\"objects\":%zu,"
+      "\"clients_total\":%zu,"
       "\"events\":%zu,\"verdict\":\"%s\",\"composed_grade\":\"%s\","
       "\"culprit_object\":%lld,"
       "\"reason\":\"%s\","
@@ -279,7 +290,7 @@ int main(int Argc, char **Argv) {
       "\"alloc_gauge_active\":%d,"
       "\"shard_memory_avg_bytes\":%zu,\"shard_memory_max_bytes\":%zu,"
       "\"service_seconds\":%.3f,\"events_per_sec\":%.0f}}\n",
-      SlinMode ? "slin" : "lin", Objects,
+      SlinMode ? "slin" : "lin", orderRelationName(Order), Objects,
       static_cast<std::size_t>(Objects) * Clients, Delivered, V, G,
       Final == Verdict::Yes ? -1LL
                             : static_cast<long long>(Service.culpritObject()),

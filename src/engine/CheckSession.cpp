@@ -6,6 +6,7 @@
 
 #include "engine/CheckSession.h"
 
+#include "engine/OrderRelation.h"
 #include "slin/SlinWitness.h"
 #include "support/Sequences.h"
 #include "trace/WellFormed.h"
@@ -167,14 +168,25 @@ LinCheckResult CheckSession::runLin(const Trace &T,
   Problem.AlphabetSize = A;
   std::int32_t *Running = Scratch.allocZeroed<std::int32_t>(A);
   std::vector<std::size_t> OpenInvoke(64, SIZE_MAX);
-  std::vector<std::size_t> InvokeIdx; // Parallel to Problem.Commits.
+  std::vector<OrderSite> Sites; // Parallel to Problem.Commits.
+  const OrderRelation Rel(Opts.Order);
+  std::vector<std::int32_t *> Rows; // Mutable view of the commits' rows.
   for (std::size_t I = 0, E = T.size(); I != E; ++I) {
     const Action &Act = T[I];
     if (Act.Client >= OpenInvoke.size())
       OpenInvoke.resize(Act.Client + 1, SIZE_MAX);
     if (isInvoke(Act)) {
       OpenInvoke[Act.Client] = I;
-      ++Running[Interner.intern(Act.In)];
+      InputId Id = Interner.intern(Act.In);
+      ++Running[Id];
+      // Availability credit for earlier responses the relation leaves
+      // unordered past this invocation (never under Strict, where the
+      // prefix snapshot is exact — see OrderRelation::creditsLaterInvoke).
+      if (!Rel.isStrict())
+        for (std::size_t Q = 0; Q != Rows.size(); ++Q)
+          if (Rel.creditsLaterInvoke(Sites[Q].Client, Sites[Q].Meta,
+                                     Act.Client))
+            ++Rows[Q][Id];
       continue;
     }
     std::int32_t *Avail = Scratch.allocArray<std::int32_t>(A);
@@ -185,16 +197,16 @@ LinCheckResult CheckSession::runLin(const Trace &T,
     Ob.Out = Act.Out;
     Ob.Available = Avail;
     Problem.Commits.push_back(Ob);
-    InvokeIdx.push_back(OpenInvoke[Act.Client]);
+    Sites.push_back({OpenInvoke[Act.Client], Act.Client, Act.Meta});
+    Rows.push_back(Avail);
   }
-  // Real-time Order: if operation X responds before operation Y is
-  // invoked, X's commit history must be a strict prefix of Y's — i.e. X
-  // commits earlier in the chain (the condition Lemma 4 needs to reorder a
-  // trace while preserving non-overlapping operations).
-  for (std::size_t R = 0; R < Problem.Commits.size() && R < 64; ++R)
-    for (std::size_t Q = 0; Q < Problem.Commits.size() && Q < 64; ++Q)
-      if (Problem.Commits[Q].Tag < InvokeIdx[R])
-        Problem.Commits[R].MustFollow |= 1ull << Q;
+  // Happens-before among commits: if X hb Y, X's commit history must be a
+  // strict prefix of Y's — i.e. X commits earlier in the chain (the
+  // condition Lemma 4 needs to reorder a trace while preserving
+  // non-overlapping operations). Under the default Strict relation this is
+  // exactly real-time order; the relation layer owns the derivation.
+  Rel.deriveMasks(Problem.Commits.data(), Problem.Commits.size(),
+                  Sites.data());
 
   ChainLimits Limits{Opts.NodeBudget, Opts.TimeBudgetMillis};
   Problem.ForceCloneStates = ForceCloneStates;
@@ -270,18 +282,30 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
   bool HaveInits = !InitHistories.empty();
 
   std::vector<Multiset<Input>> CommitAvail;
-  std::vector<std::size_t> StartIdx;
+  std::vector<OrderSite> Sites; // Parallel to Problem.Commits.
   std::vector<detail::PendingAbort> Aborts;
   ChainProblem Problem;
   Problem.Type = &Type;
 
   std::vector<std::size_t> OpenStart(64, SIZE_MAX);
+  const OrderRelation Ord(Opts.Search.Order);
   for (std::size_t I = 0, E = T.size(); I != E; ++I) {
     const Action &Act = T[I];
     if (Act.Client >= OpenStart.size())
       OpenStart.resize(Act.Client + 1, SIZE_MAX);
     if (isInvoke(Act) || Sig.isInitAction(Act)) {
       OpenStart[Act.Client] = I;
+      // Availability credit mirroring the lin provider: earlier responses
+      // the relation leaves unordered past this plain invocation keep its
+      // input available (validInputs' prefix term encodes Strict). Init
+      // actions are excluded — their ghost contributions already enter
+      // every row through initiallyValidInputs' union-max, interpretation
+      // by interpretation.
+      if (isInvoke(Act) && !Ord.isStrict())
+        for (std::size_t R = 0; R != CommitAvail.size(); ++R)
+          if (Ord.creditsLaterInvoke(Sites[R].Client, Sites[R].Meta,
+                                     Act.Client))
+            CommitAvail[R].add(Act.In);
       continue;
     }
     if (isRespond(Act)) {
@@ -292,7 +316,7 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
       Problem.Commits.push_back(Ob);
       // Commit availability is vi(m, t, f_init, i) (Definition 26).
       CommitAvail.push_back(validInputs(T, Sig, Finit, I));
-      StartIdx.push_back(OpenStart[Act.Client]);
+      Sites.push_back({OpenStart[Act.Client], Act.Client, Act.Meta});
     } else if (Sig.isAbortAction(Act)) {
       Aborts.push_back(
           {I, Act.In, Act.Sv,
@@ -300,11 +324,10 @@ SlinCheckResult CheckSession::runSlinUnder(const Trace &T,
                        Opts.AbortValidityAtEnd ? T.size() : I)});
     }
   }
-  // Real-time Order among commits (as in the plain provider).
-  for (std::size_t R = 0; R < Problem.Commits.size() && R < 64; ++R)
-    for (std::size_t Q = 0; Q < Problem.Commits.size() && Q < 64; ++Q)
-      if (Problem.Commits[Q].Tag < StartIdx[R])
-        Problem.Commits[R].MustFollow |= 1ull << Q;
+  // Happens-before among commits (as in the plain provider), through the
+  // same relation-layer choke point.
+  Ord.deriveMasks(Problem.Commits.data(), Problem.Commits.size(),
+                  Sites.data());
   detail::capByAbortBudgets(CommitAvail, Aborts);
   Problem.AlphabetSize = Interner.size();
   for (std::size_t R = 0; R != CommitAvail.size(); ++R)

@@ -171,6 +171,12 @@ void LiveWindow::ensureStride(
     std::move(Invokes.begin() + static_cast<std::ptrdiff_t>(Base),
               Invokes.begin() + static_cast<std::ptrdiff_t>(Base + N),
               Invokes.begin());
+    std::move(Clients.begin() + static_cast<std::ptrdiff_t>(Base),
+              Clients.begin() + static_cast<std::ptrdiff_t>(Base + N),
+              Clients.begin());
+    std::move(Metas.begin() + static_cast<std::ptrdiff_t>(Base),
+              Metas.begin() + static_cast<std::ptrdiff_t>(Base + N),
+              Metas.begin());
     Base = 0;
   }
   Stride = NewStride;
@@ -178,7 +184,8 @@ void LiveWindow::ensureStride(
 
 void LiveWindow::pushResponse(
     std::size_t Tag, InputId In, const Output &Out, std::size_t InvokeIdx,
-    std::uint64_t MustFollow, const std::vector<std::int32_t> &Invoked) {
+    std::uint64_t MustFollow, ClientId Client, std::uint32_t Meta,
+    const std::vector<std::int32_t> &Invoked) {
   ensureStride(Invoked.size());
   if (Base + N == Slots.size()) {
     if (Base != 0) {
@@ -192,6 +199,12 @@ void LiveWindow::pushResponse(
       std::move(Invokes.begin() + static_cast<std::ptrdiff_t>(Base),
                 Invokes.begin() + static_cast<std::ptrdiff_t>(Base + N),
                 Invokes.begin());
+      std::move(Clients.begin() + static_cast<std::ptrdiff_t>(Base),
+                Clients.begin() + static_cast<std::ptrdiff_t>(Base + N),
+                Clients.begin());
+      std::move(Metas.begin() + static_cast<std::ptrdiff_t>(Base),
+                Metas.begin() + static_cast<std::ptrdiff_t>(Base + N),
+                Metas.begin());
       for (std::size_t Q = 0; Q != N; ++Q)
         std::copy(AvailStore.begin() +
                       static_cast<std::ptrdiff_t>((Base + Q) * Stride),
@@ -203,6 +216,8 @@ void LiveWindow::pushResponse(
       std::size_t NewCap = std::max<std::size_t>(128, Slots.size() * 2);
       Slots.resize(NewCap);
       Invokes.resize(NewCap);
+      Clients.resize(NewCap);
+      Metas.resize(NewCap);
       AvailStore.resize(NewCap * Stride, 0);
     }
   }
@@ -214,6 +229,8 @@ void LiveWindow::pushResponse(
   C.MustFollow = MustFollow;
   C.Available = nullptr; // Published by finalize() before every run.
   Invokes[Row] = InvokeIdx;
+  Clients[Row] = Client;
+  Metas[Row] = Meta;
   // Zero-extending the row to the stride at write time realizes the old
   // lazy zero-extension contract: an input first interned after this
   // response cannot have been invoked before it.
@@ -221,6 +238,24 @@ void LiveWindow::pushResponse(
   std::copy(Invoked.begin(), Invoked.end(), Dst);
   std::fill(Dst + Invoked.size(), Dst + Stride, 0);
   ++N;
+}
+
+bool LiveWindow::creditInvoke(const OrderRelation &Order, ClientId Invoker,
+                              InputId In) {
+  if (N == 0)
+    return false;
+  // A first-seen input forces the same stride regrow a pushResponse would;
+  // steady streams hit existing cells only.
+  ensureStride(static_cast<std::size_t>(In) + 1);
+  bool Any = false;
+  for (std::size_t Q = 0; Q != N; ++Q) {
+    if (!Order.creditsLaterInvoke(Clients[Base + Q], Metas[Base + Q],
+                                  Invoker))
+      continue;
+    ++AvailStore[(Base + Q) * Stride + In];
+    Any = true;
+  }
+  return Any;
 }
 
 std::size_t
@@ -245,25 +280,14 @@ LiveWindow::finalize(InputId AlphabetSize) {
   return Slots.data() + Base;
 }
 
-void LiveWindow::rebuildMasks() {
-  for (std::size_t Q = 0; Q != N; ++Q) {
-    std::uint64_t M = 0;
-    if (Q < IncrementalWindowLimit) {
-      std::size_t K = lowerBoundTag(Invokes[Base + Q]);
-      M = (K == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(K, 64)));
-      M &= (Q == 0) ? 0 : (~0ull >> (64 - std::min<std::size_t>(Q, 64)));
-    }
-    Slots[Base + Q].MustFollow = M;
-  }
-}
-
 //===----------------------------------------------------------------------===//
 // IncrementalLinSession
 //===----------------------------------------------------------------------===//
 
 IncrementalLinSession::IncrementalLinSession(const Adt &Type,
                                              const IncrementalOptions &Opts)
-    : Type(Type), Opts(Opts), Memo(Opts.TranspositionCapacity) {
+    : Type(Type), Opts(Opts), Order(Opts.Order),
+      Memo(Opts.TranspositionCapacity) {
   if (!Opts.RetainTrace)
     Builder.setRetainView(false);
   LineageSalt = nextLineageSalt();
@@ -297,8 +321,19 @@ WellFormedness IncrementalLinSession::append(const Action &A) {
       Invoked.resize(Id + 1, 0);
     ++Invoked[Id];
     OpenInvoke[A.Client] = I;
-    // An appended invocation changes no obligation: every availability
-    // snapshot covers indices before it, so the cached verdict stands.
+    // Under Strict an appended invocation changes no obligation: every
+    // availability snapshot covers indices before it, so the cached
+    // verdict stands. A weaker relation may instead credit the new input
+    // to live responses it leaves unordered past this invocation
+    // (OrderRelation::creditsLaterInvoke): the problem only *relaxes*, so
+    // a cached Yes stands, but a cached No — and every retained memo
+    // failure — may have depended on the tighter rows and must go.
+    if (!Order.isStrict() && Obligations.creditInvoke(Order, A.Client, Id)) {
+      if (HaveResult && Cached == Verdict::No)
+        HaveResult = false;
+      LineageSalt = nextLineageSalt();
+      HavePrefixSalt = false;
+    }
     return W;
   }
   // Response: the invoking operation closes (the open-invocation table is
@@ -311,12 +346,11 @@ WellFormedness IncrementalLinSession::append(const Action &A) {
     retireQuiescentPrefix(); // The cheap cached-chain fold, search-free.
   std::uint64_t MustFollow = 0;
   if (Obligations.size() < WindowLimit) {
-    // Real-time Order, window-relative bits. Obligation tags increase in
-    // trace order, so the predecessors — obligations whose response tag
-    // precedes this operation's invocation — are exactly a window prefix:
-    // one binary search and one shift instead of a per-slot scan.
-    std::size_t K = Obligations.lowerBoundTag(InvokeIdx);
-    MustFollow = (K == 0) ? 0 : (~0ull >> (64 - K));
+    // Happens-before, window-relative bits: the relation derives the new
+    // obligation's predecessors over the live window (one binary search
+    // plus a shift under Strict — bit-identical to the old inline
+    // derivation; a filtered prefix under weaker relations).
+    MustFollow = Order.pushMask(Obligations, InvokeIdx, A.Client);
   }
   // else: the window is in an overflow excursion (a straggling operation
   // overlaps more completions than the engine's exact search can carry);
@@ -325,7 +359,8 @@ WellFormedness IncrementalLinSession::append(const Action &A) {
   // structural Unknown, surfaced without a search.
   // The availability row snapshots Invoked: elems(inputs(t, I)),
   // Definition 9.
-  Obligations.pushResponse(I, In, A.Out, InvokeIdx, MustFollow, Invoked);
+  Obligations.pushResponse(I, In, A.Out, InvokeIdx, MustFollow, A.Client,
+                           A.Meta, Invoked);
   if (Obligations.size() > Stats.LiveWindowHighWater)
     Stats.LiveWindowHighWater = Obligations.size();
   if (Obligations.size() > WindowLimit && !OverflowNoted) {
@@ -404,9 +439,14 @@ void IncrementalLinSession::retireQuiescentPrefix() {
   // sound to pin.
   if (!Opts.Resume || !HaveResult || Cached != Verdict::Yes)
     return;
-  std::size_t K = alignedRetireLen(
-      SuccessCommits, std::min(CheckedObligations, SuccessCommits.size()),
-      openCut());
+  // The relation's retirement gate: only a window prefix every slot of
+  // which is ordered before all open and future operations may fold (for
+  // Strict the gate is the whole window — the tag test in the cut suffices
+  // — so this is a no-op there; a weak relation stops at the first slot it
+  // cannot vouch for, e.g. an unflushed TSO response).
+  std::size_t Limit = std::min(CheckedObligations, SuccessCommits.size());
+  Limit = Order.retirablePrefix(Obligations, Limit);
+  std::size_t K = alignedRetireLen(SuccessCommits, Limit, openCut());
   if (K == 0)
     return;
   std::size_t L = SuccessCommits[K - 1].second;
@@ -491,7 +531,8 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
       }
       break;
     }
-    std::size_t K = alignedRetireLen(R.Commits, WindowLimit, E);
+    std::size_t K = alignedRetireLen(
+        R.Commits, Order.retirablePrefix(Obligations, WindowLimit), E);
     if (K == 0 ||
         R.Commits[K - 1].second - RetiredMasterLen > R.MasterIds.size())
       break;
@@ -499,7 +540,7 @@ IncrementalLinSession::drainOverflow(const LinCheckOptions &Limits,
     FoldedAny = true;
   }
   if (FoldedAny) {
-    Obligations.rebuildMasks();
+    Order.rebuildMasks(Obligations);
     // The old cached chain and frontier predate the drain's folds; they no
     // longer extend the retired base. (A cached No survives — it is
     // absorbing regardless of windowing.)
@@ -631,13 +672,8 @@ ChainProblem IncrementalLinSession::buildProblem(std::size_t Count,
   const CommitObligation *Rows = Obligations.finalize(P.AlphabetSize);
   P.Commits.assign(Rows, Rows + Count);
   if (RecomputeMasks)
-    for (std::size_t Q = 0; Q != Count; ++Q) {
-      std::uint64_t M = 0;
-      for (std::size_t R = 0; R != Q; ++R)
-        if (Obligations.tag(R) < Obligations.invokeIdx(Q))
-          M |= 1ull << R;
-      P.Commits[Q].MustFollow = M;
-    }
+    for (std::size_t Q = 0; Q != Count; ++Q)
+      P.Commits[Q].MustFollow = Order.maskOver(Obligations, Q);
   if (HavePrefixSalt) {
     P.ProbeSalt = PrefixSalt;
     P.HaveProbeSalt = true;
@@ -1172,7 +1208,7 @@ IncrementalSlinSession::IncrementalSlinSession(const Adt &Type,
                                                const PhaseSignature &Sig,
                                                const InitRelation &Rel,
                                                const IncrementalOptions &Opts)
-    : Type(Type), Sig(Sig), Rel(Rel), Opts(Opts),
+    : Type(Type), Sig(Sig), Rel(Rel), Opts(Opts), Order(Opts.Order),
       Memo(Opts.TranspositionCapacity), Builder(Sig),
       SessionSalt(SlinSaltDomain) {
   if (!Opts.RetainTrace)
@@ -1207,6 +1243,16 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
     if (static_cast<std::size_t>(InId) >= InvokedDense.size())
       InvokedDense.resize(InId + 1, 0);
     ++InvokedDense[InId];
+    // Relation-aware availability: live responses the relation leaves
+    // unordered past this invocation gain the new input (see the lin
+    // session). The relaxation strands cached No verdicts and the memo
+    // era; retained Yes frontiers stay sound seeds.
+    if (!Order.isStrict() &&
+        Obligations.creditInvoke(Order, A.Client, InId)) {
+      if (HaveResult && CachedVerdict.Outcome == Verdict::No)
+        HaveResult = false;
+      ++Epoch;
+    }
     SawInvokeSinceVerdict = true;
     break;
   case SlinDeltaKind::Init:
@@ -1225,19 +1271,18 @@ WellFormedness IncrementalSlinSession::append(const Action &A) {
         retireQuiescentPrefix();
       std::uint64_t MustFollow = 0;
       if (Obligations.size() < IncrementalWindowLimit) {
-        // Predecessors are exactly the responses whose tags precede this
-        // operation's invocation — a window prefix, since tags strictly
-        // increase.
-        std::size_t K = Obligations.lowerBoundTag(StartIdx);
-        MustFollow = K == 0 ? 0 : (~0ull >> (64 - K));
+        // The relation derives the new response's predecessors over the
+        // live window (a prefix mask under Strict — tags strictly
+        // increase — filtered per slot under weaker relations).
+        MustFollow = Order.pushMask(Obligations, StartIdx, A.Client);
       }
       // else: overflow excursion — the mask is not representable and is
       // rebuilt when verdict()'s drain brings the window back under the
       // limit (see the lin session). The response is tracked either way:
       // the drain's capped sub-searches and the graded fallback both need
       // the full backlog.
-      Obligations.pushResponse(I, InId, A.Out, StartIdx, MustFollow,
-                               InvokedDense);
+      Obligations.pushResponse(I, InId, A.Out, StartIdx, MustFollow, A.Client,
+                               A.Meta, InvokedDense);
       ++NewObligations;
       if (Obligations.size() > Stats.LiveWindowHighWater)
         Stats.LiveWindowHighWater = Obligations.size();
@@ -1322,6 +1367,14 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
   // append while the window stays full.
   if (Obligations.empty() || Obligations.tag(0) >= E)
     return;
+  // The relation's retirement gate (see the lin session): only a window
+  // prefix every slot of which is ordered before all open and future
+  // operations may fold. Strict returns the whole window — no behavior
+  // change.
+  const std::size_t RetireLimit =
+      Order.retirablePrefix(Obligations, Obligations.size());
+  if (RetireLimit == 0)
+    return;
 
   // Per-frontier foldable prefix lengths, as a bitmask over k-1 (window
   // <= 64): bit set iff the frontier's first k commit rows are exactly the
@@ -1334,7 +1387,8 @@ void IncrementalSlinSession::retireQuiescentPrefix() {
       return 0; // Stale retirement depth: cannot participate.
     std::uint64_t Mask = 0;
     std::size_t MaxTag = 0;
-    std::size_t Limit = std::min(F.Commits.size(), Obligations.size());
+    std::size_t Limit =
+        std::min({F.Commits.size(), Obligations.size(), RetireLimit});
     static_assert(IncrementalWindowLimit <= 64,
                   "fold masks are 64-bit over window positions");
     for (std::size_t Q = 1; Q <= Limit; ++Q) {
@@ -1479,11 +1533,7 @@ ChainResult IncrementalSlinSession::runCapped(const InitInterpretation &Finit,
     Ob.Available = OverlayPtrs[Q];
     // Fresh masks over the capped sub-window: the stored ones are
     // deferred/stale during an excursion.
-    std::uint64_t M = 0;
-    for (std::size_t R2 = 0; R2 != Q; ++R2)
-      if (Obligations.tag(R2) < Obligations.invokeIdx(Q))
-        M |= 1ull << R2;
-    Ob.MustFollow = M;
+    Ob.MustFollow = Order.maskOver(Obligations, Q);
     P.Commits.push_back(Ob);
   }
   if (F && WindowBase != 0 && F->RetiredRows == WindowBase) {
@@ -1534,6 +1584,12 @@ IncrementalSlinSession::DrainOutcome IncrementalSlinSession::drainOverflow(
         E = Idx;
     if (Obligations.tag(0) >= E)
       break; // Pinned by an open straggler; O(clients) and no search.
+    // The relation's retirement gate, as in retireQuiescentPrefix: a weak
+    // relation may not fold past a slot it cannot vouch for.
+    const std::size_t RetireLimit =
+        Order.retirablePrefix(Obligations, IncrementalWindowLimit);
+    if (RetireLimit == 0)
+      break;
     bool Stop = false;
     std::uint64_t Common = ~0ull;
     for (std::size_t FI = 0; FI != Members; ++FI) {
@@ -1600,7 +1656,7 @@ IncrementalSlinSession::DrainOutcome IncrementalSlinSession::drainOverflow(
       std::uint64_t Mask = 0;
       std::size_t MaxTag = 0;
       const std::size_t RLen = F ? F->RetiredLen : 0;
-      std::size_t Limit = std::min(R.Commits.size(), IncrementalWindowLimit);
+      std::size_t Limit = std::min(R.Commits.size(), RetireLimit);
       for (std::size_t Q = 1; Q <= Limit; ++Q) {
         MaxTag = std::max(MaxTag, R.Commits[Q - 1].first);
         if (MaxTag >= E)
@@ -1666,7 +1722,7 @@ IncrementalSlinSession::DrainOutcome IncrementalSlinSession::drainOverflow(
     FoldedAny = true;
   }
   if (FoldedAny) {
-    Obligations.rebuildMasks();
+    Order.rebuildMasks(Obligations);
     // The cached family Yes and the bounded-fallback cache predate the
     // folds. (A cached No survives — it is absorbing regardless.)
     if (HaveResult && CachedVerdict.Outcome == Verdict::Yes)
@@ -2120,7 +2176,12 @@ SlinVerdict IncrementalSlinSession::verdict(const SlinCheckOptions &SOpts) {
       } else if (D.RetiredNo) {
         Result.Reason = WindowRetiredReason;
       } else if (!boundedFallback(SOpts, DrainNodes, DrainStart, Result)) {
-        Result.Reason = WindowOverflowReason;
+        // Abort-carrying streams skip both the drain and the bounded
+        // fallback (abort budgets pin every slot); report the structured
+        // abort-pinned tag instead of the flat overflow Unknown so
+        // monitors can tell the two structural states apart.
+        Result.Reason =
+            Aborts.empty() ? WindowOverflowReason : WindowAbortPinnedReason;
       }
       Result.NodesExplored = DrainNodes;
       if (Result.Grade != VerdictGrade::BoundedYes)

@@ -111,6 +111,7 @@
 #define SLIN_ENGINE_INCREMENTAL_H
 
 #include "engine/CheckSession.h"
+#include "engine/OrderRelation.h"
 #include "trace/TraceBuilder.h"
 
 #include <chrono>
@@ -148,6 +149,18 @@ inline constexpr char WindowBoundedReason[] =
     "BoundedYes: straggler pins the cut past the 64-slot window; the first "
     "64 live obligations linearized and only bounded out-of-window "
     "interference remains unchecked";
+
+/// Stable reason string for the structured Unknown a slin session reports
+/// when the live window overflowed on an abort-carrying stream: aborts rule
+/// out both retirement (Abort Order caps every commit's availability by
+/// every abort's budget, so no prefix can be frozen) and the graded bounded
+/// fallback (the first-64 restriction is not sound once abort budgets span
+/// the window). Distinct from the flat WindowOverflowReason so monitors can
+/// tell "straggler pins the cut" from "aborts pin the whole window".
+inline constexpr char WindowAbortPinnedReason[] =
+    "AbortPinned: live obligation window exceeded 64 on an abort-carrying "
+    "stream; abort budgets pin every slot, so neither retirement nor the "
+    "bounded first-64 fallback applies";
 
 /// The engine's exact search carries at most this many commit obligations
 /// per run (a 64-bit committed mask); both sessions keep their live window
@@ -200,6 +213,11 @@ struct IncrementalOptions {
   /// unchecked (the verdict's Interference). 0 disables the fallback —
   /// every pinned verdict is then the flat WindowOverflowReason Unknown.
   std::size_t InterferenceBound = 16;
+  /// The happens-before relation every MustFollow mask and retirement cut
+  /// is derived under (engine/OrderRelation.h). Strict is the paper's
+  /// real-time order and is bit-identical to the pre-parameterized
+  /// sessions; TsoHb weakens cross-client order to flushed responses.
+  OrderRelationKind Order = OrderRelationKind::Strict;
 };
 
 /// The live obligation window as a structure of arrays: engine-ready
@@ -231,18 +249,32 @@ public:
     return Slots[Base + Q].MustFollow;
   }
   std::size_t invokeIdx(std::size_t Q) const { return Invokes[Base + Q]; }
+  ClientId client(std::size_t Q) const { return Clients[Base + Q]; }
+  std::uint32_t meta(std::size_t Q) const { return Metas[Base + Q]; }
   const std::int32_t *availRow(std::size_t Q) const {
     return AvailStore.data() + (Base + Q) * Stride;
   }
   std::size_t stride() const { return Stride; }
 
-  /// Appends one obligation: slot fields plus an availability row
-  /// snapshotting \p Invoked (zero-extended to the stride). Grows or
-  /// compacts storage only when the high end is reached — steady-state
-  /// appends after retirement reuse the vacated front, allocation-free.
+  /// Appends one obligation: slot fields, the order-relation site data
+  /// (\p Client, \p Meta — consulted by OrderRelation mask rebuilds and
+  /// retirement gates), plus an availability row snapshotting \p Invoked
+  /// (zero-extended to the stride). Grows or compacts storage only when
+  /// the high end is reached — steady-state appends after retirement reuse
+  /// the vacated front, allocation-free.
   void pushResponse(std::size_t Tag, InputId In, const Output &Out,
                     std::size_t InvokeIdx, std::uint64_t MustFollow,
+                    ClientId Client, std::uint32_t Meta,
                     const std::vector<std::int32_t> &Invoked);
+
+  /// Credits one later invocation of \p In by \p Invoker to every live row
+  /// the relation leaves unordered w.r.t. it (see
+  /// OrderRelation::creditsLaterInvoke). Returns whether any row grew —
+  /// the caller's signal that cached No verdicts and retained memo
+  /// failures are stale. A no-op (and never called) under Strict; writes
+  /// into existing rows, so the event path stays allocation-free except
+  /// for the rare stride regrow a first-seen input forces.
+  bool creditInvoke(const OrderRelation &Order, ClientId Invoker, InputId In);
 
   /// Retires the first \p K live obligations (slides the base; storage
   /// is reused by later appends).
@@ -264,15 +296,6 @@ public:
     Slots[Base + Q].MustFollow = M;
   }
 
-  /// Recomputes every window-relative MustFollow mask from first
-  /// principles (tags and invocation indices are retained). Needed after
-  /// an overflow drain: folds shifted bit positions while
-  /// excursion-appended obligations had no representable mask at all.
-  /// Obligations past the engine's 64-bit mask range get mask 0 (they are
-  /// never handed to the engine while out of range). Shared by both
-  /// sessions so the drain's mask discipline cannot drift between them.
-  void rebuildMasks();
-
   void clear() {
     Base = 0;
     N = 0;
@@ -287,6 +310,8 @@ public:
   std::size_t memoryBytes() const {
     return Slots.capacity() * sizeof(CommitObligation) +
            Invokes.capacity() * sizeof(std::size_t) +
+           Clients.capacity() * sizeof(ClientId) +
+           Metas.capacity() * sizeof(std::uint32_t) +
            AvailStore.capacity() * sizeof(std::int32_t);
   }
 
@@ -302,6 +327,8 @@ private:
 
   std::vector<CommitObligation> Slots;
   std::vector<std::size_t> Invokes; ///< Parallel: invocation trace index.
+  std::vector<ClientId> Clients;    ///< Parallel: invoking client.
+  std::vector<std::uint32_t> Metas; ///< Parallel: response Action::Meta.
   std::vector<std::int32_t> AvailStore; ///< Row-major, Stride per row.
   std::size_t Stride = 0;
   std::size_t Base = 0; ///< First live row.
@@ -532,6 +559,9 @@ private:
 
   const Adt &Type;
   IncrementalOptions Opts;
+  /// The happens-before relation (Opts.Order): every mask this session
+  /// derives and every retirement cut it takes goes through it.
+  OrderRelation Order;
   InputInterner Interner;
   Arena Scratch;
   TranspositionTable Memo;
@@ -801,6 +831,8 @@ private:
   PhaseSignature Sig;
   const InitRelation &Rel;
   IncrementalOptions Opts;
+  /// The happens-before relation (Opts.Order), as in IncrementalLinSession.
+  OrderRelation Order;
   InputInterner Interner;
   Arena Scratch;
   TranspositionTable Memo;

@@ -1,0 +1,191 @@
+//===- engine/OrderRelation.h - Pluggable happens-before --------*- C++ -*-==//
+//
+// Part of the slin project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The real-time-order policy layer: every MustFollow mask the engine ever
+/// sees is derived here, parameterized by a happens-before relation — and
+/// so is the order-dependent half of availability (creditsLaterInvoke),
+/// since the two encode the same relation from opposite directions.
+///
+/// The chain search itself is relation-agnostic — a CommitObligation's
+/// MustFollow word just says "these window slots must commit first". What
+/// used to be hard-coded in four divergent copies (the batch O(n²) loops in
+/// CheckSession.cpp, the incremental push-path prefix masks, the window
+/// rebuild, and the drain sub-search recomputes) was one specific relation:
+///
+///   Strict   X hb Y  iff  X responds before Y is invoked
+///            (the paper's Real-time Order, Lemma 4's reordering condition)
+///
+/// Smith/Winter/Colvin (*A sound and complete definition of linearizability
+/// on weak memory models*) show linearizability on TSO is exactly classical
+/// linearizability over a *weakened* happens-before, which this layer ships
+/// as the second relation:
+///
+///   TsoHb    X hb Y  iff  X responds before Y is invoked AND
+///            (X and Y are the same client            [program order]
+///             or X's response is flushed             [store visible])
+///
+/// "Flushed" is per-operation metadata (Action::Meta bit ActionMetaFlushed)
+/// carried on the response: on TSO a completed write may still sit in its
+/// core's store buffer, so only a response whose effect provably reached
+/// shared memory (a flushed store, a fence, an atomic RMW — or any response
+/// of a system like SMR whose completion implies global visibility) anchors
+/// a cross-client edge. Same-client program order always holds.
+///
+/// Every TsoHb edge is a Strict edge with extra conditions, so TsoHb ⊆
+/// Strict as a relation. Fewer MustFollow constraints can only enlarge the
+/// witness set, giving the monotonicity oracle the fuzz harness asserts:
+/// Yes under Strict ⇒ Yes under TsoHb, and No under TsoHb ⇒ No under
+/// Strict.
+///
+/// **Retirement soundness.** The windowed sessions fold settled prefixes
+/// out of the live window at quiescent cuts. The fold's contract is that
+/// every still-open and every *future* operation is ordered after every
+/// retired response — under Strict that is exactly "response tag < earliest
+/// open invocation", which the cut machinery already checks. Under a weaker
+/// relation the tag test is NOT sufficient: a future cross-client operation
+/// is unordered w.r.t. an unflushed response, so pinning that response into
+/// the retired chain would over-constrain every later search and degrade
+/// verdicts the batch checker still decides. retirablePrefix() is the
+/// relation's "no future op can be ordered before this prefix" guarantee:
+/// the cut and fold alignment in both incremental sessions take its min,
+/// so a weak relation retires only responses it can vouch for (for TsoHb:
+/// flushed ones). Strict vouches for everything — the gate compiles to the
+/// existing behavior, bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLIN_ENGINE_ORDERRELATION_H
+#define SLIN_ENGINE_ORDERRELATION_H
+
+#include "engine/ChainSearch.h"
+#include "trace/Action.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace slin {
+
+class LiveWindow;
+
+/// The shipped happens-before relations.
+enum class OrderRelationKind : std::uint8_t {
+  Strict, ///< Response-before-invoke orders, unconditionally (default).
+  TsoHb,  ///< Program order + flushed-response cross-client order.
+};
+
+/// Stable lower-case name ("strict" / "tso"); used by CLI flags and logs.
+const char *orderRelationName(OrderRelationKind K);
+
+/// Parses "strict" / "tso" (the CLI spelling). Returns false and leaves
+/// \p K untouched on anything else.
+bool parseOrderRelation(std::string_view Name, OrderRelationKind &K);
+
+/// Everything the relation needs to know about one obligation besides its
+/// response tag (which lives on the CommitObligation itself): where the
+/// operation started, who ran it, and the response's platform metadata.
+struct OrderSite {
+  std::size_t InvokeIdx = 0; ///< Invocation (or init) trace index.
+  ClientId Client = 0;
+  std::uint32_t Meta = 0; ///< Action::Meta of the response.
+};
+
+/// A happens-before relation plus every MustFollow derivation the checkers
+/// use. Deliberately a small concrete class (one enum + branch) rather than
+/// a virtual interface: orders() sits on the per-event hot path, and the
+/// Strict branch must inline down to the single compare it replaced.
+class OrderRelation {
+public:
+  constexpr OrderRelation() = default;
+  constexpr explicit OrderRelation(OrderRelationKind K) : Kind(K) {}
+
+  OrderRelationKind kind() const { return Kind; }
+  bool isStrict() const { return Kind == OrderRelationKind::Strict; }
+
+  /// True iff operation X (response at trace index \p XTag, run by
+  /// \p XClient, response metadata \p XMeta) is ordered before operation Y
+  /// (invoked at trace index \p YInvoke by \p YClient): X's commit history
+  /// must then be a strict prefix of Y's.
+  bool orders(std::size_t XTag, ClientId XClient, std::uint32_t XMeta,
+              std::size_t YInvoke, ClientId YClient) const {
+    if (XTag >= YInvoke)
+      return false; // No relation orders overlapping operations.
+    if (Kind == OrderRelationKind::Strict)
+      return true;
+    return XClient == YClient || (XMeta & ActionMetaFlushed) != 0;
+  }
+
+  /// The retirement guarantee: X is ordered before every operation that is
+  /// still open or not yet invoked, *provided* X's response precedes the
+  /// quiescent cut (the tag test the cut machinery performs). Strict needs
+  /// nothing beyond the tag test; TsoHb additionally requires the response
+  /// flushed (an unflushed response is unordered w.r.t. future cross-client
+  /// invokes, so folding it would pin an order no relation edge demands).
+  bool orderedBeforeAllFuture(ClientId /*XClient*/, std::uint32_t XMeta) const {
+    return Kind == OrderRelationKind::Strict ||
+           (XMeta & ActionMetaFlushed) != 0;
+  }
+
+  /// The availability side of the same policy. The engine's per-commit
+  /// availability row ("every input a commit history uses must be counted
+  /// here", Definition 9) is the mask rule's mirror image: operation Y's
+  /// input may sit in X's commit history iff Y is not ordered after X, i.e.
+  /// iff !orders(X, Y). Under Strict every later invocation is ordered
+  /// after every earlier response, so the invoked-so-far prefix snapshot is
+  /// exact and this returns false. Under TsoHb an *unflushed* response is
+  /// unordered w.r.t. later cross-client invocations, so their inputs must
+  /// still be credited to its row — the store-buffer litmus needs exactly
+  /// this: the unflushed write linearizes after the later stale read, so
+  /// the read's input belongs to the write's commit history. Credits only
+  /// ever add availability relative to Strict, preserving the TsoHb ⊆
+  /// Strict monotonicity argument above.
+  bool creditsLaterInvoke(ClientId XClient, std::uint32_t XMeta,
+                          ClientId InvokerClient) const {
+    return Kind != OrderRelationKind::Strict && XClient != InvokerClient &&
+           (XMeta & ActionMetaFlushed) == 0;
+  }
+
+  /// The batch choke point: derives the MustFollow mask of each of \p N
+  /// obligations over the others, from the response tags on \p Commits and
+  /// the parallel \p Sites. Exactly the old CheckSession O(n²) loop for
+  /// Strict (same <64 mask-range caps, same bit layout), shared by the lin
+  /// and slin providers so the two copies cannot drift again.
+  void deriveMasks(CommitObligation *Commits, std::size_t N,
+                   const OrderSite *Sites) const;
+
+  /// The incremental push-path derivation: the window-relative MustFollow
+  /// mask of a new response (invoked at \p InvokeIdx by \p Client) over the
+  /// current live window. For Strict this is the one-binary-search prefix
+  /// mask (bit-identical to the old inline derivation); for TsoHb the
+  /// prefix is filtered per slot. Window size must be <= 64.
+  std::uint64_t pushMask(const LiveWindow &W, std::size_t InvokeIdx,
+                         ClientId Client) const;
+
+  /// Mask of window slot \p Q over slots [0, Q) — the from-first-principles
+  /// form the drain sub-searches recompute with (stored masks are
+  /// deferred/stale during an excursion). \p Q may exceed 64; bits past the
+  /// mask range are dropped exactly as the old recompute loops dropped
+  /// them.
+  std::uint64_t maskOver(const LiveWindow &W, std::size_t Q) const;
+
+  /// Recomputes every live mask of \p W in place (the post-drain rebuild;
+  /// previously LiveWindow::rebuildMasks, which hard-coded Strict).
+  void rebuildMasks(LiveWindow &W) const;
+
+  /// Length of the longest window prefix (capped at \p Limit) every slot of
+  /// which satisfies orderedBeforeAllFuture() — the relation-aware bound
+  /// the quiescent cut and fold alignment take their min with. Strict
+  /// returns \p Limit unconditionally (no scan, no behavior change).
+  std::size_t retirablePrefix(const LiveWindow &W, std::size_t Limit) const;
+
+private:
+  OrderRelationKind Kind = OrderRelationKind::Strict;
+};
+
+} // namespace slin
+
+#endif // SLIN_ENGINE_ORDERRELATION_H

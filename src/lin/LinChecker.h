@@ -30,6 +30,7 @@
 
 #include "adt/Adt.h"
 #include "engine/ChainSearch.h"
+#include "engine/OrderRelation.h"
 #include "lin/Witness.h"
 #include "trace/Trace.h"
 
@@ -78,6 +79,13 @@ struct LinCheckOptions {
   /// the steady-state verdict genuinely O(1) (batch checkers always
   /// materialize).
   bool WantWitness = true;
+  /// The happens-before relation MustFollow masks are derived under
+  /// (engine/OrderRelation.h). Strict — the default — is the paper's
+  /// real-time order and is bit-identical to the pre-parameterized
+  /// checker; TsoHb weakens cross-client order to flushed responses
+  /// (Action::Meta bit ActionMetaFlushed), deciding classical
+  /// linearizability on TSO per Smith/Winter/Colvin.
+  OrderRelationKind Order = OrderRelationKind::Strict;
 };
 
 /// Decides whether \p T (a switch-free trace in sig_T) satisfies the

@@ -69,6 +69,7 @@ static IncrementalOptions shardOptions(const ServiceConfig &Config) {
   Opts.RetainTrace = false;
   Opts.RetainRetiredWitness = false;
   Opts.InterferenceBound = Config.InterferenceBound;
+  Opts.Order = Config.Order;
   return Opts;
 }
 

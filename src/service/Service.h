@@ -92,6 +92,12 @@ struct ServiceConfig {
   /// Unknown (IncrementalOptions::InterferenceBound; 0 disables the
   /// fallback and restores flat Unknowns).
   std::size_t InterferenceBound = 16;
+  /// Happens-before relation for every shard session
+  /// (IncrementalOptions::Order): Strict is the classical real-time order;
+  /// TsoHb anchors cross-client order on flushed responses only
+  /// (Action::Meta bit ActionMetaFlushed on the wire's trailing metadata
+  /// column).
+  OrderRelationKind Order = OrderRelationKind::Strict;
 };
 
 /// Monotonic service counters.

@@ -69,6 +69,10 @@ namespace slin {
 ///     whole-object check has no abort actions, so both readings coincide
 ///     there).
 struct SlinCheckOptions {
+  /// Engine budgets, witness materialization — and the happens-before
+  /// relation: Search.Order parameterizes every MustFollow derivation of
+  /// the speculative check exactly as it does the plain one (there is
+  /// deliberately no separate slin-level knob).
   LinCheckOptions Search;
   bool AbortValidityAtEnd = false;
   /// Materialize per-interpretation witnesses on Yes. Monitors that consume

@@ -110,7 +110,13 @@ void SmrHarness::tryRespond(ClientId C) {
   Op.Out = Result;
   Op.Slot = *S.PlacedSlot;
   Op.Completed = true;
-  ObjectTrace.push_back(makeRespond(C, 1, Op.Command, Result));
+  // An SMR response is issued only after the command's slot is decided and
+  // applied — post-consensus it is globally visible, i.e. "flushed" in the
+  // TSO sense, so under OrderRelationKind::TsoHb these responses anchor
+  // cross-client order exactly as they do under Strict.
+  Action Res = makeRespond(C, 1, Op.Command, Result);
+  Res.Meta = ActionMetaFlushed;
+  ObjectTrace.push_back(Res);
 
   if (!S.Backlog.empty()) {
     Input Next = S.Backlog.front();

@@ -43,6 +43,15 @@ enum class ActionKind : std::uint8_t {
   Switch,  ///< swi(c, o, in, v)
 };
 
+/// Action::Meta bit: the operation's effect was flushed to shared memory
+/// before its response was issued (a flushed store, a fence, an atomic RMW,
+/// or any completion that implies global visibility — e.g. an SMR response,
+/// which is only issued after consensus commits the command). The
+/// TSO-weakened happens-before (engine/OrderRelation.h) anchors
+/// cross-client order only on flushed responses; the default Strict
+/// relation ignores metadata entirely.
+inline constexpr std::uint32_t ActionMetaFlushed = 1u << 0;
+
 /// One event at the object/client interface.
 struct Action {
   ActionKind Kind = ActionKind::Invoke;
@@ -51,6 +60,12 @@ struct Action {
   Input In;        ///< Meaningful for every kind.
   Output Out;      ///< Meaningful only for Respond.
   SwitchValue Sv;  ///< Meaningful only for Switch.
+  /// Optional per-operation platform metadata (ActionMeta* bits). Carried
+  /// as a backward-compatible trailing wire column (trace/TraceIo.h) and
+  /// consulted only by relation-parameterized order derivation; 0 — the
+  /// default, and what every pre-metadata trace parses to — changes
+  /// nothing under the Strict relation.
+  std::uint32_t Meta = 0;
 
   friend auto operator<=>(const Action &, const Action &) = default;
 };

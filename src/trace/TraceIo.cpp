@@ -13,28 +13,35 @@
 using namespace slin;
 
 std::string slin::formatAction(const Action &A) {
-  char Buf[160];
+  char Buf[192];
+  int Len = 0;
   switch (A.Kind) {
   case ActionKind::Invoke:
-    std::snprintf(Buf, sizeof(Buf), "inv %u %u %u %u %lld %lld", A.Client,
-                  A.Phase, A.In.Op, A.In.Tag, static_cast<long long>(A.In.A),
-                  static_cast<long long>(A.In.B));
+    Len = std::snprintf(Buf, sizeof(Buf), "inv %u %u %u %u %lld %lld",
+                        A.Client, A.Phase, A.In.Op, A.In.Tag,
+                        static_cast<long long>(A.In.A),
+                        static_cast<long long>(A.In.B));
     break;
   case ActionKind::Respond:
-    std::snprintf(Buf, sizeof(Buf), "res %u %u %u %u %lld %lld %lld",
-                  A.Client, A.Phase, A.In.Op, A.In.Tag,
-                  static_cast<long long>(A.In.A),
-                  static_cast<long long>(A.In.B),
-                  static_cast<long long>(A.Out.Val));
+    Len = std::snprintf(Buf, sizeof(Buf), "res %u %u %u %u %lld %lld %lld",
+                        A.Client, A.Phase, A.In.Op, A.In.Tag,
+                        static_cast<long long>(A.In.A),
+                        static_cast<long long>(A.In.B),
+                        static_cast<long long>(A.Out.Val));
     break;
   case ActionKind::Switch:
-    std::snprintf(Buf, sizeof(Buf), "swi %u %u %u %u %lld %lld %lld",
-                  A.Client, A.Phase, A.In.Op, A.In.Tag,
-                  static_cast<long long>(A.In.A),
-                  static_cast<long long>(A.In.B),
-                  static_cast<long long>(A.Sv.Val));
+    Len = std::snprintf(Buf, sizeof(Buf), "swi %u %u %u %u %lld %lld %lld",
+                        A.Client, A.Phase, A.In.Op, A.In.Tag,
+                        static_cast<long long>(A.In.A),
+                        static_cast<long long>(A.In.B),
+                        static_cast<long long>(A.Sv.Val));
     break;
   }
+  // The metadata column is emitted only when set, so traces that never
+  // touch Action::Meta render byte-identical to the pre-metadata format.
+  if (A.Meta != 0)
+    std::snprintf(Buf + Len, sizeof(Buf) - static_cast<std::size_t>(Len),
+                  " %u", A.Meta);
   return Buf;
 }
 
@@ -108,9 +115,10 @@ LineKind slin::parseActionLine(std::string_view Line, Action &A,
   if (Line.empty() || Line[0] == '#')
     return LineKind::Blank;
 
-  // Tokenize in place: the record shapes are fixed at 7 or 8 fields, so
-  // the fields are consumed as they are split off — no field vector, no
-  // per-field strings, no allocation on the accepted path.
+  // Tokenize in place: the record shapes are fixed at 7 or 8 fields plus
+  // one optional trailing metadata column, so the fields are consumed as
+  // they are split off — no field vector, no per-field strings, no
+  // allocation on the accepted path.
   std::string_view Rest = Line;
   std::string_view Kind = nextTraceField(Rest);
   if (Kind.empty())
@@ -126,9 +134,9 @@ LineKind slin::parseActionLine(std::string_view Line, Action &A,
   if (Kind != "inv" && Kind != "res" && Kind != "swi")
     return Fail("unknown action kind '" + std::string(Kind) + "'");
 
-  std::string_view Fields[7];
+  std::string_view Fields[8];
   std::size_t Got = 0;
-  for (; Got != Expected - 1; ++Got) {
+  for (; Got != Expected; ++Got) { // One past the base shape: optional Meta.
     Fields[Got] = nextTraceField(Rest);
     if (Fields[Got].empty())
       break;
@@ -136,9 +144,11 @@ LineKind slin::parseActionLine(std::string_view Line, Action &A,
   std::size_t Found = 1 + Got;
   while (!nextTraceField(Rest).empty())
     ++Found; // Trailing extra fields still yield an exact count.
-  if (Found != Expected)
-    return Fail("expected " + std::to_string(Expected) + " fields, found " +
+  if (Found != Expected && Found != Expected + 1)
+    return Fail("expected " + std::to_string(Expected) + " or " +
+                std::to_string(Expected + 1) + " fields, found " +
                 std::to_string(Found));
+  bool HasMeta = Found == Expected + 1;
 
   A = Action();
   std::int64_t Extra = 0;
@@ -147,7 +157,8 @@ LineKind slin::parseActionLine(std::string_view Line, Action &A,
       !parseTraceFieldU32(Fields[2], A.In.Op) ||
       !parseTraceFieldU32(Fields[3], A.In.Tag) ||
       !parseI64(Fields[4], A.In.A) || !parseI64(Fields[5], A.In.B) ||
-      (HasExtra && !parseI64(Fields[6], Extra)))
+      (HasExtra && !parseI64(Fields[6], Extra)) ||
+      (HasMeta && !parseTraceFieldU32(Fields[Expected - 1], A.Meta)))
     return Fail("malformed numeric field");
   if (A.Phase == 0)
     return Fail("phase numbering starts at 1");

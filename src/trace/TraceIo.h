@@ -8,11 +8,15 @@
 /// A line-oriented textual format for traces, used by the trace-lint example
 /// tool, the online monitor, and test fixtures. One action per line:
 ///
-///   inv <client> <phase> <op> <tag> <a> <b>
-///   res <client> <phase> <op> <tag> <a> <b> <out>
-///   swi <client> <phase> <op> <tag> <a> <b> <sv>
+///   inv <client> <phase> <op> <tag> <a> <b> [meta]
+///   res <client> <phase> <op> <tag> <a> <b> <out> [meta]
+///   swi <client> <phase> <op> <tag> <a> <b> <sv> [meta]
 ///
-/// Blank lines and lines starting with '#' are ignored.
+/// Blank lines and lines starting with '#' are ignored. The optional
+/// trailing [meta] column is Action::Meta (a u32 bitset; bit 0 is
+/// ActionMetaFlushed, consumed by the TsoHb order relation). It is
+/// omitted on output when zero and defaults to zero when absent, so the
+/// extended format reads and writes every pre-metadata trace unchanged.
 ///
 /// The parser is hardened for untrusted input — the streaming ingest path
 /// (trace/TraceBuilder.h) inherits it record by record: numeric fields

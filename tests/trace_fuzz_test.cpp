@@ -1179,3 +1179,199 @@ TEST(TraceFuzzTest, RetainedReplayStateMatchesFreshReplay) {
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Relation monotonicity: TsoHb is a sub-relation of Strict (it drops
+// cross-client order at unflushed responses and adds nothing), so every
+// Strict witness is a TsoHb witness. Weakening the relation can only move
+// verdicts toward Yes:
+//
+//   Yes under Strict  =>  Yes under TsoHb
+//   No  under TsoHb   =>  No  under Strict
+//
+// The oracle runs the full seeded family — all five ADTs, linearizable /
+// mutated / arbitrary / corrupted draws, random flushed-bit densities —
+// per prefix, batch and incremental, lin and slin. It needs no ground
+// truth: any inversion is a mask-derivation bug in one of the relations.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Scatters flushed bits over the responses: density rotates through
+/// all-unflushed (maximal weakening), mixed, and all-flushed (where TsoHb
+/// must coincide with Strict exactly).
+void scatterFlushedBits(Trace &T, unsigned Index, Rng &R) {
+  unsigned Density = Index % 3; // 0: none, 1: coin-flip, 2: all.
+  for (Action &A : T)
+    if (isRespond(A) && (Density == 2 || (Density == 1 && R.next() % 2)))
+      A.Meta = ActionMetaFlushed;
+}
+
+/// The two-relation differential for one lin trace: batch monotonicity at
+/// every prefix, each incremental session agreeing with the batch check
+/// under its own relation, and exact verdict/node equality when every
+/// response is flushed.
+void fuzzLinMonotonicity(const LinFixture &Fx, const Trace &T,
+                         bool AllFlushed) {
+  LinCheckOptions StrictO;
+  LinCheckOptions TsoO;
+  TsoO.Order = OrderRelationKind::TsoHb;
+  IncrementalOptions TsoInc;
+  TsoInc.Order = OrderRelationKind::TsoHb;
+  IncrementalLinSession StrictSession(Fx.Type);
+  IncrementalLinSession TsoSession(Fx.Type, TsoInc);
+
+  Trace Prefix;
+  for (const Action &A : T) {
+    StrictSession.append(A);
+    TsoSession.append(A);
+    Prefix.push_back(A);
+
+    LinCheckResult S = checkLinearizable(Prefix, Fx.Type, StrictO);
+    LinCheckResult W = checkLinearizable(Prefix, Fx.Type, TsoO);
+    if (S.Outcome == Verdict::Yes)
+      ASSERT_EQ(W.Outcome, Verdict::Yes)
+          << Fx.Type.name() << ": weakening the order lost a Yes at prefix "
+          << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    if (W.Outcome == Verdict::No)
+      ASSERT_EQ(S.Outcome, Verdict::No)
+          << Fx.Type.name() << ": a TsoHb No must be a Strict No at prefix "
+          << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    if (AllFlushed) {
+      // Every response flushed: the relations' masks coincide slot for
+      // slot, so verdicts AND node counts must be identical.
+      ASSERT_EQ(S.Outcome, W.Outcome) << formatTrace(Prefix);
+      ASSERT_EQ(S.NodesExplored, W.NodesExplored) << formatTrace(Prefix);
+    }
+
+    ASSERT_EQ(StrictSession.verdict().Outcome, S.Outcome)
+        << Fx.Type.name() << ": strict session diverged from strict batch "
+        << "at prefix " << Prefix.size() << ":\n"
+        << formatTrace(Prefix);
+    ASSERT_EQ(TsoSession.verdict().Outcome, W.Outcome)
+        << Fx.Type.name() << ": tso session diverged from tso batch at "
+        << "prefix " << Prefix.size() << ":\n"
+        << formatTrace(Prefix);
+  }
+}
+
+void runLinMonotonicityFuzz(const LinFixture &Fx, std::uint64_t FamilyTag) {
+  unsigned N = traceBudget(120);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed =
+        hashCombine(hashCombine(baseSeed(), FamilyTag), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    Trace T = drawLinTrace(Fx, I, R);
+    scatterFlushedBits(T, I, R);
+    fuzzLinMonotonicity(Fx, T, /*AllFlushed=*/I % 3 == 2);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}
+
+} // namespace
+
+TEST(TraceFuzzTest, OrderMonotonicity_Consensus) {
+  ConsensusAdt Cons;
+  runLinMonotonicityFuzz({Cons,
+                          {cons::propose(1), cons::propose(2),
+                           cons::propose(3)},
+                          {cons::decide(1), cons::decide(2),
+                           cons::decide(3)}},
+                         0x71);
+}
+
+TEST(TraceFuzzTest, OrderMonotonicity_Queue) {
+  QueueAdt Q;
+  runLinMonotonicityFuzz({Q,
+                          {queue::enq(1), queue::enq(2), queue::deq()},
+                          {Output{1}, Output{2}, Output{NoValue}}},
+                         0x72);
+}
+
+TEST(TraceFuzzTest, OrderMonotonicity_Register) {
+  RegisterAdt Reg;
+  runLinMonotonicityFuzz({Reg,
+                          {reg::read(), reg::write(1), reg::write(2)},
+                          {Output{1}, Output{2}, Output{NoValue}}},
+                         0x73);
+}
+
+TEST(TraceFuzzTest, OrderMonotonicity_KvStore) {
+  KvStoreAdt Kv;
+  runLinMonotonicityFuzz({Kv,
+                          {kv::put(1, 10), kv::put(1, 20), kv::get(1),
+                           kv::del(1)},
+                          {Output{10}, Output{20}, Output{NoValue}}},
+                         0x74);
+}
+
+TEST(TraceFuzzTest, OrderMonotonicity_Universal) {
+  UniversalAdt Uni;
+  runLinMonotonicityFuzz({Uni,
+                          {Input{1, 0, 1, 0}, Input{2, 0, 2, 0},
+                           Input{3, 0, 3, 0}},
+                          {Output{0}, Output{1}}},
+                         0x75);
+}
+
+TEST(TraceFuzzTest, OrderMonotonicity_Slin) {
+  // The same oracle through the speculative checker: phase walks with
+  // aborts and recoveries, flushed bits scattered over the responses,
+  // batch (Search.Order) against the incremental sessions (Options.Order)
+  // under both relations.
+  ConsensusAdt Cons;
+  unsigned N = traceBudget(100);
+  for (unsigned I = 0; I != N; ++I) {
+    std::uint64_t TraceSeed = hashCombine(hashCombine(baseSeed(), 0x76), I);
+    SCOPED_TRACE(seedNote(TraceSeed, I));
+    Rng R(TraceSeed);
+    PhaseId M = 1 + (I % 2);
+    PhaseSignature Sig(M, M + 1);
+    UniversalInitRelation Rel;
+    Trace T = drawSlinWalk(Sig, Rel, R);
+    scatterFlushedBits(T, I, R);
+
+    SlinCheckOptions StrictO;
+    SlinCheckOptions TsoO;
+    TsoO.Search.Order = OrderRelationKind::TsoHb;
+    IncrementalOptions TsoIncO;
+    TsoIncO.Order = OrderRelationKind::TsoHb;
+    IncrementalSlinSession StrictSession(Cons, Sig, Rel);
+    IncrementalSlinSession TsoSession(Cons, Sig, Rel, TsoIncO);
+
+    Trace Prefix;
+    for (const Action &A : T) {
+      StrictSession.append(A);
+      TsoSession.append(A);
+      Prefix.push_back(A);
+
+      SlinVerdict S = checkSlin(Prefix, Sig, Cons, Rel, StrictO);
+      SlinVerdict W = checkSlin(Prefix, Sig, Cons, Rel, TsoO);
+      if (S.Outcome == Verdict::Yes)
+        ASSERT_EQ(W.Outcome, Verdict::Yes)
+            << "slin: weakening the order lost a Yes at prefix "
+            << Prefix.size() << ":\n"
+            << formatTrace(Prefix);
+      if (W.Outcome == Verdict::No)
+        ASSERT_EQ(S.Outcome, Verdict::No)
+            << "slin: a TsoHb No must be a Strict No at prefix "
+            << Prefix.size() << ":\n"
+            << formatTrace(Prefix);
+
+      ASSERT_EQ(StrictSession.verdict(StrictO).Outcome, S.Outcome)
+          << "slin strict session diverged from batch at prefix "
+          << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+      ASSERT_EQ(TsoSession.verdict(TsoO).Outcome, W.Outcome)
+          << "slin tso session diverged from batch at prefix "
+          << Prefix.size() << ":\n"
+          << formatTrace(Prefix);
+    }
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+}

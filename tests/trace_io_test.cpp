@@ -87,6 +87,51 @@ TEST(TraceIoHardeningTest, RandomTracesRoundTrip) {
 }
 
 //===----------------------------------------------------------------------===//
+// The optional trailing metadata column.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoHardeningTest, MetaColumnRoundTrips) {
+  Trace T = sampleTrace();
+  T[0].Meta = ActionMetaFlushed;
+  T[2].Meta = 0x7u; // Multiple bits survive verbatim.
+  TraceParseResult R = parseTrace(formatTrace(T));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ParsedTrace, T);
+  EXPECT_EQ(R.ParsedTrace[0].Meta, ActionMetaFlushed);
+  EXPECT_EQ(R.ParsedTrace[1].Meta, 0u);
+}
+
+TEST(TraceIoHardeningTest, ZeroMetaRendersTheLegacyShape) {
+  // Traces that never touch Action::Meta must format byte-identically to
+  // the pre-metadata column shape — downstream golden files and diff-based
+  // tooling see no change.
+  EXPECT_EQ(formatAction(makeInvoke(1, 2, Input{3, 4, 5, 6})),
+            "inv 1 2 3 4 5 6");
+  EXPECT_EQ(formatAction(makeRespond(1, 2, Input{3, 4, 5, 6}, Output{7})),
+            "res 1 2 3 4 5 6 7");
+  Action Flushed = makeRespond(1, 2, Input{3, 4, 5, 6}, Output{7});
+  Flushed.Meta = ActionMetaFlushed;
+  EXPECT_EQ(formatAction(Flushed), "res 1 2 3 4 5 6 7 1");
+}
+
+TEST(TraceIoHardeningTest, MetaColumnParsesOnEveryKind) {
+  TraceParseResult R = parseTrace("inv 0 1 0 0 5 0 1\n"
+                                  "res 0 1 0 0 5 0 9 3\n"
+                                  "swi 0 2 0 0 5 0 -1 1\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ParsedTrace[0].Meta, 1u);
+  EXPECT_EQ(R.ParsedTrace[1].Meta, 3u);
+  EXPECT_EQ(R.ParsedTrace[2].Meta, 1u);
+  // Absent column defaults to zero; one column past Meta is still an
+  // exact-count error, and a non-numeric or overflowing Meta is malformed.
+  EXPECT_EQ(parseTrace("res 0 1 0 0 5 0 9\n").ParsedTrace[0].Meta, 0u);
+  EXPECT_FALSE(parseTrace("res 0 1 0 0 5 0 9 3 3\n").Ok);
+  EXPECT_FALSE(parseTrace("res 0 1 0 0 5 0 9 x\n").Ok);
+  EXPECT_FALSE(parseTrace("res 0 1 0 0 5 0 9 4294967296\n").Ok);
+  EXPECT_FALSE(parseTrace("res 0 1 0 0 5 0 9 -1\n").Ok);
+}
+
+//===----------------------------------------------------------------------===//
 // Truncated and corrupted records.
 //===----------------------------------------------------------------------===//
 
